@@ -1,0 +1,45 @@
+"""Benches E-F1/E-F2/F-R: pipeline trace, tree figure, ROC figure."""
+
+from repro.experiments import figure1, figure2, figure_roc
+
+
+def test_bench_figure1(benchmark, scale, warm_cache):
+    trace, detector = benchmark.pedantic(
+        lambda: figure1.run(scale, "MG-A2"), rounds=1, iterations=1
+    )
+    print()
+    print(trace)
+    # The trace must show all four stages and end with the detector.
+    for marker in ("[Step 1]", "[Step 2]", "[Step 3]", "[Step 4]",
+                   "[Output]"):
+        assert marker in trace
+    assert detector.predicate is not None
+    assert "def generated_detector" in trace
+
+
+def test_bench_figure2(benchmark, scale, warm_cache):
+    text = benchmark.pedantic(
+        lambda: figure2.run(scale, "MG-A1"), rounds=1, iterations=1
+    )
+    print()
+    print(text)
+    # Figure 2 structure: a rendered tree plus the extracted predicate.
+    assert "fail" in text
+    assert "Extracted predicate" in text
+    assert "flag_error =" in text
+
+
+def test_bench_figure_roc(benchmark, scale, warm_cache):
+    points, envelope_auc, baseline_auc = benchmark.pedantic(
+        lambda: figure_roc.run(scale, "FG-B1"), rounds=1, iterations=1
+    )
+    print()
+    print(figure_roc.main(scale, "FG-B1"))
+    # One point per grid trial plus the baseline.
+    assert len(points) == scale.grid.size() + 1
+    # The multi-point envelope cannot be worse than the baseline's
+    # single-point trapezoid AUC (it passes through that point).
+    assert envelope_auc >= baseline_auc - 1e-9
+    for fpr, tpr, _ in points:
+        assert 0.0 <= fpr <= 1.0
+        assert 0.0 <= tpr <= 1.0

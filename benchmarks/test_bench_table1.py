@@ -1,0 +1,19 @@
+"""Bench E-T1: regenerate Table I (confusion matrix + Section IV metrics)."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, scale, warm_cache):
+    confusion = benchmark.pedantic(
+        lambda: table1.run(scale, "7Z-A1"), rounds=1, iterations=1
+    )
+    print()
+    print(table1.main(scale, "7Z-A1"))
+    # Table I structure: cells account for every instance.
+    assert confusion.total > 0
+    assert confusion.tp + confusion.fn + confusion.fp + confusion.tn == (
+        confusion.total
+    )
+    # Shape: the baseline model is a strong classifier of
+    # failure-inducing states.
+    assert confusion.auc() > 0.75

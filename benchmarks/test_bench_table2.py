@@ -1,0 +1,41 @@
+"""Bench E-T2: regenerate Table II (the 18 fault-injection datasets).
+
+Also benchmarks one raw campaign (no cache) so the cost of Step 1
+itself is visible, separately from the cached table assembly.
+"""
+
+from repro.experiments import table2
+from repro.experiments.datasets import (
+    DATASET_SPECS,
+    build_target,
+    campaign_config,
+)
+from repro.injection.campaign import Campaign
+
+
+def test_bench_table2(benchmark, scale, warm_cache):
+    rows = benchmark.pedantic(lambda: table2.run(scale), rounds=1, iterations=1)
+    print()
+    print(table2.main(scale))
+    assert len(rows) == 18
+    by_name = {r.dataset: r for r in rows}
+    # Table II structure: 3 systems x 2 modules x 3 location pairs.
+    assert set(by_name) == set(DATASET_SPECS)
+    # Shape: fault injection data is imbalanced towards non-failures
+    # in every dataset ("only a small proportion of runs lead to
+    # failure"), yet every dataset has a failure pool to learn from.
+    for row in rows:
+        assert 0 < row.failures < row.instances / 2, row.dataset
+
+
+def test_bench_single_campaign(benchmark, scale):
+    """Step 1 cost for one dataset, bypassing the cache."""
+    spec = DATASET_SPECS["MG-A1"]
+
+    def run_campaign():
+        target = build_target(spec.target, scale)
+        return Campaign(target, campaign_config(spec, scale)).run()
+
+    result = benchmark.pedantic(run_campaign, rounds=1, iterations=1)
+    assert result.n_runs > 0
+    assert 0 < result.failure_rate < 0.5

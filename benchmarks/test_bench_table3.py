@@ -1,0 +1,29 @@
+"""Bench E-T3: regenerate Table III (baseline C4.5, no sampling).
+
+Paper-shape assertions (Section VII-C): high AUC everywhere, very low
+FPR, low AUC variance across folds.  Absolute numbers depend on the
+scale; the asserted bounds are the loosest that still capture the
+paper's qualitative claims at the smoke scale (the bench scale clears
+them by a wide margin -- see EXPERIMENTS.md).
+"""
+
+from repro.experiments import table3
+
+
+def test_bench_table3(benchmark, scale, warm_cache):
+    rows = benchmark.pedantic(lambda: table3.run(scale), rounds=1, iterations=1)
+    print()
+    print(table3.main(scale))
+    assert len(rows) == 18
+    for row in rows:
+        # "the mean AUC for all baseline models is greater than 0.896"
+        # -- at reduced scale we assert a looser floor.
+        assert row.auc > 0.70, f"{row.dataset}: AUC {row.auc}"
+        # "the mean FPR is extremely low in all cases"
+        assert row.fpr < 0.05, f"{row.dataset}: FPR {row.fpr}"
+        # "the variance of all the models generated is consistently low"
+        assert row.var < 0.08, f"{row.dataset}: Var {row.var}"
+        assert row.comp >= 1.0
+    # Global shape: most datasets reach the paper's TPR regime.
+    strong = sum(1 for r in rows if r.tpr >= 0.75)
+    assert strong >= 12, f"only {strong}/18 datasets reach TPR 0.75"

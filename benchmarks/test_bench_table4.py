@@ -1,0 +1,32 @@
+"""Bench E-T4: regenerate Table IV (refined models).
+
+Paper-shape assertion (Section VII-D): "each of the models generated
+in the previous step were improved on, with respect to the mean AUC
+measure, during the predicate refinement process" -- i.e. refined AUC
+>= baseline AUC for every dataset (our pipeline falls back to the
+baseline when no grid point beats it, so the inequality is exact).
+"""
+
+from repro.experiments import table4
+
+
+def test_bench_table4(benchmark, scale, warm_cache):
+    rows = benchmark.pedantic(lambda: table4.run(scale), rounds=1, iterations=1)
+    print()
+    print(table4.main(scale))
+    assert len(rows) == 18
+    for row in rows:
+        assert row.improved, (
+            f"{row.dataset}: refined AUC {row.auc} < baseline "
+            f"{row.baseline_auc}"
+        )
+        assert row.fpr < 0.08, f"{row.dataset}: FPR {row.fpr}"
+    # Refinement lifts the hard datasets: the minimum TPR across the
+    # table must rise relative to the baseline table.
+    from repro.experiments import table3
+
+    baseline_rows = {r.dataset: r for r in table3.run(scale)}
+    improved_tpr = sum(
+        1 for r in rows if r.tpr >= baseline_rows[r.dataset].tpr - 1e-9
+    )
+    assert improved_tpr >= 9, "refinement should not trade TPR away broadly"

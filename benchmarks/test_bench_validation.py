@@ -1,0 +1,21 @@
+"""Bench V-1: runtime-assertion re-injection validation (Section VII-D)."""
+
+from repro.experiments import validation
+
+
+def test_bench_validation(benchmark, scale, warm_cache):
+    rows = benchmark.pedantic(
+        lambda: validation.run(scale), rounds=1, iterations=1
+    )
+    print()
+    print(validation.main(scale))
+    assert rows
+    for row in rows:
+        # The paper's check: rates observed under re-injection are
+        # commensurate with the cross-validation estimates.
+        assert row.commensurate, (
+            f"{row.dataset}: observed TPR={row.observed_tpr} "
+            f"FPR={row.observed_fpr} vs CV TPR={row.cv_tpr} "
+            f"FPR={row.cv_fpr}"
+        )
+        assert row.mean_latency >= 0.0

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` needs PEP 660 editable-wheel support (setuptools>=64
+plus `wheel`); on offline machines without `wheel`, fall back to
+`python setup.py develop`, which this shim enables.
+"""
+
+from setuptools import setup
+
+setup()

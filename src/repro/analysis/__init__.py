@@ -1,0 +1,56 @@
+"""Error propagation analysis (the placement substrate).
+
+The paper separates detector *design* (its contribution) from detector
+*placement*, which it delegates to error propagation analysis --
+"program locations are known, e.g., through techniques such as [14]"
+(Hiller, Jhumka, Suri: "An approach for analysing the propagation of
+data errors in software", DSN 2001).  This package implements that
+substrate over the reproduction's campaign records:
+
+* :mod:`repro.analysis.propagation` -- per-variable error permeability
+  (how often a corruption of the variable propagates to failure),
+  bit-region and injection-time profiles, and a ranking of variables /
+  locations that detector placement would prioritise;
+* :mod:`repro.analysis.coverage` -- Powell-style coverage estimation
+  (binomial point estimate with Wilson and Clopper-Pearson intervals)
+  and detection latency statistics for validated detectors;
+* :mod:`repro.analysis.significance` -- paired and Nadeau-Bengio
+  corrected t-tests over matched cross-validation folds, for claims of
+  the form "model A beats model B on this dataset".
+"""
+
+from repro.analysis.propagation import (
+    PropagationReport,
+    VariablePropagation,
+    analyse_propagation,
+)
+from repro.analysis.coverage import (
+    CoverageEstimate,
+    EfficiencyReport,
+    LatencyStatistics,
+    coverage_estimate,
+    detector_efficiency_report,
+    latency_statistics,
+)
+from repro.analysis.significance import (
+    TTestResult,
+    compare_fold_metrics,
+    corrected_paired_t_test,
+    paired_t_test,
+)
+
+__all__ = [
+    "CoverageEstimate",
+    "EfficiencyReport",
+    "LatencyStatistics",
+    "PropagationReport",
+    "TTestResult",
+    "VariablePropagation",
+    "analyse_propagation",
+    "compare_fold_metrics",
+    "corrected_paired_t_test",
+    "coverage_estimate",
+    "detector_efficiency_report",
+    "latency_statistics",
+    "paired_t_test",
+]

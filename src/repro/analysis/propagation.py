@@ -1,0 +1,163 @@
+"""Per-variable error permeability from campaign records.
+
+Hiller et al.'s propagation analysis [14] estimates, for each signal
+of a module, how permeable it is to errors: the probability that a
+corruption of that signal propagates to an observable failure.  The
+reproduction computes the same statistic directly from fault injection
+records, broken down three ways:
+
+* per **variable** -- the headline permeability (failures / runs);
+* per **bit region** of the flipped position (low / middle / high
+  third of the representation) -- data value faults in high-order bits
+  propagate differently from low-order noise, and the profile shows
+  which;
+* per **injection time** -- a variable may only be live during part of
+  the run (the FlightGear gear module matters during the ground roll
+  and not after), which the time profile exposes.
+
+:func:`analyse_propagation` accepts a
+:class:`repro.injection.campaign.CampaignResult` or a parsed log
+(anything with ``records``, ``config`` and ``target_name``), so cached
+campaign logs can be analysed without re-running Step 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+
+from repro.injection.bitflip import bit_width
+
+__all__ = ["VariablePropagation", "PropagationReport", "analyse_propagation"]
+
+_REGIONS = ("low", "mid", "high")
+
+
+def _region(bit: int, width: int) -> str:
+    if width <= 1:
+        return "low"
+    third = max(width // 3, 1)
+    if bit < third:
+        return "low"
+    if bit < 2 * third:
+        return "mid"
+    return "high"
+
+
+@dataclasses.dataclass
+class VariablePropagation:
+    """Permeability statistics for one instrumented variable."""
+
+    variable: str
+    kind: str
+    runs: int
+    failures: int
+    crashes: int
+    by_region: dict[str, tuple[int, int]]  # region -> (failures, runs)
+    by_time: dict[int, tuple[int, int]]    # injection time -> (failures, runs)
+
+    @property
+    def permeability(self) -> float:
+        """P(failure | corruption of this variable)."""
+        return self.failures / self.runs if self.runs else 0.0
+
+    def region_permeability(self, region: str) -> float:
+        failures, runs = self.by_region.get(region, (0, 0))
+        return failures / runs if runs else 0.0
+
+    def time_permeability(self, time: int) -> float:
+        failures, runs = self.by_time.get(time, (0, 0))
+        return failures / runs if runs else 0.0
+
+
+@dataclasses.dataclass
+class PropagationReport:
+    """Module-level propagation profile."""
+
+    target: str
+    module: str
+    injection_location: str
+    variables: list[VariablePropagation]
+
+    @property
+    def total_runs(self) -> int:
+        return sum(v.runs for v in self.variables)
+
+    @property
+    def total_failures(self) -> int:
+        return sum(v.failures for v in self.variables)
+
+    @property
+    def module_permeability(self) -> float:
+        """P(failure | corruption anywhere in the module)."""
+        return self.total_failures / self.total_runs if self.total_runs else 0.0
+
+    def ranked(self) -> list[VariablePropagation]:
+        """Variables by descending permeability: the placement order.
+
+        A detector guarding the most permeable variables intercepts the
+        largest share of failure-inducing corruptions; resilient
+        variables (permeability ~ 0) need no guarding.
+        """
+        return sorted(
+            self.variables, key=lambda v: (v.permeability, v.runs), reverse=True
+        )
+
+    def critical_variables(self, threshold: float = 0.5) -> list[str]:
+        return [
+            v.variable for v in self.ranked() if v.permeability >= threshold
+        ]
+
+    def resilient_variables(self, threshold: float = 0.02) -> list[str]:
+        return [
+            v.variable for v in self.variables if v.permeability <= threshold
+        ]
+
+
+def analyse_propagation(result) -> PropagationReport:
+    """Compute the propagation profile of a campaign's records."""
+    per_variable: dict[str, dict] = defaultdict(
+        lambda: {
+            "kind": "float64",
+            "runs": 0,
+            "failures": 0,
+            "crashes": 0,
+            "by_region": defaultdict(lambda: [0, 0]),
+            "by_time": defaultdict(lambda: [0, 0]),
+        }
+    )
+    for record in result.records:
+        flip = record.flip
+        stats = per_variable[flip.variable]
+        stats["kind"] = flip.kind
+        stats["runs"] += 1
+        width = bit_width(flip.kind)
+        region = stats["by_region"][_region(flip.bit, width)]
+        region[1] += 1
+        time_bucket = stats["by_time"][record.injection_time]
+        time_bucket[1] += 1
+        if record.failed:
+            stats["failures"] += 1
+            region[0] += 1
+            time_bucket[0] += 1
+        if record.crashed:
+            stats["crashes"] += 1
+
+    variables = [
+        VariablePropagation(
+            variable=name,
+            kind=stats["kind"],
+            runs=stats["runs"],
+            failures=stats["failures"],
+            crashes=stats["crashes"],
+            by_region={k: tuple(v) for k, v in stats["by_region"].items()},
+            by_time={k: tuple(v) for k, v in stats["by_time"].items()},
+        )
+        for name, stats in sorted(per_variable.items())
+    ]
+    return PropagationReport(
+        target=result.target_name,
+        module=result.config.module,
+        injection_location=str(result.config.injection_location),
+        variables=variables,
+    )

@@ -1,0 +1,140 @@
+"""Statistical comparison of cross-validated models.
+
+Claims like "the refined predicate is better than the baseline" or
+"C4.5 beats Naive Bayes here" rest on differences between
+cross-validation estimates, which are themselves noisy.  This module
+provides the standard machinery for such claims over *matched folds*:
+
+* :func:`paired_t_test` -- the classic paired Student t-test over
+  per-fold metric differences;
+* :func:`corrected_paired_t_test` -- Nadeau & Bengio's variance
+  correction for resampled/cross-validated estimates (the default in
+  Weka's Experimenter), which widens the variance by ``1/k + n2/n1``
+  to account for overlapping training sets;
+* a p-value from the t distribution, computed via the regularised
+  incomplete beta function already used by the coverage module.
+
+Both tests require the two models to have been evaluated on the *same
+folds* (same dataset, same fold RNG) -- the cross-validation harness's
+determinism makes that easy to arrange.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.analysis.coverage import _beta_cdf
+
+__all__ = [
+    "TTestResult",
+    "paired_t_test",
+    "corrected_paired_t_test",
+    "compare_fold_metrics",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TTestResult:
+    """Outcome of a paired comparison of per-fold metrics."""
+
+    mean_difference: float   # mean(a - b)
+    t_statistic: float
+    degrees_of_freedom: int
+    p_value: float           # two-sided
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+    def __str__(self) -> str:
+        return (
+            f"diff={self.mean_difference:+.5f} t={self.t_statistic:.3f} "
+            f"df={self.degrees_of_freedom} p={self.p_value:.4f}"
+        )
+
+
+def _t_sf(t: float, df: int) -> float:
+    """Two-sided p-value for a t statistic via the incomplete beta."""
+    if df < 1:
+        raise ValueError("degrees of freedom must be >= 1")
+    if math.isnan(t):
+        return 1.0
+    if math.isinf(t):
+        return 0.0
+    x = df / (df + t * t)
+    # P(|T| >= |t|) = I_x(df/2, 1/2)
+    return _beta_cdf(x, df / 2.0, 0.5)
+
+
+def paired_t_test(a, b) -> TTestResult:
+    """Paired Student t-test over matched per-fold metrics."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("need two equal-length 1-D metric vectors")
+    if len(a) < 2:
+        raise ValueError("need at least two folds")
+    d = a - b
+    mean = float(d.mean())
+    sd = float(d.std(ddof=1))
+    df = len(d) - 1
+    if sd == 0.0:
+        t = 0.0 if mean == 0.0 else math.copysign(math.inf, mean)
+        return TTestResult(mean, t, df, 0.0 if t != 0.0 else 1.0)
+    t = mean / (sd / math.sqrt(len(d)))
+    return TTestResult(mean, t, df, _t_sf(t, df))
+
+
+def corrected_paired_t_test(
+    a, b, test_fraction: float | None = None
+) -> TTestResult:
+    """Nadeau-Bengio corrected paired t-test for k-fold estimates.
+
+    ``test_fraction`` is n2/n1, the test-to-train size ratio; for
+    k-fold cross-validation it is ``1/(k-1)`` (the default when not
+    given).
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("need two equal-length 1-D metric vectors")
+    k = len(a)
+    if k < 2:
+        raise ValueError("need at least two folds")
+    if test_fraction is None:
+        test_fraction = 1.0 / (k - 1)
+    if test_fraction <= 0:
+        raise ValueError("test_fraction must be positive")
+    d = a - b
+    mean = float(d.mean())
+    variance = float(d.var(ddof=1))
+    df = k - 1
+    if variance == 0.0:
+        t = 0.0 if mean == 0.0 else math.copysign(math.inf, mean)
+        return TTestResult(mean, t, df, 0.0 if t != 0.0 else 1.0)
+    corrected_variance = (1.0 / k + test_fraction) * variance
+    t = mean / math.sqrt(corrected_variance)
+    return TTestResult(mean, t, df, _t_sf(t, df))
+
+
+def compare_fold_metrics(
+    result_a,
+    result_b,
+    metric: str = "auc",
+    corrected: bool = True,
+) -> TTestResult:
+    """Compare two CrossValidationResults fold by fold.
+
+    ``metric`` is one of ``"auc"``, ``"tpr"``, ``"fpr"``.  Positive
+    mean difference means ``result_a`` scored higher.
+    """
+    def values(result):
+        return [getattr(fold, metric) for fold in result.folds]
+
+    a, b = values(result_a), values(result_b)
+    if len(a) != len(b):
+        raise ValueError("results must have the same number of folds")
+    test = corrected_paired_t_test if corrected else paired_t_test
+    return test(a, b)

@@ -1,0 +1,298 @@
+"""Likely program invariants mined from golden runs (Daikon-style).
+
+"The seminal work on discovering likely program invariants [22] shows
+how invariants can be dynamically detected from program traces that
+capture variable values at program points of interest" (Section II-D).
+This module is that detector for the reproduction's probe traces:
+
+* **range** invariants per numeric variable: ``lo <= v <= hi`` over
+  every observed fault-free sample, optionally widened by a relative
+  margin (Daikon's exact bounds are notoriously brittle; the margin is
+  the standard mitigation);
+* **constant** invariants (a variable that never changed);
+* **sign** invariants (never negative / never positive);
+* **boolean constancy** for bool variables;
+* **pairwise ordering** invariants ``x <= y`` over numeric pairs that
+  held in every sample (the classic Daikon binary invariant).
+
+An :class:`InvariantSet` converts into a
+:class:`repro.core.detector.Detector` whose predicate flags any state
+*violating* an invariant -- the online-detector reading of Daikon that
+Sahoo et al. applied to hardware errors [24].
+
+The crucial semantic difference from the paper's methodology (and the
+point of ablation A-5): an invariant violation marks *any* deviation
+from fault-free behaviour, not a *failure-inducing* state, so on fault
+injection data these detectors trade a much higher false positive rate
+for their completeness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.detector import Detector
+from repro.core.predicate import (
+    Comparison,
+    FalsePredicate,
+    Or,
+    Predicate,
+)
+from repro.injection.golden import capture_golden_run
+from repro.injection.instrument import Probe
+
+__all__ = [
+    "Invariant",
+    "InvariantSet",
+    "mine_invariants",
+    "invariants_from_golden_runs",
+    "range_assertions",
+]
+
+#: Bound magnitude beyond which a range invariant is not emitted (a
+#: variable this large carries no usable range information).
+_MAX_BOUND = 1e200
+
+
+@dataclasses.dataclass(frozen=True)
+class Invariant:
+    """One mined property: a description plus its violation predicate."""
+
+    description: str
+    violation: Predicate
+
+    def holds(self, state: Mapping[str, object]) -> bool:
+        return not self.violation.evaluate(state)
+
+
+@dataclasses.dataclass
+class InvariantSet:
+    """All invariants mined at one program point."""
+
+    probe: Probe | None
+    invariants: list[Invariant]
+
+    def __len__(self) -> int:
+        return len(self.invariants)
+
+    def violation_predicate(self) -> Predicate:
+        """Flags states violating *any* invariant."""
+        if not self.invariants:
+            return FalsePredicate()
+        return Or([inv.violation for inv in self.invariants]).simplify()
+
+    def to_detector(self, name: str = "invariant_detector") -> Detector:
+        return Detector(self.violation_predicate(), self.probe, name)
+
+    def describe(self) -> str:
+        return "\n".join(inv.description for inv in self.invariants)
+
+
+def _is_bool(values: Sequence[object]) -> bool:
+    return all(isinstance(v, bool) for v in values)
+
+
+def _numeric(values: Sequence[object]) -> list[float] | None:
+    out = []
+    for v in values:
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            return None
+        f = float(v)
+        if not math.isfinite(f):
+            return None
+        out.append(f)
+    return out
+
+
+def mine_invariants(
+    samples: Iterable[Mapping[str, object]],
+    probe: Probe | None = None,
+    margin: float = 0.05,
+    orderings: bool = True,
+) -> InvariantSet:
+    """Mine likely invariants from fault-free state samples.
+
+    ``margin`` widens range bounds by that fraction of the observed
+    span (of the magnitude, for constant variables), reducing the
+    brittleness of exact extrema.
+    """
+    samples = list(samples)
+    if not samples:
+        return InvariantSet(probe, [])
+    variables = sorted(samples[0].keys())
+    columns: dict[str, list[object]] = {
+        v: [s[v] for s in samples if v in s] for v in variables
+    }
+
+    invariants: list[Invariant] = []
+    numeric_vars: list[str] = []
+    for variable in variables:
+        values = columns[variable]
+        if not values:
+            continue
+        if _is_bool(values):
+            distinct = set(values)
+            if len(distinct) == 1:
+                constant = next(iter(distinct))
+                encoded = 1.0 if constant else 0.0
+                invariants.append(
+                    Invariant(
+                        f"{variable} == {str(constant).lower()}",
+                        Comparison(variable, "!=", encoded,
+                                   label=str(constant).lower()),
+                    )
+                )
+            continue
+        numbers = _numeric(values)
+        if numbers is None:
+            continue
+        numeric_vars.append(variable)
+        lo, hi = min(numbers), max(numbers)
+        if lo == hi:
+            pad = abs(lo) * margin if lo != 0 else margin
+            lo, hi = lo - pad, hi + pad
+        else:
+            pad = (hi - lo) * margin
+            lo, hi = lo - pad, hi + pad
+        if abs(lo) < _MAX_BOUND and abs(hi) < _MAX_BOUND:
+            invariants.append(
+                Invariant(
+                    f"{lo:.6g} <= {variable} <= {hi:.6g}",
+                    Or([
+                        Comparison(variable, ">", hi),
+                        # "not (v > lo')" encodes v < lo via <= with the
+                        # next-lower representable bound.
+                        Comparison(variable, "<=", _below(lo)),
+                    ]),
+                )
+            )
+        if all(n >= 0 for n in numbers) and lo < 0:
+            # The padded range allowed negatives but the data never
+            # was: keep the sharper sign invariant too.
+            invariants.append(
+                Invariant(
+                    f"{variable} >= 0",
+                    Comparison(variable, "<=", -_tiny(numbers)),
+                )
+            )
+
+    if orderings:
+        for a, b in itertools.combinations(numeric_vars, 2):
+            pairs = [
+                (s[a], s[b])
+                for s in samples
+                if a in s and b in s
+            ]
+            numeric_pairs = [
+                (float(x), float(y))  # type: ignore[arg-type]
+                for x, y in pairs
+                if isinstance(x, (int, float)) and isinstance(y, (int, float))
+                and not isinstance(x, bool) and not isinstance(y, bool)
+            ]
+            if not numeric_pairs:
+                continue
+            if all(x <= y for x, y in numeric_pairs) and any(
+                x < y for x, y in numeric_pairs
+            ):
+                invariants.append(
+                    Invariant(f"{a} <= {b}", _OrderingViolation(a, b))
+                )
+            elif all(x >= y for x, y in numeric_pairs) and any(
+                x > y for x, y in numeric_pairs
+            ):
+                invariants.append(
+                    Invariant(f"{b} <= {a}", _OrderingViolation(b, a))
+                )
+    return InvariantSet(probe, invariants)
+
+
+def invariants_from_golden_runs(
+    target,
+    probe: Probe,
+    test_cases: Iterable[int],
+    margin: float = 0.05,
+    orderings: bool = True,
+) -> InvariantSet:
+    """Mine invariants from the golden runs of the given test cases."""
+    samples: list[Mapping[str, object]] = []
+    for test_case in test_cases:
+        golden = capture_golden_run(target, test_case)
+        samples.extend(s.variables for s in golden.samples_at(probe))
+    return mine_invariants(samples, probe, margin, orderings)
+
+
+def range_assertions(
+    samples: Iterable[Mapping[str, object]],
+    probe: Probe | None = None,
+    margin: float = 0.2,
+) -> InvariantSet:
+    """Hiller-style executable assertions: range constraints only.
+
+    The simplest of the prior approaches (constraints on a signal's
+    admissible values, Section II-A), with a generous default margin as
+    an engineer allowing headroom would use.
+    """
+    return mine_invariants(samples, probe, margin=margin, orderings=False)
+
+
+# ----------------------------------------------------------------------
+# Ordering-invariant violation predicate
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class _OrderingViolation(Predicate):
+    """Violation of ``smaller <= larger``: true when smaller > larger."""
+
+    smaller: str
+    larger: str
+
+    def evaluate(self, state: Mapping[str, object]) -> bool:
+        try:
+            a = float(state[self.smaller])  # type: ignore[arg-type]
+            b = float(state[self.larger])  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError):
+            return False
+        if math.isnan(a) or math.isnan(b):
+            return False
+        return a > b
+
+    def evaluate_rows(self, x, attribute_index):
+        x = np.atleast_2d(x)
+        if self.smaller not in attribute_index or self.larger not in attribute_index:
+            return np.zeros(len(x), dtype=bool)
+        a = x[:, attribute_index[self.smaller]]
+        b = x[:, attribute_index[self.larger]]
+        with np.errstate(invalid="ignore"):
+            return a > b
+
+    def variables(self) -> frozenset[str]:
+        return frozenset((self.smaller, self.larger))
+
+    def simplify(self) -> Predicate:
+        return self
+
+    def complexity(self) -> int:
+        return 1
+
+    def _source(self, state_name: str) -> str:
+        return (
+            f"{state_name}[{self.smaller!r}] > {state_name}[{self.larger!r}]"
+        )
+
+    def __str__(self) -> str:
+        return f"{self.smaller} > {self.larger}"
+
+
+def _below(value: float) -> float:
+    """A bound strictly below ``value`` for encoding v < value."""
+    return math.nextafter(value, -math.inf)
+
+
+def _tiny(numbers: Sequence[float]) -> float:
+    positives = [n for n in numbers if n > 0]
+    smallest = min(positives) if positives else 1.0
+    return min(smallest * 1e-6, 1e-9)

@@ -1,0 +1,70 @@
+"""The paper's primary contribution: the four-step methodology.
+
+This package turns fault injection data into efficient error detection
+predicates, following Figure 1 of the paper:
+
+1. **Fault injection analysis** -- delegated to
+   :mod:`repro.injection`; :class:`repro.core.methodology.Methodology`
+   drives it via ``step1_inject``.
+2. **Algorithm selection & preprocessing** --
+   :mod:`repro.core.preprocess`: format conversion (PROPANE-style log
+   -> dataset -> ARFF), class-imbalance treatment, attribute
+   transformations.
+3. **Data mining / model generation** -- a symbolic learner (C4.5 by
+   default) evaluated with 10-fold stratified cross-validation;
+   :mod:`repro.core.extraction` reads the model off as a
+   :class:`repro.core.predicate.Predicate`.
+4. **Model refinement & optimisation** -- :mod:`repro.core.refine`:
+   the grid search over sampling type/level and SMOTE neighbour count.
+
+On top of the pipeline:
+
+* :mod:`repro.core.detector` packages a predicate as an error
+  detection mechanism (runtime assertion) with completeness/accuracy
+  accounting;
+* :mod:`repro.core.validate` re-runs fault injection with the detector
+  installed as a runtime assertion at its program location, the
+  paper's final validation step (Section VII-D), additionally
+  measuring detection latency.
+"""
+
+from repro.core.predicate import (
+    And,
+    Comparison,
+    FalsePredicate,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.core.extraction import ruleset_to_predicate, tree_to_predicate
+from repro.core.detector import Detector
+from repro.core.methodology import (
+    Methodology,
+    MethodologyConfig,
+    MethodologyOutcome,
+    ModelReport,
+)
+from repro.core.preprocess import PreprocessingPlan
+from repro.core.refine import RefinementGrid, RefinementResult
+from repro.core.validate import ValidationCampaign, ValidationReport
+
+__all__ = [
+    "And",
+    "Comparison",
+    "Detector",
+    "FalsePredicate",
+    "Methodology",
+    "MethodologyConfig",
+    "MethodologyOutcome",
+    "ModelReport",
+    "Or",
+    "Predicate",
+    "PreprocessingPlan",
+    "RefinementGrid",
+    "RefinementResult",
+    "TruePredicate",
+    "ValidationCampaign",
+    "ValidationReport",
+    "ruleset_to_predicate",
+    "tree_to_predicate",
+]

@@ -1,0 +1,130 @@
+"""Detector composition across program locations.
+
+The paper treats one detector per location; a deployed system places
+several (e.g. one at a module's entry and one at its exit) and must
+combine their verdicts.  This module provides the standard
+combinators, each a plain :class:`~repro.core.detector.Detector`-like
+object so the validation machinery applies unchanged:
+
+* :func:`any_of` -- flag when **any** member flags (union): maximises
+  completeness, accumulates false positives;
+* :func:`all_of` -- flag when **all** members flag (intersection):
+  maximises accuracy, loses completeness;
+* :func:`majority` -- flag when more than half the members flag: the
+  classic voting middle ground (cf. the self-checks-and-voting study
+  the paper cites [8]).
+
+The members of a composite may guard *different* locations; evaluating
+the composite on a single state dict asks every member about that
+state (members whose variables are absent simply do not fire, thanks
+to the predicate algebra's missing-variable semantics).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.detector import Detector
+from repro.core.predicate import And, Or, Predicate
+
+__all__ = ["CompositeDetector", "any_of", "all_of", "majority"]
+
+
+class _MajorityPredicate(Predicate):
+    """Flags when more than half the member predicates flag."""
+
+    def __init__(self, members: Sequence[Predicate]) -> None:
+        if not members:
+            raise ValueError("majority vote needs at least one member")
+        self.members = tuple(members)
+
+    def evaluate(self, state: Mapping[str, object]) -> bool:
+        votes = sum(1 for member in self.members if member.evaluate(state))
+        return votes * 2 > len(self.members)
+
+    def evaluate_rows(self, x, attribute_index):
+        x = np.atleast_2d(x)
+        votes = np.zeros(len(x), dtype=int)
+        for member in self.members:
+            votes += member.evaluate_rows(x, attribute_index).astype(int)
+        return votes * 2 > len(self.members)
+
+    def variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for member in self.members:
+            out |= member.variables()
+        return out
+
+    def simplify(self) -> Predicate:
+        if len(self.members) == 1:
+            return self.members[0].simplify()
+        return _MajorityPredicate([m.simplify() for m in self.members])
+
+    def complexity(self) -> int:
+        return sum(member.complexity() for member in self.members)
+
+    def _source(self, state_name: str) -> str:
+        votes = " + ".join(
+            f"bool({member._source(state_name)})" for member in self.members
+        )
+        return f"(({votes}) * 2 > {len(self.members)})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, _MajorityPredicate)
+            and other.members == self.members
+        )
+
+    def __hash__(self) -> int:
+        return hash(("majority", self.members))
+
+    def __str__(self) -> str:
+        body = " | ".join(f"[{member}]" for member in self.members)
+        return f"MAJORITY({body})"
+
+
+class CompositeDetector(Detector):
+    """A detector built from member detectors."""
+
+    def __init__(
+        self,
+        members: Sequence[Detector],
+        predicate: Predicate,
+        name: str,
+    ) -> None:
+        super().__init__(predicate, location=None, name=name)
+        self.members = tuple(members)
+
+    @property
+    def member_names(self) -> tuple[str, ...]:
+        return tuple(member.name for member in self.members)
+
+
+def _check_members(members: Sequence[Detector]) -> None:
+    if not members:
+        raise ValueError("composition needs at least one detector")
+
+
+def any_of(members: Sequence[Detector], name: str = "any_of") -> CompositeDetector:
+    """Union: flag when any member's predicate flags."""
+    _check_members(members)
+    predicate = Or([member.predicate for member in members]).simplify()
+    return CompositeDetector(members, predicate, name)
+
+
+def all_of(members: Sequence[Detector], name: str = "all_of") -> CompositeDetector:
+    """Intersection: flag only when every member's predicate flags."""
+    _check_members(members)
+    predicate = And([member.predicate for member in members]).simplify()
+    return CompositeDetector(members, predicate, name)
+
+
+def majority(members: Sequence[Detector], name: str = "majority") -> CompositeDetector:
+    """Vote: flag when more than half the members flag."""
+    _check_members(members)
+    predicate = _MajorityPredicate(
+        [member.predicate for member in members]
+    )
+    return CompositeDetector(members, predicate, name)

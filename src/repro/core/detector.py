@@ -1,0 +1,121 @@
+"""Error detection mechanisms (detectors).
+
+"A detector component is a program component that asserts the validity
+of a predicate in a program at a given location" (Section I).  A
+:class:`Detector` packages an extracted predicate with its program
+location and provides:
+
+* the runtime-assertion form: call :meth:`Detector.check` with the
+  module state at the location; ``True`` flags the state as
+  failure-inducing;
+* bookkeeping of evaluations/detections (so installed detectors can
+  report their activity);
+* offline efficiency accounting against labelled states:
+  **completeness** (ability to flag erroneous states, the true
+  positive rate) and **accuracy** (ability to avoid false positives,
+  1 - FPR) -- the two efficiency dimensions of [3] that the paper's
+  "efficient detector" combines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.core.predicate import Predicate
+from repro.injection.instrument import Probe
+from repro.mining.dataset import Dataset
+from repro.mining.metrics import ConfusionMatrix
+
+__all__ = ["Detector", "DetectorEfficiency"]
+
+
+@dataclasses.dataclass
+class DetectorEfficiency:
+    """Completeness/accuracy of a detector on labelled states."""
+
+    confusion: ConfusionMatrix
+
+    @property
+    def completeness(self) -> float:
+        """TPR: fraction of failure-inducing states flagged."""
+        return self.confusion.true_positive_rate()
+
+    @property
+    def accuracy(self) -> float:
+        """1 - FPR: fraction of benign states left unflagged."""
+        return 1.0 - self.confusion.false_positive_rate()
+
+    @property
+    def is_perfect(self) -> bool:
+        """A perfect detector is both complete and accurate [3]."""
+        return self.completeness == 1.0 and self.accuracy == 1.0
+
+    def __str__(self) -> str:
+        return (
+            f"completeness={self.completeness:.4f} "
+            f"accuracy={self.accuracy:.4f}"
+        )
+
+
+class Detector:
+    """A detection predicate located at a program point."""
+
+    def __init__(
+        self,
+        predicate: Predicate,
+        location: Probe | None = None,
+        name: str = "detector",
+    ) -> None:
+        self.predicate = predicate
+        self.location = location
+        self.name = name
+        self.evaluations = 0
+        self.detections = 0
+
+    def check(self, state: Mapping[str, object]) -> bool:
+        """Runtime assertion: flag ``state`` as erroneous or not."""
+        self.evaluations += 1
+        flagged = self.predicate.evaluate(state)
+        if flagged:
+            self.detections += 1
+        return flagged
+
+    def reset_counters(self) -> None:
+        self.evaluations = 0
+        self.detections = 0
+
+    def flags_for(self, dataset: Dataset) -> np.ndarray:
+        """Vectorised predicate evaluation over a dataset's rows."""
+        index = {a.name: i for i, a in enumerate(dataset.attributes)}
+        return self.predicate.evaluate_rows(dataset.x, index)
+
+    def efficiency_on(self, dataset: Dataset, positive: int = 1) -> DetectorEfficiency:
+        """Completeness/accuracy against a labelled dataset."""
+        flags = self.flags_for(dataset).astype(np.int64)
+        confusion = ConfusionMatrix.from_predictions(
+            dataset.y,
+            flags,
+            dataset.class_attribute.values,
+            weights=dataset.weights,
+            positive=positive,
+        )
+        return DetectorEfficiency(confusion)
+
+    def to_source(self) -> str:
+        """Executable-assertion source for the target program."""
+        header = f"def {self.name}(state):"
+        location = (
+            f"    # install at: {self.location}\n" if self.location else ""
+        )
+        return (
+            f"{header}\n"
+            f"{location}"
+            f"    return {self.predicate.to_source('state')}\n"
+        )
+
+    def __repr__(self) -> str:
+        where = f" @ {self.location}" if self.location else ""
+        return f"Detector({self.name!r}{where}: {self.predicate})"

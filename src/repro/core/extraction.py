@@ -1,0 +1,97 @@
+"""Model -> predicate extraction.
+
+"Implementing an error detection mechanism based on a model generated
+using our methodology reduces to the, almost trivial, process of
+interpreting a decision tree" (Section VIII).  This module performs
+that interpretation: every root-to-leaf path classifying a state as
+*failure-inducing* becomes a conjunction of atomic comparisons, and the
+predicate is the disjunction of those conjunctions.  Rule-set models
+extract the same way from their rules for the positive class.
+
+Nominal conditions are encoded as ``== index`` comparisons carrying
+the value string as a display label, so the predicate evaluates
+correctly against both dataset rows (encoded) and runtime state dicts
+(booleans), and still renders readably.
+"""
+
+from __future__ import annotations
+
+from repro.core.predicate import And, Comparison, FalsePredicate, Or, Predicate
+from repro.mining.dataset import Attribute
+from repro.mining.rules.rule import RuleSet
+from repro.mining.tree.export import tree_to_rules
+from repro.mining.tree.node import TreeNode
+
+__all__ = ["tree_to_predicate", "ruleset_to_predicate"]
+
+
+def tree_to_predicate(
+    root: TreeNode,
+    class_labels: tuple[str, ...],
+    positive: int = 1,
+) -> Predicate:
+    """Extract the failure-detection predicate from a decision tree.
+
+    Returns the simplified disjunction of the conjunctive paths whose
+    leaves predict the positive (failure-inducing) class;
+    :class:`~repro.core.predicate.FalsePredicate` when no leaf does.
+    """
+    disjuncts: list[Predicate] = []
+    for rule in tree_to_rules(root, class_labels):
+        if rule.class_index != positive:
+            continue
+        atoms: list[Predicate] = []
+        for condition in rule.conditions:
+            atoms.append(_condition_atom(
+                condition.attribute, condition.op, condition.value
+            ))
+        disjuncts.append(And(atoms))
+    if not disjuncts:
+        return FalsePredicate()
+    return Or(disjuncts).simplify()
+
+
+def ruleset_to_predicate(ruleset: RuleSet, positive: int = 1) -> Predicate:
+    """Extract the failure-detection predicate from a rule set.
+
+    Decision-list semantics are approximated by the union of positive
+    rules: a state is flagged when any positive-class rule covers it.
+    (For the two-class detection setting this matches the list exactly
+    whenever positive rules precede the default, which the inducers
+    guarantee by learning minority classes first.)
+    """
+    disjuncts: list[Predicate] = []
+    for rule in ruleset.rules:
+        if rule.class_index != positive:
+            continue
+        atoms: list[Predicate] = []
+        for condition in rule.conditions:
+            if condition.attribute.is_nominal:
+                atoms.append(_condition_atom(
+                    condition.attribute, "==",
+                    condition.attribute.value_of(int(condition.value)),
+                ))
+            else:
+                atoms.append(_condition_atom(
+                    condition.attribute, condition.op, condition.value
+                ))
+        disjuncts.append(And(atoms))
+    if not disjuncts and ruleset.default_class == positive:
+        # Degenerate model: everything defaults to the positive class.
+        from repro.core.predicate import TruePredicate
+
+        return TruePredicate()
+    if not disjuncts:
+        return FalsePredicate()
+    return Or(disjuncts).simplify()
+
+
+def _condition_atom(
+    attribute: Attribute, op: str, value: float | str
+) -> Comparison:
+    if attribute.is_nominal:
+        label = value if isinstance(value, str) else attribute.value_of(int(value))
+        encoded = float(attribute.index_of(label))
+        return Comparison(attribute.name, "==", encoded, label=label)
+    assert not isinstance(value, str)
+    return Comparison(attribute.name, op, float(value))

@@ -1,0 +1,86 @@
+"""Consolidated results report: every experiment, one markdown file.
+
+``repro-experiments report --scale bench`` runs every registered
+experiment at the chosen scale and writes their printed tables into a
+single timestamp-free markdown document (deterministic, so two runs at
+the same scale diff clean) -- the artefact to attach to a reproduction
+claim.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import pathlib
+
+__all__ = ["run", "main", "DEFAULT_ORDER"]
+
+#: Execution order: paper artefacts first, then extensions.
+DEFAULT_ORDER = (
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "figure1",
+    "figure2",
+    "validation",
+    "figure-roc",
+    "ablation-sampling",
+    "ablation-learners",
+    "ablation-location",
+    "ablation-cost",
+    "ablation-baselines",
+    "ablation-labels",
+    "significance",
+    "latency",
+    "propagation",
+)
+
+
+def run(scale: str = "bench", experiments=None) -> str:
+    """Run the experiments and return the combined markdown."""
+    from repro.experiments.cli import EXPERIMENTS
+
+    chosen = list(experiments) if experiments is not None else list(DEFAULT_ORDER)
+    unknown = [name for name in chosen if name not in EXPERIMENTS]
+    if unknown:
+        raise ValueError(f"unknown experiments: {unknown}")
+
+    sections = [
+        "# repro results report",
+        "",
+        f"Scale: `{scale}`. Regenerate with "
+        f"`repro-experiments report --scale {scale}`.",
+        "",
+    ]
+    for name in chosen:
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            EXPERIMENTS[name](scale, None)
+        sections.append(f"## {name}")
+        sections.append("")
+        sections.append("```")
+        sections.append(buffer.getvalue().rstrip())
+        sections.append("```")
+        sections.append("")
+    return "\n".join(sections)
+
+
+def main(
+    scale: str = "bench",
+    experiments=None,
+    output: str | pathlib.Path | None = None,
+) -> str:
+    text = run(scale, experiments)
+    if output is not None:
+        path = pathlib.Path(output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        print(f"wrote {path} ({len(text.splitlines())} lines)")
+    else:
+        print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

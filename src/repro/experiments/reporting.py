@@ -1,0 +1,53 @@
+"""Table rendering helpers shared by the experiment drivers.
+
+The drivers print their results in the paper's layout: FPR and Var in
+compact scientific notation ("2E-05", "1E-32", "0"), rates as
+four-decimal fractions without the leading zero (".9979"), and
+complexity with one decimal -- so a reproduction run can be compared
+against Tables III/IV cell by cell.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["fmt_rate", "fmt_sci", "fmt_comp", "render_table"]
+
+
+def fmt_sci(value: float) -> str:
+    """Paper-style compact scientific notation ('2E-05'; '0' for zero)."""
+    if value == 0:
+        return "0"
+    text = f"{value:.0E}"
+    mantissa, _, exponent = text.partition("E")
+    return f"{mantissa}E{exponent}"
+
+
+def fmt_rate(value: float) -> str:
+    """Paper-style rate: '.9979' (or '1.0000' at the top end)."""
+    if value >= 0.99995:
+        return "1.0000"
+    return f"{value:.4f}"[1:] if value < 1 else f"{value:.4f}"
+
+
+def fmt_comp(value: float) -> str:
+    return f"{value:.1f}"
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], title: str | None = None
+) -> str:
+    """Fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Experiment scales.
+
+The paper's campaigns are large (250 test cases x every bit of every
+variable x 4 injection times per 7Z/MG module; 9 scenarios x 2700-
+iteration simulations for FG).  The drivers support that configuration
+("paper") but record their numbers at a documented laptop scale
+("bench"); the test suite uses a seconds-scale configuration
+("smoke").  EXPERIMENTS.md states which scale produced which numbers.
+
+A scale fixes, per target: the workload size, the test cases, the
+injection times (in probe occurrences) and the bit positions flipped
+per variable kind, plus the cross-validation fold count and the
+refinement grid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.refine import RefinementGrid
+
+__all__ = ["Scale", "get_scale", "SCALES"]
+
+
+def _float_bits_dense() -> tuple[int, ...]:
+    """Full exponent+sign coverage, sparse mantissa."""
+    return tuple(range(0, 52, 8)) + tuple(range(52, 64))
+
+
+def _float_bits_smoke() -> tuple[int, ...]:
+    return (0, 16, 40) + tuple(range(52, 64, 2))
+
+
+@dataclasses.dataclass(frozen=True)
+class Scale:
+    """One named experiment configuration."""
+
+    name: str
+    # 7-Zip analogue
+    sz_n_files: int
+    sz_size_range: tuple[int, int]
+    sz_test_cases: tuple[int, ...]
+    sz_injection_times: tuple[int, ...]
+    sz_bits: dict[str, tuple[int, ...]]
+    # Mp3Gain analogue
+    mg_n_tracks: int
+    mg_sample_range: tuple[int, int]
+    mg_test_cases: tuple[int, ...]
+    mg_injection_times: tuple[int, ...]
+    mg_bits: dict[str, tuple[int, ...]]
+    # FlightGear analogue
+    fg_iterations: tuple[int, int]  # (init, run)
+    fg_dt: float
+    fg_test_cases: tuple[int, ...]
+    fg_injection_times: tuple[int, ...]
+    fg_bits: dict[str, tuple[int, ...]]
+    # Analysis
+    folds: int
+    grid: RefinementGrid
+    seed: int = 0
+
+
+SCALES: dict[str, Scale] = {
+    # Seconds-scale: CI / unit tests.
+    "smoke": Scale(
+        name="smoke",
+        sz_n_files=5,
+        sz_size_range=(40, 90),
+        sz_test_cases=tuple(range(3)),
+        sz_injection_times=(1, 3),
+        sz_bits={"int32": tuple(range(0, 32, 4)) + (31,), "float64": _float_bits_smoke(), "bool": (0,)},
+        mg_n_tracks=5,
+        mg_sample_range=(256, 512),
+        mg_test_cases=tuple(range(3)),
+        mg_injection_times=(1, 3),
+        mg_bits={"int32": tuple(range(0, 32, 4)) + (31,), "float64": _float_bits_smoke(), "bool": (0,)},
+        fg_iterations=(40, 180),
+        fg_dt=0.25,
+        fg_test_cases=(0, 4, 8),
+        fg_injection_times=(48, 90, 140),
+        fg_bits={"int32": (0, 4, 12, 24, 31), "float64": _float_bits_smoke(), "bool": (0,)},
+        folds=5,
+        grid=RefinementGrid(
+            undersample_levels=(25.0,),
+            oversample_levels=(300.0,),
+            neighbour_counts=(5,),
+        ),
+    ),
+    # Minutes-scale: the configuration behind EXPERIMENTS.md numbers.
+    "bench": Scale(
+        name="bench",
+        sz_n_files=8,
+        sz_size_range=(60, 160),
+        sz_test_cases=tuple(range(6)),
+        sz_injection_times=(1, 3, 5, 7),
+        sz_bits={"int32": tuple(range(32)), "float64": _float_bits_dense(), "bool": (0,)},
+        mg_n_tracks=8,
+        mg_sample_range=(512, 1024),
+        mg_test_cases=tuple(range(6)),
+        mg_injection_times=(1, 3, 5, 7),
+        mg_bits={"int32": tuple(range(32)), "float64": _float_bits_dense(), "bool": (0,)},
+        fg_iterations=(100, 440),
+        fg_dt=0.1,
+        fg_test_cases=tuple(range(9)),
+        fg_injection_times=(120, 220, 340),
+        fg_bits={"int32": tuple(range(0, 32, 2)) + (31,), "float64": _float_bits_dense(), "bool": (0,)},
+        folds=10,
+        grid=RefinementGrid.reduced(),
+    ),
+    # The paper's configuration; supported but hours-scale in pure
+    # Python -- run deliberately, not from the benches.
+    "paper": Scale(
+        name="paper",
+        sz_n_files=25,
+        sz_size_range=(60, 240),
+        sz_test_cases=tuple(range(250)),
+        sz_injection_times=(3, 9, 15, 21),
+        sz_bits={"int32": tuple(range(32)), "float64": tuple(range(64)), "bool": (0,)},
+        mg_n_tracks=25,
+        mg_sample_range=(1024, 4096),
+        mg_test_cases=tuple(range(250)),
+        mg_injection_times=(3, 9, 15, 21),
+        mg_bits={"int32": tuple(range(32)), "float64": tuple(range(64)), "bool": (0,)},
+        fg_iterations=(500, 2200),
+        fg_dt=0.02,
+        fg_test_cases=tuple(range(9)),
+        fg_injection_times=(1100, 1700, 2300),  # 600/1200/1800 post-init
+        fg_bits={"int32": tuple(range(32)), "float64": tuple(range(64)), "bool": (0,)},
+        folds=10,
+        grid=RefinementGrid.paper(),
+    ),
+}
+
+
+def get_scale(name: str) -> Scale:
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; available: {sorted(SCALES)}"
+        ) from None

@@ -1,0 +1,85 @@
+"""Table III: baseline Decision Tree Induction results (no sampling).
+
+For every Table II dataset, the paper evaluates a baseline C4.5
+configuration ("no attempt was made to search for algorithm
+parameters") with 10-fold stratified cross-validation and reports the
+mean FPR, mean TPR, mean AUC, mean tree node count (Comp) and the AUC
+variance across folds (Var).  This driver reproduces each row.
+
+Paper-shape expectations (see EXPERIMENTS.md for measured values):
+mean AUC > ~0.89 everywhere, FPR at or near zero, TPR mostly > 0.94
+with the FG datasets the hardest, Var consistently tiny.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.methodology import Methodology, MethodologyConfig, ModelReport
+from repro.experiments.datasets import DATASET_SPECS, generate_dataset
+from repro.experiments.reporting import fmt_comp, fmt_rate, fmt_sci, render_table
+from repro.experiments.scale import Scale, get_scale
+
+__all__ = ["Table3Row", "run", "main"]
+
+
+@dataclasses.dataclass
+class Table3Row:
+    dataset: str
+    fpr: float
+    tpr: float
+    auc: float
+    comp: float
+    var: float
+    report: ModelReport
+
+    def cells(self) -> list[str]:
+        return [
+            self.dataset,
+            fmt_sci(self.fpr),
+            fmt_rate(self.tpr),
+            fmt_rate(self.auc),
+            fmt_comp(self.comp),
+            fmt_sci(self.var),
+        ]
+
+
+def run(scale: Scale | str = "bench", datasets=None) -> list[Table3Row]:
+    if isinstance(scale, str):
+        scale = get_scale(scale)
+    names = list(datasets) if datasets is not None else sorted(DATASET_SPECS)
+    method = Methodology(
+        MethodologyConfig(learner="c45", folds=scale.folds, seed=scale.seed)
+    )
+    rows: list[Table3Row] = []
+    for name in names:
+        dataset = generate_dataset(name, scale)
+        report = method.step3_generate(dataset)
+        summary = report.summary()
+        rows.append(
+            Table3Row(
+                dataset=name,
+                fpr=summary["fpr"],
+                tpr=summary["tpr"],
+                auc=summary["auc"],
+                comp=summary["comp"],
+                var=summary["var"],
+                report=report,
+            )
+        )
+    return rows
+
+
+def main(scale: Scale | str = "bench", datasets=None) -> str:
+    rows = run(scale, datasets)
+    table = render_table(
+        ["Dataset", "FPR", "TPR", "AUC", "Comp", "Var"],
+        [r.cells() for r in rows],
+        title="Table III: decision tree induction results (no sampling)",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

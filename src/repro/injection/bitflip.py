@@ -1,0 +1,86 @@
+"""The transient data value fault model: single bit flips.
+
+Section III-B: "We assume a transient data value fault model, which
+occurs when internal variables of a system hold erroneous values.  The
+transient fault model is generally used to model hardware faults in
+which bit flips occur in memory areas".
+
+Variables come in three machine representations, declared per variable
+by :class:`repro.injection.instrument.VariableSpec`:
+
+* ``float64`` -- IEEE-754 double precision, 64 flippable bits (flips in
+  the exponent produce the huge magnitudes that make fault-injection
+  data so skewed; flips in the sign/mantissa produce subtle errors);
+* ``int32`` / ``int64`` -- two's complement, 32/64 flippable bits
+  (Python ints are unbounded, so targets declare the C-like width their
+  variable would occupy and values wrap accordingly);
+* ``bool`` -- a single flippable bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+__all__ = ["BitFlip", "FaultModelError", "bit_width", "flip_bit"]
+
+
+class FaultModelError(ValueError):
+    """Raised for invalid bit positions or unsupported variable kinds."""
+
+
+_WIDTHS = {"float64": 64, "int64": 64, "int32": 32, "bool": 1}
+
+
+def bit_width(kind: str) -> int:
+    """Number of flippable bits for a variable kind."""
+    try:
+        return _WIDTHS[kind]
+    except KeyError:
+        raise FaultModelError(f"unsupported variable kind {kind!r}") from None
+
+
+def flip_bit(value: float | int | bool, kind: str, bit: int) -> float | int | bool:
+    """Return ``value`` with bit ``bit`` of its representation flipped.
+
+    Bit 0 is the least significant bit of the representation; for
+    ``float64`` bit 63 is the sign bit and bits 52-62 the exponent.
+    """
+    width = bit_width(kind)
+    if not 0 <= bit < width:
+        raise FaultModelError(f"bit {bit} out of range for {kind} (width {width})")
+    if kind == "bool":
+        return not bool(value)
+    if kind == "float64":
+        (bits,) = struct.unpack("<Q", struct.pack("<d", float(value)))
+        bits ^= 1 << bit
+        (flipped,) = struct.unpack("<d", struct.pack("<Q", bits))
+        return flipped
+    # Two's complement integer of the declared width.
+    mask = (1 << width) - 1
+    bits = int(value) & mask
+    bits ^= 1 << bit
+    if bits >= 1 << (width - 1):
+        bits -= 1 << width
+    return bits
+
+
+@dataclasses.dataclass(frozen=True)
+class BitFlip:
+    """A single injection: flip ``bit`` of ``variable`` of kind ``kind``."""
+
+    variable: str
+    kind: str
+    bit: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bit < bit_width(self.kind):
+            raise FaultModelError(
+                f"bit {self.bit} out of range for kind {self.kind!r}"
+            )
+
+    def apply(self, value: float | int | bool) -> float | int | bool:
+        return flip_bit(value, self.kind, self.bit)
+
+    def __str__(self) -> str:
+        return f"{self.variable}[{self.kind}]^bit{self.bit}"

@@ -1,0 +1,305 @@
+"""Fault injection campaign driver (the PROPANE experiment loop).
+
+Section VI: for each instrumented module the paper generates datasets
+by running, for every test case, a golden run plus one injected run per
+(variable, bit position, injection time) combination -- "each injected
+run entailed a single bit-flip in a variable at one of these positions,
+i.e. no multiple injection were performed".  The observable output of
+every injected run is checked against the failure specification, and
+the module state sampled at the configured sampling location becomes a
+labelled instance: *failure-inducing* or *non-failure-inducing*.
+
+:class:`Campaign` reproduces that loop.  The sampled instance of a run
+is the state recorded at the sampling probe occurrence closest after
+the injection (for entry-injection/entry-sampling this is the corrupted
+state itself, "sampled straight after the injection" as in the paper's
+discussion of Hiller's setup).  Runs that crash before reaching the
+sampling probe produce no instance but are counted as failures in the
+campaign statistics.
+
+The paper's full scale (250 test cases x all 64 bits x 4 times per
+variable) is supported but configurable; the experiment drivers use a
+documented reduced scale (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Mapping
+
+from repro.injection.bitflip import BitFlip, bit_width
+from repro.injection.golden import GoldenRun, capture_golden_run
+from repro.injection.instrument import (
+    InjectionHarness,
+    Location,
+    Probe,
+    StateSample,
+    VariableSpec,
+)
+
+__all__ = ["CampaignConfig", "ExperimentRecord", "CampaignResult", "Campaign"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignConfig:
+    """Parameters of one fault injection campaign (one Table II row).
+
+    Parameters
+    ----------
+    module:
+        Instrumented module to inject into and sample from.
+    injection_location / sample_location:
+        Entry/exit combination; Table II uses (entry, entry),
+        (entry, exit) and (exit, exit).
+    test_cases:
+        Numbered test cases to run (deterministic per number).
+    injection_times:
+        Zero-based occurrence indices of the injection probe at which
+        to inject (3 for FG, 4 for 7Z/MG in the paper).
+    variables:
+        Variable names to target (default: all of the module's).
+    bits:
+        Bit positions to flip.  Either a shared tuple (positions beyond
+        a variable's width are skipped, so ``range(16)`` works across
+        mixed-width variables) or a mapping from variable kind
+        (``"float64"``, ``"int32"``, ...) to a tuple, so campaigns can
+        cover integer words densely and float mantissas sparsely.
+        Default: every bit of each variable's representation, as in the
+        paper.
+    """
+
+    module: str
+    injection_location: Location
+    sample_location: Location
+    test_cases: tuple[int, ...]
+    injection_times: tuple[int, ...]
+    variables: tuple[str, ...] | None = None
+    bits: tuple[int, ...] | Mapping[str, tuple[int, ...]] | None = None
+
+    @property
+    def injection_probe(self) -> Probe:
+        return Probe(self.module, self.injection_location)
+
+    @property
+    def sample_probe(self) -> Probe:
+        return Probe(self.module, self.sample_location)
+
+
+@dataclasses.dataclass
+class ExperimentRecord:
+    """Outcome of one injected run.
+
+    ``deviated`` is the alternative error notion of the paper's
+    Discussion section: whether the sampled state differs from the
+    golden run's state at the same probe occurrence -- "any deviation
+    from a fault-free execution" -- independent of whether the run went
+    on to violate the failure specification.
+    """
+
+    test_case: int
+    flip: BitFlip
+    injection_time: int
+    sample: Mapping[str, float | int | bool] | None
+    failed: bool
+    crashed: bool
+    temporal_impact: int
+    deviated: bool = False
+
+    @property
+    def has_instance(self) -> bool:
+        """Whether this run contributes an instance to the dataset."""
+        return self.sample is not None
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """All records of a campaign plus its configuration and statistics."""
+
+    target_name: str
+    config: CampaignConfig
+    records: list[ExperimentRecord]
+    golden_runs: dict[int, GoldenRun]
+    variable_specs: tuple[VariableSpec, ...]
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_failures(self) -> int:
+        return sum(1 for r in self.records if r.failed)
+
+    @property
+    def n_crashes(self) -> int:
+        return sum(1 for r in self.records if r.crashed)
+
+    @property
+    def failure_rate(self) -> float:
+        return self.n_failures / self.n_runs if self.records else 0.0
+
+    def to_dataset(self, name: str | None = None, label_mode: str = "failure"):
+        """Convert to a mining dataset (see :mod:`repro.injection.readout`).
+
+        ``label_mode="failure"`` (the paper's target function) labels an
+        instance positive when the run violated the failure spec;
+        ``"deviation"`` labels it positive when the sampled state
+        deviated from the golden run's (the alternative notion of the
+        paper's Discussion section).
+        """
+        from repro.injection import readout
+
+        return readout.records_to_dataset(self, name, label_mode)
+
+
+class Campaign:
+    """Runs a fault injection campaign against one target system."""
+
+    def __init__(self, target, config: CampaignConfig) -> None:
+        target.check_module(config.module)
+        self.target = target
+        self.config = config
+        # Dataset attributes come from what the *sampling* probe sees;
+        # flips can only target what the *injection* probe sees.
+        self.variable_specs: tuple[VariableSpec, ...] = target.variables_of(
+            config.module, config.sample_location
+        )
+        self.injectable_specs: tuple[VariableSpec, ...] = target.variables_of(
+            config.module, config.injection_location
+        )
+        known = {spec.name for spec in self.injectable_specs}
+        if config.variables is not None:
+            unknown = set(config.variables) - known
+            if unknown:
+                raise ValueError(
+                    f"unknown injectable variables for module "
+                    f"{config.module!r} at {config.injection_location}: "
+                    f"{sorted(unknown)}"
+                )
+
+    def _targeted_specs(self) -> tuple[VariableSpec, ...]:
+        if self.config.variables is None:
+            return self.injectable_specs
+        wanted = set(self.config.variables)
+        return tuple(s for s in self.injectable_specs if s.name in wanted)
+
+    def _bits_for(self, spec: VariableSpec) -> tuple[int, ...]:
+        width = bit_width(spec.kind)
+        bits = self.config.bits
+        if bits is None:
+            return tuple(range(width))
+        if isinstance(bits, Mapping):
+            chosen = bits.get(spec.kind)
+            if chosen is None:
+                return tuple(range(width))
+            return tuple(b for b in chosen if 0 <= b < width)
+        return tuple(b for b in bits if 0 <= b < width)
+
+    def _make_harness(self, flip: BitFlip, injection_time: int) -> InjectionHarness:
+        """Harness factory; overridable (e.g. to add runtime assertions)."""
+        return InjectionHarness(
+            self.config.injection_probe,
+            flip,
+            injection_time,
+            sample_probe=self.config.sample_probe,
+        )
+
+    def run(self) -> CampaignResult:
+        """Execute the full campaign and return its records."""
+        golden_runs = {
+            tc: capture_golden_run(self.target, tc)
+            for tc in self.config.test_cases
+        }
+        records: list[ExperimentRecord] = []
+        for spec in self._targeted_specs():
+            for bit in self._bits_for(spec):
+                flip = BitFlip(spec.name, spec.kind, bit)
+                for injection_time in self.config.injection_times:
+                    for tc in self.config.test_cases:
+                        records.append(
+                            self._run_one(flip, injection_time, tc, golden_runs[tc])
+                        )
+        return CampaignResult(
+            self.target.name,
+            self.config,
+            records,
+            golden_runs,
+            self.variable_specs,
+        )
+
+    def _run_one(
+        self,
+        flip: BitFlip,
+        injection_time: int,
+        test_case: int,
+        golden: GoldenRun,
+    ) -> ExperimentRecord:
+        harness = self._make_harness(flip, injection_time)
+        crashed = False
+        try:
+            output = self.target.run(test_case, harness)
+            failed = self.target.is_failure(golden.output, output)
+        except Exception:
+            # An injected fault crashed the target: a specification
+            # violation by definition (no valid output was produced).
+            crashed = True
+            failed = True
+        sample = self._pick_sample(harness, injection_time)
+        temporal_impact = max(
+            0, harness.occurrences(self.config.injection_probe) - injection_time
+        )
+        record = ExperimentRecord(
+            test_case=test_case,
+            flip=flip,
+            injection_time=injection_time,
+            sample=sample.variables if sample is not None else None,
+            failed=failed,
+            crashed=crashed,
+            temporal_impact=temporal_impact,
+            deviated=self._deviated(golden, sample),
+        )
+        self._after_run(harness, record)
+        return record
+
+    def _deviated(self, golden: GoldenRun, sample: StateSample | None) -> bool:
+        """Golden-diff of the sampled state itself (Discussion §VIII)."""
+        if sample is None:
+            return True  # never reached the probe: maximal deviation
+        for reference in golden.samples_at(self.config.sample_probe):
+            if reference.occurrence == sample.occurrence:
+                return not _states_equal(reference.variables, sample.variables)
+        return True  # golden run has no matching occurrence
+
+    def _after_run(self, harness: InjectionHarness, record: ExperimentRecord) -> None:
+        """Hook for subclasses that observe each run's harness (e.g. the
+        runtime-assertion validation of Section VII-D)."""
+
+    def _pick_sample(
+        self, harness: InjectionHarness, injection_time: int
+    ) -> StateSample | None:
+        """The instance state: first sample at/after the injection time.
+
+        Entry->exit sampling of the same invocation shares the
+        occurrence index with the injection probe, so "at or after the
+        injection occurrence" selects the state right after the fault
+        was introduced in all three Table II location combinations.
+        """
+        for sample in harness.samples:
+            if sample.occurrence >= injection_time:
+                return sample
+        return None
+
+
+def _states_equal(
+    a: Mapping[str, float | int | bool], b: Mapping[str, float | int | bool]
+) -> bool:
+    if a.keys() != b.keys():
+        return False
+    for name, value in a.items():
+        other = b[name]
+        if isinstance(value, float) and isinstance(other, float):
+            if math.isnan(value) and math.isnan(other):
+                continue
+        if value != other:
+            return False
+    return True

@@ -1,0 +1,42 @@
+"""Golden run capture.
+
+PROPANE compares every injected run against a *golden run*: "a
+reproducible fault-free run of the system for a given test case,
+capturing information about the state of the system during execution"
+(Section VI-E).  :class:`GoldenRun` stores both the observable output
+(for failure specifications of the golden-diff kind) and the full
+sequence of probe samples (so sampling locations can be chosen after
+the fact, and so deviation-based analyses remain possible).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.injection.instrument import GoldenHarness, Probe, StateSample
+
+__all__ = ["GoldenRun", "capture_golden_run"]
+
+
+@dataclasses.dataclass
+class GoldenRun:
+    """Fault-free reference execution of one test case."""
+
+    test_case: int
+    output: object
+    samples: list[StateSample]
+
+    def samples_at(self, probe: Probe) -> list[StateSample]:
+        return [s for s in self.samples if s.probe == probe]
+
+
+def capture_golden_run(target, test_case: int) -> GoldenRun:
+    """Execute ``test_case`` on ``target`` fault-free and record it.
+
+    ``target`` follows the :class:`repro.targets.base.TargetSystem`
+    protocol: ``run(test_case, harness)`` returns the observable output
+    and drives the harness probes as a side effect.
+    """
+    harness = GoldenHarness()
+    output = target.run(test_case, harness)
+    return GoldenRun(test_case, output, harness.samples)

@@ -1,0 +1,232 @@
+"""Instrumentation model: probes, variable specs and harnesses.
+
+PROPANE instruments a target so that, at chosen code locations, state
+can be *sampled* (logged) or a fault *injected*.  In this reproduction
+a target module is instrumented by calling::
+
+    state = harness.probe("Gear", Location.ENTRY, state)
+
+at its entry point and exit point, where ``state`` is a dict of the
+module's non-composite variables (Section III-A's system model).  The
+harness may record the state, mutate it (inject a bit flip), or both;
+the module must continue executing with the returned dict.
+
+The two concrete harnesses are:
+
+* :class:`GoldenHarness` -- records samples, never mutates: produces a
+  golden run;
+* :class:`InjectionHarness` -- additionally flips one bit of one
+  variable at the *n*-th occurrence of the injection probe (the
+  occurrence index is the paper's "injection time": a control-loop
+  iteration for FlightGear, a file index for 7-Zip/Mp3Gain).  To keep
+  long-loop targets cheap it only records samples from the injection
+  time onwards, up to a configurable budget -- the campaign uses the
+  first sample at/after the injection.
+
+Sampling is restricted to a configured probe so that each dataset
+corresponds to one (injection location, sampling location) pair as in
+Table II.
+
+The probe call is the hot path of every campaign (a FlightGear run
+crosses it ~10,000 times), so occurrence bookkeeping uses plain
+``(module, location)`` tuples internally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections.abc import Mapping
+
+from repro.injection.bitflip import BitFlip, bit_width
+
+__all__ = [
+    "Location",
+    "Probe",
+    "VariableSpec",
+    "StateSample",
+    "Harness",
+    "GoldenHarness",
+    "InjectionHarness",
+    "InstrumentationError",
+]
+
+
+class InstrumentationError(RuntimeError):
+    """Raised when a target violates the instrumentation contract."""
+
+
+class Location(enum.Enum):
+    """Module code locations where probes can be placed."""
+
+    ENTRY = "entry"
+    EXIT = "exit"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class Probe:
+    """A (module, location) instrumentation point."""
+
+    module: str
+    location: Location
+
+    @property
+    def key(self) -> tuple[str, Location]:
+        return (self.module, self.location)
+
+    def __str__(self) -> str:
+        return f"{self.module}@{self.location}"
+
+
+@dataclasses.dataclass(frozen=True)
+class VariableSpec:
+    """Declared machine representation of one instrumented variable."""
+
+    name: str
+    kind: str = "float64"  # float64 | int64 | int32 | bool
+
+    def __post_init__(self) -> None:
+        bit_width(self.kind)  # validates the kind
+
+    @property
+    def bits(self) -> int:
+        return bit_width(self.kind)
+
+
+@dataclasses.dataclass(frozen=True)
+class StateSample:
+    """One sampled module state: the instances of the mining datasets."""
+
+    probe: Probe
+    occurrence: int
+    variables: Mapping[str, float | int | bool]
+
+
+class Harness:
+    """Base harness: counts probe occurrences and records samples.
+
+    ``sample_probe`` selects which probe is logged (one per dataset, as
+    in Table II); ``None`` records every probe, which golden runs use
+    so any sampling location can be read off later.
+    """
+
+    def __init__(self, sample_probe: Probe | None = None) -> None:
+        self.sample_probe = sample_probe
+        self._sample_key = None if sample_probe is None else sample_probe.key
+        self.samples: list[StateSample] = []
+        self._occurrences: dict[tuple[str, Location], int] = {}
+
+    def probe(
+        self,
+        module: str,
+        location: Location,
+        variables: Mapping[str, float | int | bool],
+    ) -> dict[str, float | int | bool]:
+        """Called by instrumented targets at module boundaries."""
+        key = (module, location)
+        occurrence = self._occurrences.get(key, 0)
+        self._occurrences[key] = occurrence + 1
+        state = dict(variables)
+        state = self._on_probe(key, occurrence, state)
+        if (
+            self._sample_key is None or key == self._sample_key
+        ) and self._should_sample(key, occurrence):
+            self.samples.append(
+                StateSample(Probe(module, location), occurrence, dict(state))
+            )
+        return state
+
+    def _on_probe(
+        self,
+        key: tuple[str, Location],
+        occurrence: int,
+        state: dict[str, float | int | bool],
+    ) -> dict[str, float | int | bool]:
+        return state
+
+    def _should_sample(self, key: tuple[str, Location], occurrence: int) -> bool:
+        return True
+
+    def occurrences(self, probe: Probe) -> int:
+        """Number of times ``probe`` has fired so far."""
+        return self._occurrences.get(probe.key, 0)
+
+    def samples_at(self, probe: Probe) -> list[StateSample]:
+        return [s for s in self.samples if s.probe == probe]
+
+
+class GoldenHarness(Harness):
+    """Fault-free recording harness (records all probes by default)."""
+
+
+class InjectionHarness(Harness):
+    """Harness that flips one bit at one occurrence of one probe.
+
+    Parameters
+    ----------
+    injection_probe:
+        Where to inject (module + entry/exit).
+    flip:
+        Which variable/kind/bit to corrupt.
+    injection_time:
+        Zero-based occurrence index of ``injection_probe`` at which the
+        flip is applied.
+    sample_probe:
+        Which probe's states to record (the dataset's sampling
+        location).
+    sample_budget:
+        How many samples to keep, starting at the injection time (the
+        campaign consumes the first; a larger budget supports latency
+        analyses).  ``None`` keeps every sample from the injection time
+        onwards.
+    """
+
+    def __init__(
+        self,
+        injection_probe: Probe,
+        flip: BitFlip,
+        injection_time: int,
+        sample_probe: Probe | None = None,
+        sample_budget: int | None = 4,
+    ) -> None:
+        super().__init__(sample_probe)
+        self.injection_probe = injection_probe
+        self._injection_key = injection_probe.key
+        self.flip = flip
+        self.injection_time = injection_time
+        self.sample_budget = sample_budget
+        self.injected = False
+        self.injected_value: float | int | bool | None = None
+        self.original_value: float | int | bool | None = None
+
+    def _on_probe(
+        self,
+        key: tuple[str, Location],
+        occurrence: int,
+        state: dict[str, float | int | bool],
+    ) -> dict[str, float | int | bool]:
+        if (
+            not self.injected
+            and occurrence == self.injection_time
+            and key == self._injection_key
+        ):
+            if self.flip.variable not in state:
+                raise InstrumentationError(
+                    f"variable {self.flip.variable!r} not exposed at "
+                    f"{key[0]}@{key[1]}"
+                )
+            self.original_value = state[self.flip.variable]
+            self.injected_value = self.flip.apply(self.original_value)
+            state[self.flip.variable] = self.injected_value
+            self.injected = True
+        return state
+
+    def _should_sample(self, key: tuple[str, Location], occurrence: int) -> bool:
+        if occurrence < self.injection_time:
+            return False
+        if self.sample_budget is not None and len(self.samples) >= self.sample_budget:
+            return False
+        return True

@@ -1,0 +1,227 @@
+"""PROPANE-style experiment log format.
+
+PROPANE persists every injection experiment to log files which are
+later converted for analysis; the paper's Step 2 explicitly includes
+that conversion.  This module defines the reproduction's equivalent
+on-disk format -- line-oriented, human-readable, lossless for
+everything the analysis needs -- plus its parser.
+
+Format (one campaign per file)::
+
+    #PROPANE-LOG v1
+    #target 7Z
+    #module FHandle
+    #inject entry
+    #sample exit
+    #var buf_len int32
+    #var crc float64
+    RUN tc=3 var=buf_len kind=int32 bit=5 time=2 failed=1 crashed=0 impact=7
+    S buf_len=17 crc=0x3ff0000000000000
+    RUN tc=3 var=crc kind=float64 bit=63 time=0 failed=0 crashed=0 impact=9
+    S -
+
+Float values are hex-encoded (``float.hex``-style via ``0x`` raw bits)
+so the round trip is exact even for NaN payloads and denormals; bools
+are ``0``/``1``; ints are decimal.  ``S -`` marks a run that never
+reached the sampling probe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from collections.abc import Iterable
+
+from repro.injection.bitflip import BitFlip
+from repro.injection.campaign import CampaignConfig, CampaignResult, ExperimentRecord
+from repro.injection.instrument import Location, VariableSpec
+
+__all__ = ["LogFormatError", "write_log", "read_log", "ParsedLog"]
+
+_MAGIC = "#PROPANE-LOG v1"
+
+
+class LogFormatError(ValueError):
+    """Raised on malformed log input."""
+
+
+# ----------------------------------------------------------------------
+# Value encoding
+# ----------------------------------------------------------------------
+def _encode_value(value: float | int | bool, kind: str) -> str:
+    if kind == "bool":
+        return "1" if value else "0"
+    if kind == "float64":
+        (bits,) = struct.unpack("<Q", struct.pack("<d", float(value)))
+        return f"0x{bits:016x}"
+    return str(int(value))
+
+
+def _decode_value(token: str, kind: str) -> float | int | bool:
+    if kind == "bool":
+        return token == "1"
+    if kind == "float64":
+        if not token.startswith("0x"):
+            return float(token)  # tolerate plain floats
+        (value,) = struct.unpack("<d", struct.pack("<Q", int(token, 16)))
+        return value
+    return int(token)
+
+
+# ----------------------------------------------------------------------
+# Writing
+# ----------------------------------------------------------------------
+def write_log(result: CampaignResult, fp) -> None:
+    """Serialise a campaign result to a file-like object."""
+    config = result.config
+    fp.write(_MAGIC + "\n")
+    fp.write(f"#target {result.target_name}\n")
+    fp.write(f"#module {config.module}\n")
+    fp.write(f"#inject {config.injection_location}\n")
+    fp.write(f"#sample {config.sample_location}\n")
+    for spec in result.variable_specs:
+        fp.write(f"#var {spec.name} {spec.kind}\n")
+    kinds = {spec.name: spec.kind for spec in result.variable_specs}
+    for record in result.records:
+        fp.write(
+            "RUN "
+            f"tc={record.test_case} "
+            f"var={record.flip.variable} "
+            f"kind={record.flip.kind} "
+            f"bit={record.flip.bit} "
+            f"time={record.injection_time} "
+            f"failed={int(record.failed)} "
+            f"crashed={int(record.crashed)} "
+            f"impact={record.temporal_impact} "
+            f"deviated={int(record.deviated)}\n"
+        )
+        if record.sample is None:
+            fp.write("S -\n")
+        else:
+            cells = " ".join(
+                f"{name}={_encode_value(value, kinds.get(name, 'float64'))}"
+                for name, value in record.sample.items()
+            )
+            fp.write(f"S {cells}\n")
+
+
+# ----------------------------------------------------------------------
+# Reading
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class ParsedLog:
+    """A campaign log read back from disk.
+
+    Mirrors :class:`repro.injection.campaign.CampaignResult` closely
+    enough that :func:`repro.injection.readout.records_to_dataset`
+    accepts it (same attribute names), minus the golden runs, which are
+    not persisted.
+    """
+
+    target_name: str
+    config: CampaignConfig
+    records: list[ExperimentRecord]
+    variable_specs: tuple[VariableSpec, ...]
+
+    def to_dataset(self, name: str | None = None):
+        from repro.injection import readout
+
+        return readout.records_to_dataset(self, name)  # type: ignore[arg-type]
+
+
+def read_log(fp: Iterable[str]) -> ParsedLog:
+    """Parse a campaign log written by :func:`write_log`."""
+    lines = iter(fp)
+    first = next(lines, None)
+    if first is None or first.strip() != _MAGIC:
+        raise LogFormatError("missing PROPANE-LOG magic header")
+
+    target_name = ""
+    module = ""
+    inject_location: Location | None = None
+    sample_location: Location | None = None
+    specs: list[VariableSpec] = []
+    records: list[ExperimentRecord] = []
+    pending: dict[str, str] | None = None
+    test_cases: set[int] = set()
+    times: set[int] = set()
+
+    def finish_pending(sample) -> None:
+        nonlocal pending
+        assert pending is not None
+        records.append(
+            ExperimentRecord(
+                test_case=int(pending["tc"]),
+                flip=BitFlip(pending["var"], pending["kind"], int(pending["bit"])),
+                injection_time=int(pending["time"]),
+                sample=sample,
+                failed=pending["failed"] == "1",
+                crashed=pending["crashed"] == "1",
+                temporal_impact=int(pending["impact"]),
+                # Older logs predate the deviation field; default to 0.
+                deviated=pending.get("deviated", "0") == "1",
+            )
+        )
+        test_cases.add(int(pending["tc"]))
+        times.add(int(pending["time"]))
+        pending = None
+
+    kinds: dict[str, str] = {}
+    for lineno, raw in enumerate(lines, start=2):
+        line = raw.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("#"):
+            fields = line[1:].split()
+            if not fields:
+                continue
+            key = fields[0]
+            if key == "target":
+                target_name = fields[1]
+            elif key == "module":
+                module = fields[1]
+            elif key == "inject":
+                inject_location = Location(fields[1])
+            elif key == "sample":
+                sample_location = Location(fields[1])
+            elif key == "var":
+                spec = VariableSpec(fields[1], fields[2])
+                specs.append(spec)
+                kinds[spec.name] = spec.kind
+            else:
+                raise LogFormatError(f"line {lineno}: unknown header {key!r}")
+            continue
+        if line.startswith("RUN "):
+            if pending is not None:
+                raise LogFormatError(f"line {lineno}: RUN without sample line")
+            pending = dict(
+                field.split("=", 1) for field in line[len("RUN "):].split()
+            )
+            continue
+        if line.startswith("S"):
+            if pending is None:
+                raise LogFormatError(f"line {lineno}: sample without RUN")
+            body = line[1:].strip()
+            if body == "-":
+                finish_pending(None)
+            else:
+                sample: dict[str, float | int | bool] = {}
+                for cell in body.split():
+                    name, token = cell.split("=", 1)
+                    sample[name] = _decode_value(token, kinds.get(name, "float64"))
+                finish_pending(sample)
+            continue
+        raise LogFormatError(f"line {lineno}: unrecognised line {line!r}")
+
+    if pending is not None:
+        raise LogFormatError("log truncated: RUN without sample line")
+    if inject_location is None or sample_location is None or not module:
+        raise LogFormatError("incomplete log header")
+    config = CampaignConfig(
+        module=module,
+        injection_location=inject_location,
+        sample_location=sample_location,
+        test_cases=tuple(sorted(test_cases)),
+        injection_times=tuple(sorted(times)),
+    )
+    return ParsedLog(target_name, config, records, tuple(specs))

@@ -1,0 +1,126 @@
+"""Conversion of campaign records into mining datasets.
+
+The paper's Step 2 begins with "a purpose-built software tool ... used
+to automatically convert from the PROPANE logging format to the format
+used by the Weka Data Mining Suite".  This module is that tool for the
+reproduction: it turns :class:`repro.injection.campaign.CampaignResult`
+records (or parsed log files) into :class:`repro.mining.dataset.Dataset`
+objects, mapping
+
+* ``float64`` / ``int32`` / ``int64`` variables to numeric attributes,
+* ``bool`` variables to nominal ``{false, true}`` attributes,
+* the failure label to the nominal class ``{nofail, fail}`` with
+  ``fail`` as the positive (failure-inducing) class, index 1.
+
+Non-finite float values (a bit flip in the exponent easily produces
+``inf`` or ``nan``) are mapped to large-magnitude sentinels rather than
+dropped: a NaN attribute value would be treated as *missing* by the
+learners, but "the variable became non-finite" is precisely the kind of
+erroneous state a detector must see.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.injection.campaign import CampaignResult
+from repro.injection.instrument import VariableSpec
+from repro.mining.dataset import Attribute, Dataset
+
+__all__ = [
+    "CLASS_ATTRIBUTE",
+    "FAIL",
+    "NOFAIL",
+    "NON_FINITE_SENTINEL",
+    "attributes_for_specs",
+    "encode_state",
+    "records_to_dataset",
+]
+
+NOFAIL = "nofail"
+FAIL = "fail"
+CLASS_ATTRIBUTE = Attribute.nominal("class", (NOFAIL, FAIL))
+
+# Sentinel magnitude for +/-inf and NaN float samples.  Far beyond any
+# value the targets produce, but finite, so split thresholds such as
+# "speed <= 1e200" can separate exploded values from sane ones.
+NON_FINITE_SENTINEL = 1e300
+
+
+def attributes_for_specs(specs: tuple[VariableSpec, ...]) -> list[Attribute]:
+    """Mining attributes corresponding to a module's variable specs."""
+    attributes = []
+    for spec in specs:
+        if spec.kind == "bool":
+            attributes.append(Attribute.nominal(spec.name, ("false", "true")))
+        else:
+            attributes.append(Attribute.numeric(spec.name))
+    return attributes
+
+
+def encode_state(
+    state, specs: tuple[VariableSpec, ...]
+) -> list[float]:
+    """Encode one sampled module state as a dataset row."""
+    row: list[float] = []
+    for spec in specs:
+        if spec.name not in state:
+            row.append(math.nan)  # variable not observable: missing
+            continue
+        value = state[spec.name]
+        if spec.kind == "bool":
+            row.append(1.0 if value else 0.0)
+        else:
+            encoded = float(value)
+            if math.isnan(encoded):
+                encoded = NON_FINITE_SENTINEL
+            elif math.isinf(encoded):
+                encoded = math.copysign(NON_FINITE_SENTINEL, encoded)
+            row.append(encoded)
+    return row
+
+
+def records_to_dataset(
+    result: CampaignResult,
+    name: str | None = None,
+    label_mode: str = "failure",
+) -> Dataset:
+    """Build the labelled dataset of a campaign.
+
+    One instance per injected run that reached the sampling probe.
+    With ``label_mode="failure"`` (the paper's target function) the
+    label is ``fail`` when the run violated the failure specification;
+    with ``"deviation"`` it is ``fail`` when the sampled state deviated
+    from the golden run's state at the same occurrence (the §VIII
+    alternative).
+    """
+    if label_mode not in ("failure", "deviation"):
+        raise ValueError(f"unknown label mode {label_mode!r}")
+    specs = result.variable_specs
+    attributes = attributes_for_specs(specs)
+    rows: list[list[float]] = []
+    labels: list[int] = []
+    for record in result.records:
+        if record.sample is None:
+            continue
+        rows.append(encode_state(record.sample, specs))
+        positive = record.failed if label_mode == "failure" else record.deviated
+        labels.append(1 if positive else 0)
+    x = (
+        np.asarray(rows, dtype=np.float64)
+        if rows
+        else np.empty((0, len(attributes)))
+    )
+    dataset_name = name or (
+        f"{result.target_name}-{result.config.module}-"
+        f"{result.config.injection_location}-{result.config.sample_location}"
+    )
+    return Dataset(
+        attributes,
+        CLASS_ATTRIBUTE,
+        x,
+        np.asarray(labels, dtype=np.int64),
+        name=dataset_name,
+    )

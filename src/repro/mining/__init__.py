@@ -1,0 +1,45 @@
+"""Data mining substrate (the reproduction's Weka analogue).
+
+The DSN 2011 methodology uses the Weka Data Mining suite for Step 2
+(preprocessing) and Step 3 (model generation).  Nothing from Weka or
+scikit-learn is available here, so this subpackage implements the full
+stack from scratch:
+
+* :mod:`repro.mining.dataset` -- tabular dataset model with numeric and
+  nominal attributes, instance weights and a nominal class attribute.
+* :mod:`repro.mining.arff` -- reader/writer for the ARFF file format the
+  paper converts PROPANE logs into.
+* :mod:`repro.mining.tree` -- C4.5 decision tree induction (the paper's
+  chosen symbolic pattern learner).
+* :mod:`repro.mining.rules` -- rule induction (PRISM and a sequential
+  covering learner), the paper's stated alternative symbolic learner.
+* :mod:`repro.mining.bayes` / :mod:`repro.mining.logistic` -- the
+  non-symbolic classifiers the paper names when motivating the signed
+  logarithmic attribute mapping.
+* :mod:`repro.mining.knn` -- k-nearest-neighbour search used by SMOTE.
+* :mod:`repro.mining.sampling` -- random undersampling, oversampling
+  with replacement and SMOTE, the class-imbalance treatments of
+  Sections IV and V-C.
+* :mod:`repro.mining.transforms` -- the signed log mapping g(x) and
+  other attribute transformations.
+* :mod:`repro.mining.metrics` -- confusion matrices and every evaluation
+  metric Section IV defines (TPR/FPR, specificity/sensitivity,
+  precision/recall/F1, geometric mean, trapezoid AUC, distance to the
+  perfect classifier, expected misclassification cost, Ting instance
+  weights, Breiman cost vectors).
+* :mod:`repro.mining.crossval` -- stratified k-fold cross-validation.
+"""
+
+from repro.mining.dataset import Attribute, Dataset
+from repro.mining.metrics import ConfusionMatrix
+from repro.mining.tree import C45DecisionTree
+from repro.mining.crossval import cross_validate, stratified_folds
+
+__all__ = [
+    "Attribute",
+    "Dataset",
+    "ConfusionMatrix",
+    "C45DecisionTree",
+    "cross_validate",
+    "stratified_folds",
+]

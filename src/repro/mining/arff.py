@@ -1,0 +1,281 @@
+"""ARFF reader/writer.
+
+The paper's Step 2 converts PROPANE logs into "the ARFF format used by
+the Weka Data Mining suite".  This module implements the ARFF dialect
+that conversion needs: ``@relation``, ``@attribute`` (``numeric``/
+``real``/``integer`` and nominal ``{a,b,c}`` kinds), ``@data`` with
+comma-separated rows, ``?`` for missing values, ``%`` comments, quoted
+identifiers, and optional per-instance weights in trailing ``{w}``
+braces (Weka's sparse-weight extension).
+
+By convention the **last** attribute in the file is the class
+attribute, matching Weka's default.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+import re
+
+import numpy as np
+
+from repro.mining.dataset import Attribute, Dataset, DatasetError
+
+__all__ = ["ArffError", "dump_arff", "dumps_arff", "load_arff", "loads_arff"]
+
+
+class ArffError(ValueError):
+    """Raised on malformed ARFF input."""
+
+
+_NOMINAL_RE = re.compile(r"^\{(.*)\}$", re.DOTALL)
+_WEIGHT_RE = re.compile(r",?\s*\{\s*([0-9eE+.\-]+)\s*\}\s*$")
+
+
+# ----------------------------------------------------------------------
+# Writing
+# ----------------------------------------------------------------------
+def dumps_arff(dataset: Dataset, include_weights: bool = False) -> str:
+    """Serialise a dataset to an ARFF string."""
+    out = io.StringIO()
+    dump_arff(dataset, out, include_weights=include_weights)
+    return out.getvalue()
+
+
+def dump_arff(
+    dataset: Dataset, fp, include_weights: bool = False
+) -> None:
+    """Write a dataset to a file-like object in ARFF format."""
+    fp.write(f"@relation {_quote(dataset.name)}\n\n")
+    for attribute in dataset.attributes:
+        fp.write(f"@attribute {_quote(attribute.name)} {_kind(attribute)}\n")
+    fp.write(
+        f"@attribute {_quote(dataset.class_attribute.name)} "
+        f"{_kind(dataset.class_attribute)}\n"
+    )
+    fp.write("\n@data\n")
+    for i in range(len(dataset)):
+        cells = []
+        for j, attribute in enumerate(dataset.attributes):
+            value = dataset.x[i, j]
+            if math.isnan(value):
+                cells.append("?")
+            elif attribute.is_nominal:
+                cells.append(_quote(attribute.value_of(int(value))))
+            else:
+                cells.append(repr(float(value)))
+        cells.append(_quote(dataset.decode_label(i)))
+        line = ",".join(cells)
+        if include_weights and dataset.weights[i] != 1.0:
+            line += f", {{{float(dataset.weights[i])!r}}}"
+        fp.write(line + "\n")
+
+
+def _kind(attribute: Attribute) -> str:
+    if attribute.is_numeric:
+        return "numeric"
+    return "{" + ",".join(_quote(v) for v in attribute.values) + "}"
+
+
+def _quote(token: str) -> str:
+    if re.search(r"[\s,{}%'\"]", token) or token == "":
+        escaped = token.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    return token
+
+
+# ----------------------------------------------------------------------
+# Reading
+# ----------------------------------------------------------------------
+def loads_arff(text: str) -> Dataset:
+    """Parse an ARFF string into a dataset (last attribute = class)."""
+    return load_arff(io.StringIO(text))
+
+
+def load_arff(fp) -> Dataset:
+    """Parse ARFF from a file-like object (last attribute = class)."""
+    relation = "dataset"
+    attributes: list[Attribute] = []
+    rows: list[list[float]] = []
+    labels: list[int] = []
+    weights: list[float] = []
+    in_data = False
+
+    for lineno, raw in enumerate(fp, start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        lower = line.lower()
+        if not in_data:
+            if lower.startswith("@relation"):
+                relation = _parse_token(line[len("@relation"):].strip())
+            elif lower.startswith("@attribute"):
+                attributes.append(_parse_attribute(line, lineno))
+            elif lower.startswith("@data"):
+                if len(attributes) < 2:
+                    raise ArffError(
+                        "need at least one input attribute plus the class"
+                    )
+                if not attributes[-1].is_nominal:
+                    raise ArffError("class (last) attribute must be nominal")
+                in_data = True
+            else:
+                raise ArffError(f"line {lineno}: unexpected header {line!r}")
+            continue
+
+        weight = 1.0
+        match = _WEIGHT_RE.search(line)
+        if match:
+            weight = float(match.group(1))
+            line = line[: match.start()]
+        cells = _split_row(line, lineno)
+        if len(cells) != len(attributes):
+            raise ArffError(
+                f"line {lineno}: {len(cells)} values for "
+                f"{len(attributes)} attributes"
+            )
+        row: list[float] = []
+        for cell, attribute in zip(cells[:-1], attributes[:-1]):
+            row.append(_parse_cell(cell, attribute, lineno))
+        class_attribute = attributes[-1]
+        if cells[-1] == "?":
+            raise ArffError(f"line {lineno}: class value cannot be missing")
+        labels.append(class_attribute.index_of(cells[-1]))
+        rows.append(row)
+        weights.append(weight)
+
+    if not in_data:
+        raise ArffError("no @data section found")
+    class_attribute = attributes[-1]
+    if not class_attribute.is_nominal:
+        raise ArffError("class (last) attribute must be nominal")
+    x = (
+        np.asarray(rows, dtype=np.float64)
+        if rows
+        else np.empty((0, len(attributes) - 1))
+    )
+    return Dataset(
+        attributes[:-1],
+        class_attribute,
+        x,
+        np.asarray(labels, dtype=np.int64),
+        np.asarray(weights, dtype=np.float64),
+        name=relation,
+    )
+
+
+def _strip_comment(line: str) -> str:
+    # A % starts a comment unless inside quotes.
+    out = []
+    quote: str | None = None
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if quote:
+            if ch == "\\" and i + 1 < len(line):
+                out.append(ch)
+                out.append(line[i + 1])
+                i += 2
+                continue
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch == "%":
+            break
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _parse_attribute(line: str, lineno: int) -> Attribute:
+    rest = line[len("@attribute"):].strip()
+    name, remainder = _take_token(rest, lineno)
+    remainder = remainder.strip()
+    match = _NOMINAL_RE.match(remainder)
+    if match:
+        values = _split_row(match.group(1), lineno)
+        try:
+            return Attribute.nominal(name, values)
+        except DatasetError as exc:
+            raise ArffError(f"line {lineno}: {exc}") from exc
+    kind = remainder.lower()
+    if kind in ("numeric", "real", "integer"):
+        return Attribute.numeric(name)
+    raise ArffError(f"line {lineno}: unsupported attribute type {remainder!r}")
+
+
+def _take_token(text: str, lineno: int) -> tuple[str, str]:
+    text = text.lstrip()
+    if not text:
+        raise ArffError(f"line {lineno}: missing token")
+    if text[0] in "'\"":
+        quote = text[0]
+        out = []
+        i = 1
+        while i < len(text):
+            ch = text[i]
+            if ch == "\\" and i + 1 < len(text):
+                out.append(text[i + 1])
+                i += 2
+                continue
+            if ch == quote:
+                return "".join(out), text[i + 1 :]
+            out.append(ch)
+            i += 1
+        raise ArffError(f"line {lineno}: unterminated quote")
+    parts = text.split(None, 1)
+    return parts[0], parts[1] if len(parts) > 1 else ""
+
+
+def _parse_token(text: str) -> str:
+    token, _ = _take_token(text, 0)
+    return token
+
+
+def _split_row(line: str, lineno: int) -> list[str]:
+    cells: list[str] = []
+    current: list[str] = []
+    quote: str | None = None
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if quote:
+            if ch == "\\" and i + 1 < len(line):
+                current.append(line[i + 1])
+                i += 2
+                continue
+            if ch == quote:
+                quote = None
+            else:
+                current.append(ch)
+        elif ch in "'\"":
+            quote = ch
+        elif ch == ",":
+            cells.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    if quote:
+        raise ArffError(f"line {lineno}: unterminated quote in data row")
+    cells.append("".join(current).strip())
+    return cells
+
+
+def _parse_cell(cell: str, attribute: Attribute, lineno: int) -> float:
+    if cell == "?":
+        return math.nan
+    if attribute.is_numeric:
+        try:
+            return float(cell)
+        except ValueError:
+            raise ArffError(
+                f"line {lineno}: bad numeric value {cell!r} "
+                f"for attribute {attribute.name!r}"
+            ) from None
+    try:
+        return float(attribute.index_of(cell))
+    except DatasetError as exc:
+        raise ArffError(f"line {lineno}: {exc}") from exc

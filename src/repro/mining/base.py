@@ -1,0 +1,59 @@
+"""Common classifier interface for the data mining substrate.
+
+All learners here (decision trees, rule sets, Naive Bayes, logistic
+regression, nearest neighbour) follow the same minimal protocol so the
+cross-validation harness and the methodology pipeline can treat them
+interchangeably:
+
+* ``fit(dataset)`` trains on a :class:`repro.mining.dataset.Dataset`
+  and returns ``self``.
+* ``distribution(x)`` returns per-class probability estimates with one
+  row per instance of the 2-D input array ``x``.
+* ``predict(x)`` returns the arg-max class index per row.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.mining.dataset import Dataset
+
+__all__ = ["Classifier", "NotFittedError"]
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predicting with a classifier that was never fitted."""
+
+
+class Classifier(abc.ABC):
+    """Abstract base class for all substrate classifiers."""
+
+    _schema: Dataset | None = None
+
+    @abc.abstractmethod
+    def fit(self, dataset: Dataset) -> "Classifier":
+        """Train the classifier on ``dataset`` and return ``self``."""
+
+    @abc.abstractmethod
+    def distribution(self, x: np.ndarray) -> np.ndarray:
+        """Return an ``(n, n_classes)`` array of class probabilities."""
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Return the most probable class index for each row of ``x``."""
+        return np.argmax(self.distribution(np.atleast_2d(x)), axis=1)
+
+    def predict_one(self, row: np.ndarray) -> int:
+        """Return the predicted class index for a single instance."""
+        return int(self.predict(np.atleast_2d(row))[0])
+
+    def _check_fitted(self) -> Dataset:
+        if self._schema is None:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted")
+        return self._schema
+
+    def _remember_schema(self, dataset: Dataset) -> None:
+        # Keep an empty shell of the training data so prediction knows the
+        # attribute schema and class labels without holding the instances.
+        self._schema = dataset.subset(np.zeros(0, dtype=np.int64))

@@ -1,0 +1,124 @@
+"""Naive Bayes classifier (Gaussian for numeric, Laplace for nominal).
+
+One of the alternative classification algorithms the paper's survey
+names (Section IV).  It is also the learner that motivates the signed
+logarithmic attribute mapping of Step 2: bit-flipped values span 300
+orders of magnitude, which destroys a Gaussian likelihood unless the
+magnitudes are first compressed.  The ablation experiment A-2 exercises
+exactly that interaction.
+
+Missing attribute values are simply skipped in the likelihood product,
+the standard Naive Bayes treatment.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.mining.base import Classifier
+from repro.mining.dataset import Dataset
+
+__all__ = ["NaiveBayes"]
+
+# Floor on the per-class variance so constant attributes do not produce
+# zero-width Gaussians (Weka applies the same kind of floor).
+_MIN_VARIANCE = 1e-9
+
+
+class NaiveBayes(Classifier):
+    """Weighted Naive Bayes with Gaussian numeric likelihoods."""
+
+    def __init__(self, laplace: float = 1.0) -> None:
+        if laplace < 0:
+            raise ValueError("laplace smoothing must be non-negative")
+        self.laplace = laplace
+
+    def fit(self, dataset: Dataset) -> "NaiveBayes":
+        if len(dataset) == 0:
+            raise ValueError("cannot fit Naive Bayes on an empty dataset")
+        self._remember_schema(dataset)
+        n_classes = dataset.n_classes
+        class_weights = dataset.class_weights()
+        # Laplace-smoothed class priors.
+        self._log_prior = np.log(
+            (class_weights + self.laplace)
+            / (class_weights.sum() + self.laplace * n_classes)
+        )
+
+        self._means = np.zeros((n_classes, dataset.n_attributes))
+        self._variances = np.ones((n_classes, dataset.n_attributes))
+        self._nominal_logp: dict[int, np.ndarray] = {}
+
+        for j, attribute in enumerate(dataset.attributes):
+            column = dataset.x[:, j]
+            known = ~np.isnan(column)
+            if attribute.is_numeric:
+                for cls in range(n_classes):
+                    mask = known & (dataset.y == cls)
+                    w = dataset.weights[mask]
+                    if w.sum() <= 0:
+                        continue
+                    values = column[mask]
+                    # Bit-flipped magnitudes (~1e300) overflow the
+                    # moment sums; an overflowed mean/variance just
+                    # means "this class's values are absurdly spread",
+                    # so clamp to huge-but-finite.
+                    with np.errstate(over="ignore"):
+                        mean = float(np.average(values, weights=w))
+                        if not math.isfinite(mean):
+                            mean = math.copysign(1e300, mean)
+                        var = float(
+                            np.average((values - mean) ** 2, weights=w)
+                        )
+                    if not math.isfinite(var):
+                        var = 1e300
+                    self._means[cls, j] = mean
+                    self._variances[cls, j] = max(var, _MIN_VARIANCE)
+            else:
+                n_values = len(attribute.values)
+                counts = np.full((n_classes, n_values), self.laplace)
+                mask = known
+                np.add.at(
+                    counts,
+                    (dataset.y[mask], column[mask].astype(np.int64)),
+                    dataset.weights[mask],
+                )
+                totals = counts.sum(axis=1, keepdims=True)
+                self._nominal_logp[j] = np.log(counts / totals)
+        return self
+
+    def distribution(self, x: np.ndarray) -> np.ndarray:
+        schema = self._check_fitted()
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        n_classes = schema.n_classes
+        log_post = np.tile(self._log_prior, (len(x), 1))
+        # Bit-flipped state values reach 1e300+, where the squared
+        # deviation overflows to inf: that is the correct likelihood
+        # limit (log-likelihood -> -inf), so silence the warnings and
+        # clean up any inf-inf artefacts afterwards.
+        with np.errstate(over="ignore", invalid="ignore"):
+            for j, attribute in enumerate(schema.attributes):
+                column = x[:, j]
+                known = ~np.isnan(column)
+                if not known.any():
+                    continue
+                if attribute.is_numeric:
+                    values = column[known][:, None]
+                    mean = self._means[:, j][None, :]
+                    var = self._variances[:, j][None, :]
+                    log_like = -0.5 * (
+                        np.log(2 * np.pi * var) + (values - mean) ** 2 / var
+                    )
+                else:
+                    table = self._nominal_logp[j]
+                    log_like = table[:, column[known].astype(np.int64)].T
+                log_post[known] += log_like
+            # Normalise in log space for stability.
+            log_post = np.nan_to_num(log_post, nan=-np.inf)
+            log_post -= log_post.max(axis=1, keepdims=True)
+            log_post = np.nan_to_num(log_post, nan=0.0)  # -inf - -inf rows
+            posterior = np.exp(log_post)
+            posterior /= posterior.sum(axis=1, keepdims=True)
+        return posterior

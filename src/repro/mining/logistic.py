@@ -1,0 +1,141 @@
+"""Multinomial logistic regression.
+
+The second non-symbolic learner the paper names alongside Naive Bayes
+when motivating Step 2's logarithmic attribute mapping.  Trained by
+full-batch gradient descent on the L2-regularised weighted cross
+entropy with internal standardisation (fault-injection attributes span
+extreme magnitudes; without scaling the optimiser would not move).
+
+Nominal attributes are one-hot encoded internally; missing values are
+imputed with the training mean (numeric) or contribute an all-zero
+one-hot block (nominal).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mining.base import Classifier
+from repro.mining.dataset import Dataset
+
+__all__ = ["LogisticRegression"]
+
+
+class LogisticRegression(Classifier):
+    """Weighted multinomial logistic regression via gradient descent."""
+
+    def __init__(
+        self,
+        l2: float = 1e-3,
+        learning_rate: float = 0.5,
+        max_iter: int = 500,
+        tol: float = 1e-7,
+    ) -> None:
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if max_iter < 1:
+            raise ValueError("max_iter must be at least 1")
+        self.l2 = l2
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.tol = tol
+
+    # ------------------------------------------------------------------
+    # Feature encoding
+    # ------------------------------------------------------------------
+    def _design_matrix(self, x: np.ndarray, schema: Dataset) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        blocks = [np.ones((len(x), 1))]
+        for j, attribute in enumerate(schema.attributes):
+            column = x[:, j]
+            if attribute.is_numeric:
+                filled = np.where(np.isnan(column), self._impute[j], column)
+                with np.errstate(over="ignore", invalid="ignore"):
+                    scaled = (filled - self._mean[j]) / self._scale[j]
+                # Clamp overflowed/huge features so the optimiser's
+                # dot products stay finite.
+                scaled = np.clip(np.nan_to_num(scaled, nan=0.0), -1e6, 1e6)
+                blocks.append(scaled[:, None])
+            else:
+                onehot = np.zeros((len(x), len(attribute.values)))
+                known = ~np.isnan(column)
+                onehot[known, column[known].astype(np.int64)] = 1.0
+                blocks.append(onehot)
+        return np.hstack(blocks)
+
+    def fit(self, dataset: Dataset) -> "LogisticRegression":
+        if len(dataset) == 0:
+            raise ValueError("cannot fit logistic regression on an empty dataset")
+        self._remember_schema(dataset)
+        n_attr = dataset.n_attributes
+        self._impute = np.zeros(n_attr)
+        self._mean = np.zeros(n_attr)
+        self._scale = np.ones(n_attr)
+        for j, attribute in enumerate(dataset.attributes):
+            if not attribute.is_numeric:
+                continue
+            column = dataset.x[:, j]
+            known = column[~np.isnan(column)]
+            if known.size:
+                # Bit-flipped magnitudes overflow the moment sums; an
+                # overflowed statistic just means "huge", so clamp.
+                with np.errstate(over="ignore"):
+                    mean = float(known.mean())
+                    std = float(known.std())
+                if not np.isfinite(mean):
+                    mean = float(np.sign(mean)) * 1e300
+                if not np.isfinite(std) or std <= 0:
+                    std = max(abs(mean), 1.0)
+                self._impute[j] = mean
+                self._mean[j] = mean
+                self._scale[j] = std
+
+        schema = self._check_fitted()
+        design = self._design_matrix(dataset.x, schema)
+        n, d = design.shape
+        m = dataset.n_classes
+        targets = np.zeros((n, m))
+        targets[np.arange(n), dataset.y] = 1.0
+        weights = dataset.weights[:, None]
+        weight_total = dataset.weights.sum()
+
+        coef = np.zeros((d, m))
+        previous_loss = np.inf
+        for _ in range(self.max_iter):
+            probabilities = _softmax(design @ coef)
+            gradient = design.T @ (weights * (probabilities - targets))
+            gradient /= weight_total
+            gradient[1:] += self.l2 * coef[1:]  # do not regularise the bias
+            coef -= self.learning_rate * gradient
+            loss = self._loss(probabilities, targets, dataset.weights, coef)
+            if abs(previous_loss - loss) < self.tol:
+                break
+            previous_loss = loss
+        self._coef = coef
+        return self
+
+    def _loss(
+        self,
+        probabilities: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray,
+        coef: np.ndarray,
+    ) -> float:
+        eps = 1e-12
+        log_like = (targets * np.log(probabilities + eps)).sum(axis=1)
+        data_term = -(weights * log_like).sum() / weights.sum()
+        reg_term = 0.5 * self.l2 * float((coef[1:] ** 2).sum())
+        return float(data_term + reg_term)
+
+    def distribution(self, x: np.ndarray) -> np.ndarray:
+        schema = self._check_fitted()
+        design = self._design_matrix(x, schema)
+        return _softmax(design @ self._coef)
+
+
+def _softmax(scores: np.ndarray) -> np.ndarray:
+    scores = scores - scores.max(axis=1, keepdims=True)
+    exp = np.exp(scores)
+    return exp / exp.sum(axis=1, keepdims=True)

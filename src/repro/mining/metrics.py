@@ -1,0 +1,307 @@
+"""Evaluation metrics from Section IV of the paper.
+
+The paper evaluates detection predicates with the confusion matrix of
+Table I and the derived measures it surveys: sensitivity (true positive
+rate), specificity (true negative rate), the false positive rate,
+precision/recall and their harmonic mean (F1), Kubat's geometric mean,
+the single-model trapezoid AUC ``(tpr - fpr + 1) / 2``, the Euclidean
+distance from the perfect classifier at ROC coordinate ``(0, 1)``, and
+the expected misclassification cost under an ``m x m`` cost matrix.  It
+also uses Ting's instance-weighting formula and Breiman's cost-vector
+reductions when discussing cost-sensitive learning; both are implemented
+here so the cost-sensitive learners can share them.
+
+Everything is computed with instance weights so that weighted datasets
+(cost-sensitive or resampled) evaluate consistently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "ConfusionMatrix",
+    "MetricsError",
+    "expected_misclassification_cost",
+    "uniform_cost_matrix",
+    "breiman_cost_vector",
+    "max_cost_vector",
+    "ting_instance_weights",
+    "trapezoid_auc",
+    "roc_distance_to_perfect",
+]
+
+
+class MetricsError(ValueError):
+    """Raised for inconsistent metric inputs."""
+
+
+@dataclasses.dataclass
+class ConfusionMatrix:
+    """An ``m x m`` confusion matrix; cell ``[i, j]`` is weight of actual
+    class ``i`` predicted as class ``j`` (Table I layout).
+
+    For concept learning (the paper's setting) the positive class --
+    *failure-inducing* -- must be identified by index so the TP/FP/TN/FN
+    cells are unambiguous; ``positive`` defaults to class 1.
+    """
+
+    matrix: np.ndarray
+    labels: tuple[str, ...]
+    positive: int = 1
+
+    def __post_init__(self) -> None:
+        self.matrix = np.asarray(self.matrix, dtype=np.float64)
+        if self.matrix.ndim != 2 or self.matrix.shape[0] != self.matrix.shape[1]:
+            raise MetricsError("confusion matrix must be square")
+        if len(self.labels) != self.matrix.shape[0]:
+            raise MetricsError("one label required per class")
+        if not 0 <= self.positive < self.matrix.shape[0]:
+            raise MetricsError("positive class index out of range")
+        if np.any(self.matrix < 0):
+            raise MetricsError("confusion matrix cells must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_predictions(
+        cls,
+        actual: np.ndarray,
+        predicted: np.ndarray,
+        labels: Sequence[str],
+        weights: np.ndarray | None = None,
+        positive: int = 1,
+    ) -> "ConfusionMatrix":
+        """Cross-tabulate actual against predicted class indices."""
+        actual = np.asarray(actual, dtype=np.int64)
+        predicted = np.asarray(predicted, dtype=np.int64)
+        if actual.shape != predicted.shape:
+            raise MetricsError("actual and predicted must have the same length")
+        m = len(labels)
+        if weights is None:
+            weights = np.ones(len(actual))
+        weights = np.asarray(weights, dtype=np.float64)
+        matrix = np.zeros((m, m))
+        np.add.at(matrix, (actual, predicted), weights)
+        return cls(matrix, tuple(labels), positive)
+
+    @classmethod
+    def zero(cls, labels: Sequence[str], positive: int = 1) -> "ConfusionMatrix":
+        m = len(labels)
+        return cls(np.zeros((m, m)), tuple(labels), positive)
+
+    def __add__(self, other: "ConfusionMatrix") -> "ConfusionMatrix":
+        if other.labels != self.labels or other.positive != self.positive:
+            raise MetricsError("cannot add confusion matrices over different classes")
+        return ConfusionMatrix(self.matrix + other.matrix, self.labels, self.positive)
+
+    # ------------------------------------------------------------------
+    # Table I cells (binary view around the positive class)
+    # ------------------------------------------------------------------
+    @property
+    def tp(self) -> float:
+        p = self.positive
+        return float(self.matrix[p, p])
+
+    @property
+    def fn(self) -> float:
+        p = self.positive
+        return float(self.matrix[p].sum() - self.matrix[p, p])
+
+    @property
+    def fp(self) -> float:
+        p = self.positive
+        return float(self.matrix[:, p].sum() - self.matrix[p, p])
+
+    @property
+    def tn(self) -> float:
+        return float(self.matrix.sum() - self.tp - self.fn - self.fp)
+
+    @property
+    def n_pos(self) -> float:
+        """Actual positive weight (row marginal of Table I)."""
+        return self.tp + self.fn
+
+    @property
+    def n_neg(self) -> float:
+        return self.fp + self.tn
+
+    @property
+    def total(self) -> float:
+        return float(self.matrix.sum())
+
+    # ------------------------------------------------------------------
+    # Section IV measures
+    # ------------------------------------------------------------------
+    def true_positive_rate(self) -> float:
+        """Sensitivity / recall: TP / (TP + FN).  0 when no positives."""
+        return _ratio(self.tp, self.tp + self.fn)
+
+    def false_positive_rate(self) -> float:
+        """1 - specificity: FP / (TN + FP).  0 when no negatives."""
+        return _ratio(self.fp, self.tn + self.fp)
+
+    def true_negative_rate(self) -> float:
+        """Specificity: TN / (TN + FP)."""
+        return _ratio(self.tn, self.tn + self.fp)
+
+    def precision(self) -> float:
+        """TP / (TP + FP)."""
+        return _ratio(self.tp, self.tp + self.fp)
+
+    def recall(self) -> float:
+        return self.true_positive_rate()
+
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision(), self.recall()
+        if p + r == 0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+    def geometric_mean(self) -> float:
+        """Kubat et al.'s geometric mean of TPR and TNR."""
+        return math.sqrt(self.true_positive_rate() * self.true_negative_rate())
+
+    def accuracy(self) -> float:
+        """Weighted fraction of correctly classified instances."""
+        return _ratio(float(np.trace(self.matrix)), self.total)
+
+    def error_rate(self) -> float:
+        return 1.0 - self.accuracy()
+
+    def auc(self) -> float:
+        """Single-model trapezoid AUC: ``(tpr - fpr + 1) / 2``.
+
+        This is the paper's AUC: the area of the trapezoid through ROC
+        points (0,0), (fpr,tpr), (1,1) and (1,0).
+        """
+        return trapezoid_auc(self.true_positive_rate(), self.false_positive_rate())
+
+    def distance_to_perfect(self) -> float:
+        """Euclidean distance from the perfect classifier at (fpr=0, tpr=1)."""
+        return roc_distance_to_perfect(
+            self.true_positive_rate(), self.false_positive_rate()
+        )
+
+    def expected_cost(self, cost_matrix: np.ndarray) -> float:
+        """Expected misclassification cost: sum of C(i,j) * CM(i,j)."""
+        return expected_misclassification_cost(self.matrix, cost_matrix)
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the headline measures as a plain dictionary."""
+        return {
+            "tp": self.tp,
+            "fp": self.fp,
+            "tn": self.tn,
+            "fn": self.fn,
+            "tpr": self.true_positive_rate(),
+            "fpr": self.false_positive_rate(),
+            "tnr": self.true_negative_rate(),
+            "precision": self.precision(),
+            "recall": self.recall(),
+            "f1": self.f1(),
+            "gmean": self.geometric_mean(),
+            "accuracy": self.accuracy(),
+            "auc": self.auc(),
+            "distance_to_perfect": self.distance_to_perfect(),
+        }
+
+    def __str__(self) -> str:
+        width = max(len(label) for label in self.labels)
+        width = max(width, 10)
+        header = " " * (width + 2) + "  ".join(f"{l:>{width}}" for l in self.labels)
+        lines = [header]
+        for i, label in enumerate(self.labels):
+            cells = "  ".join(f"{self.matrix[i, j]:>{width}.1f}" for j in range(len(self.labels)))
+            lines.append(f"{label:>{width}}  {cells}")
+        return "\n".join(lines)
+
+
+def trapezoid_auc(tpr: float, fpr: float) -> float:
+    """Area of the trapezoid (0,0)-(fpr,tpr)-(1,1)-(1,0): (tpr-fpr+1)/2."""
+    return (tpr - fpr + 1.0) / 2.0
+
+
+def roc_distance_to_perfect(tpr: float, fpr: float) -> float:
+    """Distance of ROC point (fpr, tpr) from the perfect classifier (0, 1)."""
+    return math.hypot(fpr, 1.0 - tpr)
+
+
+def expected_misclassification_cost(
+    confusion: np.ndarray, cost_matrix: np.ndarray
+) -> float:
+    """Expected misclassification cost ``sum_ij C(i,j) * CM(i,j)``.
+
+    ``C(i, i)`` must be zero: correct classification carries no cost.
+    """
+    confusion = np.asarray(confusion, dtype=np.float64)
+    cost_matrix = np.asarray(cost_matrix, dtype=np.float64)
+    if confusion.shape != cost_matrix.shape:
+        raise MetricsError("cost matrix shape must match confusion matrix")
+    if np.any(np.diagonal(cost_matrix) != 0):
+        raise MetricsError("cost matrix diagonal must be zero")
+    if np.any(cost_matrix < 0):
+        raise MetricsError("costs must be non-negative")
+    return float((confusion * cost_matrix).sum())
+
+
+def uniform_cost_matrix(m: int) -> np.ndarray:
+    """The unit cost matrix: C(i,j)=1 off the diagonal, 0 on it.
+
+    Minimising error is the special case of minimising expected cost
+    under this matrix.
+    """
+    return np.ones((m, m)) - np.eye(m)
+
+
+def breiman_cost_vector(cost_matrix: np.ndarray) -> np.ndarray:
+    """Breiman et al.'s cost-matrix -> cost-vector reduction.
+
+    ``V(i)`` is the sum of all misclassification costs for instances of
+    class ``i`` (the row sum of the cost matrix).
+    """
+    cost_matrix = np.asarray(cost_matrix, dtype=np.float64)
+    return cost_matrix.sum(axis=1)
+
+
+def max_cost_vector(cost_matrix: np.ndarray) -> np.ndarray:
+    """Alternative reduction ``V(i) = max_j C(i, j)`` the paper mentions."""
+    cost_matrix = np.asarray(cost_matrix, dtype=np.float64)
+    return cost_matrix.max(axis=1)
+
+
+def ting_instance_weights(
+    y: np.ndarray, cost_vector: np.ndarray
+) -> np.ndarray:
+    """Ting's per-class instance weights.
+
+    For class ``j`` with ``N_j`` instances, total ``N`` instances and
+    class costs ``V``::
+
+        w(j) = V(j) * N / sum_i V(i) * N_i
+
+    so that the weighted total still sums to ``N`` while instances of
+    costly classes count for more.
+    """
+    y = np.asarray(y, dtype=np.int64)
+    cost_vector = np.asarray(cost_vector, dtype=np.float64)
+    if np.any(cost_vector < 0):
+        raise MetricsError("class costs must be non-negative")
+    counts = np.bincount(y, minlength=len(cost_vector)).astype(np.float64)
+    denominator = float((cost_vector * counts).sum())
+    if denominator <= 0:
+        raise MetricsError("total class cost is zero; weights undefined")
+    per_class = cost_vector * len(y) / denominator
+    return per_class[y]
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    if denominator <= 0:
+        return 0.0
+    return numerator / denominator

@@ -1,0 +1,181 @@
+"""OneR: the one-attribute rule baseline (Holte 1993).
+
+A classic Weka sanity baseline: pick the single attribute whose
+one-level rule makes the fewest training errors.  Numeric attributes
+are bucketed greedily along the sorted column with a minimum bucket
+size (Holte's ``SMALL``); nominal attributes map each value to its
+majority class.  Useful as a floor in the learner ablation -- a mined
+C4.5 predicate should comfortably beat the best single-variable rule,
+and when it does not, the module effectively has a one-variable
+failure signature (which the propagation analysis will also show).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.mining.base import Classifier
+from repro.mining.dataset import Dataset
+from repro.mining.tree.induction import _threshold_between
+
+__all__ = ["OneR"]
+
+
+@dataclasses.dataclass
+class _NumericRule:
+    attribute_index: int
+    thresholds: list[float]       # ascending bucket upper bounds
+    classes: list[int]            # one class per bucket (len = len+1)
+    default: int
+
+    def predict(self, column: np.ndarray) -> np.ndarray:
+        out = np.full(len(column), self.default, dtype=np.int64)
+        known = ~np.isnan(column)
+        buckets = np.searchsorted(
+            np.asarray(self.thresholds), column[known], side="right"
+        )
+        out[known] = np.asarray(self.classes)[buckets]
+        return out
+
+
+@dataclasses.dataclass
+class _NominalRule:
+    attribute_index: int
+    mapping: dict[int, int]
+    default: int
+
+    def predict(self, column: np.ndarray) -> np.ndarray:
+        out = np.full(len(column), self.default, dtype=np.int64)
+        known = ~np.isnan(column)
+        values = column[known].astype(np.int64)
+        out[known] = np.asarray(
+            [self.mapping.get(int(v), self.default) for v in values]
+        )
+        return out
+
+
+class OneR(Classifier):
+    """Holte's 1R classifier.
+
+    Parameters
+    ----------
+    min_bucket_weight:
+        Minimum total instance weight per numeric bucket (Holte's
+        SMALL parameter; default 6, his recommended value).
+    """
+
+    def __init__(self, min_bucket_weight: float = 6.0) -> None:
+        if min_bucket_weight <= 0:
+            raise ValueError("min_bucket_weight must be positive")
+        self.min_bucket_weight = min_bucket_weight
+        self._rule: _NumericRule | _NominalRule | None = None
+
+    @property
+    def chosen_attribute(self) -> int:
+        """Column index of the selected attribute."""
+        if self._rule is None:
+            raise RuntimeError("OneR not fitted")
+        return self._rule.attribute_index
+
+    def fit(self, dataset: Dataset) -> "OneR":
+        if len(dataset) == 0:
+            raise ValueError("cannot fit OneR on an empty dataset")
+        self._remember_schema(dataset)
+        default = dataset.majority_class()
+        best_rule: _NumericRule | _NominalRule | None = None
+        best_errors = np.inf
+        for j, attribute in enumerate(dataset.attributes):
+            if attribute.is_numeric:
+                rule = self._numeric_rule(dataset, j, default)
+            else:
+                rule = self._nominal_rule(dataset, j, default)
+            if rule is None:
+                continue
+            predicted = rule.predict(dataset.x[:, j])
+            errors = float(dataset.weights[predicted != dataset.y].sum())
+            if errors < best_errors:
+                best_errors = errors
+                best_rule = rule
+        if best_rule is None:
+            best_rule = _NominalRule(0, {}, default)
+        self._rule = best_rule
+        return self
+
+    def _nominal_rule(
+        self, dataset: Dataset, j: int, default: int
+    ) -> _NominalRule | None:
+        attribute = dataset.attributes[j]
+        column = dataset.x[:, j]
+        known = ~np.isnan(column)
+        if not known.any():
+            return None
+        counts = np.zeros((len(attribute.values), dataset.n_classes))
+        np.add.at(
+            counts,
+            (column[known].astype(np.int64), dataset.y[known]),
+            dataset.weights[known],
+        )
+        mapping = {
+            v: int(np.argmax(counts[v]))
+            for v in range(len(attribute.values))
+            if counts[v].sum() > 0
+        }
+        return _NominalRule(j, mapping, default)
+
+    def _numeric_rule(
+        self, dataset: Dataset, j: int, default: int
+    ) -> _NumericRule | None:
+        column = dataset.x[:, j]
+        known = ~np.isnan(column)
+        if known.sum() < 2:
+            return None
+        values = column[known]
+        y = dataset.y[known]
+        w = dataset.weights[known]
+        order = np.argsort(values, kind="stable")
+        values, y, w = values[order], y[order], w[order]
+
+        # Greedy bucketing: extend each bucket until its majority class
+        # has at least min_bucket_weight *and* the next value differs.
+        thresholds: list[float] = []
+        classes: list[int] = []
+        counts = np.zeros(dataset.n_classes)
+        start = 0
+        for i in range(len(values)):
+            counts[y[i]] += w[i]
+            boundary = i + 1 < len(values) and values[i + 1] > values[i]
+            full = counts.max() >= self.min_bucket_weight
+            if boundary and full:
+                classes.append(int(np.argmax(counts)))
+                # Overflow-safe midpoint (bit-flipped values hit 1e300).
+                thresholds.append(
+                    _threshold_between(values[i], values[i + 1])
+                )
+                counts = np.zeros(dataset.n_classes)
+                start = i + 1
+        # Trailing bucket.
+        if start < len(values) or not classes:
+            classes.append(int(np.argmax(counts)) if counts.sum() else default)
+        else:
+            classes.append(classes[-1])
+        # Merge adjacent buckets with equal class (tidier rule).
+        merged_t: list[float] = []
+        merged_c: list[int] = [classes[0]]
+        for t, c in zip(thresholds, classes[1:]):
+            if c == merged_c[-1]:
+                continue
+            merged_t.append(t)
+            merged_c.append(c)
+        return _NumericRule(j, merged_t, merged_c, default)
+
+    def distribution(self, x: np.ndarray) -> np.ndarray:
+        schema = self._check_fitted()
+        if self._rule is None:
+            raise RuntimeError("OneR not fitted")
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        predicted = self._rule.predict(x[:, self._rule.attribute_index])
+        out = np.zeros((len(x), schema.n_classes))
+        out[np.arange(len(x)), predicted] = 1.0
+        return out

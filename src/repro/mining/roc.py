@@ -1,0 +1,98 @@
+"""ROC analysis (Fawcett-style, Section IV).
+
+The paper's tables use the single-model trapezoid AUC, but Section IV
+also describes the general construction: "For different settings, the
+same algorithm will produce multiple points on the plot.  The area
+under the curve (AUC) obtained by joining these points to (0,0) and
+(1,1) is a common measure of expected accuracy".  This module provides
+that construction for score-producing classifiers: the full ROC curve
+over decision thresholds and its exact (rank-based) area.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["RocCurve", "roc_curve", "roc_auc"]
+
+
+@dataclasses.dataclass
+class RocCurve:
+    """A ROC curve: matching arrays of (fpr, tpr) plus the thresholds.
+
+    Points are ordered from the strictest threshold (0, 0) to the most
+    permissive (1, 1).
+    """
+
+    fpr: np.ndarray
+    tpr: np.ndarray
+    thresholds: np.ndarray
+
+    @property
+    def auc(self) -> float:
+        """Area under the curve by the trapezoid rule."""
+        # (np.trapz was removed in NumPy 2; the rule is one line.)
+        dx = np.diff(self.fpr)
+        mid = (self.tpr[1:] + self.tpr[:-1]) / 2.0
+        return float((dx * mid).sum())
+
+    def point_closest_to_perfect(self) -> tuple[float, float, float]:
+        """(fpr, tpr, threshold) minimising distance to (0, 1)."""
+        distances = np.hypot(self.fpr, 1.0 - self.tpr)
+        i = int(np.argmin(distances))
+        return float(self.fpr[i]), float(self.tpr[i]), float(self.thresholds[i])
+
+
+def roc_curve(
+    actual: np.ndarray,
+    scores: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> RocCurve:
+    """ROC curve of a positive-class score.
+
+    ``actual`` holds 0/1 labels (1 = positive); ``scores`` a higher-is-
+    more-positive score (e.g. the classifier's positive-class
+    probability).  One curve point per distinct score, plus the (0,0)
+    endpoint with threshold +inf.
+    """
+    actual = np.asarray(actual)
+    scores = np.asarray(scores, dtype=np.float64)
+    if actual.shape != scores.shape:
+        raise ValueError("labels and scores must have the same length")
+    if weights is None:
+        weights = np.ones(len(actual))
+    weights = np.asarray(weights, dtype=np.float64)
+
+    order = np.argsort(-scores, kind="stable")
+    scores = scores[order]
+    positive = (actual[order] == 1).astype(np.float64) * weights[order]
+    negative = (actual[order] != 1).astype(np.float64) * weights[order]
+
+    total_pos = positive.sum()
+    total_neg = negative.sum()
+    tp = np.cumsum(positive)
+    fp = np.cumsum(negative)
+
+    # Collapse ties: keep the last index of each distinct score.
+    distinct = np.flatnonzero(np.diff(scores)) if len(scores) else np.array([], int)
+    keep = np.concatenate([distinct, [len(scores) - 1]]) if len(scores) else []
+    tpr = tp[keep] / total_pos if total_pos > 0 else np.zeros(len(keep))
+    fpr = fp[keep] / total_neg if total_neg > 0 else np.zeros(len(keep))
+    thresholds = scores[keep]
+
+    return RocCurve(
+        fpr=np.concatenate([[0.0], fpr]),
+        tpr=np.concatenate([[0.0], tpr]),
+        thresholds=np.concatenate([[np.inf], thresholds]),
+    )
+
+
+def roc_auc(
+    actual: np.ndarray,
+    scores: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> float:
+    """Exact area under the ROC curve (equals the rank statistic)."""
+    return roc_curve(actual, scores, weights).auc

@@ -1,0 +1,23 @@
+"""Rule induction learners.
+
+"Rule induction" is the paper's stated alternative to decision tree
+induction among symbolic pattern learners (Sections IV/V-C): both
+produce models readable as first-order predicates.  Two inducers are
+provided:
+
+* :class:`repro.mining.rules.prism.Prism` -- Cendrowska's PRISM,
+  extended with threshold conditions so it handles the numeric
+  attributes fault injection produces;
+* :class:`repro.mining.rules.covering.SequentialCoveringRules` -- a
+  separate-and-conquer learner growing rules by FOIL information gain
+  (the RIPPER/CN2 family).
+
+Both emit :class:`repro.mining.rules.rule.RuleSet` models whose rules
+convert directly into detection predicates.
+"""
+
+from repro.mining.rules.rule import Condition, Rule, RuleSet
+from repro.mining.rules.prism import Prism
+from repro.mining.rules.covering import SequentialCoveringRules
+
+__all__ = ["Condition", "Rule", "RuleSet", "Prism", "SequentialCoveringRules"]

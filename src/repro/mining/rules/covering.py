@@ -1,0 +1,239 @@
+"""Sequential-covering rule induction (FOIL-gain growth).
+
+A separate-and-conquer learner in the RIPPER/CN2 family: for each class
+(rarest first, so the failure-inducing minority is learned directly),
+grow one rule at a time by greedily adding the condition with the best
+FOIL information gain, then remove the instances the rule covers and
+repeat until the class is exhausted or no acceptable rule can be found.
+
+Numeric attributes contribute ``<= t`` / ``> t`` candidate conditions
+at class-boundary midpoints of the sorted column (capped per attribute
+to keep the candidate pool bounded); nominal attributes contribute one
+equality condition per value.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.mining.base import Classifier
+from repro.mining.dataset import Dataset
+from repro.mining.rules.rule import Condition, Rule, RuleSet
+
+__all__ = ["SequentialCoveringRules", "candidate_conditions"]
+
+
+def candidate_conditions(
+    dataset: Dataset, max_thresholds_per_attribute: int = 32
+) -> list[Condition]:
+    """Enumerate the candidate conditions for rule growth.
+
+    Numeric: midpoints between adjacent sorted values where the class
+    label changes (the only thresholds that can improve purity),
+    subsampled evenly when there are more than the cap.  Nominal: one
+    ``==`` condition per attribute value.
+    """
+    candidates: list[Condition] = []
+    for j, attribute in enumerate(dataset.attributes):
+        if attribute.is_nominal:
+            for v in range(len(attribute.values)):
+                candidates.append(Condition(attribute, j, "==", float(v)))
+            continue
+        column = dataset.x[:, j]
+        known = ~np.isnan(column)
+        values = column[known]
+        labels = dataset.y[known]
+        if values.size < 2:
+            continue
+        order = np.argsort(values, kind="stable")
+        values = values[order]
+        labels = labels[order]
+        distinct = np.diff(values) > 0
+        label_change = np.diff(labels) != 0
+        boundaries = np.flatnonzero(distinct & label_change)
+        if boundaries.size == 0:
+            continue
+        if boundaries.size > max_thresholds_per_attribute:
+            picks = np.linspace(
+                0, boundaries.size - 1, max_thresholds_per_attribute
+            ).astype(int)
+            boundaries = boundaries[np.unique(picks)]
+        for b in boundaries:
+            threshold = float((values[b] + values[b + 1]) / 2.0)
+            if not math.isfinite(threshold):
+                threshold = float(values[b])
+            candidates.append(Condition(attribute, j, "<=", threshold))
+            candidates.append(Condition(attribute, j, ">", threshold))
+    return candidates
+
+
+class SequentialCoveringRules(Classifier):
+    """Separate-and-conquer rule learner.
+
+    Parameters
+    ----------
+    min_coverage:
+        Minimum total weight a rule must cover to be kept.
+    min_precision:
+        Minimum weighted precision a finished rule must reach.
+    max_conditions:
+        Cap on conditions per rule.
+    max_rules_per_class:
+        Safety cap on rules grown per class.
+    max_thresholds_per_attribute:
+        Candidate-threshold cap passed to :func:`candidate_conditions`.
+    """
+
+    def __init__(
+        self,
+        min_coverage: float = 2.0,
+        min_precision: float = 0.8,
+        max_conditions: int = 8,
+        max_rules_per_class: int = 64,
+        max_thresholds_per_attribute: int = 32,
+    ) -> None:
+        if min_coverage <= 0:
+            raise ValueError("min_coverage must be positive")
+        if not 0 < min_precision <= 1:
+            raise ValueError("min_precision must be in (0, 1]")
+        self.min_coverage = min_coverage
+        self.min_precision = min_precision
+        self.max_conditions = max_conditions
+        self.max_rules_per_class = max_rules_per_class
+        self.max_thresholds_per_attribute = max_thresholds_per_attribute
+        self.ruleset: RuleSet | None = None
+
+    def fit(self, dataset: Dataset) -> "SequentialCoveringRules":
+        if len(dataset) == 0:
+            raise ValueError("cannot fit rules on an empty dataset")
+        self._remember_schema(dataset)
+        rules: list[Rule] = []
+        remaining = np.ones(len(dataset), dtype=bool)
+        class_order = np.argsort(dataset.class_weights(), kind="stable")
+        # Learn rules for every class except the most frequent, which
+        # becomes the default -- the standard decision-list layout.
+        default_class = int(class_order[-1])
+        for cls in class_order[:-1]:
+            remaining_for_class = remaining.copy()
+            for _ in range(self.max_rules_per_class):
+                rule = self._grow_rule(dataset, remaining_for_class, int(cls))
+                if rule is None:
+                    break
+                covered = rule.covers(dataset.x) & remaining_for_class
+                if not covered.any():
+                    break
+                rules.append(rule)
+                remaining_for_class &= ~covered
+                remaining &= ~covered
+                positives_left = (
+                    remaining_for_class & (dataset.y == cls)
+                ).sum()
+                if positives_left == 0:
+                    break
+        default_weights = np.bincount(
+            dataset.y[remaining],
+            weights=dataset.weights[remaining],
+            minlength=dataset.n_classes,
+        )
+        if remaining.any():
+            default_class = int(np.argmax(default_weights))
+        self.ruleset = RuleSet(
+            rules,
+            default_class,
+            dataset.class_attribute.values,
+            default_weights if remaining.any() else None,
+        )
+        return self
+
+    def _grow_rule(
+        self, dataset: Dataset, remaining: np.ndarray, cls: int
+    ) -> Rule | None:
+        weights = dataset.weights
+        positive = remaining & (dataset.y == cls)
+        if weights[positive].sum() < self.min_coverage:
+            return None
+        subset = dataset.subset(np.flatnonzero(remaining))
+        candidates = candidate_conditions(
+            subset, self.max_thresholds_per_attribute
+        )
+        if not candidates:
+            return None
+
+        covered = remaining.copy()
+        conditions: list[Condition] = []
+        used: set[tuple[int, str, float]] = set()
+        while len(conditions) < self.max_conditions:
+            p0 = weights[covered & (dataset.y == cls)].sum()
+            n0 = weights[covered & (dataset.y != cls)].sum()
+            if p0 <= 0:
+                return None
+            if n0 <= 0:
+                break  # pure rule
+            best_gain = 0.0
+            best: tuple[Condition, np.ndarray] | None = None
+            for condition in candidates:
+                key = (condition.attribute_index, condition.op, condition.value)
+                if key in used:
+                    continue
+                mask = covered & condition.covers(dataset.x)
+                p1 = weights[mask & (dataset.y == cls)].sum()
+                if p1 < self.min_coverage:
+                    continue
+                n1 = weights[mask & (dataset.y != cls)].sum()
+                gain = _foil_gain(p0, n0, p1, n1)
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best = (condition, mask)
+            if best is None:
+                break
+            condition, mask = best
+            conditions.append(condition)
+            used.add((condition.attribute_index, condition.op, condition.value))
+            covered = mask
+
+        if not conditions:
+            return None
+        p = weights[covered & (dataset.y == cls)].sum()
+        total = weights[covered].sum()
+        if total < self.min_coverage or p / total < self.min_precision:
+            return None
+        class_weights = np.bincount(
+            dataset.y[covered],
+            weights=weights[covered],
+            minlength=dataset.n_classes,
+        )
+        return Rule(tuple(conditions), cls, class_weights)
+
+    def distribution(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        if self.ruleset is None:
+            raise RuntimeError("rule set missing")
+        return self.ruleset.distribution(x)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        if self.ruleset is None:
+            raise RuntimeError("rule set missing")
+        return self.ruleset.predict(np.atleast_2d(x))
+
+    @property
+    def condition_count(self) -> int:
+        if self.ruleset is None:
+            raise RuntimeError("rule set missing")
+        return self.ruleset.condition_count
+
+
+def _foil_gain(p0: float, n0: float, p1: float, n1: float) -> float:
+    """FOIL information gain of specialising a rule.
+
+    ``p1 * (log2(p1/(p1+n1)) - log2(p0/(p0+n0)))`` -- positive when the
+    specialisation increases the positive density without discarding
+    too many positives.
+    """
+    if p1 <= 0:
+        return 0.0
+    before = math.log2(p0 / (p0 + n0))
+    after = math.log2(p1 / (p1 + n1))
+    return p1 * (after - before)

@@ -1,0 +1,156 @@
+"""PRISM rule induction (Cendrowska 1987), numeric-capable variant.
+
+PRISM induces, for each class in turn, rules that are *perfect* on the
+training data: conditions are added greedily by precision ``p/t`` (ties
+broken towards larger positive coverage ``p``) until the rule covers
+only instances of the target class, then the covered instances are
+removed and induction repeats until the class is exhausted.
+
+Classic PRISM handles nominal attributes only; fault-injection state is
+numeric, so this variant also proposes ``<= t`` / ``> t`` threshold
+conditions using the same class-boundary candidate generation as the
+sequential-covering learner.  A ``max_conditions`` cap and a minimum
+coverage keep induction bounded on noisy data where perfect rules may
+not exist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mining.base import Classifier
+from repro.mining.dataset import Dataset
+from repro.mining.rules.covering import candidate_conditions
+from repro.mining.rules.rule import Condition, Rule, RuleSet
+
+__all__ = ["Prism"]
+
+
+class Prism(Classifier):
+    """PRISM decision-list learner."""
+
+    def __init__(
+        self,
+        min_coverage: float = 1.0,
+        max_conditions: int = 8,
+        max_rules_per_class: int = 128,
+        max_thresholds_per_attribute: int = 32,
+    ) -> None:
+        if min_coverage <= 0:
+            raise ValueError("min_coverage must be positive")
+        self.min_coverage = min_coverage
+        self.max_conditions = max_conditions
+        self.max_rules_per_class = max_rules_per_class
+        self.max_thresholds_per_attribute = max_thresholds_per_attribute
+        self.ruleset: RuleSet | None = None
+
+    def fit(self, dataset: Dataset) -> "Prism":
+        if len(dataset) == 0:
+            raise ValueError("cannot fit PRISM on an empty dataset")
+        self._remember_schema(dataset)
+        rules: list[Rule] = []
+        remaining_overall = np.ones(len(dataset), dtype=bool)
+        class_order = np.argsort(dataset.class_weights(), kind="stable")
+        default_class = int(class_order[-1])
+        for cls in class_order[:-1]:
+            remaining = np.ones(len(dataset), dtype=bool)
+            for _ in range(self.max_rules_per_class):
+                targets = remaining & (dataset.y == cls)
+                if dataset.weights[targets].sum() < self.min_coverage:
+                    break
+                rule = self._grow_rule(dataset, remaining, int(cls))
+                if rule is None:
+                    break
+                covered = rule.covers(dataset.x) & remaining
+                if not covered.any():
+                    break
+                rules.append(rule)
+                remaining &= ~covered
+                remaining_overall &= ~covered
+        default_weights = np.bincount(
+            dataset.y[remaining_overall],
+            weights=dataset.weights[remaining_overall],
+            minlength=dataset.n_classes,
+        )
+        if remaining_overall.any():
+            default_class = int(np.argmax(default_weights))
+        self.ruleset = RuleSet(
+            rules,
+            default_class,
+            dataset.class_attribute.values,
+            default_weights if remaining_overall.any() else None,
+        )
+        return self
+
+    def _grow_rule(
+        self, dataset: Dataset, remaining: np.ndarray, cls: int
+    ) -> Rule | None:
+        weights = dataset.weights
+        subset = dataset.subset(np.flatnonzero(remaining))
+        candidates = candidate_conditions(
+            subset, self.max_thresholds_per_attribute
+        )
+        if not candidates:
+            return None
+        covered = remaining.copy()
+        conditions: list[Condition] = []
+        used_attributes: set[tuple[int, str]] = set()
+        while len(conditions) < self.max_conditions:
+            p_now = weights[covered & (dataset.y == cls)].sum()
+            t_now = weights[covered].sum()
+            if t_now <= 0 or p_now <= 0:
+                return None
+            if p_now == t_now:
+                break  # perfect rule
+            best_key = (-1.0, -1.0)
+            best: tuple[Condition, np.ndarray] | None = None
+            for condition in candidates:
+                # PRISM never tests the same attribute-direction twice
+                # in one rule.
+                attr_key = (condition.attribute_index, condition.op)
+                if attr_key in used_attributes:
+                    continue
+                mask = covered & condition.covers(dataset.x)
+                p = weights[mask & (dataset.y == cls)].sum()
+                if p < self.min_coverage:
+                    continue
+                t = weights[mask].sum()
+                key = (p / t, p)
+                if key > best_key:
+                    best_key = key
+                    best = (condition, mask)
+            if best is None:
+                break
+            condition, mask = best
+            # Stop if the specialisation does not improve precision.
+            if best_key[0] <= p_now / t_now + 1e-12:
+                break
+            conditions.append(condition)
+            used_attributes.add((condition.attribute_index, condition.op))
+            covered = mask
+        if not conditions:
+            return None
+        class_weights = np.bincount(
+            dataset.y[covered],
+            weights=weights[covered],
+            minlength=dataset.n_classes,
+        )
+        return Rule(tuple(conditions), cls, class_weights)
+
+    def distribution(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        if self.ruleset is None:
+            raise RuntimeError("rule set missing")
+        return self.ruleset.distribution(x)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        if self.ruleset is None:
+            raise RuntimeError("rule set missing")
+        return self.ruleset.predict(np.atleast_2d(x))
+
+    @property
+    def condition_count(self) -> int:
+        if self.ruleset is None:
+            raise RuntimeError("rule set missing")
+        return self.ruleset.condition_count

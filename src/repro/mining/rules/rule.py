@@ -1,0 +1,153 @@
+"""Rule and rule-set representation shared by the rule inducers.
+
+A rule is a conjunction of attribute conditions implying a class; a
+rule set is an ordered decision list with a default class.  Prediction
+fires the first matching rule (standard separate-and-conquer
+semantics).  Rules keep the class distribution of the training
+instances they covered so ``distribution`` can return calibrated
+probabilities rather than hard 0/1 votes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.mining.dataset import Attribute
+
+__all__ = ["Condition", "Rule", "RuleSet"]
+
+_OPS = ("<=", ">", "==")
+
+
+@dataclasses.dataclass(frozen=True)
+class Condition:
+    """A single attribute test: ``attribute <op> value``.
+
+    Numeric attributes use ``<=``/``>`` with a float threshold; nominal
+    attributes use ``==`` with the *index* of the value (the printable
+    form resolves it back to the value string).
+    """
+
+    attribute: Attribute
+    attribute_index: int
+    op: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown condition operator {self.op!r}")
+        if self.attribute.is_nominal and self.op != "==":
+            raise ValueError("nominal conditions must use ==")
+        if self.attribute.is_numeric and self.op == "==":
+            raise ValueError("numeric conditions must use <= or >")
+
+    def covers(self, x: np.ndarray) -> np.ndarray:
+        """Vectorised coverage mask over a 2-D instance array.
+
+        Missing values never satisfy a condition (NaN comparisons are
+        False), the conservative choice for detection rules.
+        """
+        column = np.atleast_2d(x)[:, self.attribute_index]
+        with np.errstate(invalid="ignore"):
+            if self.op == "<=":
+                return column <= self.value
+            if self.op == ">":
+                return column > self.value
+            return column == self.value
+
+    def __str__(self) -> str:
+        if self.attribute.is_nominal:
+            return f"{self.attribute.name} == {self.attribute.value_of(int(self.value))}"
+        return f"{self.attribute.name} {self.op} {self.value:.6g}"
+
+
+@dataclasses.dataclass
+class Rule:
+    """Conjunction of conditions implying ``class_index``."""
+
+    conditions: tuple[Condition, ...]
+    class_index: int
+    class_weights: np.ndarray | None = None  # training coverage per class
+
+    def covers(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(x)
+        mask = np.ones(len(x), dtype=bool)
+        for condition in self.conditions:
+            mask &= condition.covers(x)
+        return mask
+
+    def distribution(self, n_classes: int) -> np.ndarray:
+        """Laplace-smoothed class distribution of the rule's coverage."""
+        if self.class_weights is None:
+            out = np.full(n_classes, 1.0)
+        else:
+            out = np.asarray(self.class_weights, dtype=np.float64) + 1.0
+        return out / out.sum()
+
+    def __str__(self) -> str:
+        body = " AND ".join(str(c) for c in self.conditions) or "TRUE"
+        return f"IF {body} THEN class={self.class_index}"
+
+
+@dataclasses.dataclass
+class RuleSet:
+    """Ordered decision list with a default class."""
+
+    rules: list[Rule]
+    default_class: int
+    class_labels: tuple[str, ...]
+    default_weights: np.ndarray | None = None
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_labels)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(x)
+        out = np.full(len(x), self.default_class, dtype=np.int64)
+        undecided = np.ones(len(x), dtype=bool)
+        for rule in self.rules:
+            fired = undecided & rule.covers(x)
+            out[fired] = rule.class_index
+            undecided &= ~fired
+            if not undecided.any():
+                break
+        return out
+
+    def distribution(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(x)
+        out = np.zeros((len(x), self.n_classes))
+        undecided = np.ones(len(x), dtype=bool)
+        for rule in self.rules:
+            fired = undecided & rule.covers(x)
+            if fired.any():
+                out[fired] = rule.distribution(self.n_classes)
+            undecided &= ~fired
+            if not undecided.any():
+                break
+        if undecided.any():
+            if self.default_weights is not None:
+                default = np.asarray(self.default_weights, dtype=np.float64) + 1.0
+                default = default / default.sum()
+            else:
+                default = np.zeros(self.n_classes)
+                default[self.default_class] = 1.0
+            out[undecided] = default
+        return out
+
+    @property
+    def condition_count(self) -> int:
+        """Total number of conditions: the rule-set complexity measure."""
+        return sum(len(rule.conditions) for rule in self.rules)
+
+    def __str__(self) -> str:
+        lines = []
+        for rule in self.rules:
+            body = " AND ".join(str(c) for c in rule.conditions) or "TRUE"
+            lines.append(
+                f"IF {body} THEN class={self.class_labels[rule.class_index]}"
+            )
+        lines.append(f"ELSE class={self.class_labels[self.default_class]}")
+        return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Tree rendering and rule extraction.
+
+Figure 2 of the paper shows a decision tree whose non-leaf nodes are
+labelled with variables, edges with value conditions and leaves with a
+failure classification; the predicate is then read off "by interpreting
+the decision tree as a conjunction of disjunctions".  This module
+supplies the two supporting operations:
+
+* :func:`render_tree` -- a J48-style indented ASCII rendering of a
+  fitted tree (used by the Figure 2 experiment driver);
+* :func:`tree_to_rules` -- every root-to-leaf path as a (conditions,
+  class, weight) rule, the raw material for predicate extraction in
+  :mod:`repro.core.extraction`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.mining.dataset import Attribute
+from repro.mining.tree.node import DecisionNode, LeafNode, TreeNode
+
+__all__ = ["render_tree", "tree_to_rules", "PathCondition", "TreeRule"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PathCondition:
+    """One edge of a root-to-leaf path: ``attribute <op> value``.
+
+    ``op`` is ``"<="`` or ``">"`` for numeric attributes and ``"=="``
+    for nominal ones (``value`` is then the value *string*).
+    """
+
+    attribute: Attribute
+    attribute_index: int
+    op: str
+    value: float | str
+
+    def __str__(self) -> str:
+        return f"{self.attribute.name} {self.op} {_fmt(self.value)}"
+
+
+@dataclasses.dataclass(frozen=True)
+class TreeRule:
+    """A root-to-leaf path: conjunction of conditions implying a class."""
+
+    conditions: tuple[PathCondition, ...]
+    class_index: int
+    class_label: str
+    weight: float
+    errors: float
+
+    def __str__(self) -> str:
+        if self.conditions:
+            body = " AND ".join(str(c) for c in self.conditions)
+        else:
+            body = "TRUE"
+        return f"IF {body} THEN class={self.class_label}"
+
+
+def render_tree(node: TreeNode, class_labels: tuple[str, ...]) -> str:
+    """Return a J48-style indented text rendering of the tree."""
+    lines: list[str] = []
+    _render(node, class_labels, lines, prefix="")
+    return "\n".join(lines)
+
+
+def _render(
+    node: TreeNode, class_labels: tuple[str, ...], lines: list[str], prefix: str
+) -> None:
+    if isinstance(node, LeafNode):
+        label = class_labels[node.majority_class]
+        lines.append(
+            f"{prefix}-> {label} ({node.total_weight:.1f}"
+            f"/{node.training_errors:.1f})"
+        )
+        return
+    assert isinstance(node, DecisionNode)
+    for branch, child in enumerate(node.children):
+        edge = f"{node.attribute.name} {node.branch_label(branch)}"
+        if isinstance(child, LeafNode):
+            label = class_labels[child.majority_class]
+            lines.append(
+                f"{prefix}{edge}: {label} "
+                f"({child.total_weight:.1f}/{child.training_errors:.1f})"
+            )
+        else:
+            lines.append(f"{prefix}{edge}:")
+            _render(child, class_labels, lines, prefix + "|   ")
+
+
+def tree_to_rules(
+    node: TreeNode, class_labels: tuple[str, ...]
+) -> list[TreeRule]:
+    """Return one rule per leaf (depth-first, left to right)."""
+    rules: list[TreeRule] = []
+    _collect(node, class_labels, (), rules)
+    return rules
+
+
+def _collect(
+    node: TreeNode,
+    class_labels: tuple[str, ...],
+    path: tuple[PathCondition, ...],
+    rules: list[TreeRule],
+) -> None:
+    if isinstance(node, LeafNode):
+        rules.append(
+            TreeRule(
+                conditions=path,
+                class_index=node.majority_class,
+                class_label=class_labels[node.majority_class],
+                weight=node.total_weight,
+                errors=node.training_errors,
+            )
+        )
+        return
+    assert isinstance(node, DecisionNode)
+    for branch, child in enumerate(node.children):
+        if node.attribute.is_numeric:
+            assert node.threshold is not None
+            condition = PathCondition(
+                node.attribute,
+                node.attribute_index,
+                "<=" if branch == 0 else ">",
+                node.threshold,
+            )
+        else:
+            condition = PathCondition(
+                node.attribute,
+                node.attribute_index,
+                "==",
+                node.attribute.values[branch],
+            )
+        _collect(child, class_labels, path + (condition,), rules)
+
+
+def _fmt(value: float | str) -> str:
+    if isinstance(value, str):
+        return value
+    return f"{value:.6g}"

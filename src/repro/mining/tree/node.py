@@ -1,0 +1,143 @@
+"""Decision tree node structures.
+
+A fitted C4.5 tree is a recursive structure of :class:`DecisionNode`
+(internal test) and :class:`LeafNode` (classification).  Nodes carry the
+weighted training class distribution observed at that point of the
+tree, which pruning and distribution-valued prediction both need.
+
+Numeric decision nodes are binary (``<= threshold`` / ``> threshold``);
+nominal decision nodes have one branch per attribute value.  Figure 2
+of the paper shows exactly this shape (non-leaf nodes labelled with
+variables, edges with value conditions, leaves with the failure
+classification).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.mining.dataset import Attribute
+
+__all__ = ["TreeNode", "DecisionNode", "LeafNode"]
+
+
+@dataclasses.dataclass
+class TreeNode:
+    """Base node: the weighted class distribution of its training slice."""
+
+    class_weights: np.ndarray
+
+    @property
+    def total_weight(self) -> float:
+        return float(self.class_weights.sum())
+
+    @property
+    def majority_class(self) -> int:
+        return int(np.argmax(self.class_weights))
+
+    @property
+    def training_errors(self) -> float:
+        """Weight of training instances a majority-vote leaf here would miss."""
+        return self.total_weight - float(self.class_weights.max(initial=0.0))
+
+    def distribution(self) -> np.ndarray:
+        total = self.total_weight
+        if total <= 0:
+            m = len(self.class_weights)
+            return np.full(m, 1.0 / m)
+        return self.class_weights / total
+
+    def node_count(self) -> int:
+        raise NotImplementedError
+
+    def leaf_count(self) -> int:
+        raise NotImplementedError
+
+    def depth(self) -> int:
+        raise NotImplementedError
+
+
+@dataclasses.dataclass
+class LeafNode(TreeNode):
+    """Terminal node predicting its majority class."""
+
+    def node_count(self) -> int:
+        return 1
+
+    def leaf_count(self) -> int:
+        return 1
+
+    def depth(self) -> int:
+        return 0
+
+
+@dataclasses.dataclass
+class DecisionNode(TreeNode):
+    """Internal node testing one attribute.
+
+    For numeric attributes ``threshold`` is set and ``children`` has
+    exactly two entries (``<=`` branch then ``>`` branch).  For nominal
+    attributes ``threshold`` is ``None`` and ``children`` has one entry
+    per value of the attribute, in domain order.  ``branch_weights``
+    records the training weight that went down each branch; missing
+    values are routed fractionally in proportion to these weights.
+    """
+
+    attribute: Attribute = None  # type: ignore[assignment]
+    attribute_index: int = -1
+    threshold: float | None = None
+    children: list[TreeNode] = dataclasses.field(default_factory=list)
+    branch_weights: np.ndarray = dataclasses.field(
+        default_factory=lambda: np.zeros(0)
+    )
+
+    def __post_init__(self) -> None:
+        if self.attribute is None or self.attribute_index < 0:
+            raise ValueError("decision node requires an attribute and its index")
+        expected = 2 if self.attribute.is_numeric else len(self.attribute.values)
+        if len(self.children) != expected:
+            raise ValueError(
+                f"decision node on {self.attribute.name!r} needs {expected} "
+                f"children, got {len(self.children)}"
+            )
+        if self.attribute.is_numeric and self.threshold is None:
+            raise ValueError("numeric decision node requires a threshold")
+        if self.attribute.is_nominal and self.threshold is not None:
+            raise ValueError("nominal decision node cannot have a threshold")
+        if len(self.branch_weights) != len(self.children):
+            raise ValueError("one branch weight required per child")
+
+    def branch_of(self, value: float) -> int | None:
+        """Return the child index for an attribute value, None if missing."""
+        if np.isnan(value):
+            return None
+        if self.attribute.is_numeric:
+            assert self.threshold is not None
+            return 0 if value <= self.threshold else 1
+        return int(value)
+
+    def branch_fractions(self) -> np.ndarray:
+        """Fraction of (non-missing) training weight per branch."""
+        total = self.branch_weights.sum()
+        if total <= 0:
+            return np.full(len(self.children), 1.0 / len(self.children))
+        return self.branch_weights / total
+
+    def branch_label(self, branch: int) -> str:
+        """Human-readable edge label, matching Figure 2's style."""
+        if self.attribute.is_numeric:
+            assert self.threshold is not None
+            op = "<=" if branch == 0 else ">"
+            return f"{op} {self.threshold:.6g}"
+        return f"= {self.attribute.values[branch]}"
+
+    def node_count(self) -> int:
+        return 1 + sum(child.node_count() for child in self.children)
+
+    def leaf_count(self) -> int:
+        return sum(child.leaf_count() for child in self.children)
+
+    def depth(self) -> int:
+        return 1 + max(child.depth() for child in self.children)

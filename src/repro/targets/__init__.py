@@ -1,0 +1,43 @@
+"""Instrumented target systems.
+
+The paper evaluates its methodology on three real systems -- 7-Zip,
+FlightGear and Mp3Gain -- each with two instrumented modules (Table
+II).  The binaries and their input corpora are unavailable here, so
+this subpackage provides faithful behavioural analogues, each a genuine
+implementation of the corresponding domain algorithm (see DESIGN.md,
+"Substitution note"):
+
+* :mod:`repro.targets.sevenzip` -- "PZip", an LZ77 + canonical-Huffman
+  archiver; instrumented modules ``FHandle`` and ``LDecode``;
+* :mod:`repro.targets.flightgear` -- a longitudinal takeoff simulator
+  with a 2700-iteration control loop; instrumented modules ``Gear``
+  and ``Mass``;
+* :mod:`repro.targets.mp3gain` -- a ReplayGain-style loudness analyser
+  and volume normaliser; instrumented modules ``GAnalysis`` and
+  ``RGain``.
+
+All targets implement :class:`repro.targets.base.TargetSystem`: they
+run a numbered, deterministic test case against an injection harness
+(calling ``harness.probe`` at instrumented module boundaries) and
+define the failure specification of Section VI-F.
+"""
+
+from repro.targets.base import TargetSystem, TargetError
+from repro.targets.sevenzip import SevenZipTarget
+from repro.targets.flightgear import FlightGearTarget
+from repro.targets.mp3gain import Mp3GainTarget
+
+ALL_TARGETS = {
+    "7Z": SevenZipTarget,
+    "FG": FlightGearTarget,
+    "MG": Mp3GainTarget,
+}
+
+__all__ = [
+    "ALL_TARGETS",
+    "TargetSystem",
+    "TargetError",
+    "SevenZipTarget",
+    "FlightGearTarget",
+    "Mp3GainTarget",
+]

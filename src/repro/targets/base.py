@@ -1,0 +1,77 @@
+"""Target system protocol.
+
+Section III-A models a software system as interconnected modules, each
+holding non-composite variables and actions that read/write them.  A
+target system in this reproduction is a class that
+
+* names its instrumented modules and declares the machine
+  representation of every variable each module exposes at its probes
+  (:meth:`TargetSystem.variables_of`);
+* executes a numbered, deterministic test case against a harness
+  (:meth:`TargetSystem.run`), calling ``harness.probe(module,
+  location, state)`` at every instrumented module's entry and exit and
+  continuing with the returned (possibly corrupted) state;
+* defines its failure specification (:meth:`TargetSystem.is_failure`),
+  comparing an injected run's output to the golden run's (Section
+  VI-F).
+
+Targets are grey box, as the paper assumes: the harness sees variable
+names and values, not the target's semantics.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.injection.instrument import Harness, Location, VariableSpec
+
+__all__ = ["TargetSystem", "TargetError"]
+
+
+class TargetError(RuntimeError):
+    """Raised for invalid target configuration or test case numbers."""
+
+
+class TargetSystem(abc.ABC):
+    """Abstract instrumented target system."""
+
+    #: Short identifier used in dataset names ("7Z", "FG", "MG").
+    name: str = "target"
+
+    @property
+    @abc.abstractmethod
+    def modules(self) -> tuple[str, ...]:
+        """Names of the instrumented modules."""
+
+    @abc.abstractmethod
+    def variables_of(
+        self, module: str, location: Location | None = None
+    ) -> tuple[VariableSpec, ...]:
+        """Variable specs exposed at the probes of ``module``.
+
+        Entry and exit probes may expose different variables (a
+        module's results only exist at its exit), so callers that
+        inject or sample at a specific location pass it; ``None``
+        returns the union.
+        """
+
+    @abc.abstractmethod
+    def run(self, test_case: int, harness: Harness) -> object:
+        """Execute ``test_case`` under ``harness`` and return the output.
+
+        The output must be a picklable, equality-comparable value that
+        the failure specification can diff against the golden run's.
+        A run may raise an exception when an injected fault crashes the
+        target; the campaign treats crashes as failures.
+        """
+
+    @abc.abstractmethod
+    def is_failure(self, golden_output: object, run_output: object) -> bool:
+        """The failure specification: did the run violate the spec?"""
+
+    def check_module(self, module: str) -> None:
+        if module not in self.modules:
+            raise TargetError(
+                f"{self.name} has no instrumented module {module!r}; "
+                f"available: {self.modules}"
+            )

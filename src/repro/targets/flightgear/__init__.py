@@ -1,0 +1,34 @@
+"""FlightGear target analogue: an instrumented takeoff simulator.
+
+The paper's FG case study flies a takeoff procedure for 2700 iterations
+of the main simulation loop (500 initialisation + 2200 pre/post
+injection) under 9 scenarios (3 aircraft masses x 3 wind speeds), with
+instrumented modules ``Gear`` (landing gear) and ``Mass`` (mass &
+balance) and a three-part failure specification (speed, distance,
+pitch-angle).  This package implements the equivalent:
+
+* :mod:`repro.targets.flightgear.aircraft` -- aircraft constants and
+  the scenario grid;
+* :mod:`repro.targets.flightgear.gear` -- the ``Gear`` module: ground
+  reaction, rolling friction and gear drag;
+* :mod:`repro.targets.flightgear.massbalance` -- the ``Mass`` module:
+  fuel burn, total mass, weight and pitch inertia;
+* :mod:`repro.targets.flightgear.spec` -- the Section VI-F failure
+  specification (speed / distance / angle);
+* :mod:`repro.targets.flightgear.takeoff` -- the longitudinal
+  flight-dynamics loop tying it together as a
+  :class:`repro.targets.base.TargetSystem`.
+"""
+
+from repro.targets.flightgear.aircraft import Aircraft, Scenario, scenario_for
+from repro.targets.flightgear.spec import FailureReport, evaluate_takeoff
+from repro.targets.flightgear.takeoff import FlightGearTarget
+
+__all__ = [
+    "Aircraft",
+    "FailureReport",
+    "FlightGearTarget",
+    "Scenario",
+    "evaluate_takeoff",
+    "scenario_for",
+]

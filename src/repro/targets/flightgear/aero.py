@@ -1,0 +1,61 @@
+"""Longitudinal aerodynamics helpers for the takeoff simulator.
+
+Pure functions, unit-testable against textbook laws (lift quadratic in
+airspeed, stall speed scaling with sqrt(weight), induced drag
+quadratic in lift coefficient).  The simulation loop in
+:mod:`repro.targets.flightgear.takeoff` composes these.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.targets.flightgear.aircraft import Aircraft
+
+__all__ = [
+    "angle_of_attack",
+    "lift_coefficient",
+    "dynamic_pressure",
+    "lift",
+    "drag",
+    "stall_speed",
+]
+
+
+def angle_of_attack(theta: float, vs: float, v: float, altitude: float) -> float:
+    """Angle of attack = attitude minus flight-path angle (rad).
+
+    On the ground the flight path is horizontal, so alpha = theta.
+    """
+    gamma = math.atan2(vs, max(v, 1.0)) if altitude > 0.0 else 0.0
+    return theta - gamma
+
+
+def lift_coefficient(aircraft: Aircraft, alpha: float) -> float:
+    """Linear lift slope capped at CL_max, floored at a small negative."""
+    cl = min(aircraft.cl_ground + aircraft.cl_alpha * alpha, aircraft.cl_max)
+    return max(cl, -0.2)
+
+
+def dynamic_pressure(aircraft: Aircraft, airspeed: float) -> float:
+    """q*S = 1/2 rho v^2 S (already multiplied by the wing area)."""
+    return 0.5 * aircraft.rho * airspeed * airspeed * aircraft.wing_area
+
+
+def lift(aircraft: Aircraft, airspeed: float, cl: float) -> float:
+    return dynamic_pressure(aircraft, airspeed) * cl
+
+
+def drag(aircraft: Aircraft, airspeed: float, cl: float) -> float:
+    """Parasitic plus induced drag: q*S * (Cd0 + k*CL^2)."""
+    return dynamic_pressure(aircraft, airspeed) * (
+        aircraft.cd0 + aircraft.induced_k * cl * cl
+    )
+
+
+def stall_speed(aircraft: Aircraft, weight: float) -> float:
+    """Speed below which CL_max cannot carry the weight."""
+    weight = max(weight, 1.0)
+    return math.sqrt(
+        2.0 * weight / (aircraft.rho * aircraft.wing_area * aircraft.cl_max)
+    )

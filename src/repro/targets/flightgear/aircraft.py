@@ -1,0 +1,83 @@
+"""Aircraft constants and the 9-scenario test grid.
+
+The paper's FG experiments use "3 aircraft masses and 3 wind speeds
+uniformly distributed across 1300-2100 lbs and 0-60 kph" -- a light
+single-engine aircraft (the numbers match a Cessna-172 class machine).
+The aerodynamic constants below describe such an aircraft; they are
+tuned so that all nine golden scenarios take off cleanly within the
+failure specification of :mod:`repro.targets.flightgear.spec`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["Aircraft", "Scenario", "scenario_for", "LBS_TO_KG", "KPH_TO_MS"]
+
+LBS_TO_KG = 0.45359237
+KPH_TO_MS = 1.0 / 3.6
+
+#: Scenario grid of Section VI-C: 3 masses x 3 head-wind speeds.
+MASSES_LBS = (1300.0, 1700.0, 2100.0)
+WINDS_KPH = (0.0, 30.0, 60.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class Aircraft:
+    """Fixed airframe/engine constants (SI units unless noted)."""
+
+    wing_area: float = 16.2          # m^2
+    cl_ground: float = 0.35          # lift coefficient at ground attitude
+    cl_alpha: float = 5.0            # lift slope per radian of pitch
+    cl_max: float = 1.7              # stall lift coefficient
+    cd0: float = 0.031               # parasitic drag coefficient
+    induced_k: float = 0.052         # induced drag factor (k * CL^2)
+    thrust_static: float = 3400.0    # N at v = 0
+    thrust_slope: float = 22.0       # N lost per m/s of airspeed
+    rho: float = 1.225               # air density kg/m^3
+    gravity: float = 9.80665         # m/s^2
+    dry_mass_lbs: float = 1150.0     # airframe without fuel, lbs
+    fuel_burn_rate: float = 0.008    # kg/s at full throttle
+    rotate_speed: float = 28.0       # m/s IAS: Vr
+    target_pitch_deg: float = 8.0    # rotation target attitude
+    pitch_rate_cmd_deg: float = 3.0  # commanded rotation rate, deg/s
+    pitch_inertia: float = 1800.0    # kg m^2 (Iyy)
+    runway_clear_height: float = 15.0  # m: "clear of the runway"
+
+    def thrust(self, airspeed: float) -> float:
+        """Full-throttle thrust decaying linearly with airspeed."""
+        return max(self.thrust_static - self.thrust_slope * airspeed, 0.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """One test case: an aircraft mass and a head-wind speed."""
+
+    test_case: int
+    mass_lbs: float
+    wind_kph: float
+
+    @property
+    def mass_kg(self) -> float:
+        return self.mass_lbs * LBS_TO_KG
+
+    @property
+    def headwind_ms(self) -> float:
+        return self.wind_kph * KPH_TO_MS
+
+    @property
+    def fuel_kg(self) -> float:
+        """Fuel load: scenario mass minus the dry airframe."""
+        return (self.mass_lbs - Aircraft.dry_mass_lbs) * LBS_TO_KG
+
+
+def scenario_for(test_case: int) -> Scenario:
+    """Map a test case number 0..8 onto the 3x3 scenario grid."""
+    if not 0 <= test_case < len(MASSES_LBS) * len(WINDS_KPH):
+        raise ValueError(
+            f"FlightGear test cases are 0..{len(MASSES_LBS) * len(WINDS_KPH) - 1}, "
+            f"got {test_case}"
+        )
+    mass = MASSES_LBS[test_case // len(WINDS_KPH)]
+    wind = WINDS_KPH[test_case % len(WINDS_KPH)]
+    return Scenario(test_case, mass, wind)

@@ -1,0 +1,96 @@
+"""FlightGear failure specification (Section VI-F).
+
+"A failure in the execution of a test case was considered to fall into
+at least one of three categories; speed failure, distance failure and
+angle failure":
+
+* **speed failure** -- "the aircraft failed to reach a safe takeoff
+  speed after first passing through critical speed and velocity of
+  rotation";
+* **distance failure** -- "the takeoff distance exceeds that specified
+  by the aircraft manufacturer, where the specified distance is
+  increased by 10 meters for every additional 200lbs over the aircraft
+  base-weight";
+* **angle failure** -- "a Pitch Rate of 4.5 degrees is exceeded before
+  the aircraft is clear of the runway or the aircraft stalls during
+  climb out".
+
+The evaluation consumes the trajectory summary the simulator records;
+unlike 7Z/MG this is an absolute specification, not a golden diff (the
+golden runs satisfy it by construction, which the target's tests
+assert for all nine scenarios).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = [
+    "BASE_WEIGHT_LBS",
+    "BASE_TAKEOFF_DISTANCE_M",
+    "SAFE_TAKEOFF_SPEED_MS",
+    "CRITICAL_SPEED_MS",
+    "MAX_PITCH_RATE_DEG_S",
+    "FailureReport",
+    "TakeoffSummary",
+    "allowed_takeoff_distance",
+    "evaluate_takeoff",
+]
+
+BASE_WEIGHT_LBS = 1300.0
+BASE_TAKEOFF_DISTANCE_M = 420.0
+SAFE_TAKEOFF_SPEED_MS = 32.0   # V2
+CRITICAL_SPEED_MS = 24.0       # V1
+MAX_PITCH_RATE_DEG_S = 4.5
+
+
+@dataclasses.dataclass(frozen=True)
+class TakeoffSummary:
+    """Trajectory summary recorded by the simulation loop."""
+
+    passed_critical_speed: bool
+    passed_rotation_speed: bool
+    max_airspeed: float
+    lifted_off: bool
+    cleared_runway: bool
+    distance_at_clear: float
+    max_pitch_rate_before_clear: float  # deg/s
+    stalled_during_climb: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class FailureReport:
+    """Per-category failure flags plus the summary they came from."""
+
+    speed_failure: bool
+    distance_failure: bool
+    angle_failure: bool
+    summary: TakeoffSummary
+
+    @property
+    def any_failure(self) -> bool:
+        return self.speed_failure or self.distance_failure or self.angle_failure
+
+
+def allowed_takeoff_distance(mass_lbs: float) -> float:
+    """Manufacturer distance, +10 m per 200 lbs over the base weight."""
+    overweight = max(mass_lbs - BASE_WEIGHT_LBS, 0.0)
+    return BASE_TAKEOFF_DISTANCE_M + 10.0 * (overweight / 200.0)
+
+
+def evaluate_takeoff(summary: TakeoffSummary, mass_lbs: float) -> FailureReport:
+    """Apply the three-part specification to a trajectory summary."""
+    speed_failure = (
+        summary.passed_critical_speed
+        and summary.passed_rotation_speed
+        and summary.max_airspeed < SAFE_TAKEOFF_SPEED_MS
+    ) or not summary.lifted_off
+    distance_failure = (
+        not summary.cleared_runway
+        or summary.distance_at_clear > allowed_takeoff_distance(mass_lbs)
+    )
+    angle_failure = (
+        summary.max_pitch_rate_before_clear > MAX_PITCH_RATE_DEG_S
+        or summary.stalled_during_climb
+    )
+    return FailureReport(speed_failure, distance_failure, angle_failure, summary)

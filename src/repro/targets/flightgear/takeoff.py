@@ -1,0 +1,269 @@
+"""The instrumented FlightGear takeoff simulator target.
+
+A test case flies one scenario of the 3x3 (mass x head-wind) grid
+through a fixed-length control loop: an initialisation period with the
+engine at idle followed by a full-throttle takeoff run, mirroring the
+paper's "2700 iterations of the main simulation loop, where the first
+500 iterations correspond to an initialisation period".  A control
+module provides a consistent input vector (full throttle, rotate at
+Vr) at each iteration, as in the paper.
+
+Longitudinal 3-DOF flight dynamics: ground roll with gear reaction and
+rolling friction, rotation under a commanded pitch rate shaped by the
+mass module's inertia and CG offset, lift-off once the wings carry the
+weight, and climb-out to the runway-clear height.  The ``Gear`` and
+``Mass`` modules are probed at entry and exit on every iteration, so
+probe occurrence indices are control-loop iterations -- injection times
+like "600 iterations after initialisation" translate directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.injection.instrument import Harness, Location, VariableSpec
+from repro.targets.base import TargetSystem
+from repro.targets.flightgear import aero
+from repro.targets.flightgear.aircraft import Aircraft, scenario_for
+from repro.targets.flightgear.gear import GearModule
+from repro.targets.flightgear.massbalance import MassModule
+from repro.targets.flightgear.spec import (
+    CRITICAL_SPEED_MS,
+    FailureReport,
+    TakeoffSummary,
+    evaluate_takeoff,
+)
+
+__all__ = ["FlightGearTarget"]
+
+_RAD_TO_DEG = 180.0 / math.pi
+
+#: Airspeed the climb-out speed-hold law maintains after the aircraft
+#: clears the runway (just above the V2 of the failure spec).
+CLIMB_SPEED_TARGET_MS = 34.0
+
+
+def _finite(value: float, fallback: float = 0.0) -> float:
+    return value if math.isfinite(value) else fallback
+
+
+class FlightGearTarget(TargetSystem):
+    """Takeoff simulator with instrumented ``Gear`` and ``Mass``.
+
+    Parameters
+    ----------
+    init_iterations / run_iterations:
+        Control-loop lengths (paper: 500 + 2200).  The experiment
+        drivers scale these down for laptop benches; injection times
+        must be chosen within ``init_iterations + run_iterations``.
+    dt:
+        Integration step in seconds.
+    """
+
+    name = "FG"
+
+    def __init__(
+        self,
+        init_iterations: int = 500,
+        run_iterations: int = 2200,
+        dt: float = 0.02,
+    ) -> None:
+        if init_iterations < 0 or run_iterations < 1:
+            raise ValueError("iteration counts must be positive")
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.init_iterations = init_iterations
+        self.run_iterations = run_iterations
+        self.dt = dt
+        self.aircraft = Aircraft()
+
+    # ------------------------------------------------------------------
+    # TargetSystem protocol
+    # ------------------------------------------------------------------
+    @property
+    def modules(self) -> tuple[str, ...]:
+        return ("Gear", "Mass")
+
+    def variables_of(
+        self, module: str, location: Location | None = None
+    ) -> tuple[VariableSpec, ...]:
+        self.check_module(module)
+        if module == "Gear":
+            entry = (
+                VariableSpec("compression", "float64"),
+                VariableSpec("spring_k", "float64"),
+                VariableSpec("damping", "float64"),
+                VariableSpec("mu_roll", "float64"),
+                VariableSpec("drag_coeff", "float64"),
+                VariableSpec("on_ground", "bool"),
+            )
+            exit_specs = (
+                VariableSpec("compression", "float64"),
+                VariableSpec("normal_force", "float64"),
+                VariableSpec("friction", "float64"),
+                VariableSpec("gear_drag", "float64"),
+                VariableSpec("mu_roll", "float64"),
+                VariableSpec("on_ground", "bool"),
+            )
+        else:
+            entry = (
+                VariableSpec("fuel", "float64"),
+                VariableSpec("burn_rate", "float64"),
+                VariableSpec("dry_mass", "float64"),
+                VariableSpec("cg_offset", "float64"),
+                VariableSpec("inertia_base", "float64"),
+            )
+            exit_specs = entry + (
+                VariableSpec("mass_total", "float64"),
+                VariableSpec("weight", "float64"),
+                VariableSpec("inertia_eff", "float64"),
+            )
+        if location is Location.ENTRY:
+            return entry
+        if location is Location.EXIT:
+            return exit_specs
+        seen: dict[str, VariableSpec] = {}
+        for spec in entry + exit_specs:
+            seen.setdefault(spec.name, spec)
+        return tuple(seen.values())
+
+    def run(self, test_case: int, harness: Harness) -> FailureReport:
+        scenario = scenario_for(test_case)
+        aircraft = self.aircraft
+        gear = GearModule()
+        mass = MassModule(aircraft, scenario)
+        dt = self.dt
+
+        # Flight state.
+        v = 0.0        # ground speed, m/s
+        x = 0.0        # distance along runway, m
+        h = 0.0        # altitude, m
+        vs = 0.0       # vertical speed, m/s
+        theta = 0.0    # pitch attitude, rad
+        q = 0.0        # pitch rate, rad/s
+
+        # Trajectory summary accumulators.
+        passed_critical = False
+        passed_rotation = False
+        max_airspeed = 0.0
+        lifted_off = False
+        cleared_runway = False
+        distance_at_clear = math.inf
+        max_pitch_rate_before_clear = 0.0
+        stalled = False
+
+        total = self.init_iterations + self.run_iterations
+        for iteration in range(total):
+            throttle = 0.0 if iteration < self.init_iterations else 1.0
+            airspeed = max(v + scenario.headwind_ms * throttle, 0.0)
+
+            mass_state = mass.step(harness, dt, throttle)
+            m = max(_finite(mass_state.mass, 1.0), 1.0)
+            weight = _finite(mass_state.weight, m * aircraft.gravity)
+            inertia = max(_finite(mass_state.inertia, aircraft.pitch_inertia), 1.0)
+
+            # Angle of attack = attitude minus flight-path angle; this
+            # is what makes the climb self-stabilising (as speed bleeds
+            # the path shallows, alpha and lift recover).
+            gamma = math.atan2(vs, max(v, 1.0)) if h > 0.0 else 0.0
+            alpha = aero.angle_of_attack(theta, vs, v, h)
+            cl = aero.lift_coefficient(aircraft, alpha)
+            lift = aero.lift(aircraft, airspeed, cl)
+            drag = aero.drag(aircraft, airspeed, cl)
+
+            forces = gear.step(
+                harness, weight, lift, airspeed, aircraft.rho, h, dt
+            )
+            thrust = aircraft.thrust(airspeed) * throttle
+
+            on_ground = forces.on_ground and h <= 0.0
+            if on_ground:
+                accel = (thrust - drag - forces.friction - forces.drag) / m
+                v = max(v + _finite(accel) * dt, 0.0)
+                x += v * dt
+                vs = 0.0
+                if lift >= weight and theta > 0.01:
+                    lifted_off = True
+                    h = 0.01
+                    vs = 0.2
+            else:
+                lifted_off = True
+                az = (lift - weight) / m
+                vs = max(min(vs + _finite(az) * dt, 12.0), -12.0)
+                accel = (thrust - drag - weight * math.sin(gamma)) / m
+                v = max(v + _finite(accel) * dt, 0.0)
+                x += v * dt
+                h = h + vs * dt
+                if h <= 0.0:
+                    h = 0.0
+                    vs = 0.0
+
+            # Control module: a consistent input vector, as the paper's
+            # control module provides.  Rotation at Vr to the target
+            # attitude; once clear of the runway, a speed-hold pitch
+            # law sustains the climb (pitch down when airspeed decays).
+            if cleared_runway:
+                # Climb-out attitude hold with stall protection: lower
+                # the commanded attitude when airspeed decays towards
+                # the climb target.
+                theta_cmd_deg = aircraft.target_pitch_deg - max(
+                    CLIMB_SPEED_TARGET_MS - airspeed, 0.0
+                )
+                theta_cmd = math.radians(max(theta_cmd_deg, 0.0))
+                q_cmd = max(
+                    min(2.0 * (theta_cmd - theta), math.radians(2.5)),
+                    math.radians(-2.5),
+                )
+            elif throttle > 0.0 and airspeed >= aircraft.rotate_speed:
+                passed_rotation = True
+                target_theta = math.radians(aircraft.target_pitch_deg)
+                cg_shaping = max(1.0 - 0.3 * mass_state.cg_offset, 0.0)
+                q_cmd = (
+                    math.radians(aircraft.pitch_rate_cmd_deg) * cg_shaping
+                    if theta < target_theta
+                    else 0.0
+                )
+            else:
+                q_cmd = 0.0
+            response = min(900.0 / inertia, 1.0 / dt)
+            q += (q_cmd - q) * response * dt
+            q = max(min(q, math.radians(30.0)), math.radians(-30.0))
+            theta = max(min(theta + q * dt, math.radians(25.0)), math.radians(-8.0))
+
+            # Summary tracking.
+            if airspeed >= CRITICAL_SPEED_MS:
+                passed_critical = True
+            max_airspeed = max(max_airspeed, airspeed)
+            if not cleared_runway:
+                max_pitch_rate_before_clear = max(
+                    max_pitch_rate_before_clear, abs(q) * _RAD_TO_DEG
+                )
+                if h >= aircraft.runway_clear_height:
+                    cleared_runway = True
+                    distance_at_clear = x
+            if lifted_off and h > 0.5:
+                stall_speed = self._stall_speed(weight)
+                if airspeed < stall_speed:
+                    stalled = True
+
+        summary = TakeoffSummary(
+            passed_critical_speed=passed_critical,
+            passed_rotation_speed=passed_rotation,
+            max_airspeed=round(max_airspeed, 6),
+            lifted_off=lifted_off,
+            cleared_runway=cleared_runway,
+            distance_at_clear=(
+                round(distance_at_clear, 6) if cleared_runway else math.inf
+            ),
+            max_pitch_rate_before_clear=round(max_pitch_rate_before_clear, 6),
+            stalled_during_climb=stalled,
+        )
+        return evaluate_takeoff(summary, scenario.mass_lbs)
+
+    def _stall_speed(self, weight: float) -> float:
+        return aero.stall_speed(self.aircraft, weight)
+
+    def is_failure(self, golden_output: object, run_output: object) -> bool:
+        """FG's spec is absolute: the run fails if any category fires."""
+        assert isinstance(run_output, FailureReport)
+        return run_output.any_failure

@@ -1,0 +1,23 @@
+"""Mp3Gain target analogue: a loudness analyser and volume normaliser.
+
+The paper's MG case study normalises the volume of batches of 25 mp3
+files with two instrumented modules, ``GAnalysis`` (gain analysis) and
+``RGain`` (replay gain).  This package implements the equivalent
+ReplayGain-style pipeline over synthetic PCM tracks:
+
+* :mod:`repro.targets.mp3gain.signal` -- deterministic synthetic track
+  generation (tone mixtures plus noise, varying loudness);
+* :mod:`repro.targets.mp3gain.analysis` -- the ``GAnalysis`` module:
+  framewise RMS loudness analysis with percentile statistics;
+* :mod:`repro.targets.mp3gain.replaygain` -- the ``RGain`` module:
+  gain computation and sample scaling with clipping protection;
+* :mod:`repro.targets.mp3gain.target` -- the instrumented
+  :class:`repro.targets.base.TargetSystem` with the golden-diff
+  failure specification of Section VI-F.
+"""
+
+from repro.targets.mp3gain.target import Mp3GainTarget
+from repro.targets.mp3gain.analysis import analyse_track
+from repro.targets.mp3gain.signal import make_track
+
+__all__ = ["Mp3GainTarget", "analyse_track", "make_track"]

@@ -1,0 +1,111 @@
+"""The ``GAnalysis`` module: framewise loudness analysis.
+
+ReplayGain-style analysis: the track is split into fixed-size frames,
+each frame's RMS energy is computed, and the track loudness is the
+95th-percentile frame RMS expressed in dB (so brief silence does not
+drag the estimate down, and brief peaks do not dominate).  The module
+also tracks the sample peak, which the gain stage uses for clipping
+protection.
+
+Invoked once per track; entry variables steer the analysis (frame
+size, percentile, accumulators), exit variables carry its results, and
+the gain stage consumes what the exit probe returns -- so injected
+corruption at either probe propagates into the normalised output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.injection.instrument import Harness, Location
+
+__all__ = ["AnalysisResult", "GAnalysisModule", "analyse_track"]
+
+#: dB floor for silent frames (avoids log of zero).
+_SILENCE_DB = -120.0
+
+
+@dataclasses.dataclass
+class AnalysisResult:
+    """Per-track loudness statistics."""
+
+    loudness_db: float
+    peak: float
+    frame_count: int
+
+
+def analyse_track(
+    samples: np.ndarray, frame_size: int, percentile: float
+) -> AnalysisResult:
+    """Pure analysis used by the module (and directly testable)."""
+    frame_size = max(int(frame_size), 1)
+    n_frames = max(len(samples) // frame_size, 1)
+    usable = samples[: n_frames * frame_size]
+    frames = usable.reshape(n_frames, -1) if len(usable) else np.zeros((1, 1))
+    rms = np.sqrt(np.mean(frames * frames, axis=1))
+    percentile = min(max(float(percentile), 0.0), 100.0)
+    loudness_rms = float(np.percentile(rms, percentile))
+    loudness_db = (
+        20.0 * math.log10(loudness_rms) if loudness_rms > 1e-6 else _SILENCE_DB
+    )
+    peak = float(np.max(np.abs(samples))) if len(samples) else 0.0
+    return AnalysisResult(loudness_db, peak, n_frames)
+
+
+class GAnalysisModule:
+    """Instrumented wrapper driving :func:`analyse_track` per track."""
+
+    def __init__(self, frame_size: int = 256, percentile: float = 95.0) -> None:
+        self.frame_size = frame_size
+        self.percentile = percentile
+
+    def step(
+        self, harness: Harness, track_index: int, samples: np.ndarray
+    ) -> AnalysisResult:
+        state = harness.probe(
+            "GAnalysis",
+            Location.ENTRY,
+            {
+                "track_index": track_index,
+                "frame_size": self.frame_size,
+                "percentile": self.percentile,
+                "n_samples": len(samples),
+                "rms_acc": 0.0,
+                "peak_acc": 0.0,
+            },
+        )
+        frame_size = int(state["frame_size"])
+        percentile = float(state["percentile"])
+        n_samples = max(min(int(state["n_samples"]), len(samples)), 0)
+        # rms_acc / peak_acc are scratch accumulators, reset inside the
+        # analysis, so entry corruption of them is absorbed (resilient).
+        if frame_size < 1 or frame_size > max(n_samples, 1):
+            # A corrupted frame size degrades to whole-track analysis,
+            # as a defensive C implementation clamping its loop bound
+            # would; the loudness estimate changes accordingly.
+            frame_size = max(n_samples, 1)
+        if not math.isfinite(percentile):
+            percentile = 0.0
+        result = analyse_track(samples[:n_samples], frame_size, percentile)
+
+        exit_state = harness.probe(
+            "GAnalysis",
+            Location.EXIT,
+            {
+                "track_index": track_index,
+                "frame_size": frame_size,
+                "percentile": percentile,
+                "n_samples": n_samples,
+                "loudness_db": result.loudness_db,
+                "peak": result.peak,
+                "frame_count": result.frame_count,
+            },
+        )
+        return AnalysisResult(
+            loudness_db=float(exit_state["loudness_db"]),
+            peak=float(exit_state["peak"]),
+            frame_count=int(exit_state["frame_count"]),
+        )

@@ -1,0 +1,114 @@
+"""The ``RGain`` module: gain computation and application.
+
+From the analysis result, compute the replay gain that moves the track
+to the reference loudness, limit it so the track peak cannot clip, and
+scale every sample, quantising to 16-bit PCM.  Invoked once per track.
+
+Quantisation is the target's natural error absorber: a bit flip that
+perturbs the gain by less than half a 16-bit step leaves the output
+identical (non-failure), while exponent/sign flips shift every sample
+(failure) -- giving the class imbalance the methodology expects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.injection.instrument import Harness, Location
+from repro.targets.mp3gain.analysis import AnalysisResult
+
+__all__ = ["RGainModule", "NormalisedTrack", "REFERENCE_LOUDNESS_DB"]
+
+REFERENCE_LOUDNESS_DB = -14.0  # target loudness (dBFS of 95th pct RMS)
+_MAX_GAIN_DB = 30.0
+
+
+@dataclasses.dataclass
+class NormalisedTrack:
+    """Quantised output of one track plus bookkeeping."""
+
+    pcm16: np.ndarray
+    applied_gain_db: float
+    clip_count: int
+
+
+class RGainModule:
+    """Instrumented gain stage."""
+
+    def __init__(self, reference_db: float = REFERENCE_LOUDNESS_DB) -> None:
+        self.reference_db = reference_db
+
+    def step(
+        self,
+        harness: Harness,
+        track_index: int,
+        samples: np.ndarray,
+        analysis: AnalysisResult,
+    ) -> NormalisedTrack:
+        gain_db = self.reference_db - analysis.loudness_db
+        state = harness.probe(
+            "RGain",
+            Location.ENTRY,
+            {
+                "track_index": track_index,
+                "gain_db": gain_db,
+                "reference_db": self.reference_db,
+                "loudness_db": analysis.loudness_db,
+                "peak": analysis.peak,
+                "clip_count": 0,
+            },
+        )
+        gain_db = float(state["gain_db"])
+        peak = float(state["peak"])
+        # clip_count at entry is a scratch counter (resilient).
+
+        if not math.isfinite(gain_db):
+            gain_db = 0.0
+        gain_db = max(min(gain_db, _MAX_GAIN_DB), -_MAX_GAIN_DB)
+        # Peak protection: do not amplify beyond full scale.
+        if peak > 1e-9:
+            headroom_db = 20.0 * math.log10(1.0 / peak)
+            gain_db = min(gain_db, headroom_db)
+        scale = 10.0 ** (gain_db / 20.0)
+
+        scaled = samples * scale
+        clipped = np.count_nonzero(np.abs(scaled) > 1.0)
+        scaled = np.clip(np.nan_to_num(scaled, nan=0.0, posinf=1.0, neginf=-1.0),
+                         -1.0, 1.0)
+        pcm16 = np.round(scaled * 32767.0).astype(np.int16)
+
+        exit_state = harness.probe(
+            "RGain",
+            Location.EXIT,
+            {
+                "track_index": track_index,
+                "gain_db": gain_db,
+                "reference_db": self.reference_db,
+                "loudness_db": analysis.loudness_db,
+                "peak": peak,
+                "clip_count": int(clipped),
+                "applied_scale": scale,
+                "out_rms": float(np.sqrt(np.mean(scaled * scaled)))
+                if len(scaled)
+                else 0.0,
+            },
+        )
+        # The exit gain/scale feed the *stored* metadata; re-apply the
+        # exit scale when it was corrupted so exit injection is live.
+        exit_scale = float(exit_state["applied_scale"])
+        if exit_scale != scale and math.isfinite(exit_scale):
+            rescaled = np.clip(
+                np.nan_to_num(samples * exit_scale, nan=0.0, posinf=1.0,
+                              neginf=-1.0),
+                -1.0,
+                1.0,
+            )
+            pcm16 = np.round(rescaled * 32767.0).astype(np.int16)
+        return NormalisedTrack(
+            pcm16=pcm16,
+            applied_gain_db=float(exit_state["gain_db"]),
+            clip_count=int(exit_state["clip_count"]),
+        )

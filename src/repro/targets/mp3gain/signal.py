@@ -1,0 +1,53 @@
+"""Synthetic PCM track generation.
+
+The paper's MG test cases feed "a set of 25 mp3 files of varying
+sizes"; decoded mp3 audio is PCM, which is what the analyser operates
+on, so the substitution generates deterministic PCM directly: a
+mixture of tones with an amplitude envelope plus low-level noise, with
+per-track loudness spread over ~18 dB so normalisation has real work
+to do.  Tracks are deterministic per (test case, track index).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_track", "make_batch"]
+
+SAMPLE_RATE = 8000.0
+
+
+def make_track(test_case: int, track_index: int, n_samples: int) -> np.ndarray:
+    """One deterministic mono track in [-1, 1] as float64."""
+    seed = (test_case * 1_000_003 + track_index * 7919) & 0xFFFFFFFF
+    rng = np.random.default_rng(seed)
+    t = np.arange(n_samples) / SAMPLE_RATE
+    signal = np.zeros(n_samples)
+    for _ in range(rng.integers(2, 5)):
+        freq = float(rng.uniform(80.0, 1200.0))
+        amp = float(rng.uniform(0.05, 0.35))
+        phase = float(rng.uniform(0.0, 2.0 * np.pi))
+        signal += amp * np.sin(2.0 * np.pi * freq * t + phase)
+    # Slow amplitude envelope (quiet intros, loud choruses).
+    envelope = 0.55 + 0.45 * np.sin(
+        2.0 * np.pi * float(rng.uniform(0.1, 0.6)) * t
+        + float(rng.uniform(0.0, 2.0 * np.pi))
+    )
+    signal *= envelope
+    signal += rng.normal(0.0, 0.004, n_samples)
+    # Per-track loudness offset: -12..+6 dB around nominal.
+    level_db = float(rng.uniform(-12.0, 6.0))
+    signal *= 10.0 ** (level_db / 20.0)
+    return np.clip(signal, -1.0, 1.0)
+
+
+def make_batch(
+    test_case: int, n_tracks: int, min_samples: int, max_samples: int
+) -> list[np.ndarray]:
+    """The batch of varying-size tracks for one test case."""
+    rng = np.random.default_rng((test_case * 2_654_435_761) & 0xFFFFFFFF)
+    tracks = []
+    for track_index in range(n_tracks):
+        n_samples = int(rng.integers(min_samples, max_samples + 1))
+        tracks.append(make_track(test_case, track_index, n_samples))
+    return tracks

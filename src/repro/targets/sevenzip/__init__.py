@@ -1,0 +1,27 @@
+"""PZip: the 7-Zip target analogue.
+
+The paper's 7Z case study archives and recovers batches of 25 files
+with two instrumented modules, ``FHandle`` (file/archive handling) and
+``LDecode`` (LZ decoding).  PZip is a genuine archiver implementing the
+same pipeline in Python:
+
+* :mod:`repro.targets.sevenzip.lz77` -- LZ77 sliding-window
+  compression with hash-chain match search;
+* :mod:`repro.targets.sevenzip.huffman` -- canonical Huffman coding of
+  the token stream;
+* :mod:`repro.targets.sevenzip.archiver` -- the instrumented target:
+  archive format, golden-diff failure specification and the ``FHandle``
+  / ``LDecode`` probe points.
+"""
+
+from repro.targets.sevenzip.archiver import SevenZipTarget
+from repro.targets.sevenzip.lz77 import lz77_compress, lz77_decompress
+from repro.targets.sevenzip.huffman import huffman_decode, huffman_encode
+
+__all__ = [
+    "SevenZipTarget",
+    "lz77_compress",
+    "lz77_decompress",
+    "huffman_encode",
+    "huffman_decode",
+]

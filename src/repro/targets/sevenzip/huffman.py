@@ -1,0 +1,180 @@
+"""Canonical Huffman coding of byte streams.
+
+The second compression stage of PZip: token streams from the LZ77
+stage are entropy-coded with a canonical Huffman code.  The code is
+canonical so only the per-symbol code lengths need to be stored in the
+archive header (256 bytes), exactly as real archivers do.
+
+Code lengths are capped at 15 bits with the standard
+length-limiting adjustment; decoding walks the canonical tables
+(first-code/first-symbol per length), again degrading gracefully on
+corrupt input: an invalid prefix terminates decoding early instead of
+raising, so fault-injected archives still produce diffable output.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+__all__ = [
+    "code_lengths",
+    "canonical_codes",
+    "huffman_encode",
+    "huffman_decode",
+]
+
+MAX_CODE_LENGTH = 15
+
+
+def code_lengths(frequencies: list[int]) -> list[int]:
+    """Per-symbol Huffman code lengths from symbol frequencies.
+
+    Returns a list of 256 lengths (0 for absent symbols).  Lengths are
+    limited to :data:`MAX_CODE_LENGTH` by promoting over-long codes,
+    preserving Kraft validity.
+    """
+    if len(frequencies) != 256:
+        raise ValueError("expected 256 symbol frequencies")
+    present = [(f, s) for s, f in enumerate(frequencies) if f > 0]
+    if not present:
+        return [0] * 256
+    if len(present) == 1:
+        lengths = [0] * 256
+        lengths[present[0][1]] = 1
+        return lengths
+
+    # Standard Huffman tree build on a heap of (freq, tiebreak, node).
+    heap: list[tuple[int, int, object]] = []
+    counter = 0
+    for freq, symbol in present:
+        heap.append((freq, counter, symbol))
+        counter += 1
+    heapq.heapify(heap)
+    while len(heap) > 1:
+        f1, _, left = heapq.heappop(heap)
+        f2, _, right = heapq.heappop(heap)
+        heapq.heappush(heap, (f1 + f2, counter, (left, right)))
+        counter += 1
+    root = heap[0][2]
+
+    lengths = [0] * 256
+    _assign_depths(root, 0, lengths)
+    return _limit_lengths(lengths)
+
+
+def _assign_depths(node: object, depth: int, lengths: list[int]) -> None:
+    if isinstance(node, int):
+        lengths[node] = max(depth, 1)
+        return
+    left, right = node  # type: ignore[misc]
+    _assign_depths(left, depth + 1, lengths)
+    _assign_depths(right, depth + 1, lengths)
+
+
+def _limit_lengths(lengths: list[int]) -> list[int]:
+    """Cap code lengths at MAX_CODE_LENGTH keeping Kraft sum <= 1."""
+    if max(lengths) <= MAX_CODE_LENGTH:
+        return lengths
+    lengths = [min(l, MAX_CODE_LENGTH) if l else 0 for l in lengths]
+    # Restore Kraft validity: while oversubscribed, lengthen the
+    # shortest-codeword symbols with room to grow.
+    def kraft() -> float:
+        return sum(2.0 ** -l for l in lengths if l)
+
+    while kraft() > 1.0:
+        candidates = [
+            s for s, l in enumerate(lengths) if 0 < l < MAX_CODE_LENGTH
+        ]
+        best = min(candidates, key=lambda s: lengths[s])
+        lengths[best] += 1
+    return lengths
+
+
+def canonical_codes(lengths: list[int]) -> dict[int, tuple[int, int]]:
+    """Canonical (code, length) per symbol from code lengths.
+
+    Symbols are ordered by (length, symbol); codes are assigned
+    consecutively within each length, shifted when the length grows.
+    """
+    symbols = sorted(
+        (s for s in range(256) if lengths[s]), key=lambda s: (lengths[s], s)
+    )
+    codes: dict[int, tuple[int, int]] = {}
+    code = 0
+    previous_length = 0
+    for symbol in symbols:
+        length = lengths[symbol]
+        code <<= length - previous_length
+        codes[symbol] = (code, length)
+        code += 1
+        previous_length = length
+    return codes
+
+
+def huffman_encode(data: bytes) -> tuple[bytes, bytes, int]:
+    """Encode ``data``; returns (lengths-table, payload, bit count).
+
+    The lengths table is the 256-byte canonical header; the payload is
+    the concatenated codewords padded to a byte boundary.
+    """
+    frequencies = [0] * 256
+    for byte in data:
+        frequencies[byte] += 1
+    lengths = code_lengths(frequencies)
+    codes = canonical_codes(lengths)
+    bit_buffer = 0
+    bit_count = 0
+    total_bits = 0
+    payload = bytearray()
+    for byte in data:
+        code, length = codes[byte]
+        bit_buffer = (bit_buffer << length) | code
+        bit_count += length
+        total_bits += length
+        while bit_count >= 8:
+            bit_count -= 8
+            payload.append((bit_buffer >> bit_count) & 0xFF)
+    if bit_count:
+        payload.append((bit_buffer << (8 - bit_count)) & 0xFF)
+    return bytes(lengths), bytes(payload), total_bits
+
+
+def huffman_decode(
+    lengths_table: bytes, payload: bytes, total_bits: int, max_symbols: int
+) -> bytes:
+    """Decode a canonical Huffman payload back into symbols.
+
+    Stops after ``max_symbols`` symbols or ``total_bits`` bits, or on
+    an invalid prefix (corrupt data), returning what was decoded.
+    """
+    if len(lengths_table) != 256:
+        return b""
+    lengths = list(lengths_table)
+    if not any(lengths):
+        return b""
+    codes = canonical_codes(lengths)
+    # Invert into per-length tables for canonical decoding.
+    by_length: dict[int, dict[int, int]] = {}
+    for symbol, (code, length) in codes.items():
+        by_length.setdefault(length, {})[code] = symbol
+
+    out = bytearray()
+    code = 0
+    length = 0
+    consumed = 0
+    for byte in payload:
+        for shift in range(7, -1, -1):
+            if consumed >= total_bits or len(out) >= max_symbols:
+                return bytes(out)
+            bit = (byte >> shift) & 1
+            code = (code << 1) | bit
+            length += 1
+            consumed += 1
+            if length > MAX_CODE_LENGTH:
+                return bytes(out)  # invalid prefix: corrupt stream
+            table = by_length.get(length)
+            if table is not None and code in table:
+                out.append(table[code])
+                code = 0
+                length = 0
+    return bytes(out)

@@ -1,0 +1,131 @@
+"""LZ77 sliding-window compression.
+
+A real (if compact) LZ77: the compressor emits a token stream of
+literals and back-references found with a hash-chain match search; the
+decompressor reconstructs the data by copying from its own output
+window.  The decompressor is written so that *corrupted* tokens or
+control variables degrade gracefully into wrong output rather than
+unbounded loops -- bit-flipped state must be able to propagate to the
+archive contents (that is the point of the fault injection study)
+without hanging the campaign.
+
+Token encoding (byte-oriented, so Huffman coding can treat it as a
+symbol stream):
+
+* literal: ``0x00, byte``
+* match:   ``0x01, offset_hi, offset_lo, length``
+
+Offsets are 1..65535 back from the current output position; lengths
+are 3..255.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "LITERAL",
+    "MATCH",
+    "MIN_MATCH",
+    "MAX_MATCH",
+    "lz77_compress",
+    "lz77_decompress",
+]
+
+LITERAL = 0x00
+MATCH = 0x01
+MIN_MATCH = 3
+MAX_MATCH = 255
+_MAX_OFFSET = 0xFFFF
+_HASH_CHAIN_LIMIT = 16  # candidates examined per position
+
+
+def lz77_compress(data: bytes, window: int = 4096) -> bytes:
+    """Compress ``data`` into an LZ77 token stream."""
+    if window < MIN_MATCH:
+        raise ValueError("window must be at least the minimum match length")
+    window = min(window, _MAX_OFFSET)
+    out = bytearray()
+    n = len(data)
+    # Hash chains: 3-byte prefix hash -> recent positions (most recent last).
+    chains: dict[int, list[int]] = {}
+    i = 0
+    while i < n:
+        best_length = 0
+        best_offset = 0
+        if i + MIN_MATCH <= n:
+            key = data[i] | (data[i + 1] << 8) | (data[i + 2] << 16)
+            candidates = chains.get(key, ())
+            lo = i - window
+            for pos in reversed(candidates[-_HASH_CHAIN_LIMIT:]):
+                if pos < lo:
+                    break
+                length = _match_length(data, pos, i, n)
+                if length > best_length:
+                    best_length = length
+                    best_offset = i - pos
+                    if length >= MAX_MATCH:
+                        break
+        if best_length >= MIN_MATCH:
+            out.append(MATCH)
+            out.append((best_offset >> 8) & 0xFF)
+            out.append(best_offset & 0xFF)
+            out.append(best_length)
+            end = min(i + best_length, n - MIN_MATCH + 1)
+            for j in range(i, max(i + 1, end)):
+                if j + MIN_MATCH <= n:
+                    key = data[j] | (data[j + 1] << 8) | (data[j + 2] << 16)
+                    chains.setdefault(key, []).append(j)
+            i += best_length
+        else:
+            out.append(LITERAL)
+            out.append(data[i])
+            if i + MIN_MATCH <= n:
+                key = data[i] | (data[i + 1] << 8) | (data[i + 2] << 16)
+                chains.setdefault(key, []).append(i)
+            i += 1
+    return bytes(out)
+
+
+def _match_length(data: bytes, pos: int, i: int, n: int) -> int:
+    length = 0
+    limit = min(MAX_MATCH, n - i)
+    while length < limit and data[pos + length] == data[i + length]:
+        length += 1
+    return length
+
+
+def lz77_decompress(tokens: bytes, expected_size: int | None = None) -> bytes:
+    """Reconstruct data from an LZ77 token stream.
+
+    ``expected_size`` bounds the output: decoding stops once that many
+    bytes have been produced (a corrupted length field cannot expand
+    the output unboundedly).  Malformed streams -- truncated tokens,
+    zero/too-large offsets -- terminate decoding early rather than
+    raising, returning whatever was reconstructed so far, because a
+    fault-injected archive must still yield *an* output for the failure
+    specification to diff.
+    """
+    out = bytearray()
+    limit = expected_size if expected_size is not None else 1 << 31
+    i = 0
+    n = len(tokens)
+    while i < n and len(out) < limit:
+        tag = tokens[i]
+        if tag == LITERAL:
+            if i + 1 >= n:
+                break
+            out.append(tokens[i + 1])
+            i += 2
+        elif tag == MATCH:
+            if i + 3 >= n:
+                break
+            offset = (tokens[i + 1] << 8) | tokens[i + 2]
+            length = tokens[i + 3]
+            i += 4
+            if offset == 0 or offset > len(out):
+                break  # corrupt back-reference
+            start = len(out) - offset
+            for k in range(min(length, limit - len(out))):
+                out.append(out[start + k])
+        else:
+            break  # unknown token tag: corrupt stream
+    return bytes(out)

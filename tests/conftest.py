@@ -1,0 +1,87 @@
+"""Shared test fixtures: small synthetic datasets with known structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mining.dataset import Attribute, Dataset
+
+CLASS_LABELS = ("nofail", "fail")
+
+
+def make_separable(n: int = 400, seed: int = 42, noise: float = 0.0) -> Dataset:
+    """Two numeric attributes; positive iff v1 > 1 and v2 <= 0.3."""
+    rng = np.random.default_rng(seed)
+    v1 = rng.normal(0.0, 1.0, n)
+    v2 = rng.normal(0.0, 1.0, n)
+    y = ((v1 > 1.0) & (v2 <= 0.3)).astype(int)
+    if noise > 0:
+        flips = rng.random(n) < noise
+        y = np.where(flips, 1 - y, y)
+    return Dataset(
+        [Attribute.numeric("v1"), Attribute.numeric("v2")],
+        Attribute.nominal("class", CLASS_LABELS),
+        np.column_stack([v1, v2]),
+        y,
+        name="separable",
+    )
+
+
+def make_imbalanced(n: int = 500, positive_fraction: float = 0.06, seed: int = 7) -> Dataset:
+    """Heavily imbalanced dataset with a learnable positive region."""
+    rng = np.random.default_rng(seed)
+    n_pos = max(int(n * positive_fraction), 3)
+    n_neg = n - n_pos
+    neg = rng.normal(0.0, 1.0, (n_neg, 3))
+    pos = rng.normal(3.5, 0.6, (n_pos, 3))
+    x = np.vstack([neg, pos])
+    y = np.concatenate([np.zeros(n_neg, int), np.ones(n_pos, int)])
+    order = rng.permutation(n)
+    return Dataset(
+        [Attribute.numeric(f"v{i}") for i in range(3)],
+        Attribute.nominal("class", CLASS_LABELS),
+        x[order],
+        y[order],
+        name="imbalanced",
+    )
+
+
+def make_mixed(n: int = 300, seed: int = 3) -> Dataset:
+    """Numeric + nominal attributes; label depends on both."""
+    rng = np.random.default_rng(seed)
+    v = rng.normal(0.0, 1.0, n)
+    flag = rng.integers(0, 2, n)  # nominal {off,on}
+    colour = rng.integers(0, 3, n)  # nominal {red,green,blue}
+    y = ((v > 0.5) & (flag == 1)).astype(int)
+    x = np.column_stack([v, flag.astype(float), colour.astype(float)])
+    return Dataset(
+        [
+            Attribute.numeric("v"),
+            Attribute.nominal("flag", ("off", "on")),
+            Attribute.nominal("colour", ("red", "green", "blue")),
+        ],
+        Attribute.nominal("class", CLASS_LABELS),
+        x,
+        y,
+        name="mixed",
+    )
+
+
+@pytest.fixture
+def separable_dataset() -> Dataset:
+    return make_separable()
+
+@pytest.fixture
+def imbalanced_dataset() -> Dataset:
+    return make_imbalanced()
+
+
+@pytest.fixture
+def mixed_dataset() -> Dataset:
+    return make_mixed()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

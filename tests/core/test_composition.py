@@ -1,0 +1,118 @@
+"""Tests for detector composition."""
+
+import numpy as np
+import pytest
+
+from repro.core.composition import all_of, any_of, majority
+from repro.core.detector import Detector
+from repro.core.predicate import Comparison
+from tests.conftest import make_separable
+
+
+def det(variable, op, value, name):
+    return Detector(Comparison(variable, op, value), name=name)
+
+
+A = lambda: det("v1", ">", 1.0, "a")
+B = lambda: det("v2", "<=", 0.3, "b")
+C = lambda: det("v1", ">", 100.0, "c")  # never fires on the data
+
+
+class TestAnyOf:
+    def test_union_semantics(self):
+        combo = any_of([A(), B()])
+        assert combo.check({"v1": 2.0, "v2": 1.0})   # a fires
+        assert combo.check({"v1": 0.0, "v2": 0.0})   # b fires
+        assert not combo.check({"v1": 0.0, "v2": 1.0})
+
+    def test_union_completeness_dominates_members(self):
+        ds = make_separable()
+        union = any_of([A(), B()])
+        for member in (A(), B()):
+            assert (
+                union.efficiency_on(ds).completeness
+                >= member.efficiency_on(ds).completeness
+            )
+
+    def test_missing_variable_member_silent(self):
+        combo = any_of([A(), det("elsewhere", ">", 0.0, "x")])
+        assert combo.check({"v1": 2.0})
+        assert not combo.check({"v1": 0.0})
+
+
+class TestAllOf:
+    def test_intersection_semantics(self):
+        combo = all_of([A(), B()])
+        assert combo.check({"v1": 2.0, "v2": 0.0})
+        assert not combo.check({"v1": 2.0, "v2": 1.0})
+
+    def test_intersection_is_exact_concept(self):
+        # The ground-truth concept of make_separable IS a AND b.
+        ds = make_separable()
+        eff = all_of([A(), B()]).efficiency_on(ds)
+        assert eff.is_perfect
+
+    def test_accuracy_dominates_members(self):
+        ds = make_separable()
+        inter = all_of([A(), B()])
+        for member in (A(), B()):
+            assert (
+                inter.efficiency_on(ds).accuracy
+                >= member.efficiency_on(ds).accuracy
+            )
+
+
+class TestMajority:
+    def test_two_of_three(self):
+        combo = majority([A(), B(), C()])
+        # a and b fire, c does not: 2/3 > half.
+        assert combo.check({"v1": 2.0, "v2": 0.0})
+        # only a fires: 1/3.
+        assert not combo.check({"v1": 2.0, "v2": 1.0})
+
+    def test_rows_match_scalar(self):
+        ds = make_separable()
+        combo = majority([A(), B(), C()])
+        flags = combo.flags_for(ds)
+        for i in range(30):
+            state = {"v1": ds.x[i, 0], "v2": ds.x[i, 1]}
+            assert bool(flags[i]) == combo.predicate.evaluate(state)
+
+    def test_single_member_majority_is_member(self):
+        combo = majority([A()])
+        assert combo.check({"v1": 2.0})
+        assert not combo.check({"v1": 0.0})
+
+    def test_source_is_executable(self):
+        combo = majority([A(), B(), C()])
+        namespace = {}
+        exec(combo.to_source(), namespace)
+        fn = namespace["majority"]
+        assert fn({"v1": 2.0, "v2": 0.0}) is True
+        assert fn({"v1": 2.0, "v2": 1.0}) is False
+
+    def test_simplify_preserves_semantics(self):
+        combo = majority([A(), B(), C()])
+        simplified = combo.predicate.simplify()
+        for state in ({"v1": 2.0, "v2": 0.0}, {"v1": 2.0, "v2": 1.0},
+                      {"v1": 0.0, "v2": 0.0}):
+            assert simplified.evaluate(state) == combo.predicate.evaluate(state)
+
+
+class TestValidation:
+    def test_empty_composition_rejected(self):
+        for combinator in (any_of, all_of, majority):
+            with pytest.raises(ValueError):
+                combinator([])
+
+    def test_member_names(self):
+        combo = any_of([A(), B()], name="union")
+        assert combo.member_names == ("a", "b")
+        assert combo.name == "union"
+
+    def test_counters_work(self):
+        combo = any_of([A(), B()])
+        combo.check({"v1": 2.0, "v2": 1.0})
+        combo.check({"v1": 0.0, "v2": 1.0})
+        assert combo.evaluations == 2
+        assert combo.detections == 1

@@ -1,0 +1,86 @@
+"""Tests for the detector component."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import Detector
+from repro.core.predicate import Comparison, FalsePredicate, Or, TruePredicate
+from repro.injection.instrument import Location, Probe
+from tests.conftest import make_separable
+
+
+def exact_detector():
+    """Detector implementing the ground-truth concept of make_separable."""
+    from repro.core.predicate import And
+
+    return Detector(
+        And([Comparison("v1", ">", 1.0), Comparison("v2", "<=", 0.3)]),
+        location=Probe("M", Location.ENTRY),
+        name="exact",
+    )
+
+
+class TestCheck:
+    def test_flags_positive_state(self):
+        det = exact_detector()
+        assert det.check({"v1": 2.0, "v2": 0.0})
+        assert not det.check({"v1": 0.0, "v2": 0.0})
+
+    def test_counters(self):
+        det = exact_detector()
+        det.check({"v1": 2.0, "v2": 0.0})
+        det.check({"v1": 0.0, "v2": 0.0})
+        assert det.evaluations == 2
+        assert det.detections == 1
+        det.reset_counters()
+        assert det.evaluations == det.detections == 0
+
+
+class TestEfficiency:
+    def test_perfect_on_ground_truth(self):
+        ds = make_separable()
+        eff = exact_detector().efficiency_on(ds)
+        assert eff.completeness == 1.0
+        assert eff.accuracy == 1.0
+        assert eff.is_perfect
+
+    def test_true_predicate_complete_inaccurate(self):
+        ds = make_separable()
+        det = Detector(TruePredicate())
+        eff = det.efficiency_on(ds)
+        assert eff.completeness == 1.0
+        assert eff.accuracy == 0.0
+
+    def test_false_predicate_accurate_incomplete(self):
+        ds = make_separable()
+        det = Detector(FalsePredicate())
+        eff = det.efficiency_on(ds)
+        assert eff.completeness == 0.0
+        assert eff.accuracy == 1.0
+
+    def test_str(self):
+        ds = make_separable()
+        text = str(exact_detector().efficiency_on(ds))
+        assert "completeness" in text and "accuracy" in text
+
+    def test_flags_for_shape(self):
+        ds = make_separable()
+        flags = exact_detector().flags_for(ds)
+        assert flags.shape == (len(ds),)
+        assert flags.dtype == bool
+
+
+class TestSource:
+    def test_source_is_executable(self):
+        det = exact_detector()
+        namespace = {}
+        exec(det.to_source(), namespace)
+        fn = namespace["exact"]
+        assert fn({"v1": 2.0, "v2": 0.0}) is True
+        assert fn({"v1": 0.0, "v2": 0.0}) is False
+
+    def test_source_mentions_location(self):
+        assert "M@entry" in exact_detector().to_source()
+
+    def test_repr(self):
+        assert "exact" in repr(exact_detector())

@@ -1,0 +1,90 @@
+"""Tests for model -> predicate extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.extraction import ruleset_to_predicate, tree_to_predicate
+from repro.core.predicate import FalsePredicate, TruePredicate
+from repro.mining.rules import Prism, SequentialCoveringRules
+from repro.mining.tree import C45DecisionTree
+from tests.conftest import make_imbalanced, make_mixed, make_separable
+
+
+def attr_index(dataset):
+    return {a.name: i for i, a in enumerate(dataset.attributes)}
+
+
+class TestTreeExtraction:
+    def test_predicate_matches_tree_predictions(self):
+        ds = make_separable()
+        tree = C45DecisionTree().fit(ds)
+        predicate = tree_to_predicate(tree.root, ds.class_attribute.values)
+        flags = predicate.evaluate_rows(ds.x, attr_index(ds))
+        assert np.array_equal(flags, tree.predict(ds.x) == 1)
+
+    def test_predicate_matches_on_mixed_attributes(self):
+        ds = make_mixed()
+        tree = C45DecisionTree().fit(ds)
+        predicate = tree_to_predicate(tree.root, ds.class_attribute.values)
+        flags = predicate.evaluate_rows(ds.x, attr_index(ds))
+        assert np.array_equal(flags, tree.predict(ds.x) == 1)
+
+    def test_single_class_tree_gives_false(self):
+        ds = make_separable()
+        negatives = ds.subset(ds.y == 0)
+        tree = C45DecisionTree().fit(negatives)
+        predicate = tree_to_predicate(tree.root, ds.class_attribute.values)
+        assert isinstance(predicate, FalsePredicate)
+
+    def test_predicate_is_simplified(self):
+        ds = make_imbalanced()
+        tree = C45DecisionTree().fit(ds)
+        predicate = tree_to_predicate(tree.root, ds.class_attribute.values)
+        assert predicate.simplify().complexity() == predicate.complexity()
+
+    def test_nominal_conditions_work_on_bool_state(self):
+        """Nominal == conditions must accept runtime booleans."""
+        ds = make_mixed()
+        tree = C45DecisionTree().fit(ds)
+        predicate = tree_to_predicate(tree.root, ds.class_attribute.values)
+        # Build a state dict using a raw bool for the nominal 'flag'.
+        state = {"v": 2.0, "flag": True, "colour": 0.0}
+        row = np.array([[2.0, 1.0, 0.0]])
+        assert predicate.evaluate(state) == bool(
+            predicate.evaluate_rows(row, attr_index(ds))[0]
+        )
+
+
+class TestRulesetExtraction:
+    @pytest.mark.parametrize("factory", [SequentialCoveringRules, Prism])
+    def test_predicate_flags_positive_rules(self, factory):
+        ds = make_separable()
+        model = factory().fit(ds)
+        predicate = ruleset_to_predicate(model.ruleset)
+        flags = predicate.evaluate_rows(ds.x, attr_index(ds))
+        predicted = model.predict(ds.x) == 1
+        # Union-of-positive-rules semantics: every state the decision
+        # list classifies positive is flagged.
+        assert np.all(flags[predicted])
+
+    def test_no_positive_rules_gives_false(self):
+        ds = make_separable()
+        negatives = ds.subset(ds.y == 0)
+        model = SequentialCoveringRules().fit(negatives)
+        predicate = ruleset_to_predicate(model.ruleset)
+        assert isinstance(predicate, FalsePredicate)
+
+    def test_positive_default_gives_true(self):
+        ds = make_separable()
+        positives = ds.subset(ds.y == 1)
+        model = SequentialCoveringRules().fit(positives)
+        predicate = ruleset_to_predicate(model.ruleset)
+        assert isinstance(predicate, TruePredicate)
+
+    def test_nominal_rule_conditions(self):
+        ds = make_mixed()
+        model = SequentialCoveringRules().fit(ds)
+        predicate = ruleset_to_predicate(model.ruleset)
+        flags = predicate.evaluate_rows(ds.x, attr_index(ds))
+        predicted = model.predict(ds.x) == 1
+        assert np.all(flags[predicted])

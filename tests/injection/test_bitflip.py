@@ -1,0 +1,115 @@
+"""Unit and property tests for the transient bit-flip fault model."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.injection.bitflip import BitFlip, FaultModelError, bit_width, flip_bit
+
+
+class TestBitWidth:
+    def test_widths(self):
+        assert bit_width("float64") == 64
+        assert bit_width("int64") == 64
+        assert bit_width("int32") == 32
+        assert bit_width("bool") == 1
+
+    def test_unknown_kind(self):
+        with pytest.raises(FaultModelError):
+            bit_width("int16")
+
+
+class TestFloatFlips:
+    def test_sign_bit(self):
+        assert flip_bit(1.0, "float64", 63) == -1.0
+
+    def test_low_mantissa_bit_is_tiny(self):
+        flipped = flip_bit(1.0, "float64", 0)
+        assert flipped != 1.0
+        assert abs(flipped - 1.0) < 1e-15
+
+    def test_exponent_bit_halves_one(self):
+        # 1.0 has biased exponent 0b01111111111: bit 52 is set, so the
+        # flip clears it and halves the value.
+        assert flip_bit(1.0, "float64", 52) == 0.5
+        # For 2.0 (exponent 0b10000000000) the same flip sets it: 3.0
+        # would be wrong -- it multiplies the exponent, giving 2*2=4.
+        assert flip_bit(2.0, "float64", 52) == 4.0
+
+    def test_top_exponent_makes_huge_or_nan(self):
+        flipped = flip_bit(1.0, "float64", 62)
+        assert flipped > 1e300 or math.isinf(flipped) or math.isnan(flipped)
+
+    @given(
+        value=st.floats(allow_nan=False, width=64),
+        bit=st.integers(0, 63),
+    )
+    def test_involution(self, value, bit):
+        once = flip_bit(value, "float64", bit)
+        twice = flip_bit(once, "float64", bit)
+        # Bit-level identity even through NaN intermediates.
+        assert struct.pack("<d", twice) == struct.pack("<d", value)
+
+    @given(
+        value=st.floats(allow_nan=False, width=64),
+        bit=st.integers(0, 63),
+    )
+    def test_flip_changes_representation(self, value, bit):
+        once = flip_bit(value, "float64", bit)
+        assert struct.pack("<d", once) != struct.pack("<d", value)
+
+
+class TestIntFlips:
+    def test_low_bit(self):
+        assert flip_bit(4, "int32", 0) == 5
+        assert flip_bit(5, "int32", 0) == 4
+
+    def test_sign_bit_int32(self):
+        assert flip_bit(0, "int32", 31) == -(2**31)
+        assert flip_bit(-1, "int32", 31) == (2**31) - 1
+
+    def test_sign_bit_int64(self):
+        assert flip_bit(0, "int64", 63) == -(2**63)
+
+    def test_wraps_to_declared_width(self):
+        out = flip_bit(2**31 - 1, "int32", 0)
+        assert -(2**31) <= out < 2**31
+
+    @given(value=st.integers(-(2**31), 2**31 - 1), bit=st.integers(0, 31))
+    def test_involution_int32(self, value, bit):
+        assert flip_bit(flip_bit(value, "int32", bit), "int32", bit) == value
+
+    @given(value=st.integers(-(2**31), 2**31 - 1), bit=st.integers(0, 31))
+    def test_range_preserved_int32(self, value, bit):
+        out = flip_bit(value, "int32", bit)
+        assert -(2**31) <= out < 2**31
+        assert out != value
+
+
+class TestBoolFlips:
+    def test_inverts(self):
+        assert flip_bit(True, "bool", 0) is False
+        assert flip_bit(False, "bool", 0) is True
+
+    def test_single_bit_only(self):
+        with pytest.raises(FaultModelError):
+            flip_bit(True, "bool", 1)
+
+
+class TestBitFlipObject:
+    def test_apply(self):
+        flip = BitFlip("speed", "float64", 63)
+        assert flip.apply(2.0) == -2.0
+
+    def test_validation(self):
+        with pytest.raises(FaultModelError):
+            BitFlip("x", "int32", 32)
+        with pytest.raises(FaultModelError):
+            BitFlip("x", "int32", -1)
+        with pytest.raises(FaultModelError):
+            BitFlip("x", "complex", 0)
+
+    def test_str(self):
+        assert "bit5" in str(BitFlip("v", "int32", 5))

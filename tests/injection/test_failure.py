@@ -1,0 +1,55 @@
+"""Tests for failure specification helpers."""
+
+import math
+
+from repro.injection.failure import outputs_differ, sequences_differ
+
+
+class TestOutputsDiffer:
+    def test_equal_scalars(self):
+        assert not outputs_differ(5, 5)
+        assert outputs_differ(5, 6)
+
+    def test_type_mismatch_differs(self):
+        assert outputs_differ(5, 5.0)
+        assert outputs_differ((1,), [1])
+
+    def test_nested_structures(self):
+        a = {"files": [(1, b"abc"), (2, b"def")], "count": 2}
+        b = {"files": [(1, b"abc"), (2, b"def")], "count": 2}
+        assert not outputs_differ(a, b)
+        b["files"][1] = (2, b"dex")
+        assert outputs_differ(a, b)
+
+    def test_dict_key_mismatch(self):
+        assert outputs_differ({"a": 1}, {"b": 1})
+
+    def test_length_mismatch(self):
+        assert outputs_differ([1, 2], [1, 2, 3])
+
+    def test_nan_equals_nan(self):
+        assert not outputs_differ(float("nan"), float("nan"))
+        assert not outputs_differ([1.0, float("nan")], [1.0, float("nan")])
+
+    def test_nan_vs_number_differs(self):
+        assert outputs_differ(float("nan"), 1.0)
+
+
+class TestSequencesDiffer:
+    def test_identical(self):
+        assert not sequences_differ([1.0, 2.0], [1.0, 2.0])
+
+    def test_within_tolerance(self):
+        assert not sequences_differ([1.0], [1.0 + 1e-9], tolerance=1e-6)
+
+    def test_outside_tolerance(self):
+        assert sequences_differ([1.0], [1.1], tolerance=1e-6)
+
+    def test_length_mismatch(self):
+        assert sequences_differ([1.0], [1.0, 2.0])
+
+    def test_nan_handling(self):
+        nan = float("nan")
+        assert not sequences_differ([nan], [nan])
+        assert sequences_differ([nan], [1.0])
+        assert sequences_differ([1.0], [nan])

@@ -1,0 +1,110 @@
+"""Tests for the PROPANE-style log format."""
+
+import io
+import math
+
+import numpy as np
+import pytest
+
+from repro.injection.logfmt import LogFormatError, read_log, write_log
+from repro.injection.instrument import Location
+from tests.injection.test_campaign import Campaign, CounterTarget, config
+
+
+def roundtrip(result):
+    buffer = io.StringIO()
+    write_log(result, buffer)
+    buffer.seek(0)
+    return read_log(buffer)
+
+
+class TestRoundTrip:
+    def test_records_preserved(self):
+        result = Campaign(CounterTarget(), config()).run()
+        parsed = roundtrip(result)
+        assert parsed.target_name == "CT"
+        assert len(parsed.records) == result.n_runs
+        for a, b in zip(parsed.records, result.records):
+            assert a.test_case == b.test_case
+            assert a.flip == b.flip
+            assert a.injection_time == b.injection_time
+            assert a.failed == b.failed
+            assert a.crashed == b.crashed
+            assert a.temporal_impact == b.temporal_impact
+            assert a.sample == b.sample
+
+    def test_config_preserved(self):
+        result = Campaign(CounterTarget(), config()).run()
+        parsed = roundtrip(result)
+        assert parsed.config.module == "Acc"
+        assert parsed.config.injection_location is Location.ENTRY
+        assert parsed.config.sample_location is Location.ENTRY
+        assert parsed.config.test_cases == (0, 1)
+        assert parsed.config.injection_times == (1, 2)
+
+    def test_dataset_equivalence(self):
+        result = Campaign(CounterTarget(), config()).run()
+        direct = result.to_dataset("d")
+        parsed = roundtrip(result).to_dataset("d")
+        assert np.array_equal(direct.x, parsed.x)
+        assert np.array_equal(direct.y, parsed.y)
+        assert direct.attributes == parsed.attributes
+
+    def test_float_bit_exactness(self):
+        """Float samples round-trip exactly (hex bit encoding)."""
+        from repro.injection.logfmt import _decode_value, _encode_value
+
+        for value in (0.1, -1e308, 5e-324, float("inf"), float("nan")):
+            encoded = _encode_value(value, "float64")
+            decoded = _decode_value(encoded, "float64")
+            if math.isnan(value):
+                assert math.isnan(decoded)
+            else:
+                assert decoded == value
+
+    def test_bool_roundtrip(self):
+        from repro.injection.logfmt import _decode_value, _encode_value
+
+        assert _decode_value(_encode_value(True, "bool"), "bool") is True
+        assert _decode_value(_encode_value(False, "bool"), "bool") is False
+
+
+class TestErrors:
+    def test_missing_magic(self):
+        with pytest.raises(LogFormatError):
+            read_log(io.StringIO("#target X\n"))
+
+    def test_truncated_run(self):
+        text = (
+            "#PROPANE-LOG v1\n#target T\n#module M\n#inject entry\n"
+            "#sample entry\n#var v int32\n"
+            "RUN tc=0 var=v kind=int32 bit=0 time=0 failed=0 crashed=0 impact=1\n"
+        )
+        with pytest.raises(LogFormatError):
+            read_log(io.StringIO(text))
+
+    def test_sample_without_run(self):
+        text = (
+            "#PROPANE-LOG v1\n#target T\n#module M\n#inject entry\n"
+            "#sample entry\nS -\n"
+        )
+        with pytest.raises(LogFormatError):
+            read_log(io.StringIO(text))
+
+    def test_incomplete_header(self):
+        text = "#PROPANE-LOG v1\n#target T\n"
+        with pytest.raises(LogFormatError):
+            read_log(io.StringIO(text))
+
+    def test_unknown_header(self):
+        text = "#PROPANE-LOG v1\n#wat x\n"
+        with pytest.raises(LogFormatError):
+            read_log(io.StringIO(text))
+
+    def test_unrecognised_line(self):
+        text = (
+            "#PROPANE-LOG v1\n#target T\n#module M\n#inject entry\n"
+            "#sample entry\nGARBAGE\n"
+        )
+        with pytest.raises(LogFormatError):
+            read_log(io.StringIO(text))

@@ -1,0 +1,86 @@
+"""Tests for campaign-record -> dataset conversion."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.injection.instrument import VariableSpec
+from repro.injection.readout import (
+    CLASS_ATTRIBUTE,
+    NON_FINITE_SENTINEL,
+    attributes_for_specs,
+    encode_state,
+)
+from tests.injection.test_campaign import Campaign, CounterTarget, config
+
+
+SPECS = (
+    VariableSpec("speed", "float64"),
+    VariableSpec("count", "int32"),
+    VariableSpec("armed", "bool"),
+)
+
+
+class TestAttributes:
+    def test_kinds_mapped(self):
+        attrs = attributes_for_specs(SPECS)
+        assert attrs[0].is_numeric
+        assert attrs[1].is_numeric
+        assert attrs[2].is_nominal
+        assert attrs[2].values == ("false", "true")
+
+    def test_class_attribute(self):
+        assert CLASS_ATTRIBUTE.values == ("nofail", "fail")
+        assert CLASS_ATTRIBUTE.index_of("fail") == 1
+
+
+class TestEncodeState:
+    def test_plain_values(self):
+        row = encode_state({"speed": 1.5, "count": 7, "armed": True}, SPECS)
+        assert row == [1.5, 7.0, 1.0]
+
+    def test_bool_false(self):
+        row = encode_state({"speed": 0.0, "count": 0, "armed": False}, SPECS)
+        assert row[2] == 0.0
+
+    def test_missing_variable_is_nan(self):
+        row = encode_state({"speed": 1.0}, SPECS)
+        assert math.isnan(row[1]) and math.isnan(row[2])
+
+    def test_infinities_become_sentinels(self):
+        row = encode_state(
+            {"speed": float("inf"), "count": 0, "armed": False}, SPECS
+        )
+        assert row[0] == NON_FINITE_SENTINEL
+        row = encode_state(
+            {"speed": float("-inf"), "count": 0, "armed": False}, SPECS
+        )
+        assert row[0] == -NON_FINITE_SENTINEL
+
+    def test_nan_value_becomes_sentinel_not_missing(self):
+        """A NaN *sample value* is an erroneous state, not missing data."""
+        row = encode_state(
+            {"speed": float("nan"), "count": 0, "armed": False}, SPECS
+        )
+        assert row[0] == NON_FINITE_SENTINEL
+
+
+class TestRecordsToDataset:
+    def test_runs_without_sample_are_skipped(self):
+        result = Campaign(CounterTarget(), config()).run()
+        # Forge a record with no sample.
+        result.records[0].sample = None
+        ds = result.to_dataset()
+        assert len(ds) == result.n_runs - 1
+
+    def test_default_name(self):
+        result = Campaign(CounterTarget(), config()).run()
+        ds = result.to_dataset()
+        assert ds.name == "CT-Acc-entry-entry"
+
+    def test_labels_match_failures(self):
+        result = Campaign(CounterTarget(), config()).run()
+        ds = result.to_dataset()
+        failures = [r.failed for r in result.records if r.sample is not None]
+        assert np.array_equal(ds.y, np.array(failures, dtype=int))

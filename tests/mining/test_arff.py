@@ -1,0 +1,182 @@
+"""Unit and property tests for the ARFF reader/writer."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mining.arff import ArffError, dumps_arff, loads_arff
+from repro.mining.dataset import Attribute, Dataset
+from tests.conftest import make_mixed, make_separable
+
+
+class TestRoundTrip:
+    def test_numeric_roundtrip(self, separable_dataset):
+        again = loads_arff(dumps_arff(separable_dataset))
+        assert np.allclose(again.x, separable_dataset.x)
+        assert np.array_equal(again.y, separable_dataset.y)
+        assert again.name == separable_dataset.name
+        assert again.attributes == separable_dataset.attributes
+
+    def test_mixed_roundtrip(self, mixed_dataset):
+        again = loads_arff(dumps_arff(mixed_dataset))
+        assert np.allclose(again.x, mixed_dataset.x)
+        assert again.class_attribute == mixed_dataset.class_attribute
+
+    def test_missing_values_roundtrip(self):
+        ds = Dataset.from_records(
+            [Attribute.numeric("v"), Attribute.nominal("f", ("x", "y"))],
+            Attribute.nominal("class", ("a", "b")),
+            [[1.0, "x"], [None, None]],
+            ["a", "b"],
+        )
+        again = loads_arff(dumps_arff(ds))
+        assert math.isnan(again.x[1, 0])
+        assert math.isnan(again.x[1, 1])
+
+    def test_weights_roundtrip(self):
+        ds = Dataset.from_records(
+            [Attribute.numeric("v")],
+            Attribute.nominal("class", ("a", "b")),
+            [[1.0], [2.0]],
+            ["a", "b"],
+            weights=[1.0, 2.5],
+        )
+        again = loads_arff(dumps_arff(ds, include_weights=True))
+        assert np.array_equal(again.weights, [1.0, 2.5])
+
+    def test_quoted_names_roundtrip(self):
+        ds = Dataset.from_records(
+            [Attribute.numeric("my var"), Attribute.nominal("f", ("a b", "c,d"))],
+            Attribute.nominal("the class", ("no fail", "fail!{}")),
+            [[1.0, "a b"], [2.0, "c,d"]],
+            ["no fail", "fail!{}"],
+            name="relation with spaces",
+        )
+        again = loads_arff(dumps_arff(ds))
+        assert again.attributes[0].name == "my var"
+        assert again.attributes[1].values == ("a b", "c,d")
+        assert again.class_attribute.values == ("no fail", "fail!{}")
+        assert again.name == "relation with spaces"
+
+    @given(
+        values=st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=64),
+            min_size=1,
+            max_size=30,
+        ),
+        labels_seed=st.integers(0, 1000),
+    )
+    @settings(deadline=None, max_examples=25)
+    def test_float_precision_preserved(self, values, labels_seed):
+        rng = np.random.default_rng(labels_seed)
+        y = rng.integers(0, 2, len(values))
+        ds = Dataset(
+            [Attribute.numeric("v")],
+            Attribute.nominal("class", ("a", "b")),
+            np.asarray(values).reshape(-1, 1),
+            y,
+        )
+        again = loads_arff(dumps_arff(ds))
+        assert np.array_equal(again.x, ds.x)
+
+
+class TestParsing:
+    def test_parses_weka_style_file(self):
+        text = """% a comment
+@relation weather
+
+@attribute temperature real
+@attribute windy {TRUE, FALSE}
+@attribute play {yes, no}
+
+@data
+85.0, FALSE, no
+% another comment
+?, TRUE, yes
+"""
+        ds = loads_arff(text)
+        assert ds.name == "weather"
+        assert len(ds) == 2
+        assert ds.attributes[0].is_numeric
+        assert ds.attributes[1].values == ("TRUE", "FALSE")
+        assert math.isnan(ds.x[1, 0])
+        assert ds.decode_label(1) == "yes"
+
+    def test_integer_kind_accepted(self):
+        ds = loads_arff(
+            "@relation r\n@attribute v integer\n"
+            "@attribute class {a,b}\n@data\n1,a\n"
+        )
+        assert ds.attributes[0].is_numeric
+
+    def test_case_insensitive_headers(self):
+        ds = loads_arff(
+            "@RELATION r\n@ATTRIBUTE v NUMERIC\n"
+            "@ATTRIBUTE class {a,b}\n@DATA\n1,a\n"
+        )
+        assert len(ds) == 1
+
+    def test_percent_inside_quotes_kept(self):
+        ds = loads_arff(
+            "@relation r\n@attribute f {'100%','50%'}\n"
+            "@attribute class {a,b}\n@data\n'100%',a\n"
+        )
+        assert ds.decode_row(0) == ["100%"]
+
+
+class TestErrors:
+    def test_no_data_section(self):
+        with pytest.raises(ArffError):
+            loads_arff("@relation r\n@attribute v numeric\n@attribute c {a,b}\n")
+
+    def test_wrong_cell_count(self):
+        with pytest.raises(ArffError):
+            loads_arff(
+                "@relation r\n@attribute v numeric\n"
+                "@attribute class {a,b}\n@data\n1,2,a\n"
+            )
+
+    def test_missing_class_rejected(self):
+        with pytest.raises(ArffError):
+            loads_arff(
+                "@relation r\n@attribute v numeric\n"
+                "@attribute class {a,b}\n@data\n1,?\n"
+            )
+
+    def test_numeric_class_rejected(self):
+        with pytest.raises(ArffError):
+            loads_arff(
+                "@relation r\n@attribute v {a,b}\n"
+                "@attribute class numeric\n@data\na,1\n"
+            )
+
+    def test_bad_numeric_value(self):
+        with pytest.raises(ArffError):
+            loads_arff(
+                "@relation r\n@attribute v numeric\n"
+                "@attribute class {a,b}\n@data\nhello,a\n"
+            )
+
+    def test_unknown_nominal_value(self):
+        with pytest.raises(ArffError):
+            loads_arff(
+                "@relation r\n@attribute v {x,y}\n"
+                "@attribute class {a,b}\n@data\nz,a\n"
+            )
+
+    def test_unterminated_quote(self):
+        with pytest.raises(ArffError):
+            loads_arff(
+                "@relation r\n@attribute v {x,y}\n"
+                "@attribute class {a,b}\n@data\n'x,a\n"
+            )
+
+    def test_unsupported_attribute_type(self):
+        with pytest.raises(ArffError):
+            loads_arff("@relation r\n@attribute v date\n@attribute c {a,b}\n@data\n")
+
+    def test_single_attribute_rejected(self):
+        with pytest.raises(ArffError):
+            loads_arff("@relation r\n@attribute c {a,b}\n@data\na\n")

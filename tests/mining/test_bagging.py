@@ -1,0 +1,73 @@
+"""Tests for the bagging ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.mining.bagging import Bagging
+from repro.mining.tree import C45DecisionTree
+from tests.conftest import make_imbalanced, make_separable
+
+
+class TestBagging:
+    def test_fits_and_predicts(self):
+        ds = make_separable()
+        model = Bagging(n_models=7).fit(ds)
+        accuracy = (model.predict(ds.x) == ds.y).mean()
+        assert accuracy >= 0.97
+        assert len(model.models) == 7
+
+    def test_distribution_properties(self):
+        ds = make_separable()
+        model = Bagging(n_models=5).fit(ds)
+        dist = model.distribution(ds.x[:10])
+        assert np.allclose(dist.sum(axis=1), 1.0)
+        assert np.all(dist >= 0)
+
+    def test_deterministic_given_seed(self):
+        ds = make_imbalanced()
+        a = Bagging(n_models=5, seed=3).fit(ds).distribution(ds.x[:20])
+        b = Bagging(n_models=5, seed=3).fit(ds).distribution(ds.x[:20])
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_ensemble(self):
+        ds = make_imbalanced()
+        a = Bagging(n_models=5, seed=1).fit(ds)
+        b = Bagging(n_models=5, seed=2).fit(ds)
+        assert not np.array_equal(
+            a.distribution(ds.x), b.distribution(ds.x)
+        )
+
+    def test_smooths_variance_vs_single_tree(self):
+        """Bagged probabilities are softer than a single unpruned tree's
+        (the members disagree near the boundary)."""
+        ds = make_separable(n=300, noise=0.15)
+        single = C45DecisionTree(prune=False).fit(ds)
+        bagged = Bagging(n_models=15).fit(ds)
+        single_hard = np.isin(single.distribution(ds.x), (0.0, 1.0)).mean()
+        bagged_hard = np.isin(bagged.distribution(ds.x), (0.0, 1.0)).mean()
+        assert bagged_hard < single_hard
+
+    def test_rare_class_kept_in_bootstraps(self):
+        ds = make_imbalanced(n=120, positive_fraction=0.04)
+        model = Bagging(n_models=8).fit(ds)
+        # Every member must know both classes (the degenerate-bootstrap
+        # repair) so the ensemble can flag positives at all.
+        predicted = model.predict(ds.x)
+        assert (predicted == 1).any()
+
+    def test_mean_member_size(self):
+        ds = make_separable()
+        model = Bagging(n_models=4).fit(ds)
+        assert model.mean_member_size >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Bagging(n_models=0)
+        ds = make_separable().subset(np.zeros(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            Bagging().fit(ds)
+
+    def test_registered_as_learner(self):
+        from repro.core.preprocess import make_learner
+
+        assert isinstance(make_learner("bagging"), Bagging)

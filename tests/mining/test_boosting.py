@@ -1,0 +1,61 @@
+"""Tests for AdaBoost.M1."""
+
+import numpy as np
+import pytest
+
+from repro.mining.boosting import AdaBoostM1
+from repro.mining.tree import C45DecisionTree
+from tests.conftest import make_mixed, make_separable
+
+
+class TestAdaBoost:
+    def test_fits_separable(self):
+        ds = make_separable()
+        model = AdaBoostM1(n_rounds=10, max_depth=1).fit(ds)
+        accuracy = (model.predict(ds.x) == ds.y).mean()
+        assert accuracy >= 0.97
+
+    def test_beats_single_stump_on_xor_like_data(self):
+        """Depth-1 stumps cannot represent the conjunction concept;
+        boosting them can."""
+        ds = make_separable(n=600)
+        stump = C45DecisionTree(max_depth=1, prune=False).fit(ds)
+        stump_acc = (stump.predict(ds.x) == ds.y).mean()
+        boosted = AdaBoostM1(n_rounds=25, max_depth=1).fit(ds)
+        boosted_acc = (boosted.predict(ds.x) == ds.y).mean()
+        assert boosted_acc > stump_acc
+
+    def test_early_stop_on_perfect_learner(self):
+        ds = make_separable()
+        model = AdaBoostM1(n_rounds=30, max_depth=6).fit(ds)
+        # A deep tree is perfect on this data: one round suffices.
+        assert model.n_models == 1
+        assert model.alphas == [1.0]
+
+    def test_distribution_rows_sum_to_one(self):
+        ds = make_mixed()
+        model = AdaBoostM1(n_rounds=8).fit(ds)
+        dist = model.distribution(ds.x[:20])
+        assert np.allclose(dist.sum(axis=1), 1.0)
+
+    def test_handles_weighted_dataset(self):
+        ds = make_separable()
+        weighted = ds.with_weights(np.linspace(0.5, 2.0, len(ds)))
+        model = AdaBoostM1(n_rounds=5).fit(weighted)
+        assert model.n_models >= 1
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            AdaBoostM1(n_rounds=0)
+        with pytest.raises(ValueError):
+            AdaBoostM1(max_depth=0)
+
+    def test_empty_dataset_rejected(self):
+        ds = make_separable().subset(np.zeros(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            AdaBoostM1().fit(ds)
+
+    def test_registered_as_learner(self):
+        from repro.core.preprocess import make_learner
+
+        assert isinstance(make_learner("adaboost"), AdaBoostM1)

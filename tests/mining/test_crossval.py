@@ -1,0 +1,106 @@
+"""Tests for stratified k-fold cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.mining.crossval import cross_validate, stratified_folds
+from repro.mining.tree import C45DecisionTree
+from tests.conftest import make_imbalanced, make_separable
+
+
+class TestStratifiedFolds:
+    def test_partition_is_exact(self, separable_dataset, rng):
+        folds = stratified_folds(separable_dataset, 10, rng)
+        all_indices = np.concatenate(folds)
+        assert len(all_indices) == len(separable_dataset)
+        assert len(np.unique(all_indices)) == len(separable_dataset)
+
+    def test_stratification(self, imbalanced_dataset, rng):
+        k = 5
+        folds = stratified_folds(imbalanced_dataset, k, rng)
+        n_pos = imbalanced_dataset.class_counts()[1]
+        per_fold = [int((imbalanced_dataset.y[f] == 1).sum()) for f in folds]
+        # Counts differ by at most 1 across folds.
+        assert max(per_fold) - min(per_fold) <= 1
+        assert sum(per_fold) == n_pos
+
+    def test_rare_class_spread(self, rng):
+        ds = make_imbalanced(n=100, positive_fraction=0.05)
+        folds = stratified_folds(ds, 5, rng)
+        hit = sum(1 for f in folds if (ds.y[f] == 1).any())
+        assert hit == 5  # 5 positives, one per fold
+
+    def test_k_bounds(self, separable_dataset, rng):
+        with pytest.raises(ValueError):
+            stratified_folds(separable_dataset, 1, rng)
+        tiny = separable_dataset.subset(np.arange(3))
+        with pytest.raises(ValueError):
+            stratified_folds(tiny, 5, rng)
+
+    def test_deterministic_given_rng(self, separable_dataset):
+        a = stratified_folds(separable_dataset, 5, np.random.default_rng(1))
+        b = stratified_folds(separable_dataset, 5, np.random.default_rng(1))
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+class TestCrossValidate:
+    def test_result_structure(self, separable_dataset):
+        result = cross_validate(separable_dataset, C45DecisionTree, k=10)
+        assert len(result.folds) == 10
+        summary = result.summary()
+        assert set(summary) == {"fpr", "tpr", "auc", "comp", "var"}
+        assert 0 <= summary["auc"] <= 1
+
+    def test_separable_data_scores_high(self, separable_dataset):
+        result = cross_validate(separable_dataset, C45DecisionTree, k=10)
+        assert result.mean_auc > 0.9
+        assert result.mean_fpr < 0.05
+
+    def test_variance_is_population_variance(self, separable_dataset):
+        result = cross_validate(separable_dataset, C45DecisionTree, k=5)
+        aucs = [f.auc for f in result.folds]
+        assert result.auc_variance == pytest.approx(np.var(aucs))
+
+    def test_complexity_defaults_to_node_count(self, separable_dataset):
+        result = cross_validate(separable_dataset, C45DecisionTree, k=5)
+        assert result.mean_complexity >= 1
+
+    def test_preprocess_applied_to_training_only(self, imbalanced_dataset):
+        """The confusion matrices must count exactly the original
+        instances: resampling inflates training folds only."""
+        from repro.mining.sampling import oversample_minority
+
+        def preprocess(train, rng):
+            return oversample_minority(train, 500, rng)
+
+        result = cross_validate(
+            imbalanced_dataset, C45DecisionTree, k=5, preprocess=preprocess
+        )
+        pooled = result.pooled_confusion()
+        assert pooled.total == pytest.approx(len(imbalanced_dataset))
+
+    def test_custom_complexity_callable(self, separable_dataset):
+        result = cross_validate(
+            separable_dataset,
+            C45DecisionTree,
+            k=5,
+            complexity=lambda model: 42.0,
+        )
+        assert result.mean_complexity == 42.0
+
+    def test_pooled_confusion_counts_everything(self, separable_dataset):
+        result = cross_validate(separable_dataset, C45DecisionTree, k=10)
+        assert result.pooled_confusion().total == pytest.approx(
+            len(separable_dataset)
+        )
+
+    def test_deterministic_given_seed(self, separable_dataset):
+        a = cross_validate(
+            separable_dataset, C45DecisionTree, k=5,
+            rng=np.random.default_rng(3),
+        )
+        b = cross_validate(
+            separable_dataset, C45DecisionTree, k=5,
+            rng=np.random.default_rng(3),
+        )
+        assert a.summary() == b.summary()

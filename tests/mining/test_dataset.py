@@ -1,0 +1,233 @@
+"""Unit tests for the dataset model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mining.dataset import Attribute, Dataset, DatasetError
+
+
+class TestAttribute:
+    def test_numeric_constructor(self):
+        a = Attribute.numeric("speed")
+        assert a.is_numeric and not a.is_nominal
+        assert a.values == ()
+
+    def test_nominal_constructor(self):
+        a = Attribute.nominal("flag", ("off", "on"))
+        assert a.is_nominal
+        assert a.index_of("on") == 1
+        assert a.value_of(0) == "off"
+
+    def test_nominal_requires_values(self):
+        with pytest.raises(DatasetError):
+            Attribute("flag", "nominal")
+
+    def test_numeric_rejects_values(self):
+        with pytest.raises(DatasetError):
+            Attribute("speed", "numeric", ("a",))
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(DatasetError):
+            Attribute.nominal("flag", ("on", "on"))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DatasetError):
+            Attribute("x", "ordinal")
+
+    def test_index_of_unknown_value(self):
+        a = Attribute.nominal("flag", ("off", "on"))
+        with pytest.raises(DatasetError):
+            a.index_of("maybe")
+
+    def test_index_of_on_numeric_raises(self):
+        with pytest.raises(DatasetError):
+            Attribute.numeric("x").index_of("1")
+
+
+class TestDatasetConstruction:
+    def test_basic_shape(self, separable_dataset):
+        assert len(separable_dataset) == 400
+        assert separable_dataset.n_attributes == 2
+        assert separable_dataset.n_classes == 2
+
+    def test_class_attribute_must_be_nominal(self):
+        with pytest.raises(DatasetError):
+            Dataset(
+                [Attribute.numeric("v")],
+                Attribute.numeric("class"),
+                np.zeros((1, 1)),
+                np.zeros(1, int),
+            )
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset(
+                [Attribute.numeric("v"), Attribute.numeric("v")],
+                Attribute.nominal("class", ("a", "b")),
+                np.zeros((1, 2)),
+                np.zeros(1, int),
+            )
+
+    def test_class_name_collision_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset(
+                [Attribute.numeric("class")],
+                Attribute.nominal("class", ("a", "b")),
+                np.zeros((1, 1)),
+                np.zeros(1, int),
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset(
+                [Attribute.numeric("v")],
+                Attribute.nominal("class", ("a", "b")),
+                np.zeros((2, 2)),
+                np.zeros(2, int),
+            )
+
+    def test_class_index_out_of_range(self):
+        with pytest.raises(DatasetError):
+            Dataset(
+                [Attribute.numeric("v")],
+                Attribute.nominal("class", ("a", "b")),
+                np.zeros((1, 1)),
+                np.array([5]),
+            )
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset(
+                [Attribute.numeric("v")],
+                Attribute.nominal("class", ("a", "b")),
+                np.zeros((1, 1)),
+                np.zeros(1, int),
+                weights=np.array([-1.0]),
+            )
+
+    def test_nominal_column_range_checked(self):
+        with pytest.raises(DatasetError):
+            Dataset(
+                [Attribute.nominal("f", ("x", "y"))],
+                Attribute.nominal("class", ("a", "b")),
+                np.array([[7.0]]),
+                np.zeros(1, int),
+            )
+
+    def test_default_weights_are_ones(self, separable_dataset):
+        assert separable_dataset.total_weight == len(separable_dataset)
+
+
+class TestFromRecords:
+    def test_roundtrip_with_strings_and_missing(self):
+        ds = Dataset.from_records(
+            [Attribute.numeric("v"), Attribute.nominal("f", ("off", "on"))],
+            Attribute.nominal("class", ("a", "b")),
+            [[1.5, "on"], [None, "off"], [2.0, None]],
+            ["a", "b", "a"],
+        )
+        assert len(ds) == 3
+        assert ds.x[0, 1] == 1.0
+        assert math.isnan(ds.x[1, 0])
+        assert ds.decode_row(1) == [None, "off"]
+        assert ds.decode_label(1) == "b"
+
+    def test_record_length_checked(self):
+        with pytest.raises(DatasetError):
+            Dataset.from_records(
+                [Attribute.numeric("v")],
+                Attribute.nominal("class", ("a", "b")),
+                [[1.0, 2.0]],
+                ["a"],
+            )
+
+    def test_labels_by_index(self):
+        ds = Dataset.from_records(
+            [Attribute.numeric("v")],
+            Attribute.nominal("class", ("a", "b")),
+            [[0.0]],
+            [1],
+        )
+        assert ds.decode_label(0) == "b"
+
+
+class TestDatasetOperations:
+    def test_class_counts_and_distribution(self, separable_dataset):
+        counts = separable_dataset.class_counts()
+        assert counts.sum() == len(separable_dataset)
+        dist = separable_dataset.class_distribution()
+        assert pytest.approx(dist.sum()) == 1.0
+
+    def test_majority_class(self, imbalanced_dataset):
+        assert imbalanced_dataset.majority_class() == 0
+
+    def test_subset_by_mask(self, separable_dataset):
+        mask = separable_dataset.y == 1
+        sub = separable_dataset.subset(mask)
+        assert len(sub) == mask.sum()
+        assert (sub.y == 1).all()
+
+    def test_concat(self, separable_dataset):
+        doubled = separable_dataset.concat(separable_dataset)
+        assert len(doubled) == 2 * len(separable_dataset)
+
+    def test_concat_schema_mismatch(self, separable_dataset, mixed_dataset):
+        with pytest.raises(DatasetError):
+            separable_dataset.concat(mixed_dataset)
+
+    def test_shuffled_preserves_multiset(self, separable_dataset, rng):
+        shuffled = separable_dataset.shuffled(rng)
+        assert sorted(shuffled.y) == sorted(separable_dataset.y)
+        assert np.allclose(
+            np.sort(shuffled.x[:, 0]), np.sort(separable_dataset.x[:, 0])
+        )
+
+    def test_column_lookup(self, separable_dataset):
+        col = separable_dataset.column("v2")
+        assert np.array_equal(col, separable_dataset.x[:, 1])
+        with pytest.raises(DatasetError):
+            separable_dataset.column("missing")
+
+    def test_copy_is_independent(self, separable_dataset):
+        copy = separable_dataset.copy()
+        copy.x[0, 0] = 999.0
+        assert separable_dataset.x[0, 0] != 999.0
+
+    def test_with_weights(self, separable_dataset):
+        w = np.full(len(separable_dataset), 2.0)
+        weighted = separable_dataset.with_weights(w)
+        assert weighted.total_weight == 2 * len(separable_dataset)
+        assert weighted.class_weights().sum() == weighted.total_weight
+
+    def test_empty_majority_raises(self, separable_dataset):
+        empty = separable_dataset.subset(np.zeros(0, dtype=np.int64))
+        with pytest.raises(DatasetError):
+            empty.majority_class()
+
+
+class TestDescribe:
+    def test_numeric_statistics(self, separable_dataset):
+        summary = {e["name"]: e for e in separable_dataset.describe()}
+        v1 = summary["v1"]
+        assert v1["kind"] == "numeric"
+        assert v1["min"] <= v1["mean"] <= v1["max"]
+        assert v1["missing"] == 0.0
+
+    def test_nominal_counts(self, mixed_dataset):
+        summary = {e["name"]: e for e in mixed_dataset.describe()}
+        flag = summary["flag"]
+        assert set(flag["counts"]) == {"off", "on"}
+        assert sum(flag["counts"].values()) == len(mixed_dataset)
+
+    def test_missing_fraction(self, separable_dataset):
+        x = separable_dataset.x.copy()
+        x[:40, 0] = np.nan
+        summary = separable_dataset.replace(x=x).describe()
+        assert summary[0]["missing"] == pytest.approx(0.1)
+
+    def test_empty_dataset(self, separable_dataset):
+        empty = separable_dataset.subset(np.zeros(0, dtype=np.int64))
+        summary = empty.describe()
+        assert len(summary) == 2

@@ -1,0 +1,127 @@
+"""Tests for Fayyad-Irani MDL discretisation."""
+
+import numpy as np
+import pytest
+
+from repro.mining.dataset import Attribute, Dataset
+from repro.mining.discretize import MdlDiscretiser, mdl_cut_points
+from tests.conftest import make_mixed, make_separable
+
+
+def one_column(values, labels):
+    return Dataset(
+        [Attribute.numeric("v")],
+        Attribute.nominal("class", ("a", "b")),
+        np.asarray(values, float).reshape(-1, 1),
+        np.asarray(labels, int),
+    )
+
+
+class TestCutPoints:
+    def test_clean_boundary_found(self):
+        values = np.concatenate([np.linspace(0, 1, 40), np.linspace(5, 6, 40)])
+        labels = np.array([0] * 40 + [1] * 40)
+        cuts = mdl_cut_points(values, labels, 2)
+        assert len(cuts) == 1
+        assert 1.0 < cuts[0] < 5.0
+
+    def test_pure_labels_no_cut(self):
+        values = np.linspace(0, 1, 50)
+        labels = np.zeros(50, int)
+        assert mdl_cut_points(values, labels, 2) == []
+
+    def test_random_labels_rejected_by_mdl(self):
+        rng = np.random.default_rng(0)
+        values = rng.random(60)
+        labels = rng.integers(0, 2, 60)
+        # Random labels: MDL should accept at most a cut or two.
+        assert len(mdl_cut_points(values, labels, 2)) <= 2
+
+    def test_multiple_boundaries(self):
+        values = np.concatenate(
+            [np.linspace(0, 1, 30), np.linspace(2, 3, 30), np.linspace(4, 5, 30)]
+        )
+        labels = np.array([0] * 30 + [1] * 30 + [0] * 30)
+        cuts = mdl_cut_points(values, labels, 2)
+        assert len(cuts) == 2
+
+    def test_missing_values_ignored(self):
+        values = np.array([0.0, 0.1, np.nan, 5.0, 5.1] * 10)
+        labels = np.array([0, 0, 0, 1, 1] * 10)
+        cuts = mdl_cut_points(values, labels, 2)
+        assert len(cuts) == 1
+
+    def test_cuts_sorted(self):
+        ds = make_separable(n=300)
+        cuts = mdl_cut_points(ds.x[:, 0], ds.y, 2)
+        assert cuts == sorted(cuts)
+
+
+class TestDiscretiser:
+    def test_schema_converted(self):
+        ds = make_separable()
+        out = MdlDiscretiser().fit(ds).apply(ds)
+        for attribute in out.attributes:
+            assert attribute.is_nominal
+        assert out.class_attribute == ds.class_attribute
+        assert len(out) == len(ds)
+
+    def test_nominal_attributes_untouched(self):
+        ds = make_mixed()
+        disc = MdlDiscretiser().fit(ds)
+        out = disc.apply(ds)
+        assert out.attributes[1] == ds.attributes[1]
+        assert np.array_equal(out.x[:, 1], ds.x[:, 1])
+
+    def test_uninformative_column_single_bin(self):
+        rng = np.random.default_rng(1)
+        ds = Dataset(
+            [Attribute.numeric("noise")],
+            Attribute.nominal("class", ("a", "b")),
+            rng.random((80, 1)),
+            rng.integers(0, 2, 80),
+        )
+        disc = MdlDiscretiser().fit(ds)
+        assert disc.cut_points["noise"] == []
+        out = disc.apply(ds)
+        assert out.attributes[0].values == ("all",)
+        assert set(out.x[:, 0]) == {0.0}
+
+    def test_bins_preserve_class_signal(self):
+        """A tree on the discretised data still learns the concept."""
+        from repro.mining.tree import C45DecisionTree
+
+        ds = make_separable(n=400)
+        disc = MdlDiscretiser().fit(ds)
+        binned = disc.apply(ds)
+        tree = C45DecisionTree().fit(binned)
+        accuracy = (tree.predict(binned.x) == binned.y).mean()
+        assert accuracy >= 0.95
+
+    def test_statistics_frozen_at_fit(self):
+        ds = make_separable(n=200)
+        disc = MdlDiscretiser().fit(ds)
+        test = one_column([0.0, 100.0], [0, 1])
+        # Apply uses fit-time cuts; out-of-range values land in the
+        # outer bins rather than creating new ones.
+        out = disc.apply(
+            Dataset(ds.attributes, ds.class_attribute,
+                    np.array([[0.0, 0.0], [99.0, -99.0]]), np.array([0, 1]))
+        )
+        n_bins_0 = len(disc.cut_points["v1"]) + 1
+        assert out.x[1, 0] == n_bins_0 - 1
+
+    def test_missing_values_stay_missing(self):
+        ds = make_separable(n=100)
+        x = ds.x.copy()
+        x[0, 0] = np.nan
+        disc = MdlDiscretiser().fit(ds)
+        out = disc.apply(ds.replace(x=x))
+        assert np.isnan(out.x[0, 0])
+
+    def test_apply_before_fit(self):
+        ds = make_separable()
+        with pytest.raises(RuntimeError):
+            MdlDiscretiser().apply(ds)
+        with pytest.raises(RuntimeError):
+            MdlDiscretiser().cut_points

@@ -1,0 +1,184 @@
+"""Tests for the non-tree learners: Naive Bayes, logistic, k-NN, rules."""
+
+import numpy as np
+import pytest
+
+from repro.mining.base import NotFittedError
+from repro.mining.bayes import NaiveBayes
+from repro.mining.knn import KNNClassifier, NearestNeighbours
+from repro.mining.logistic import LogisticRegression
+from repro.mining.rules import Prism, SequentialCoveringRules
+from repro.mining.transforms import SignedLogTransform
+from tests.conftest import make_imbalanced, make_mixed, make_separable
+
+
+ALL_LEARNERS = [
+    NaiveBayes,
+    LogisticRegression,
+    KNNClassifier,
+    Prism,
+    SequentialCoveringRules,
+]
+
+
+@pytest.mark.parametrize("factory", ALL_LEARNERS)
+class TestLearnerProtocol:
+    def test_fit_returns_self(self, factory, separable_dataset):
+        model = factory()
+        assert model.fit(separable_dataset) is model
+
+    def test_distribution_shape_and_sum(self, factory, separable_dataset):
+        model = factory().fit(separable_dataset)
+        dist = model.distribution(separable_dataset.x[:20])
+        assert dist.shape == (20, 2)
+        assert np.allclose(dist.sum(axis=1), 1.0)
+
+    def test_decent_training_accuracy(self, factory, separable_dataset):
+        model = factory().fit(separable_dataset)
+        accuracy = (model.predict(separable_dataset.x) == separable_dataset.y).mean()
+        assert accuracy >= 0.9
+
+    def test_not_fitted_raises(self, factory):
+        with pytest.raises((NotFittedError, RuntimeError)):
+            factory().predict(np.zeros((1, 2)))
+
+    def test_empty_dataset_rejected(self, factory, separable_dataset):
+        empty = separable_dataset.subset(np.zeros(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            factory().fit(empty)
+
+    def test_handles_nominal_attributes(self, factory, mixed_dataset):
+        model = factory().fit(mixed_dataset)
+        accuracy = (model.predict(mixed_dataset.x) == mixed_dataset.y).mean()
+        assert accuracy >= 0.8
+
+    def test_predict_one(self, factory, separable_dataset):
+        model = factory().fit(separable_dataset)
+        assert model.predict_one(separable_dataset.x[0]) in (0, 1)
+
+
+class TestNaiveBayes:
+    def test_priors_reflect_imbalance(self, imbalanced_dataset):
+        model = NaiveBayes().fit(imbalanced_dataset)
+        # Prior for the majority class must dominate.
+        assert model._log_prior[0] > model._log_prior[1]
+
+    def test_missing_values_skipped(self, separable_dataset):
+        model = NaiveBayes().fit(separable_dataset)
+        row = np.array([[np.nan, np.nan]])
+        dist = model.distribution(row)[0]
+        # With nothing observed the posterior equals the prior.
+        prior = np.exp(model._log_prior)
+        assert np.allclose(dist, prior / prior.sum())
+
+    def test_log_mapping_helps_extreme_magnitudes(self):
+        """Bit-flip-like magnitudes break raw Gaussian NB; g(x) fixes it."""
+        rng = np.random.default_rng(0)
+        from repro.mining.dataset import Attribute, Dataset
+
+        n = 300
+        benign = rng.normal(10.0, 2.0, n)
+        corrupt = np.exp(rng.uniform(np.log(1e4), np.log(1e9), n // 5))
+        x = np.concatenate([benign, corrupt]).reshape(-1, 1)
+        y = np.array([0] * n + [1] * (n // 5))
+        ds = Dataset(
+            [Attribute.numeric("v")],
+            Attribute.nominal("class", ("a", "b")),
+            x,
+            y,
+        )
+        raw = NaiveBayes().fit(ds)
+        raw_acc = (raw.predict(ds.x) == ds.y).mean()
+        logged = SignedLogTransform().fit(ds).apply(ds)
+        log_model = NaiveBayes().fit(logged)
+        log_acc = (log_model.predict(logged.x) == logged.y).mean()
+        assert log_acc >= raw_acc
+
+    def test_laplace_validation(self):
+        with pytest.raises(ValueError):
+            NaiveBayes(laplace=-1)
+
+
+class TestLogistic:
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1)
+        with pytest.raises(ValueError):
+            LogisticRegression(learning_rate=0)
+        with pytest.raises(ValueError):
+            LogisticRegression(max_iter=0)
+
+    def test_missing_values_imputed(self, separable_dataset):
+        model = LogisticRegression().fit(separable_dataset)
+        dist = model.distribution(np.array([[np.nan, 0.0]]))
+        assert np.isfinite(dist).all()
+
+
+class TestNearestNeighbours:
+    def test_self_is_nearest(self, separable_dataset):
+        index = NearestNeighbours(separable_dataset)
+        neighbours = index.neighbours(separable_dataset.x[5], k=1)
+        assert neighbours[0] == 5
+
+    def test_exclude(self, separable_dataset):
+        index = NearestNeighbours(separable_dataset)
+        neighbours = index.neighbours(separable_dataset.x[5], k=1, exclude=5)
+        assert neighbours[0] != 5
+
+    def test_k_capped_at_population(self, separable_dataset):
+        small = separable_dataset.subset(np.arange(3))
+        index = NearestNeighbours(small)
+        assert len(index.neighbours(small.x[0], k=10)) == 3
+
+    def test_k_validation(self, separable_dataset):
+        index = NearestNeighbours(separable_dataset)
+        with pytest.raises(ValueError):
+            index.neighbours(separable_dataset.x[0], k=0)
+
+    def test_mixed_attribute_distance(self, mixed_dataset):
+        index = NearestNeighbours(mixed_dataset)
+        d = index.distances(mixed_dataset.x[0])
+        assert d[0] == pytest.approx(0.0)
+        assert np.all(d >= 0)
+
+    def test_missing_values_max_distance(self, separable_dataset):
+        index = NearestNeighbours(separable_dataset)
+        row = separable_dataset.x[0].copy()
+        row[0] = np.nan
+        d = index.distances(row)
+        assert d[0] >= 1.0  # missing column contributes distance 1
+
+
+class TestRuleLearners:
+    def test_ruleset_renders(self, separable_dataset):
+        model = SequentialCoveringRules().fit(separable_dataset)
+        text = str(model.ruleset)
+        assert "IF" in text and "ELSE" in text
+
+    def test_condition_count_positive(self, separable_dataset):
+        model = SequentialCoveringRules().fit(separable_dataset)
+        assert model.condition_count >= 1
+
+    def test_prism_perfect_rules_on_separable(self, separable_dataset):
+        model = Prism().fit(separable_dataset)
+        accuracy = (model.predict(separable_dataset.x) == separable_dataset.y).mean()
+        assert accuracy == 1.0
+
+    def test_rules_handle_imbalance(self, imbalanced_dataset):
+        model = SequentialCoveringRules().fit(imbalanced_dataset)
+        predicted = model.predict(imbalanced_dataset.x)
+        tp = ((predicted == 1) & (imbalanced_dataset.y == 1)).sum()
+        assert tp / imbalanced_dataset.class_counts()[1] >= 0.8
+
+    def test_single_class_dataset(self, separable_dataset):
+        only_neg = separable_dataset.subset(separable_dataset.y == 0)
+        model = SequentialCoveringRules().fit(only_neg)
+        assert (model.predict(only_neg.x) == 0).all()
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            SequentialCoveringRules(min_coverage=0)
+        with pytest.raises(ValueError):
+            SequentialCoveringRules(min_precision=1.5)
+        with pytest.raises(ValueError):
+            Prism(min_coverage=0)

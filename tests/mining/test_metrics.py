@@ -1,0 +1,197 @@
+"""Unit and property tests for Section IV metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mining.metrics import (
+    ConfusionMatrix,
+    MetricsError,
+    breiman_cost_vector,
+    expected_misclassification_cost,
+    max_cost_vector,
+    roc_distance_to_perfect,
+    ting_instance_weights,
+    trapezoid_auc,
+    uniform_cost_matrix,
+)
+
+LABELS = ("nofail", "fail")
+
+
+def cm(tp, fn, fp, tn) -> ConfusionMatrix:
+    # Row = actual (nofail=0, fail=1), column = predicted.
+    return ConfusionMatrix(np.array([[tn, fp], [fn, tp]], float), LABELS, positive=1)
+
+
+class TestConfusionMatrixCells:
+    def test_table1_cells(self):
+        m = cm(tp=10, fn=2, fp=3, tn=85)
+        assert (m.tp, m.fn, m.fp, m.tn) == (10, 2, 3, 85)
+        assert m.n_pos == 12
+        assert m.n_neg == 88
+        assert m.total == 100
+
+    def test_from_predictions(self):
+        actual = np.array([1, 1, 0, 0, 1])
+        predicted = np.array([1, 0, 0, 1, 1])
+        m = ConfusionMatrix.from_predictions(actual, predicted, LABELS)
+        assert m.tp == 2 and m.fn == 1 and m.fp == 1 and m.tn == 1
+
+    def test_from_predictions_weighted(self):
+        actual = np.array([1, 0])
+        predicted = np.array([1, 1])
+        m = ConfusionMatrix.from_predictions(
+            actual, predicted, LABELS, weights=np.array([2.0, 3.0])
+        )
+        assert m.tp == 2.0 and m.fp == 3.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(MetricsError):
+            ConfusionMatrix.from_predictions(
+                np.array([1]), np.array([1, 0]), LABELS
+            )
+
+    def test_addition(self):
+        total = cm(1, 2, 3, 4) + cm(10, 20, 30, 40)
+        assert total.tp == 11 and total.tn == 44
+
+    def test_addition_label_mismatch(self):
+        other = ConfusionMatrix(np.zeros((2, 2)), ("x", "y"), positive=1)
+        with pytest.raises(MetricsError):
+            cm(1, 1, 1, 1) + other
+
+    def test_negative_cells_rejected(self):
+        with pytest.raises(MetricsError):
+            ConfusionMatrix(np.array([[1.0, -1.0], [0.0, 1.0]]), LABELS)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(MetricsError):
+            ConfusionMatrix(np.zeros((2, 3)), LABELS)
+
+
+class TestRates:
+    def test_known_values(self):
+        m = cm(tp=90, fn=10, fp=5, tn=95)
+        assert m.true_positive_rate() == pytest.approx(0.90)
+        assert m.false_positive_rate() == pytest.approx(0.05)
+        assert m.true_negative_rate() == pytest.approx(0.95)
+        assert m.precision() == pytest.approx(90 / 95)
+        assert m.recall() == m.true_positive_rate()
+        assert m.accuracy() == pytest.approx(185 / 200)
+        assert m.geometric_mean() == pytest.approx(math.sqrt(0.90 * 0.95))
+        assert m.auc() == pytest.approx((0.90 - 0.05 + 1) / 2)
+
+    def test_f1_harmonic_mean(self):
+        m = cm(tp=90, fn=10, fp=5, tn=95)
+        p, r = m.precision(), m.recall()
+        assert m.f1() == pytest.approx(2 * p * r / (p + r))
+
+    def test_zero_denominators(self):
+        empty = cm(0, 0, 0, 0)
+        assert empty.true_positive_rate() == 0.0
+        assert empty.false_positive_rate() == 0.0
+        assert empty.f1() == 0.0
+        assert empty.accuracy() == 0.0
+
+    def test_perfect_detector(self):
+        m = cm(tp=12, fn=0, fp=0, tn=88)
+        assert m.auc() == 1.0
+        assert m.distance_to_perfect() == 0.0
+
+    def test_as_dict_keys(self):
+        d = cm(1, 1, 1, 1).as_dict()
+        for key in ("tpr", "fpr", "auc", "f1", "gmean", "distance_to_perfect"):
+            assert key in d
+
+    def test_str_contains_labels(self):
+        text = str(cm(1, 2, 3, 4))
+        assert "nofail" in text and "fail" in text
+
+
+class TestAucGeometry:
+    @given(
+        tpr=st.floats(0, 1, allow_nan=False),
+        fpr=st.floats(0, 1, allow_nan=False),
+    )
+    def test_trapezoid_auc_bounds(self, tpr, fpr):
+        auc = trapezoid_auc(tpr, fpr)
+        assert 0.0 <= auc <= 1.0
+
+    @given(
+        tpr=st.floats(0, 1, allow_nan=False),
+        fpr=st.floats(0, 1, allow_nan=False),
+    )
+    def test_distance_bounds(self, tpr, fpr):
+        assert 0.0 <= roc_distance_to_perfect(tpr, fpr) <= math.sqrt(2) + 1e-12
+
+    def test_random_classifier_auc_half(self):
+        assert trapezoid_auc(0.5, 0.5) == 0.5
+
+
+class TestCosts:
+    def test_uniform_cost_matrix_equals_errors(self):
+        m = cm(tp=10, fn=2, fp=3, tn=85)
+        cost = expected_misclassification_cost(m.matrix, uniform_cost_matrix(2))
+        assert cost == pytest.approx(m.fn + m.fp)
+
+    def test_cost_matrix_diagonal_checked(self):
+        bad = np.array([[1.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(MetricsError):
+            expected_misclassification_cost(np.zeros((2, 2)), bad)
+
+    def test_negative_costs_rejected(self):
+        bad = np.array([[0.0, -1.0], [1.0, 0.0]])
+        with pytest.raises(MetricsError):
+            expected_misclassification_cost(np.zeros((2, 2)), bad)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(MetricsError):
+            expected_misclassification_cost(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_breiman_and_max_vectors(self):
+        c = np.array([[0.0, 5.0, 1.0], [2.0, 0.0, 2.0], [1.0, 1.0, 0.0]])
+        assert np.array_equal(breiman_cost_vector(c), [6.0, 4.0, 2.0])
+        assert np.array_equal(max_cost_vector(c), [5.0, 2.0, 1.0])
+
+
+class TestTingWeights:
+    def test_weighted_total_preserved(self):
+        y = np.array([0] * 90 + [1] * 10)
+        w = ting_instance_weights(y, np.array([1.0, 9.0]))
+        assert w.sum() == pytest.approx(len(y))
+
+    def test_costly_class_weighs_more(self):
+        y = np.array([0] * 90 + [1] * 10)
+        w = ting_instance_weights(y, np.array([1.0, 9.0]))
+        assert w[y == 1][0] > w[y == 0][0]
+
+    def test_formula(self):
+        # w(j) = V(j) * N / sum_i V(i) N_i
+        y = np.array([0, 0, 1])
+        v = np.array([1.0, 4.0])
+        w = ting_instance_weights(y, v)
+        denom = 1.0 * 2 + 4.0 * 1
+        assert w[0] == pytest.approx(1.0 * 3 / denom)
+        assert w[2] == pytest.approx(4.0 * 3 / denom)
+
+    def test_zero_total_cost_rejected(self):
+        with pytest.raises(MetricsError):
+            ting_instance_weights(np.array([0, 1]), np.array([0.0, 0.0]))
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(MetricsError):
+            ting_instance_weights(np.array([0]), np.array([-1.0]))
+
+    @given(
+        n0=st.integers(1, 50),
+        n1=st.integers(1, 50),
+        v0=st.floats(0.1, 10),
+        v1=st.floats(0.1, 10),
+    )
+    def test_total_preserved_property(self, n0, n1, v0, v1):
+        y = np.array([0] * n0 + [1] * n1)
+        w = ting_instance_weights(y, np.array([v0, v1]))
+        assert w.sum() == pytest.approx(len(y))

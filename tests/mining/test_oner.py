@@ -1,0 +1,83 @@
+"""Tests for the OneR baseline learner."""
+
+import numpy as np
+import pytest
+
+from repro.mining.dataset import Attribute, Dataset
+from repro.mining.oner import OneR
+from tests.conftest import make_mixed, make_separable
+
+
+def single_signal(n=200, seed=0):
+    """One informative numeric attribute plus one noise attribute."""
+    rng = np.random.default_rng(seed)
+    signal = rng.normal(0, 1, n)
+    noise = rng.normal(0, 1, n)
+    y = (signal > 0.5).astype(int)
+    return Dataset(
+        [Attribute.numeric("noise"), Attribute.numeric("signal")],
+        Attribute.nominal("class", ("a", "b")),
+        np.column_stack([noise, signal]),
+        y,
+    )
+
+
+class TestOneR:
+    def test_picks_the_informative_attribute(self):
+        ds = single_signal()
+        model = OneR().fit(ds)
+        assert model.chosen_attribute == 1
+        accuracy = (model.predict(ds.x) == ds.y).mean()
+        assert accuracy >= 0.95
+
+    def test_cannot_express_conjunctions(self):
+        """The separable concept needs two attributes; OneR cannot get
+        it perfectly -- that is its role as a floor."""
+        ds = make_separable(n=500)
+        model = OneR().fit(ds)
+        accuracy = (model.predict(ds.x) == ds.y).mean()
+        majority = ds.class_counts().max() / len(ds)
+        assert majority - 1e-9 <= accuracy < 1.0
+
+    def test_nominal_attribute_rule(self):
+        ds = make_mixed(n=300)
+        model = OneR().fit(ds)
+        accuracy = (model.predict(ds.x) == ds.y).mean()
+        assert accuracy >= ds.class_counts().max() / len(ds) - 1e-9
+
+    def test_distribution_is_hard(self):
+        ds = single_signal()
+        model = OneR().fit(ds)
+        dist = model.distribution(ds.x[:10])
+        assert set(np.unique(dist)) <= {0.0, 1.0}
+        assert np.allclose(dist.sum(axis=1), 1.0)
+
+    def test_min_bucket_validation(self):
+        with pytest.raises(ValueError):
+            OneR(min_bucket_weight=0)
+
+    def test_empty_dataset(self):
+        ds = make_separable().subset(np.zeros(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            OneR().fit(ds)
+
+    def test_missing_values_get_default(self):
+        ds = single_signal()
+        model = OneR().fit(ds)
+        row = np.array([[np.nan, np.nan]])
+        assert model.predict(row)[0] == ds.majority_class()
+
+    def test_constant_column_handled(self):
+        ds = Dataset(
+            [Attribute.numeric("v")],
+            Attribute.nominal("class", ("a", "b")),
+            np.ones((20, 1)),
+            np.array([0, 1] * 10),
+        )
+        model = OneR().fit(ds)
+        assert model.predict(np.array([[1.0]]))[0] in (0, 1)
+
+    def test_registered_as_learner(self):
+        from repro.core.preprocess import make_learner
+
+        assert isinstance(make_learner("oner"), OneR)

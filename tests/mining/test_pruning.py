@@ -1,0 +1,105 @@
+"""Tests for pessimistic-error pruning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mining.tree import C45DecisionTree
+from repro.mining.tree.node import LeafNode
+from repro.mining.tree.pruning import (
+    _normal_quantile,
+    added_errors,
+    pessimistic_errors,
+    prune_tree,
+)
+from tests.conftest import make_separable
+
+
+class TestNormalQuantile:
+    def test_median(self):
+        assert _normal_quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_values(self):
+        assert _normal_quantile(0.975) == pytest.approx(1.959964, abs=1e-5)
+        assert _normal_quantile(0.75) == pytest.approx(0.674490, abs=1e-5)
+        assert _normal_quantile(0.025) == pytest.approx(-1.959964, abs=1e-5)
+
+    def test_symmetry(self):
+        for p in (0.6, 0.9, 0.99, 0.999):
+            assert _normal_quantile(p) == pytest.approx(
+                -_normal_quantile(1 - p), abs=1e-7
+            )
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            _normal_quantile(0.0)
+        with pytest.raises(ValueError):
+            _normal_quantile(1.0)
+
+
+class TestAddedErrors:
+    def test_zero_errors_formula(self):
+        # e=0: N * (1 - CF^(1/N))
+        n, cf = 10.0, 0.25
+        assert added_errors(n, 0.0, cf) == pytest.approx(
+            n * (1 - cf ** (1 / n))
+        )
+
+    def test_monotone_in_confidence(self):
+        # Smaller CF = more pessimism = more added errors.
+        assert added_errors(20, 3, 0.1) > added_errors(20, 3, 0.5)
+
+    def test_all_errors_adds_nothing(self):
+        assert added_errors(5, 5, 0.25) == 0.0
+
+    def test_zero_weight_node(self):
+        assert added_errors(0, 0, 0.25) == 0.0
+
+    @given(
+        n=st.floats(1, 1000),
+        frac=st.floats(0, 1),
+        cf=st.floats(0.01, 0.99),
+    )
+    def test_added_errors_nonnegative_and_bounded(self, n, frac, cf):
+        e = n * frac
+        extra = added_errors(n, e, cf)
+        assert extra >= -1e-9
+        assert e + extra <= n + 1e-6
+
+    def test_pessimistic_errors_is_sum(self):
+        assert pessimistic_errors(30, 4, 0.25) == pytest.approx(
+            4 + added_errors(30, 4, 0.25)
+        )
+
+
+class TestPruning:
+    def test_pruned_not_larger(self):
+        ds = make_separable(n=300, noise=0.15)
+        grown = C45DecisionTree(prune=False).fit(ds)
+        pruned = C45DecisionTree(prune=True).fit(ds)
+        assert pruned.node_count <= grown.node_count
+
+    def test_noise_gets_pruned(self):
+        # With heavy label noise the grown tree overfits; pruning must
+        # remove a meaningful share of the nodes.
+        ds = make_separable(n=400, noise=0.25)
+        grown = C45DecisionTree(prune=False).fit(ds)
+        pruned = C45DecisionTree(prune=True, confidence_factor=0.25).fit(ds)
+        assert pruned.node_count < grown.node_count
+
+    def test_more_confidence_less_pruning(self):
+        ds = make_separable(n=400, noise=0.2)
+        aggressive = C45DecisionTree(confidence_factor=0.05).fit(ds)
+        lenient = C45DecisionTree(confidence_factor=0.9).fit(ds)
+        assert aggressive.node_count <= lenient.node_count
+
+    def test_prune_leaf_is_identity(self):
+        leaf = LeafNode(np.array([3.0, 1.0]))
+        assert prune_tree(leaf, 0.25) is leaf
+
+    def test_pruning_preserves_root_distribution(self):
+        ds = make_separable(n=300, noise=0.2)
+        grown = C45DecisionTree(prune=False).fit(ds)
+        total = grown.root.class_weights.copy()
+        pruned = prune_tree(grown.root, 0.25)
+        assert np.allclose(pruned.class_weights, total)

@@ -1,0 +1,92 @@
+"""Tests for ROC curve construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mining.bayes import NaiveBayes
+from repro.mining.roc import roc_auc, roc_curve
+from tests.conftest import make_separable
+
+
+class TestRocCurve:
+    def test_perfect_ranking(self):
+        actual = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        curve = roc_curve(actual, scores)
+        assert curve.auc == pytest.approx(1.0)
+
+    def test_worst_ranking(self):
+        actual = np.array([1, 1, 0, 0])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(actual, scores) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        actual = rng.integers(0, 2, 4000)
+        scores = rng.random(4000)
+        assert roc_auc(actual, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_endpoints(self):
+        actual = np.array([0, 1])
+        scores = np.array([0.3, 0.7])
+        curve = roc_curve(actual, scores)
+        assert curve.fpr[0] == 0.0 and curve.tpr[0] == 0.0
+        assert curve.fpr[-1] == 1.0 and curve.tpr[-1] == 1.0
+        assert curve.thresholds[0] == np.inf
+
+    def test_monotone(self):
+        rng = np.random.default_rng(1)
+        actual = rng.integers(0, 2, 300)
+        scores = rng.random(300)
+        curve = roc_curve(actual, scores)
+        assert np.all(np.diff(curve.fpr) >= -1e-12)
+        assert np.all(np.diff(curve.tpr) >= -1e-12)
+
+    def test_ties_collapsed(self):
+        actual = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        curve = roc_curve(actual, scores)
+        # One distinct score: exactly (0,0) and (1,1).
+        assert len(curve.fpr) == 2
+        assert roc_auc(actual, scores) == pytest.approx(0.5)
+
+    def test_weights_respected(self):
+        actual = np.array([1, 0])
+        scores = np.array([0.9, 0.1])
+        heavy_negative = roc_curve(actual, scores, weights=np.array([1.0, 9.0]))
+        assert heavy_negative.auc == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.array([0, 1]), np.array([0.5]))
+
+    def test_point_closest_to_perfect(self):
+        actual = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        fpr, tpr, threshold = roc_curve(actual, scores).point_closest_to_perfect()
+        assert (fpr, tpr) == (0.0, 1.0)
+        assert 0.2 <= threshold <= 0.9
+
+    @given(seed=st.integers(0, 1000), n=st.integers(10, 200))
+    @settings(deadline=None, max_examples=25)
+    def test_auc_equals_rank_statistic(self, seed, n):
+        """Property: trapezoid AUC equals the Mann-Whitney U statistic."""
+        rng = np.random.default_rng(seed)
+        actual = rng.integers(0, 2, n)
+        if actual.min() == actual.max():
+            return
+        scores = rng.random(n)
+        auc = roc_auc(actual, scores)
+        pos = scores[actual == 1]
+        neg = scores[actual == 0]
+        wins = (pos[:, None] > neg[None, :]).sum()
+        ties = (pos[:, None] == neg[None, :]).sum()
+        expected = (wins + 0.5 * ties) / (len(pos) * len(neg))
+        assert auc == pytest.approx(expected, abs=1e-9)
+
+    def test_classifier_scores(self):
+        ds = make_separable()
+        model = NaiveBayes().fit(ds)
+        scores = model.distribution(ds.x)[:, 1]
+        assert roc_auc(ds.y, scores) > 0.9

@@ -1,0 +1,162 @@
+"""Unit and property tests for the imbalance treatments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mining.sampling import (
+    SamplingError,
+    apply_sampling,
+    oversample_minority,
+    smote,
+    undersample_majority,
+)
+from tests.conftest import make_imbalanced, make_mixed
+
+
+class TestUndersampling:
+    def test_keeps_all_minority(self, imbalanced_dataset, rng):
+        before = imbalanced_dataset.class_counts()
+        out = undersample_majority(imbalanced_dataset, 20, rng)
+        after = out.class_counts()
+        assert after[1] == before[1]
+
+    def test_majority_reduced_to_level(self, imbalanced_dataset, rng):
+        before = imbalanced_dataset.class_counts()
+        out = undersample_majority(imbalanced_dataset, 20, rng)
+        assert out.class_counts()[0] == pytest.approx(before[0] * 0.2, abs=1)
+
+    def test_level_100_keeps_everything(self, imbalanced_dataset, rng):
+        out = undersample_majority(imbalanced_dataset, 100, rng)
+        assert np.array_equal(
+            out.class_counts(), imbalanced_dataset.class_counts()
+        )
+
+    def test_without_replacement(self, imbalanced_dataset, rng):
+        out = undersample_majority(imbalanced_dataset, 50, rng)
+        neg_rows = out.x[out.y == 0]
+        unique = np.unique(neg_rows, axis=0)
+        assert len(unique) == len(neg_rows)
+
+    def test_invalid_levels(self, imbalanced_dataset, rng):
+        for level in (0, -5, 101):
+            with pytest.raises(SamplingError):
+                undersample_majority(imbalanced_dataset, level, rng)
+
+    @given(level=st.floats(1, 100))
+    @settings(deadline=None, max_examples=20)
+    def test_size_never_grows(self, level):
+        ds = make_imbalanced()
+        out = undersample_majority(ds, level, np.random.default_rng(0))
+        assert len(out) <= len(ds)
+
+
+class TestOversampling:
+    def test_adds_expected_count(self, imbalanced_dataset, rng):
+        before = imbalanced_dataset.class_counts()
+        out = oversample_minority(imbalanced_dataset, 300, rng)
+        assert out.class_counts()[1] == before[1] * 4  # +300%
+
+    def test_replicates_existing_rows(self, imbalanced_dataset, rng):
+        out = oversample_minority(imbalanced_dataset, 200, rng)
+        original = {tuple(r) for r in imbalanced_dataset.x[imbalanced_dataset.y == 1]}
+        for row in out.x[out.y == 1]:
+            assert tuple(row) in original
+
+    def test_majority_untouched(self, imbalanced_dataset, rng):
+        before = imbalanced_dataset.class_counts()
+        out = oversample_minority(imbalanced_dataset, 500, rng)
+        assert out.class_counts()[0] == before[0]
+
+    def test_no_minority_rejected(self, imbalanced_dataset, rng):
+        only_neg = imbalanced_dataset.subset(imbalanced_dataset.y == 0)
+        with pytest.raises(SamplingError):
+            oversample_minority(only_neg, 100, rng)
+
+    def test_invalid_level(self, imbalanced_dataset, rng):
+        with pytest.raises(SamplingError):
+            oversample_minority(imbalanced_dataset, 0, rng)
+
+
+class TestSmote:
+    def test_synthesises_new_points(self, imbalanced_dataset, rng):
+        out = smote(imbalanced_dataset, 300, 5, rng)
+        original = {tuple(r) for r in imbalanced_dataset.x[imbalanced_dataset.y == 1]}
+        synthetic = [
+            row for row in out.x[out.y == 1] if tuple(row) not in original
+        ]
+        assert len(synthetic) > 0
+
+    def test_synthetic_on_segment(self, imbalanced_dataset, rng):
+        """Synthetic minority points lie within the minority bounding box
+        (they are convex combinations of minority pairs)."""
+        minority = imbalanced_dataset.x[imbalanced_dataset.y == 1]
+        lo, hi = minority.min(axis=0), minority.max(axis=0)
+        out = smote(imbalanced_dataset, 500, 3, rng)
+        for row in out.x[out.y == 1]:
+            assert np.all(row >= lo - 1e-9) and np.all(row <= hi + 1e-9)
+
+    def test_expected_growth(self, imbalanced_dataset, rng):
+        before = imbalanced_dataset.class_counts()[1]
+        out = smote(imbalanced_dataset, 300, 5, rng)
+        # r=3 per seed exactly (integer level).
+        assert out.class_counts()[1] == before * 4
+
+    def test_nominal_values_copied_not_interpolated(self, rng):
+        ds = make_mixed(n=200)
+        out = smote(ds, 300, 3, rng)
+        flag_col = out.x[:, 1]
+        assert set(np.unique(flag_col[~np.isnan(flag_col)])) <= {0.0, 1.0}
+
+    def test_single_seed_falls_back_to_replication(self, imbalanced_dataset, rng):
+        positives = np.flatnonzero(imbalanced_dataset.y == 1)[:1]
+        negatives = np.flatnonzero(imbalanced_dataset.y == 0)
+        ds = imbalanced_dataset.subset(np.concatenate([negatives, positives]))
+        out = smote(ds, 300, 5, rng)
+        assert out.class_counts()[1] == 4
+
+    def test_invalid_params(self, imbalanced_dataset, rng):
+        with pytest.raises(SamplingError):
+            smote(imbalanced_dataset, 0, 5, rng)
+        with pytest.raises(SamplingError):
+            smote(imbalanced_dataset, 100, 0, rng)
+
+    @given(level=st.sampled_from([100.0, 250.0, 400.0]), k=st.integers(1, 8))
+    @settings(deadline=None, max_examples=10)
+    def test_labels_preserved_property(self, level, k):
+        ds = make_imbalanced(n=200)
+        out = smote(ds, level, k, np.random.default_rng(1))
+        # Negative instances pass through untouched.
+        assert out.class_counts()[0] == ds.class_counts()[0]
+
+
+class TestApplySampling:
+    def test_none_is_identity(self, imbalanced_dataset, rng):
+        out = apply_sampling(imbalanced_dataset, None, None, None, rng)
+        assert out is imbalanced_dataset
+
+    def test_dispatch(self, imbalanced_dataset, rng):
+        for kind in ("undersample", "oversample", "smote"):
+            out = apply_sampling(imbalanced_dataset, kind, 50, 3, rng)
+            assert len(out) > 0
+
+    def test_missing_level_rejected(self, imbalanced_dataset, rng):
+        with pytest.raises(SamplingError):
+            apply_sampling(imbalanced_dataset, "oversample", None, None, rng)
+
+    def test_smote_requires_k(self, imbalanced_dataset, rng):
+        with pytest.raises(SamplingError):
+            apply_sampling(imbalanced_dataset, "smote", 100, None, rng)
+
+    def test_unknown_kind_rejected(self, imbalanced_dataset, rng):
+        with pytest.raises(SamplingError):
+            apply_sampling(imbalanced_dataset, "bogus", 100, None, rng)
+
+    def test_deterministic_given_rng(self, imbalanced_dataset):
+        a = apply_sampling(
+            imbalanced_dataset, "smote", 200, 3, np.random.default_rng(9)
+        )
+        b = apply_sampling(
+            imbalanced_dataset, "smote", 200, 3, np.random.default_rng(9)
+        )
+        assert np.array_equal(a.x, b.x) and np.array_equal(a.y, b.y)

@@ -1,0 +1,97 @@
+"""Tests for attribute transformations."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mining.transforms import (
+    SignedLogTransform,
+    StandardiseTransform,
+    signed_log,
+)
+from tests.conftest import make_mixed, make_separable
+
+
+class TestSignedLog:
+    def test_positive_values(self):
+        assert signed_log(np.array([0.0]))[0] == 0.0
+        assert signed_log(np.array([math.e - 1]))[0] == pytest.approx(1.0)
+
+    def test_negative_branch(self):
+        # g(x) = -log(|x| + 1) for x < 0
+        assert signed_log(np.array([-(math.e - 1)]))[0] == pytest.approx(-1.0)
+
+    def test_odd_function(self):
+        x = np.array([0.5, 3.0, 1e10])
+        assert np.allclose(signed_log(-x), -signed_log(x))
+
+    def test_nan_passthrough(self):
+        assert math.isnan(signed_log(np.array([np.nan]))[0])
+
+    def test_infinity_clamped_finite(self):
+        out = signed_log(np.array([np.inf, -np.inf]))
+        assert np.isfinite(out).all()
+        assert out[0] > 0 > out[1]
+
+    @given(st.floats(allow_nan=False, width=64))
+    def test_monotone_property(self, x):
+        y = x + abs(x) * 0.5 + 1.0
+        if not math.isfinite(y):
+            return
+        assert signed_log(np.array([x]))[0] <= signed_log(np.array([y]))[0]
+
+    @given(st.floats(min_value=-1e300, max_value=1e300, allow_nan=False))
+    def test_sign_preserved(self, x):
+        out = signed_log(np.array([x]))[0]
+        assert math.copysign(1, out) == math.copysign(1, x) or out == 0
+
+
+class TestSignedLogTransform:
+    def test_only_numeric_columns_touched(self, mixed_dataset):
+        out = SignedLogTransform().fit(mixed_dataset).apply(mixed_dataset)
+        assert np.array_equal(out.x[:, 1], mixed_dataset.x[:, 1])  # nominal
+        assert not np.array_equal(out.x[:, 0], mixed_dataset.x[:, 0])
+
+    def test_original_untouched(self, separable_dataset):
+        before = separable_dataset.x.copy()
+        SignedLogTransform().fit(separable_dataset).apply(separable_dataset)
+        assert np.array_equal(separable_dataset.x, before)
+
+
+class TestStandardise:
+    def test_zero_mean_unit_std(self, separable_dataset):
+        transform = StandardiseTransform().fit(separable_dataset)
+        out = transform.apply(separable_dataset)
+        assert abs(out.x[:, 0].mean()) < 1e-9
+        assert out.x[:, 0].std() == pytest.approx(1.0)
+
+    def test_statistics_frozen_at_fit(self, separable_dataset):
+        transform = StandardiseTransform().fit(separable_dataset)
+        test = separable_dataset.subset(np.arange(10))
+        out = transform.apply(test)
+        expected = (test.x[:, 0] - separable_dataset.x[:, 0].mean()) / (
+            separable_dataset.x[:, 0].std()
+        )
+        assert np.allclose(out.x[:, 0], expected)
+
+    def test_constant_column_maps_to_zero(self):
+        from repro.mining.dataset import Attribute, Dataset
+
+        ds = Dataset(
+            [Attribute.numeric("v")],
+            Attribute.nominal("class", ("a", "b")),
+            np.full((5, 1), 7.0),
+            np.zeros(5, int),
+        )
+        out = StandardiseTransform().fit(ds).apply(ds)
+        assert np.allclose(out.x, 0.0)
+
+    def test_apply_before_fit_raises(self, separable_dataset):
+        with pytest.raises(RuntimeError):
+            StandardiseTransform().apply(separable_dataset)
+
+    def test_nominal_untouched(self, mixed_dataset):
+        out = StandardiseTransform().fit(mixed_dataset).apply(mixed_dataset)
+        assert np.array_equal(out.x[:, 1], mixed_dataset.x[:, 1])

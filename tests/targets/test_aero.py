@@ -1,0 +1,85 @@
+"""Physics-law tests for the FlightGear aerodynamics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.targets.flightgear import aero
+from repro.targets.flightgear.aircraft import Aircraft
+
+AC = Aircraft()
+
+
+class TestAngleOfAttack:
+    def test_on_ground_equals_attitude(self):
+        assert aero.angle_of_attack(0.1, vs=5.0, v=30.0, altitude=0.0) == 0.1
+
+    def test_airborne_subtracts_path_angle(self):
+        alpha = aero.angle_of_attack(0.1, vs=3.0, v=30.0, altitude=10.0)
+        assert alpha == pytest.approx(0.1 - math.atan2(3.0, 30.0))
+
+    def test_descent_increases_alpha(self):
+        level = aero.angle_of_attack(0.1, 0.0, 30.0, 10.0)
+        descending = aero.angle_of_attack(0.1, -3.0, 30.0, 10.0)
+        assert descending > level
+
+
+class TestLiftCoefficient:
+    def test_linear_slope(self):
+        cl0 = aero.lift_coefficient(AC, 0.0)
+        cl1 = aero.lift_coefficient(AC, 0.05)
+        assert cl1 - cl0 == pytest.approx(AC.cl_alpha * 0.05)
+
+    def test_capped_at_cl_max(self):
+        assert aero.lift_coefficient(AC, 1.0) == AC.cl_max
+
+    def test_floored(self):
+        assert aero.lift_coefficient(AC, -10.0) == -0.2
+
+
+class TestForces:
+    def test_lift_quadratic_in_airspeed(self):
+        cl = 1.0
+        assert aero.lift(AC, 20.0, cl) == pytest.approx(
+            4.0 * aero.lift(AC, 10.0, cl)
+        )
+
+    def test_zero_at_rest(self):
+        assert aero.lift(AC, 0.0, 1.0) == 0.0
+        assert aero.drag(AC, 0.0, 1.0) == 0.0
+
+    def test_induced_drag_quadratic_in_cl(self):
+        v = 30.0
+        base = aero.drag(AC, v, 0.0)
+        d1 = aero.drag(AC, v, 1.0) - base
+        d2 = aero.drag(AC, v, 2.0) - base
+        assert d2 == pytest.approx(4.0 * d1)
+
+    def test_drag_positive_for_any_cl(self):
+        assert aero.drag(AC, 30.0, -0.2) > 0
+
+    @given(v=st.floats(0, 100), cl=st.floats(-0.2, 1.7))
+    @settings(deadline=None, max_examples=50)
+    def test_forces_finite_and_signed(self, v, cl):
+        lift = aero.lift(AC, v, cl)
+        drag = aero.drag(AC, v, cl)
+        assert math.isfinite(lift) and math.isfinite(drag)
+        assert drag >= 0
+        if lift != 0.0:  # zero lift carries no sign (cl or v may be -0.0)
+            assert (lift > 0) == (cl > 0)
+
+
+class TestStallSpeed:
+    def test_scales_with_sqrt_weight(self):
+        assert aero.stall_speed(AC, 8000.0) == pytest.approx(
+            aero.stall_speed(AC, 2000.0) * 2.0
+        )
+
+    def test_lift_at_stall_speed_carries_weight(self):
+        weight = 7000.0
+        v_stall = aero.stall_speed(AC, weight)
+        assert aero.lift(AC, v_stall, AC.cl_max) == pytest.approx(weight)
+
+    def test_degenerate_weight_guarded(self):
+        assert aero.stall_speed(AC, -5.0) == aero.stall_speed(AC, 1.0)

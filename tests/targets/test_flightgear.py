@@ -1,0 +1,208 @@
+"""Tests for the FlightGear takeoff simulator target."""
+
+import pytest
+
+from repro.injection.bitflip import BitFlip
+from repro.injection.golden import capture_golden_run
+from repro.injection.instrument import (
+    GoldenHarness,
+    InjectionHarness,
+    Location,
+    Probe,
+)
+from repro.targets.flightgear import FlightGearTarget, scenario_for
+from repro.targets.flightgear.aircraft import Aircraft, Scenario
+from repro.targets.flightgear.spec import (
+    BASE_WEIGHT_LBS,
+    FailureReport,
+    TakeoffSummary,
+    allowed_takeoff_distance,
+    evaluate_takeoff,
+)
+
+# Fast configuration used throughout (the spec must hold at any scale).
+FAST = dict(init_iterations=40, run_iterations=200, dt=0.2)
+
+
+class TestScenarios:
+    def test_grid_mapping(self):
+        s0 = scenario_for(0)
+        assert s0.mass_lbs == 1300.0 and s0.wind_kph == 0.0
+        s8 = scenario_for(8)
+        assert s8.mass_lbs == 2100.0 and s8.wind_kph == 60.0
+
+    def test_unit_conversions(self):
+        s = scenario_for(2)  # 1300 lbs, 60 kph
+        assert s.mass_kg == pytest.approx(1300 * 0.45359237)
+        assert s.headwind_ms == pytest.approx(60 / 3.6)
+
+    def test_fuel_positive_for_all_scenarios(self):
+        for tc in range(9):
+            assert scenario_for(tc).fuel_kg > 0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            scenario_for(9)
+        with pytest.raises(ValueError):
+            scenario_for(-1)
+
+
+class TestSpec:
+    def summary(self, **overrides):
+        base = dict(
+            passed_critical_speed=True,
+            passed_rotation_speed=True,
+            max_airspeed=50.0,
+            lifted_off=True,
+            cleared_runway=True,
+            distance_at_clear=300.0,
+            max_pitch_rate_before_clear=3.0,
+            stalled_during_climb=False,
+        )
+        base.update(overrides)
+        return TakeoffSummary(**base)
+
+    def test_clean_takeoff_passes(self):
+        report = evaluate_takeoff(self.summary(), 1300.0)
+        assert not report.any_failure
+
+    def test_speed_failure(self):
+        report = evaluate_takeoff(self.summary(max_airspeed=30.0), 1300.0)
+        assert report.speed_failure
+
+    def test_never_lifting_off_is_speed_failure(self):
+        report = evaluate_takeoff(
+            self.summary(lifted_off=False, cleared_runway=False,
+                         distance_at_clear=float("inf")),
+            1300.0,
+        )
+        assert report.speed_failure and report.distance_failure
+
+    def test_distance_allowance_formula(self):
+        base = allowed_takeoff_distance(BASE_WEIGHT_LBS)
+        # +10 m per 200 lbs over base weight.
+        assert allowed_takeoff_distance(BASE_WEIGHT_LBS + 400) == base + 20.0
+        # No reduction below base weight.
+        assert allowed_takeoff_distance(BASE_WEIGHT_LBS - 400) == base
+
+    def test_distance_failure(self):
+        allowed = allowed_takeoff_distance(1300.0)
+        report = evaluate_takeoff(
+            self.summary(distance_at_clear=allowed + 1), 1300.0
+        )
+        assert report.distance_failure
+
+    def test_angle_failure_pitch_rate(self):
+        report = evaluate_takeoff(
+            self.summary(max_pitch_rate_before_clear=4.6), 1300.0
+        )
+        assert report.angle_failure
+
+    def test_angle_failure_stall(self):
+        report = evaluate_takeoff(
+            self.summary(stalled_during_climb=True), 1300.0
+        )
+        assert report.angle_failure
+
+
+class TestGoldenRuns:
+    @pytest.mark.parametrize("tc", range(9))
+    def test_all_scenarios_take_off_cleanly(self, tc):
+        """Golden runs must satisfy the failure spec at the default
+        (paper) configuration -- this is the simulator's calibration."""
+        target = FlightGearTarget()
+        report = target.run(tc, GoldenHarness())
+        assert isinstance(report, FailureReport)
+        assert not report.any_failure, report
+
+    def test_heavier_aircraft_needs_more_runway(self):
+        target = FlightGearTarget(**FAST)
+        light = target.run(0, GoldenHarness()).summary
+        heavy = target.run(6, GoldenHarness()).summary
+        assert heavy.distance_at_clear > light.distance_at_clear
+
+    def test_headwind_shortens_ground_roll(self):
+        target = FlightGearTarget(**FAST)
+        calm = target.run(0, GoldenHarness()).summary
+        windy = target.run(2, GoldenHarness()).summary
+        assert windy.distance_at_clear < calm.distance_at_clear
+
+    def test_deterministic(self):
+        target = FlightGearTarget(**FAST)
+        assert target.run(4, GoldenHarness()) == target.run(4, GoldenHarness())
+
+    def test_probe_occurrences_count_iterations(self):
+        target = FlightGearTarget(**FAST)
+        harness = GoldenHarness()
+        target.run(0, harness)
+        total = FAST["init_iterations"] + FAST["run_iterations"]
+        for module in ("Gear", "Mass"):
+            assert harness.occurrences(Probe(module, Location.ENTRY)) == total
+
+    def test_variables_match_probe_state(self):
+        target = FlightGearTarget(**FAST)
+        harness = GoldenHarness()
+        target.run(0, harness)
+        for module in ("Gear", "Mass"):
+            for location in (Location.ENTRY, Location.EXIT):
+                declared = {
+                    s.name for s in target.variables_of(module, location)
+                }
+                sample = harness.samples_at(Probe(module, location))[0]
+                assert declared == set(sample.variables)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            FlightGearTarget(run_iterations=0)
+        with pytest.raises(ValueError):
+            FlightGearTarget(dt=0)
+
+
+class TestInjectionBehaviour:
+    def run_with_flip(self, variable, bit, module="Gear",
+                      location=Location.ENTRY, time=60):
+        target = FlightGearTarget(**FAST)
+        kind = "bool" if variable == "on_ground" else "float64"
+        harness = InjectionHarness(
+            Probe(module, location), BitFlip(variable, kind, bit), time,
+            sample_probe=Probe(module, location),
+        )
+        report = target.run(0, harness)
+        return target.is_failure(None, report), report
+
+    def test_huge_friction_causes_failure(self):
+        # Raising mu_roll's exponent by 2^10 makes friction insurmountable
+        # during the ground roll.
+        failed, report = self.run_with_flip("mu_roll", 62, time=45)
+        assert failed
+
+    def test_low_mantissa_flip_is_benign(self):
+        failed, _ = self.run_with_flip("mu_roll", 2, time=45)
+        assert not failed
+
+    def test_fuel_exponent_flip_disturbs_mass(self):
+        # Fuel is ~68 kg (biased exponent 1029); setting exponent bit 3
+        # (overall bit 55) multiplies it by 2^8 -> a 17-tonne aircraft
+        # that cannot take off.  (Bit 62 is already set, so flipping it
+        # *shrinks* fuel -- a lighter aircraft takes off fine.)
+        failed, report = self.run_with_flip(
+            "fuel", 55, module="Mass", time=45
+        )
+        assert failed
+        benign, _ = self.run_with_flip("fuel", 62, module="Mass", time=45)
+        assert not benign
+
+    def test_gear_damage_latches(self):
+        """A one-iteration normal-force spike at the gear exit damages
+        the gear persistently."""
+        from repro.targets.flightgear.gear import GearModule
+
+        gear = GearModule()
+        harness = GoldenHarness()
+        gear.step(harness, weight=9000.0, lift=0.0, airspeed=10.0,
+                  rho=1.225, altitude=0.0, dt=0.1)
+        assert not gear.damaged
+        # Simulate a corrupted exit normal force via a big load.
+        gear.step(harness, weight=GearModule.STRUCTURAL_LIMIT * 2,
+                  lift=0.0, airspeed=10.0, rho=1.225, altitude=0.0, dt=0.1)
+        assert gear.damaged

@@ -1,0 +1,175 @@
+"""Deeper unit tests of target-system internals and edge cases."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.injection.instrument import GoldenHarness, Location, Probe
+from repro.targets.flightgear.aircraft import Aircraft
+from repro.targets.flightgear.gear import GearModule
+from repro.targets.flightgear.massbalance import MassModule
+from repro.targets.flightgear.aircraft import scenario_for
+from repro.targets.mp3gain.analysis import analyse_track
+from repro.targets.mp3gain.signal import SAMPLE_RATE, make_track
+from repro.targets.sevenzip.huffman import code_lengths, huffman_encode
+from repro.targets.sevenzip.lz77 import MAX_MATCH, lz77_compress, lz77_decompress
+
+
+class TestLZ77Edges:
+    def test_max_match_length_respected(self):
+        data = b"a" * 1000
+        tokens = lz77_compress(data)
+        assert lz77_decompress(tokens) == data
+        # Every match token's length field fits the declared cap.
+        i = 0
+        while i < len(tokens):
+            if tokens[i] == 0x01:
+                assert tokens[i + 3] <= MAX_MATCH
+                i += 4
+            else:
+                i += 2
+
+    def test_window_bounds_offsets(self):
+        data = (b"unique-prefix-" + b"x" * 300) * 3
+        tokens = lz77_compress(data, window=64)
+        i = 0
+        while i < len(tokens):
+            if tokens[i] == 0x01:
+                offset = (tokens[i + 1] << 8) | tokens[i + 2]
+                assert offset <= 64
+                i += 4
+            else:
+                i += 2
+        assert lz77_decompress(tokens) == data
+
+    def test_overlapping_match_copy(self):
+        # "aaaa..." forces matches whose source overlaps the output
+        # being written (offset 1, length > 1).
+        data = b"ab" + b"a" * 50
+        assert lz77_decompress(lz77_compress(data)) == data
+
+
+class TestHuffmanEdges:
+    def test_length_limiting_on_skewed_distribution(self):
+        # Fibonacci-like frequencies force deep Huffman trees; lengths
+        # must be capped at 15 with a valid Kraft sum.
+        frequencies = [0] * 256
+        a, b = 1, 1
+        for i in range(24):
+            frequencies[i] = a
+            a, b = b, a + b
+        lengths = code_lengths(frequencies)
+        assert max(lengths) <= 15
+        kraft = sum(2.0**-l for l in lengths if l)
+        assert kraft <= 1.0 + 1e-12
+
+    def test_two_symbols_one_bit_each(self):
+        frequencies = [0] * 256
+        frequencies[65], frequencies[66] = 10, 20
+        lengths = code_lengths(frequencies)
+        assert lengths[65] == lengths[66] == 1
+
+    def test_encode_reports_exact_bit_count(self):
+        data = b"abcabc"
+        lengths, payload, bits = huffman_encode(data)
+        expected = sum(lengths[b] for b in data)
+        assert bits == expected
+        assert len(payload) == (bits + 7) // 8
+
+
+class TestGearModule:
+    def harness(self):
+        return GoldenHarness()
+
+    def test_load_transfers_to_wings(self):
+        gear = GearModule()
+        no_lift = gear.step(self.harness(), 9000.0, 0.0, 10.0, 1.225, 0.0, 0.1)
+        gear2 = GearModule()
+        half_lift = gear2.step(
+            self.harness(), 9000.0, 4500.0, 10.0, 1.225, 0.0, 0.1
+        )
+        assert no_lift.normal == pytest.approx(9000.0)
+        assert half_lift.normal == pytest.approx(4500.0)
+        assert half_lift.friction < no_lift.friction
+
+    def test_no_ground_force_airborne(self):
+        gear = GearModule()
+        forces = gear.step(self.harness(), 9000.0, 9500.0, 35.0, 1.225, 10.0, 0.1)
+        assert forces.normal == 0.0
+        assert forces.friction == 0.0
+        assert forces.drag > 0.0  # legs still in the airstream
+
+    def test_compression_approaches_static_value(self):
+        gear = GearModule()
+        harness = self.harness()
+        for _ in range(300):
+            gear.step(harness, 9000.0, 0.0, 0.0, 1.225, 0.0, 0.1)
+        static = 9000.0 / gear.spring_k
+        assert gear.compression == pytest.approx(static, rel=0.1)
+
+    def test_corrupted_zero_stiffness_guarded(self):
+        gear = GearModule()
+        gear.spring_k = 0.0
+        forces = gear.step(self.harness(), 9000.0, 0.0, 5.0, 1.225, 0.0, 0.1)
+        assert math.isfinite(forces.normal)
+
+    def test_damage_multiplies_friction(self):
+        healthy = GearModule()
+        damaged = GearModule()
+        damaged.damaged = True
+        f_healthy = healthy.step(self.harness(), 9000.0, 0.0, 10.0, 1.225, 0.0, 0.1)
+        f_damaged = damaged.step(self.harness(), 9000.0, 0.0, 10.0, 1.225, 0.0, 0.1)
+        assert f_damaged.friction == pytest.approx(6.0 * f_healthy.friction)
+        # Damage must not compound across iterations.
+        again = damaged.step(self.harness(), 9000.0, 0.0, 10.0, 1.225, 0.0, 0.1)
+        assert again.friction == pytest.approx(f_damaged.friction)
+
+
+class TestMassModule:
+    def test_fuel_burns_at_full_throttle(self):
+        module = MassModule(Aircraft(), scenario_for(0))
+        before = module.fuel
+        module.step(GoldenHarness(), dt=1.0, throttle=1.0)
+        assert module.fuel == pytest.approx(
+            before - Aircraft().fuel_burn_rate, rel=1e-9
+        )
+
+    def test_no_burn_at_idle(self):
+        module = MassModule(Aircraft(), scenario_for(0))
+        before = module.fuel
+        module.step(GoldenHarness(), dt=1.0, throttle=0.0)
+        assert module.fuel == before
+
+    def test_fuel_never_negative(self):
+        module = MassModule(Aircraft(), scenario_for(0))
+        module.fuel = 1e-6
+        state = module.step(GoldenHarness(), dt=100.0, throttle=1.0)
+        assert module.fuel == 0.0
+        assert state.mass == pytest.approx(module.dry_mass)
+
+    def test_weight_is_mass_times_g(self):
+        module = MassModule(Aircraft(), scenario_for(4))
+        state = module.step(GoldenHarness(), dt=0.1, throttle=1.0)
+        assert state.weight == pytest.approx(state.mass * Aircraft().gravity)
+
+
+class TestSignalAnalysis:
+    def test_sine_rms_matches_theory(self):
+        # Full-scale sine: RMS = A / sqrt(2).
+        t = np.arange(8192) / SAMPLE_RATE
+        sine = 0.5 * np.sin(2 * np.pi * 440.0 * t)
+        result = analyse_track(sine, 256, 50.0)  # median frame RMS
+        expected_db = 20 * math.log10(0.5 / math.sqrt(2))
+        assert result.loudness_db == pytest.approx(expected_db, abs=0.5)
+
+    def test_percentile_ordering(self):
+        track = make_track(1, 1, 4096)
+        low = analyse_track(track, 256, 5.0).loudness_db
+        high = analyse_track(track, 256, 95.0).loudness_db
+        assert low <= high
+
+    def test_frame_size_one_is_sample_magnitudes(self):
+        samples = np.array([0.1, -0.9, 0.5])
+        result = analyse_track(samples, 1, 100.0)
+        assert result.loudness_db == pytest.approx(20 * math.log10(0.9), abs=1e-6)

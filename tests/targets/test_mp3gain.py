@@ -1,0 +1,179 @@
+"""Tests for the Mp3Gain normaliser target."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.injection.bitflip import BitFlip
+from repro.injection.golden import capture_golden_run
+from repro.injection.instrument import (
+    GoldenHarness,
+    InjectionHarness,
+    Location,
+    Probe,
+)
+from repro.targets.mp3gain import Mp3GainTarget, analyse_track, make_track
+from repro.targets.mp3gain.analysis import AnalysisResult, GAnalysisModule
+from repro.targets.mp3gain.replaygain import (
+    REFERENCE_LOUDNESS_DB,
+    RGainModule,
+)
+from repro.targets.mp3gain.signal import make_batch
+
+FAST = dict(n_tracks=4, min_samples=256, max_samples=512)
+
+
+class TestSignal:
+    def test_deterministic(self):
+        a = make_track(1, 2, 512)
+        b = make_track(1, 2, 512)
+        assert np.array_equal(a, b)
+
+    def test_distinct_tracks(self):
+        assert not np.array_equal(make_track(0, 0, 512), make_track(0, 1, 512))
+
+    def test_in_range(self):
+        track = make_track(3, 4, 1024)
+        assert np.all(np.abs(track) <= 1.0)
+
+    def test_batch_sizes_vary(self):
+        batch = make_batch(0, 10, 256, 1024)
+        sizes = {len(t) for t in batch}
+        assert len(sizes) > 1
+
+    def test_loudness_spread(self):
+        """Tracks must span a meaningful loudness range so
+        normalisation has work to do."""
+        loudnesses = [
+            analyse_track(make_track(0, i, 2048), 256, 95.0).loudness_db
+            for i in range(12)
+        ]
+        assert max(loudnesses) - min(loudnesses) > 6.0
+
+
+class TestAnalysis:
+    def test_louder_signal_higher_loudness(self):
+        quiet = analyse_track(0.05 * np.sin(np.linspace(0, 50, 2048)), 256, 95)
+        loud = analyse_track(0.5 * np.sin(np.linspace(0, 50, 2048)), 256, 95)
+        assert loud.loudness_db > quiet.loudness_db
+
+    def test_known_rms(self):
+        # Constant signal 0.5: RMS = 0.5 -> -6.02 dB.
+        result = analyse_track(np.full(1024, 0.5), 128, 95)
+        assert result.loudness_db == pytest.approx(
+            20 * math.log10(0.5), abs=1e-6
+        )
+
+    def test_silence_floor(self):
+        result = analyse_track(np.zeros(1024), 128, 95)
+        assert result.loudness_db == -120.0
+
+    def test_peak(self):
+        samples = np.zeros(512)
+        samples[100] = -0.9
+        assert analyse_track(samples, 64, 95).peak == pytest.approx(0.9)
+
+    def test_frame_count(self):
+        assert analyse_track(np.zeros(1000), 256, 95).frame_count == 3
+
+    def test_percentile_clamped(self):
+        result = analyse_track(np.full(512, 0.1), 64, 300.0)
+        assert math.isfinite(result.loudness_db)
+
+    def test_module_clamps_corrupt_frame_size(self):
+        module = GAnalysisModule()
+        harness = GoldenHarness()
+        samples = make_track(0, 0, 512)
+        result = module.step(harness, 0, samples)
+        assert math.isfinite(result.loudness_db)
+
+
+class TestReplayGain:
+    def test_normalises_towards_reference(self):
+        quiet = 0.02 * np.sin(np.linspace(0, 80, 4096))
+        analysis = analyse_track(quiet, 256, 95)
+        module = RGainModule()
+        out = module.step(GoldenHarness(), 0, quiet, analysis)
+        normalised = out.pcm16.astype(float) / 32767.0
+        new_loudness = analyse_track(normalised, 256, 95).loudness_db
+        assert abs(new_loudness - REFERENCE_LOUDNESS_DB) < abs(
+            analysis.loudness_db - REFERENCE_LOUDNESS_DB
+        )
+
+    def test_peak_protection_prevents_clipping(self):
+        # Quiet but peaky signal: gain must be limited by the peak.
+        samples = np.zeros(2048)
+        samples[::100] = 0.9
+        analysis = analyse_track(samples, 256, 95)
+        out = RGainModule().step(GoldenHarness(), 0, samples, analysis)
+        assert out.clip_count == 0
+        assert np.abs(out.pcm16).max() <= 32767
+
+    def test_pcm16_dtype(self):
+        samples = make_track(0, 0, 512)
+        analysis = analyse_track(samples, 64, 95)
+        out = RGainModule().step(GoldenHarness(), 0, samples, analysis)
+        assert out.pcm16.dtype == np.int16
+
+
+class TestTargetGolden:
+    def test_deterministic(self):
+        target = Mp3GainTarget(**FAST)
+        assert target.run(2, GoldenHarness()) == target.run(2, GoldenHarness())
+
+    def test_output_one_digest_per_track(self):
+        target = Mp3GainTarget(**FAST)
+        out = target.run(0, GoldenHarness())
+        assert len(out) == FAST["n_tracks"]
+
+    def test_probe_occurrences_count_tracks(self):
+        target = Mp3GainTarget(**FAST)
+        harness = GoldenHarness()
+        target.run(0, harness)
+        for module in ("GAnalysis", "RGain"):
+            assert harness.occurrences(
+                Probe(module, Location.ENTRY)
+            ) == FAST["n_tracks"]
+
+    def test_variables_match_probe_state(self):
+        target = Mp3GainTarget(**FAST)
+        harness = GoldenHarness()
+        target.run(0, harness)
+        for module in ("GAnalysis", "RGain"):
+            for location in (Location.ENTRY, Location.EXIT):
+                declared = {
+                    s.name for s in target.variables_of(module, location)
+                }
+                sample = harness.samples_at(Probe(module, location))[0]
+                assert declared == set(sample.variables)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            Mp3GainTarget(n_tracks=0)
+        with pytest.raises(ValueError):
+            Mp3GainTarget(min_samples=10, max_samples=5)
+
+
+class TestTargetInjection:
+    def run_with_flip(self, module, variable, kind, bit, time=1):
+        target = Mp3GainTarget(**FAST)
+        golden = capture_golden_run(target, 0)
+        harness = InjectionHarness(
+            Probe(module, Location.ENTRY), BitFlip(variable, kind, bit), time,
+            sample_probe=Probe(module, Location.ENTRY),
+        )
+        output = target.run(0, harness)
+        return target.is_failure(golden.output, output)
+
+    def test_gain_sign_flip_fails(self):
+        assert self.run_with_flip("RGain", "gain_db", "float64", 63)
+
+    def test_gain_low_mantissa_flip_benign(self):
+        assert not self.run_with_flip("RGain", "gain_db", "float64", 0)
+
+    def test_scratch_accumulator_resilient(self):
+        assert not self.run_with_flip("GAnalysis", "rms_acc", "float64", 62)
+
+    def test_track_index_benign(self):
+        assert not self.run_with_flip("GAnalysis", "track_index", "int32", 1)

@@ -1,0 +1,219 @@
+"""Tests for the PZip archiver target (LZ77, Huffman, instrumentation)."""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.injection.bitflip import BitFlip
+from repro.injection.golden import capture_golden_run
+from repro.injection.instrument import (
+    GoldenHarness,
+    InjectionHarness,
+    Location,
+    Probe,
+)
+from repro.targets.sevenzip import SevenZipTarget, lz77_compress, lz77_decompress
+from repro.targets.sevenzip.huffman import (
+    canonical_codes,
+    code_lengths,
+    huffman_decode,
+    huffman_encode,
+)
+
+
+class TestLZ77:
+    def test_roundtrip_simple(self):
+        data = b"abcabcabcabc hello hello hello"
+        tokens = lz77_compress(data)
+        assert lz77_decompress(tokens) == data
+
+    def test_compresses_repetitive_input(self):
+        data = b"spam " * 100
+        tokens = lz77_compress(data)
+        assert len(tokens) < len(data)
+
+    def test_empty_input(self):
+        assert lz77_compress(b"") == b""
+        assert lz77_decompress(b"") == b""
+
+    def test_incompressible_input(self):
+        data = bytes(range(256))
+        tokens = lz77_compress(data)
+        assert lz77_decompress(tokens) == data
+
+    def test_expected_size_bounds_output(self):
+        data = b"abcabcabc" * 10
+        tokens = lz77_compress(data)
+        assert lz77_decompress(tokens, expected_size=5) == data[:5]
+
+    def test_corrupt_offset_terminates_cleanly(self):
+        # A match referring beyond the output start stops decoding.
+        tokens = bytes([0x01, 0xFF, 0xFF, 10])
+        assert lz77_decompress(tokens) == b""
+
+    def test_unknown_tag_terminates(self):
+        assert lz77_decompress(bytes([0x77, 1, 2, 3])) == b""
+
+    def test_truncated_literal(self):
+        assert lz77_decompress(bytes([0x00])) == b""
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            lz77_compress(b"abc", window=1)
+
+    @given(st.binary(max_size=500))
+    @settings(deadline=None, max_examples=50)
+    def test_roundtrip_property(self, data):
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    @given(st.text(alphabet="abcd ", max_size=400))
+    @settings(deadline=None, max_examples=30)
+    def test_roundtrip_compressible_property(self, text):
+        data = text.encode()
+        assert lz77_decompress(lz77_compress(data)) == data
+
+
+class TestHuffman:
+    def test_roundtrip(self):
+        data = b"the quick brown fox jumps over the lazy dog" * 3
+        lengths, payload, bits = huffman_encode(data)
+        assert huffman_decode(lengths, payload, bits, len(data)) == data
+
+    def test_empty(self):
+        lengths, payload, bits = huffman_encode(b"")
+        assert huffman_decode(lengths, payload, bits, 0) == b""
+
+    def test_single_symbol(self):
+        data = b"aaaaaaa"
+        lengths, payload, bits = huffman_encode(data)
+        assert huffman_decode(lengths, payload, bits, len(data)) == data
+
+    def test_code_lengths_kraft_inequality(self):
+        frequencies = [0] * 256
+        for i, f in enumerate([1000, 500, 250, 100, 50, 20, 5, 1]):
+            frequencies[i] = f
+        lengths = code_lengths(frequencies)
+        kraft = sum(2.0**-l for l in lengths if l)
+        assert kraft <= 1.0 + 1e-12
+
+    def test_canonical_codes_prefix_free(self):
+        frequencies = [0] * 256
+        for i in range(20):
+            frequencies[i] = i + 1
+        codes = canonical_codes(code_lengths(frequencies))
+        items = [(format(c, f"0{l}b")) for c, l in codes.values()]
+        for a in items:
+            for b in items:
+                if a != b:
+                    assert not b.startswith(a) or len(a) >= len(b)
+
+    def test_frequent_symbols_get_short_codes(self):
+        frequencies = [0] * 256
+        frequencies[0] = 10_000
+        frequencies[1] = 1
+        frequencies[2] = 1
+        lengths = code_lengths(frequencies)
+        assert lengths[0] <= lengths[1]
+
+    def test_bad_lengths_table(self):
+        assert huffman_decode(b"\x01" * 10, b"\xff", 8, 10) == b""
+
+    def test_frequencies_validation(self):
+        with pytest.raises(ValueError):
+            code_lengths([1, 2, 3])
+
+    @given(st.binary(min_size=1, max_size=300))
+    @settings(deadline=None, max_examples=50)
+    def test_roundtrip_property(self, data):
+        lengths, payload, bits = huffman_encode(data)
+        assert huffman_decode(lengths, payload, bits, len(data)) == data
+
+
+class TestArchiverGolden:
+    def test_roundtrip_recovers_originals(self):
+        target = SevenZipTarget(n_files=6, min_size=40, max_size=120)
+        golden = capture_golden_run(target, 3)
+        entries, digests = golden.output
+        files = target._make_files(3)
+        assert digests == tuple(zlib.crc32(f) for f in files)
+        assert len(entries) == 6
+
+    def test_deterministic(self):
+        target = SevenZipTarget(n_files=5, min_size=40, max_size=90)
+        a = target.run(1, GoldenHarness())
+        b = target.run(1, GoldenHarness())
+        assert a == b
+
+    def test_distinct_test_cases_distinct_workloads(self):
+        target = SevenZipTarget(n_files=5, min_size=40, max_size=90)
+        assert target.run(0, GoldenHarness()) != target.run(1, GoldenHarness())
+
+    def test_probe_occurrences_count_files(self):
+        target = SevenZipTarget(n_files=7, min_size=40, max_size=90)
+        harness = GoldenHarness()
+        target.run(0, harness)
+        for module in ("FHandle", "LDecode"):
+            for location in (Location.ENTRY, Location.EXIT):
+                assert harness.occurrences(Probe(module, location)) == 7
+
+    def test_variables_match_probe_state(self):
+        """Every declared variable appears in the probe state."""
+        target = SevenZipTarget(n_files=3, min_size=40, max_size=90)
+        harness = GoldenHarness()
+        target.run(0, harness)
+        for module in ("FHandle", "LDecode"):
+            for location in (Location.ENTRY, Location.EXIT):
+                declared = {
+                    s.name for s in target.variables_of(module, location)
+                }
+                sample = harness.samples_at(Probe(module, location))[0]
+                assert declared == set(sample.variables)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SevenZipTarget(n_files=0)
+        with pytest.raises(ValueError):
+            SevenZipTarget(min_size=4, max_size=2)
+
+
+class TestArchiverInjection:
+    def target(self):
+        return SevenZipTarget(n_files=5, min_size=40, max_size=90)
+
+    def run_with_flip(self, module, location, variable, kind, bit, time=1):
+        target = self.target()
+        golden = capture_golden_run(target, 0)
+        harness = InjectionHarness(
+            Probe(module, location), BitFlip(variable, kind, bit), time,
+            sample_probe=Probe(module, location),
+        )
+        output = target.run(0, harness)
+        return target.is_failure(golden.output, output)
+
+    def test_file_size_truncation_fails(self):
+        # Clearing a low size bit truncates the input -> different
+        # recovered content.
+        assert self.run_with_flip(
+            "FHandle", Location.ENTRY, "file_size", "int32", 5
+        )
+
+    def test_checksum_acc_is_resilient(self):
+        assert not self.run_with_flip(
+            "FHandle", Location.ENTRY, "checksum_acc", "int32", 7
+        )
+
+    def test_decode_expected_size_truncation_fails(self):
+        assert self.run_with_flip(
+            "LDecode", Location.ENTRY, "expected_size", "int32", 4
+        )
+
+    def test_crc_expected_is_resilient(self):
+        assert not self.run_with_flip(
+            "LDecode", Location.ENTRY, "crc_expected", "int32", 3
+        )
+
+    def test_out_len_exit_truncation_fails(self):
+        assert self.run_with_flip(
+            "LDecode", Location.EXIT, "out_len", "int32", 5
+        )

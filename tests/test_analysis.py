@@ -1,0 +1,70 @@
+"""Tests for the error propagation analysis."""
+
+import pytest
+
+from repro.analysis import analyse_propagation
+from repro.analysis.propagation import _region
+from tests.injection.test_campaign import Campaign, CounterTarget, config
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = Campaign(CounterTarget(), config()).run()
+    return analyse_propagation(result)
+
+
+class TestRegions:
+    def test_int32_regions(self):
+        assert _region(0, 32) == "low"
+        assert _region(9, 32) == "low"
+        assert _region(10, 32) == "mid"
+        assert _region(20, 32) == "high"
+        assert _region(31, 32) == "high"
+
+    def test_bool_region(self):
+        assert _region(0, 1) == "low"
+
+
+class TestPropagationReport:
+    def test_permeability_matches_ground_truth(self, report):
+        by_name = {v.variable: v for v in report.variables}
+        # In CounterTarget every acc flip fails; scratch never does.
+        assert by_name["acc"].permeability == 1.0
+        assert by_name["scratch"].permeability == 0.0
+
+    def test_ranking(self, report):
+        ranked = report.ranked()
+        assert ranked[0].variable == "acc"
+        assert report.critical_variables(0.5) == ["acc"]
+        assert report.resilient_variables() == ["scratch"]
+
+    def test_module_totals(self, report):
+        assert report.total_runs == 24
+        assert report.total_failures == 12
+        assert report.module_permeability == pytest.approx(0.5)
+
+    def test_time_profile(self, report):
+        acc = next(v for v in report.variables if v.variable == "acc")
+        for time in (1, 2):
+            assert acc.time_permeability(time) == 1.0
+        assert acc.time_permeability(99) == 0.0
+
+    def test_region_profile(self, report):
+        acc = next(v for v in report.variables if v.variable == "acc")
+        # Bits 0..2 of int32 are all in the low region.
+        assert acc.region_permeability("low") == 1.0
+        assert acc.region_permeability("high") == 0.0
+
+    def test_metadata(self, report):
+        assert report.target == "CT"
+        assert report.module == "Acc"
+        assert report.injection_location == "entry"
+
+    def test_crash_counting(self):
+        from tests.injection.test_campaign import CrashingTarget
+
+        cfg = config(bits=(31,), variables=("acc",))
+        result = Campaign(CrashingTarget(), cfg).run()
+        analysed = analyse_propagation(result)
+        acc = next(v for v in analysed.variables if v.variable == "acc")
+        assert acc.crashes > 0

@@ -1,0 +1,131 @@
+"""Tests for the likely-invariant / range-assertion baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    invariants_from_golden_runs,
+    mine_invariants,
+    range_assertions,
+)
+from repro.injection.instrument import Location, Probe
+from repro.targets import Mp3GainTarget
+
+
+def samples_from(rows):
+    return [dict(row) for row in rows]
+
+
+class TestMineInvariants:
+    def test_range_invariant_flags_outliers(self):
+        samples = samples_from({"v": float(i)} for i in range(10))
+        invariants = mine_invariants(samples, margin=0.0)
+        detector = invariants.to_detector()
+        assert not detector.check({"v": 5.0})
+        assert detector.check({"v": 50.0})
+        assert detector.check({"v": -3.0})
+
+    def test_margin_widens_bounds(self):
+        samples = samples_from({"v": float(i)} for i in range(11))
+        tight = mine_invariants(samples, margin=0.0).to_detector()
+        loose = mine_invariants(samples, margin=0.5).to_detector()
+        assert tight.check({"v": 10.5})
+        assert not loose.check({"v": 10.5})
+
+    def test_constant_variable(self):
+        samples = samples_from({"k": 7.0, "v": float(i)} for i in range(5))
+        detector = mine_invariants(samples, margin=0.01).to_detector()
+        assert not detector.check({"k": 7.0, "v": 2.0})
+        assert detector.check({"k": 8.0, "v": 2.0})
+
+    def test_sign_invariant(self):
+        samples = samples_from({"v": float(i)} for i in range(5))
+        invariants = mine_invariants(samples)
+        assert any("v >= 0" in inv.description for inv in invariants.invariants)
+        detector = invariants.to_detector()
+        assert detector.check({"v": -1.0})
+
+    def test_boolean_constancy(self):
+        samples = samples_from({"flag": True, "v": float(i)} for i in range(4))
+        detector = mine_invariants(samples).to_detector()
+        assert detector.check({"flag": False, "v": 1.0})
+        assert not detector.check({"flag": True, "v": 1.0})
+
+    def test_varying_boolean_no_invariant(self):
+        samples = samples_from(
+            {"flag": i % 2 == 0, "v": float(i)} for i in range(4)
+        )
+        invariants = mine_invariants(samples)
+        assert not any("flag" in i.description for i in invariants.invariants)
+
+    def test_ordering_invariant(self):
+        samples = samples_from({"a": float(i), "b": float(i + 2)} for i in range(6))
+        invariants = mine_invariants(samples)
+        assert any("a <= b" in inv.description for inv in invariants.invariants)
+        detector = invariants.to_detector()
+        # Violation of a <= b, with both inside their ranges.
+        assert detector.check({"a": 5.0, "b": 4.0})
+
+    def test_orderings_disabled(self):
+        samples = samples_from({"a": float(i), "b": float(i + 2)} for i in range(6))
+        invariants = mine_invariants(samples, orderings=False)
+        assert not any(
+            inv.description == "a <= b" for inv in invariants.invariants
+        )
+
+    def test_empty_samples(self):
+        invariants = mine_invariants([])
+        assert len(invariants) == 0
+        assert not invariants.to_detector().check({"v": 1e9})
+
+    def test_non_finite_training_values_skipped(self):
+        samples = samples_from([{"v": float("inf")}, {"v": 1.0}])
+        invariants = mine_invariants(samples)
+        # No usable range from non-finite data.
+        assert not any(
+            "<= v <=" in inv.description for inv in invariants.invariants
+        )
+
+    def test_violation_predicate_rows(self):
+        samples = samples_from({"v": float(i)} for i in range(10))
+        predicate = mine_invariants(samples, margin=0.0).violation_predicate()
+        x = np.array([[5.0], [42.0], [-1.0]])
+        flags = predicate.evaluate_rows(x, {"v": 0})
+        assert flags.tolist() == [False, True, True]
+
+    def test_describe(self):
+        samples = samples_from({"v": float(i)} for i in range(5))
+        text = mine_invariants(samples).describe()
+        assert "v" in text
+
+
+class TestRangeAssertions:
+    def test_only_ranges(self):
+        samples = samples_from(
+            {"a": float(i), "b": float(i + 2)} for i in range(6)
+        )
+        invariants = range_assertions(samples)
+        for inv in invariants.invariants:
+            # Range or sign constraints only -- no pairwise orderings.
+            assert inv.description != "a <= b"
+            assert ("<=" in inv.description) or (">= 0" in inv.description)
+
+
+class TestGoldenRunMining:
+    def test_mines_from_target(self):
+        target = Mp3GainTarget(n_tracks=4, min_samples=256, max_samples=512)
+        probe = Probe("RGain", Location.ENTRY)
+        invariants = invariants_from_golden_runs(target, probe, (0, 1))
+        assert len(invariants) >= 3
+        detector = invariants.to_detector()
+        # A wildly corrupted gain violates the mined ranges.
+        assert detector.check(
+            {"track_index": 0, "gain_db": 1e30, "reference_db": -14.0,
+             "loudness_db": -20.0, "peak": 0.5, "clip_count": 0}
+        )
+
+    def test_source_rendering(self):
+        target = Mp3GainTarget(n_tracks=3, min_samples=256, max_samples=512)
+        probe = Probe("RGain", Location.ENTRY)
+        detector = invariants_from_golden_runs(target, probe, (0,)).to_detector()
+        assert "def invariant_detector" in detector.to_source()

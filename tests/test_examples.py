@@ -1,0 +1,29 @@
+"""Smoke tests that the shipped examples run end to end.
+
+Only the quickstart runs in full (its dataset is cached at smoke
+scale); the others are compile-checked so a syntax or import
+regression in any example fails the suite without minutes of runtime.
+"""
+
+import pathlib
+import py_compile
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def test_quickstart_runs(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "refined" in out
+    assert "def archive_state_detector" in out
+
+
+@pytest.mark.parametrize(
+    "script",
+    sorted(p.name for p in EXAMPLES.glob("*.py")),
+)
+def test_examples_compile(script):
+    py_compile.compile(str(EXAMPLES / script), doraise=True)

@@ -1,0 +1,84 @@
+"""Package-level API tests: lazy exports and layer imports."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_eager_exports(self):
+        assert repro.Attribute is not None
+        assert repro.Dataset is not None
+        assert repro.C45DecisionTree is not None
+        assert repro.ConfusionMatrix is not None
+
+    def test_lazy_methodology(self):
+        from repro.core.methodology import Methodology
+
+        assert repro.Methodology is Methodology
+        assert repro.MethodologyOutcome is not None
+
+    def test_lazy_detector_and_predicate(self):
+        from repro.core.detector import Detector
+        from repro.core.predicate import Predicate
+
+        assert repro.Detector is Detector
+        assert repro.Predicate is Predicate
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.NotAThing
+
+
+class TestSubpackageImports:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.mining",
+            "repro.mining.tree",
+            "repro.mining.rules",
+            "repro.injection",
+            "repro.targets",
+            "repro.targets.sevenzip",
+            "repro.targets.flightgear",
+            "repro.targets.mp3gain",
+            "repro.baselines",
+            "repro.analysis",
+            "repro.experiments",
+        ],
+    )
+    def test_importable_with_all(self, module):
+        mod = importlib.import_module(module)
+        assert hasattr(mod, "__doc__") and mod.__doc__
+        if hasattr(mod, "__all__"):
+            for name in mod.__all__:
+                assert hasattr(mod, name), f"{module}.{name} missing"
+
+    def test_learner_registry_complete(self):
+        from repro.core.preprocess import LEARNERS, make_learner
+
+        assert set(LEARNERS) == {
+            "c45", "rules", "prism", "naive-bayes", "logistic", "knn",
+            "adaboost", "bagging", "oner",
+        }
+        symbolic = {name for name, (_, sym) in LEARNERS.items() if sym}
+        assert symbolic == {"c45", "rules", "prism"}
+        for name in LEARNERS:
+            assert make_learner(name) is not make_learner(name)  # fresh
+
+    def test_experiment_registry_complete(self):
+        from repro.experiments.cli import EXPERIMENTS
+        from repro.experiments.report import DEFAULT_ORDER
+
+        # Every report entry is a registered experiment.
+        assert set(DEFAULT_ORDER) <= set(EXPERIMENTS)
+        # The paper's artefacts are all present.
+        for name in ("table1", "table2", "table3", "table4",
+                     "figure1", "figure2", "validation"):
+            assert name in EXPERIMENTS

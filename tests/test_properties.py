@@ -1,0 +1,132 @@
+"""Cross-cutting property-based tests over randomly generated datasets.
+
+These tie the layers together: for arbitrary (small) mixed-attribute
+datasets, the ARFF round trip is lossless, every learner obeys the
+classifier protocol, tree predicates agree with tree predictions, and
+the campaign/dataset chain preserves counts.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.extraction import tree_to_predicate
+from repro.mining.arff import dumps_arff, loads_arff
+from repro.mining.crossval import cross_validate, stratified_folds
+from repro.mining.dataset import Attribute, Dataset
+from repro.mining.sampling import smote, undersample_majority
+from repro.mining.tree import C45DecisionTree
+
+
+@st.composite
+def datasets(draw) -> Dataset:
+    """Random small mixed dataset with two classes, both present."""
+    n = draw(st.integers(12, 60))
+    n_numeric = draw(st.integers(1, 3))
+    n_nominal = draw(st.integers(0, 2))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    attributes = []
+    columns = []
+    for i in range(n_numeric):
+        attributes.append(Attribute.numeric(f"num{i}"))
+        scale = draw(st.sampled_from([1.0, 100.0, 1e6]))
+        columns.append(rng.normal(0, scale, n))
+    for i in range(n_nominal):
+        k = draw(st.integers(2, 4))
+        attributes.append(
+            Attribute.nominal(f"nom{i}", tuple(f"v{j}" for j in range(k)))
+        )
+        columns.append(rng.integers(0, k, n).astype(float))
+    x = np.column_stack(columns)
+    # Missing values sprinkled into numeric columns.
+    if draw(st.booleans()):
+        mask = rng.random((n, n_numeric)) < 0.1
+        x[:, :n_numeric][mask] = np.nan
+    y = rng.integers(0, 2, n)
+    y[0], y[1] = 0, 1  # both classes present
+    return Dataset(
+        attributes,
+        Attribute.nominal("class", ("neg", "pos")),
+        x,
+        y,
+        name="random",
+    )
+
+
+@given(dataset=datasets())
+@settings(deadline=None, max_examples=40)
+def test_arff_roundtrip_lossless(dataset):
+    again = loads_arff(dumps_arff(dataset))
+    assert again.attributes == dataset.attributes
+    assert np.array_equal(again.y, dataset.y)
+    both_nan = np.isnan(again.x) & np.isnan(dataset.x)
+    assert np.array_equal(
+        np.where(both_nan, 0.0, again.x), np.where(both_nan, 0.0, dataset.x)
+    )
+
+
+@given(dataset=datasets())
+@settings(deadline=None, max_examples=30)
+def test_tree_predicate_agrees_with_predictions(dataset):
+    tree = C45DecisionTree(prune=False).fit(dataset)
+    predicate = tree_to_predicate(tree.root, dataset.class_attribute.values)
+    index = {a.name: i for i, a in enumerate(dataset.attributes)}
+    # Restrict to fully observed rows: missing values route
+    # fractionally in the tree but conservatively in the predicate.
+    observed = ~np.isnan(dataset.x).any(axis=1)
+    flags = predicate.evaluate_rows(dataset.x[observed], index)
+    assert np.array_equal(flags, tree.predict(dataset.x[observed]) == 1)
+
+
+@given(dataset=datasets(), k=st.integers(2, 5))
+@settings(deadline=None, max_examples=30)
+def test_stratified_folds_partition(dataset, k):
+    if len(dataset) < k or min(np.bincount(dataset.y, minlength=2)) < 1:
+        return
+    folds = stratified_folds(dataset, k, np.random.default_rng(0))
+    joined = np.sort(np.concatenate(folds))
+    assert np.array_equal(joined, np.arange(len(dataset)))
+
+
+@given(dataset=datasets())
+@settings(deadline=None, max_examples=20)
+def test_cv_confusion_counts_every_instance(dataset):
+    counts = dataset.class_counts()
+    if counts.min() < 3:
+        return
+    result = cross_validate(
+        dataset, C45DecisionTree, k=3, rng=np.random.default_rng(1)
+    )
+    assert result.pooled_confusion().total == len(dataset)
+
+
+@given(dataset=datasets(), level=st.sampled_from([100.0, 300.0]))
+@settings(deadline=None, max_examples=20)
+def test_smote_only_adds_positives(dataset, level):
+    if dataset.class_counts()[1] < 2:
+        return
+    out = smote(dataset, level, 3, np.random.default_rng(2))
+    assert out.class_counts()[0] == dataset.class_counts()[0]
+    assert out.class_counts()[1] >= dataset.class_counts()[1]
+
+
+@given(dataset=datasets(), level=st.floats(5.0, 100.0))
+@settings(deadline=None, max_examples=20)
+def test_undersampling_keeps_positives(dataset, level):
+    out = undersample_majority(dataset, level, np.random.default_rng(3))
+    assert out.class_counts()[1] == dataset.class_counts()[1]
+    assert out.class_counts()[0] <= dataset.class_counts()[0]
+
+
+@given(dataset=datasets())
+@settings(deadline=None, max_examples=15)
+def test_all_learners_respect_protocol(dataset):
+    from repro.core.preprocess import LEARNERS, make_learner
+
+    for name in LEARNERS:
+        model = make_learner(name).fit(dataset)
+        dist = model.distribution(dataset.x[:5])
+        assert dist.shape == (5, 2)
+        assert np.all(dist >= -1e-12)
+        assert np.allclose(dist.sum(axis=1), 1.0)
+        predictions = model.predict(dataset.x[:5])
+        assert set(np.unique(predictions)) <= {0, 1}

@@ -1,0 +1,145 @@
+"""Tests for the paired/corrected t-tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.significance import (
+    compare_fold_metrics,
+    corrected_paired_t_test,
+    paired_t_test,
+    _t_sf,
+)
+
+
+class TestTDistribution:
+    def test_t_zero_gives_p_one(self):
+        assert _t_sf(0.0, 10) == pytest.approx(1.0, abs=1e-9)
+
+    def test_known_quantiles(self):
+        # t = 2.228 at df=10 is the 97.5th percentile: two-sided p = .05.
+        assert _t_sf(2.228, 10) == pytest.approx(0.05, abs=2e-3)
+        # t = 1.812 at df=10 -> two-sided p = .10.
+        assert _t_sf(1.812, 10) == pytest.approx(0.10, abs=2e-3)
+
+    def test_symmetric(self):
+        assert _t_sf(1.7, 8) == pytest.approx(_t_sf(-1.7, 8))
+
+    def test_monotone_in_t(self):
+        assert _t_sf(3.0, 9) < _t_sf(1.0, 9)
+
+    def test_df_validation(self):
+        with pytest.raises(ValueError):
+            _t_sf(1.0, 0)
+
+
+class TestPairedT:
+    def test_no_difference(self):
+        a = [0.9, 0.91, 0.92, 0.88, 0.9]
+        result = paired_t_test(a, a)
+        assert result.mean_difference == 0.0
+        assert not result.significant()
+
+    def test_clear_difference(self):
+        rng = np.random.default_rng(0)
+        b = rng.normal(0.80, 0.01, 10)
+        a = b + 0.1
+        result = paired_t_test(a, b)
+        assert result.mean_difference == pytest.approx(0.1)
+        assert result.significant(0.01)
+
+    def test_noise_not_significant(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.9, 0.05, 10)
+        b = rng.normal(0.9, 0.05, 10)
+        result = paired_t_test(a, b)
+        assert result.p_value > 0.01
+
+    def test_constant_difference_zero_variance(self):
+        # Exactly-representable values so the difference is truly
+        # constant and the variance exactly zero.
+        a = [2.0, 3.0, 4.0]
+        b = [1.0, 2.0, 3.0]
+        result = paired_t_test(a, b)
+        assert math.isinf(result.t_statistic)
+        assert result.p_value == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [1.0])
+        with pytest.raises(ValueError):
+            paired_t_test([1.0, 2.0], [1.0])
+
+
+class TestCorrectedT:
+    def test_correction_is_more_conservative(self):
+        rng = np.random.default_rng(2)
+        b = rng.normal(0.85, 0.02, 10)
+        # A noisy improvement, so the difference has real variance.
+        a = b + 0.02 + rng.normal(0.0, 0.01, 10)
+        plain = paired_t_test(a, b)
+        corrected = corrected_paired_t_test(a, b)
+        assert abs(corrected.t_statistic) < abs(plain.t_statistic)
+        assert corrected.p_value >= plain.p_value
+
+    def test_default_fraction_is_k_fold(self):
+        a = np.linspace(0.8, 0.9, 10)
+        b = a - 0.05
+        default = corrected_paired_t_test(a, b)
+        explicit = corrected_paired_t_test(a, b, test_fraction=1.0 / 9.0)
+        assert default.t_statistic == pytest.approx(explicit.t_statistic)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            corrected_paired_t_test([1.0, 2.0], [1.0, 2.0], test_fraction=0)
+
+
+class TestCompareFoldMetrics:
+    def test_compares_cv_results(self, separable_dataset):
+        import numpy as np
+
+        from repro.mining.crossval import cross_validate
+        from repro.mining.oner import OneR
+        from repro.mining.tree import C45DecisionTree
+
+        tree_result = cross_validate(
+            separable_dataset, C45DecisionTree, k=10,
+            rng=np.random.default_rng(5),
+        )
+        oner_result = cross_validate(
+            separable_dataset, OneR, k=10, rng=np.random.default_rng(5)
+        )
+        comparison = compare_fold_metrics(tree_result, oner_result, "auc")
+        # The tree can express the conjunction concept; OneR cannot.
+        assert comparison.mean_difference > 0
+
+    def test_metric_selection(self, separable_dataset):
+        import numpy as np
+
+        from repro.mining.crossval import cross_validate
+        from repro.mining.tree import C45DecisionTree
+
+        result = cross_validate(
+            separable_dataset, C45DecisionTree, k=5,
+            rng=np.random.default_rng(0),
+        )
+        same = compare_fold_metrics(result, result, "tpr")
+        assert same.mean_difference == 0.0
+
+    def test_fold_count_mismatch(self, separable_dataset):
+        import numpy as np
+
+        from repro.mining.crossval import cross_validate
+        from repro.mining.tree import C45DecisionTree
+
+        five = cross_validate(
+            separable_dataset, C45DecisionTree, k=5,
+            rng=np.random.default_rng(0),
+        )
+        ten = cross_validate(
+            separable_dataset, C45DecisionTree, k=10,
+            rng=np.random.default_rng(0),
+        )
+        with pytest.raises(ValueError):
+            compare_fold_metrics(five, ten)
