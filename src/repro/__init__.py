@@ -16,6 +16,11 @@ The library has four layers, mirroring the paper's architecture:
   that turns fault injection data into efficient error detection
   predicates, plus detectors, refinement and re-injection validation.
 
+On top of the four layers, :mod:`repro.runtime` serves the generated
+detectors: predicate compilation (vectorised batch + scalar closure),
+a versioned detector registry, a streaming micro-batch evaluation
+engine with fault isolation, and runtime latency/detection metrics.
+
 Quickstart::
 
     from repro import Methodology

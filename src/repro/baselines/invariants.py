@@ -279,8 +279,11 @@ class _OrderingViolation(Predicate):
         return 1
 
     def _source(self, state_name: str) -> str:
+        # NaN-defaulted reads keep the rendered assertion consistent
+        # with evaluate(): missing/NaN operands never flag.
         return (
-            f"{state_name}[{self.smaller!r}] > {state_name}[{self.larger!r}]"
+            f"{state_name}.get({self.smaller!r}, float('nan'))"
+            f" > {state_name}.get({self.larger!r}, float('nan'))"
         )
 
     def __str__(self) -> str:

@@ -74,11 +74,33 @@ class Detector:
         self.name = name
         self.evaluations = 0
         self.detections = 0
+        self._compiled = None
+
+    def compile(self, *, check: bool = True):
+        """Lower the predicate for serving (see :mod:`repro.runtime`).
+
+        Subsequent :meth:`check`/:meth:`flags_for` calls run the
+        compiled evaluators; behaviour is bit-identical (enforced by
+        the compiler's self-check) but much faster.  Returns the
+        :class:`~repro.runtime.compile.CompiledPredicate`.
+        """
+        from repro.runtime.compile import compile_predicate
+
+        self._compiled = compile_predicate(self.predicate, check=check)
+        return self._compiled
+
+    @property
+    def compiled(self):
+        """The compiled predicate, or None before :meth:`compile`."""
+        return self._compiled
 
     def check(self, state: Mapping[str, object]) -> bool:
         """Runtime assertion: flag ``state`` as erroneous or not."""
         self.evaluations += 1
-        flagged = self.predicate.evaluate(state)
+        if self._compiled is not None:
+            flagged = self._compiled.evaluate(state)
+        else:
+            flagged = self.predicate.evaluate(state)
         if flagged:
             self.detections += 1
         return flagged
@@ -90,6 +112,8 @@ class Detector:
     def flags_for(self, dataset: Dataset) -> np.ndarray:
         """Vectorised predicate evaluation over a dataset's rows."""
         index = {a.name: i for i, a in enumerate(dataset.attributes)}
+        if self._compiled is not None:
+            return self._compiled.evaluate_rows(dataset.x, index)
         return self.predicate.evaluate_rows(dataset.x, index)
 
     def efficiency_on(self, dataset: Dataset, positive: int = 1) -> DetectorEfficiency:

@@ -17,7 +17,11 @@ attribute comparisons.  This module is the predicate algebra:
 
 Comparisons on a missing variable evaluate to ``False`` -- a detector
 cannot flag what it cannot read, the conservative choice the rule
-learners also make.
+learners also make.  This holds on all three evaluation paths: dict
+states, NumPy instance arrays (missing/NaN columns) and the rendered
+source (which reads variables via ``state.get`` with a NaN default,
+so pasted assertions cannot raise ``KeyError`` or flag on NaN).  The
+:mod:`repro.runtime` compiler preserves the same semantics.
 """
 
 from __future__ import annotations
@@ -205,11 +209,14 @@ class Comparison(Predicate):
         return 1
 
     def _source(self, state_name: str) -> str:
-        shown = self.label if self.label is not None else f"{self.value!r}"
-        if self.label is not None and self.op in ("==", "!="):
-            # Booleans render against their encoded numeric value.
-            return f"{state_name}[{self.variable!r}] {self.op} {self.value!r}"
-        return f"{state_name}[{self.variable!r}] {self.op} {shown}"
+        # ``.get`` with a NaN default keeps the rendered assertion
+        # consistent with :meth:`evaluate`: a missing variable reads
+        # as NaN and every comparison on NaN is False.  ``!=`` is
+        # rendered as ``< or >`` because Python's ``nan != v`` is True.
+        lookup = f"{state_name}.get({self.variable!r}, float('nan'))"
+        if self.op == "!=":
+            return f"({lookup} < {self.value!r} or {lookup} > {self.value!r})"
+        return f"{lookup} {self.op} {self.value!r}"
 
     def __str__(self) -> str:
         shown = self.label if self.label is not None else f"{self.value:.6g}"

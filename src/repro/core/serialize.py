@@ -35,6 +35,8 @@ __all__ = [
     "predicate_from_json",
     "detector_to_dict",
     "detector_from_dict",
+    "detector_to_json",
+    "detector_from_json",
 ]
 
 
@@ -142,3 +144,16 @@ def detector_from_dict(payload: dict) -> Detector:
         except (TypeError, KeyError, ValueError) as exc:
             raise SerializationError(f"bad location payload: {exc}") from exc
     return Detector(predicate, location=location, name=name)
+
+
+def detector_to_json(detector: Detector, indent: int | None = None) -> str:
+    """One-detector JSON document (the registry stores many)."""
+    return json.dumps(detector_to_dict(detector), indent=indent)
+
+
+def detector_from_json(text: str) -> Detector:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    return detector_from_dict(payload)

@@ -20,7 +20,9 @@ per-experiment index lives in DESIGN.md):
   :mod:`~repro.experiments.ablation_location` -- ablations over the
   design choices DESIGN.md calls out;
 * :mod:`repro.experiments.validation` -- the runtime-assertion
-  re-injection validation of Section VII-D.
+  re-injection validation of Section VII-D;
+* :mod:`repro.experiments.runtime_bench` -- serving throughput of the
+  :mod:`repro.runtime` compiled detectors vs interpreted evaluation.
 
 All drivers are parameterised by an :class:`~repro.experiments.scale.Scale`
 ("smoke" for tests, "bench" for the recorded numbers, "paper" for the

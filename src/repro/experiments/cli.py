@@ -4,6 +4,7 @@ Examples::
 
     repro-experiments table3 --scale bench
     repro-experiments table4 --scale smoke --datasets 7Z-A1 MG-B2
+    repro-experiments runtime --scale smoke
     repro-experiments all --scale bench
 """
 
@@ -24,6 +25,7 @@ from repro.experiments import (
     figure_roc,
     latency,
     propagation,
+    runtime_bench,
     significance,
     table1,
     table2,
@@ -61,6 +63,7 @@ EXPERIMENTS = {
     "propagation": propagation.main,
     "significance": significance.main,
     "latency": lambda scale, datasets: latency.main(scale, datasets),
+    "runtime": runtime_bench.main,
     "validation": validation.main,
 }
 

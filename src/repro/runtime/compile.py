@@ -1,0 +1,333 @@
+"""Predicate compilation: lowering the AST to fast evaluators.
+
+``Predicate.evaluate`` walks the AST per state and ``evaluate_rows``
+walks it per batch with a dict lookup per atom; both are fine offline
+but dominate the cost of a deployed detector.  This module lowers the
+predicate algebra once, ahead of serving, into:
+
+* a **batch evaluator**: a closure tree over NumPy column views with
+  the comparison operator specialised at lowering time (no AST walk,
+  no per-atom branching at evaluation time);
+* a **scalar closure**: generated Python source run through
+  :func:`compile` -- each variable is read once via
+  :func:`repro.runtime.pack.state_value` and the comparisons are plain
+  expressions, so per-state checks skip the interpreter's dispatch.
+
+Both forms preserve the algebra's missing/NaN semantics (comparisons
+on a missing or NaN variable are ``False``, including ``!=``, which is
+lowered to ``< or >`` so NaN cannot sneak through).
+
+Compilation never fails: atoms outside the core algebra (ordering
+invariants, majority votes, user subclasses) and any lowering whose
+self-check disagrees with the interpreted path fall back to the
+interpreted evaluators, flagged via ``CompiledPredicate.mode`` and
+``fallback_reason`` so the metrics layer can report which detectors
+run slow.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from collections.abc import Callable, Mapping
+
+import numpy as np
+
+from repro.core.predicate import (
+    And,
+    Comparison,
+    FalsePredicate,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.runtime.pack import build_index, pack_states, state_value
+
+__all__ = ["CompiledPredicate", "compile_predicate"]
+
+_NAN = float("nan")
+
+
+class _Unsupported(Exception):
+    """Internal: the predicate contains an atom we cannot lower."""
+
+
+@dataclasses.dataclass
+class CompiledPredicate:
+    """A predicate lowered for serving.
+
+    ``mode`` is ``"compiled"`` when both the batch and scalar lowered
+    forms are in use, ``"interpreted"`` when evaluation fell back to
+    the AST walk (``fallback_reason`` says why).  Either way the
+    observable behaviour is identical to ``Predicate.evaluate`` /
+    ``Predicate.evaluate_rows``.
+    """
+
+    predicate: Predicate
+    mode: str
+    scalar_source: str | None
+    _scalar: Callable[[Mapping[str, object]], bool]
+    _batch: Callable[[dict[str, np.ndarray], int], np.ndarray] | None
+    fallback_reason: str | None = None
+
+    @property
+    def is_compiled(self) -> bool:
+        return self.mode == "compiled"
+
+    def evaluate(self, state: Mapping[str, object]) -> bool:
+        """Scalar check, bit-identical to ``Predicate.evaluate``."""
+        return self._scalar(state)
+
+    def __call__(self, state: Mapping[str, object]) -> bool:
+        return self._scalar(state)
+
+    def evaluate_rows(
+        self, x: np.ndarray, attribute_index: Mapping[str, int]
+    ) -> np.ndarray:
+        """Batch check, bit-identical to ``Predicate.evaluate_rows``."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if self._batch is None:
+            return self.predicate.evaluate_rows(x, attribute_index)
+        columns = {
+            name: x[:, attribute_index[name]]
+            for name in self.predicate.variables()
+            if name in attribute_index
+        }
+        return self._batch(columns, len(x))
+
+
+# ----------------------------------------------------------------------
+# Batch lowering: closure tree over column views
+# ----------------------------------------------------------------------
+def _batch_le(column: np.ndarray, value: float) -> np.ndarray:
+    return column <= value
+
+
+def _batch_gt(column: np.ndarray, value: float) -> np.ndarray:
+    return column > value
+
+
+def _batch_eq(column: np.ndarray, value: float) -> np.ndarray:
+    return column == value
+
+
+def _batch_ne(column: np.ndarray, value: float) -> np.ndarray:
+    return ~np.isnan(column) & (column != value)
+
+
+_BATCH_OPS = {"<=": _batch_le, ">": _batch_gt, "==": _batch_eq, "!=": _batch_ne}
+
+
+def _lower_batch(
+    predicate: Predicate,
+) -> Callable[[dict[str, np.ndarray], int], np.ndarray]:
+    if isinstance(predicate, TruePredicate):
+        return lambda columns, n: np.ones(n, dtype=bool)
+    if isinstance(predicate, FalsePredicate):
+        return lambda columns, n: np.zeros(n, dtype=bool)
+    if isinstance(predicate, Comparison):
+        op = _BATCH_OPS[predicate.op]
+        variable, value = predicate.variable, predicate.value
+
+        def atom(columns, n, variable=variable, value=value, op=op):
+            column = columns.get(variable)
+            if column is None:
+                return np.zeros(n, dtype=bool)
+            with np.errstate(invalid="ignore"):
+                return op(column, value)
+
+        return atom
+    if isinstance(predicate, (And, Or)):
+        children = [_lower_batch(child) for child in predicate.children]
+        if isinstance(predicate, And):
+
+            def conjunction(columns, n, children=children):
+                out = np.ones(n, dtype=bool)
+                for child in children:
+                    out &= child(columns, n)
+                return out
+
+            return conjunction
+
+        def disjunction(columns, n, children=children):
+            out = np.zeros(n, dtype=bool)
+            for child in children:
+                out |= child(columns, n)
+            return out
+
+        return disjunction
+    raise _Unsupported(
+        f"{type(predicate).__name__} is outside the core algebra"
+    )
+
+
+# ----------------------------------------------------------------------
+# Scalar lowering: generated source through compile()
+# ----------------------------------------------------------------------
+def _scalar_expression(predicate: Predicate, names: Mapping[str, str]) -> str:
+    if isinstance(predicate, TruePredicate):
+        return "True"
+    if isinstance(predicate, FalsePredicate):
+        return "False"
+    if isinstance(predicate, Comparison):
+        local = names[predicate.variable]
+        if predicate.op == "!=":
+            # NaN-safe inequality: NaN compares False on both sides.
+            return (
+                f"({local} < {predicate.value!r}"
+                f" or {local} > {predicate.value!r})"
+            )
+        return f"{local} {predicate.op} {predicate.value!r}"
+    if isinstance(predicate, (And, Or)):
+        if not predicate.children:
+            return "True" if isinstance(predicate, And) else "False"
+        joiner = " and " if isinstance(predicate, And) else " or "
+        return joiner.join(
+            f"({_scalar_expression(child, names)})"
+            for child in predicate.children
+        )
+    raise _Unsupported(
+        f"{type(predicate).__name__} is outside the core algebra"
+    )
+
+
+def _lower_scalar(
+    predicate: Predicate,
+) -> tuple[Callable[[Mapping[str, object]], bool], str]:
+    variables = sorted(predicate.variables())
+    names = {variable: f"v{i}" for i, variable in enumerate(variables)}
+    reads = "".join(
+        f"    {names[variable]} = _value(state, {variable!r})\n"
+        for variable in variables
+    )
+    source = (
+        "def _detector(state, _value=_value):\n"
+        f"{reads}"
+        f"    return bool({_scalar_expression(predicate, names)})\n"
+    )
+    namespace: dict[str, object] = {"_value": state_value}
+    exec(compile(source, "<repro.runtime.compile>", "exec"), namespace)
+    return namespace["_detector"], source  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Correctness self-check
+# ----------------------------------------------------------------------
+def _battery(predicate: Predicate) -> list[dict[str, object]]:
+    """Deterministic states probing every threshold, NaN and absence."""
+    thresholds: dict[str, set[float]] = {v: set() for v in predicate.variables()}
+
+    def collect(node: Predicate) -> None:
+        if isinstance(node, Comparison):
+            thresholds.setdefault(node.variable, set()).add(node.value)
+        elif isinstance(node, (And, Or)):
+            for child in node.children:
+                collect(child)
+
+    collect(predicate)
+    candidates: dict[str, list[float]] = {}
+    for variable, values in thresholds.items():
+        pool = {0.0}
+        for value in values:
+            pool.update((value - 1.0, value, value + 1.0))
+        candidates[variable] = sorted(pool) + [_NAN]
+    variables = sorted(candidates)
+    states: list[dict[str, object]] = [{}, {v: _NAN for v in variables}]
+    if variables:
+        # Exhaust small cross-products; sample larger ones determin-
+        # istically (missing-variable states included via the final
+        # candidate slot).
+        pools = [candidates[v] + [None] for v in variables]
+        combos = itertools.product(*pools)
+        total = 1
+        for pool in pools:
+            total *= len(pool)
+        if total > 256:
+            rng = np.random.default_rng(0)
+            combos = (
+                tuple(pool[rng.integers(len(pool))] for pool in pools)
+                for _ in range(256)
+            )
+        for combo in combos:
+            states.append(
+                {
+                    variable: value
+                    for variable, value in zip(variables, combo)
+                    if value is not None
+                }
+            )
+    return states
+
+
+def _self_check(
+    predicate: Predicate,
+    scalar: Callable[[Mapping[str, object]], bool],
+    batch: Callable[[dict[str, np.ndarray], int], np.ndarray],
+) -> str | None:
+    """Compare lowered evaluators with the interpreted path.
+
+    Returns None when bit-identical over the battery, else a reason.
+    """
+    states = _battery(predicate)
+    expected = [bool(predicate.evaluate(state)) for state in states]
+    for state, want in zip(states, expected):
+        if bool(scalar(state)) != want:
+            return f"scalar lowering disagrees on {state!r}"
+    index = build_index(predicate.variables())
+    x = pack_states(states, index)
+    interpreted = predicate.evaluate_rows(x, index).astype(bool)
+    columns = {name: x[:, column] for name, column in index.items()}
+    compiled = np.asarray(batch(columns, len(states)), dtype=bool)
+    if not np.array_equal(interpreted, compiled):
+        return "batch lowering disagrees with evaluate_rows"
+    # The packed-array path must also agree with the dict path: NaN
+    # packing stands in for missing variables.
+    if interpreted.tolist() != expected:
+        return "row semantics disagree with dict semantics"
+    empty = np.asarray(batch({}, len(states)), dtype=bool)
+    if not np.array_equal(
+        empty, predicate.evaluate_rows(x, {}).astype(bool)
+    ):
+        return "unknown-variable semantics disagree"
+    return None
+
+
+def _interpreted(predicate: Predicate, reason: str) -> CompiledPredicate:
+    return CompiledPredicate(
+        predicate=predicate,
+        mode="interpreted",
+        scalar_source=None,
+        _scalar=predicate.evaluate,
+        _batch=None,
+        fallback_reason=reason,
+    )
+
+
+def compile_predicate(
+    predicate: Predicate, *, check: bool = True
+) -> CompiledPredicate:
+    """Lower ``predicate`` for serving.
+
+    With ``check=True`` (the default) the lowered evaluators are
+    verified bit-identical to the interpreted path over a threshold/
+    NaN/missing battery before being trusted; any disagreement -- or
+    any atom outside the core algebra -- degrades to interpreted
+    evaluation rather than failing.
+    """
+    try:
+        batch = _lower_batch(predicate)
+        scalar, source = _lower_scalar(predicate)
+    except _Unsupported as exc:
+        return _interpreted(predicate, str(exc))
+    if check:
+        reason = _self_check(predicate, scalar, batch)
+        if reason is not None:
+            return _interpreted(predicate, f"self-check failed: {reason}")
+    return CompiledPredicate(
+        predicate=predicate,
+        mode="compiled",
+        scalar_source=source,
+        _scalar=scalar,
+        _batch=batch,
+        fallback_reason=None,
+    )

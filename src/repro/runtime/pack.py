@@ -1,0 +1,67 @@
+"""State packing: module state dicts -> instance arrays.
+
+The serving engine evaluates detectors over micro-batches, so incoming
+states (the dicts a :class:`~repro.injection.instrument.Probe` samples)
+must be packed into the ``(n, d)`` float arrays the vectorised
+predicate path consumes.  Packing fixes the missing/NaN convention in
+one place:
+
+* a variable absent from a state packs as NaN;
+* non-numeric values (``None``, unparseable strings) pack as NaN;
+* booleans pack as 0.0/1.0, matching the extractor's encoding.
+
+Every comparison on NaN evaluates to ``False`` in both the compiled
+and interpreted paths, so NaN-as-missing keeps the predicate algebra's
+"a detector cannot flag what it cannot read" semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["build_index", "pack_states", "state_value"]
+
+_NAN = float("nan")
+_MISSING = object()
+
+
+def state_value(state: Mapping[str, object], variable: str) -> float:
+    """Read one variable as a float, NaN when missing or non-numeric.
+
+    This is the scalar twin of :func:`pack_states`: the generated
+    scalar closures evaluate comparisons against exactly this value,
+    so the dict-state, generated-source and instance-array paths stay
+    bit-identical.
+    """
+    raw = state.get(variable, _MISSING)
+    if raw is _MISSING:
+        return _NAN
+    if isinstance(raw, bool):
+        return 1.0 if raw else 0.0
+    try:
+        return float(raw)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return _NAN
+
+
+def build_index(variables: Iterable[str]) -> dict[str, int]:
+    """Deterministic variable -> column mapping (sorted by name)."""
+    return {name: i for i, name in enumerate(sorted(set(variables)))}
+
+
+def pack_states(
+    states: Sequence[Mapping[str, object]],
+    attribute_index: Mapping[str, int],
+) -> np.ndarray:
+    """Pack state dicts into an ``(n, d)`` float64 instance array."""
+    width = (max(attribute_index.values()) + 1) if attribute_index else 0
+    x = np.full((len(states), width), _NAN, dtype=np.float64)
+    for row, state in enumerate(states):
+        for variable, column in attribute_index.items():
+            value = state_value(state, variable)
+            if not math.isnan(value):
+                x[row, column] = value
+    return x

@@ -1,0 +1,211 @@
+"""Versioned detector registry: publish once, serve anywhere.
+
+The methodology's campaigns (the offline side) and the serving engine
+(the online side) meet here: a campaign **registers** a generated
+detector under a name, the registry assigns a monotonically increasing
+version, and a server **looks up** the latest (or a pinned) version.
+Registrations are compiled on the way in (see
+:mod:`repro.runtime.compile`), so lookup hands back a serving-ready
+:class:`RegisteredDetector`.
+
+Persistence builds on :mod:`repro.core.serialize`: ``save`` writes a
+single JSON document (format ``repro.runtime.registry`` v1) with every
+version of every detector, ``load`` rebuilds the registry -- including
+recompilation -- so a server can start from a published artefact with
+no access to the mining pipeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+from repro.core.detector import Detector
+from repro.core.serialize import (
+    SerializationError,
+    detector_from_dict,
+    detector_to_dict,
+)
+from repro.runtime.compile import CompiledPredicate, compile_predicate
+
+__all__ = ["DetectorRegistry", "RegisteredDetector", "RegistryError"]
+
+_FORMAT = "repro.runtime.registry"
+_FORMAT_VERSION = 1
+
+
+class RegistryError(KeyError):
+    """Unknown detector/version, or a conflicting registration."""
+
+
+@dataclasses.dataclass(frozen=True)
+class RegisteredDetector:
+    """One published (name, version) with its compiled predicate."""
+
+    name: str
+    version: int
+    detector: Detector
+    compiled: CompiledPredicate
+
+    def __str__(self) -> str:
+        return f"{self.name}@v{self.version} [{self.compiled.mode}]"
+
+
+class DetectorRegistry:
+    """In-memory registry with JSON persist/reload."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, dict[int, RegisteredDetector]] = {}
+
+    # -- publishing ----------------------------------------------------
+    def register(
+        self,
+        detector: Detector,
+        name: str | None = None,
+        version: int | None = None,
+        *,
+        check: bool = True,
+    ) -> RegisteredDetector:
+        """Publish ``detector``; returns the registered entry.
+
+        ``version`` defaults to one past the latest published version
+        of ``name`` (1 for a new name); re-publishing an existing
+        (name, version) is rejected -- published versions are
+        immutable by contract.
+        """
+        name = name if name is not None else detector.name
+        versions = self._entries.setdefault(name, {})
+        if version is None:
+            version = max(versions, default=0) + 1
+        if version < 1:
+            raise RegistryError(f"version must be >= 1, got {version}")
+        if version in versions:
+            raise RegistryError(
+                f"{name}@v{version} is already published; versions are "
+                "immutable (bump the version instead)"
+            )
+        entry = RegisteredDetector(
+            name=name,
+            version=version,
+            detector=detector,
+            compiled=compile_predicate(detector.predicate, check=check),
+        )
+        versions[version] = entry
+        return entry
+
+    def unregister(self, name: str, version: int | None = None) -> None:
+        """Retire one version, or every version when ``version=None``."""
+        versions = self._entries.get(name)
+        if not versions:
+            raise RegistryError(f"unknown detector {name!r}")
+        if version is None:
+            del self._entries[name]
+            return
+        if version not in versions:
+            raise RegistryError(f"unknown version {name}@v{version}")
+        del versions[version]
+        if not versions:
+            del self._entries[name]
+
+    # -- lookup --------------------------------------------------------
+    def lookup(
+        self, name: str, version: int | None = None
+    ) -> RegisteredDetector:
+        """Fetch a published detector; latest version by default."""
+        versions = self._entries.get(name)
+        if not versions:
+            raise RegistryError(f"unknown detector {name!r}")
+        if version is None:
+            version = max(versions)
+        try:
+            return versions[version]
+        except KeyError:
+            raise RegistryError(
+                f"unknown version {name}@v{version}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def versions(self, name: str) -> list[int]:
+        versions = self._entries.get(name)
+        if not versions:
+            raise RegistryError(f"unknown detector {name!r}")
+        return sorted(versions)
+
+    def latest(self) -> list[RegisteredDetector]:
+        """The newest version of every published name."""
+        return [self.lookup(name) for name in self.names()]
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._entries.values())
+
+    def __iter__(self):
+        for name in self.names():
+            for version in self.versions(name):
+                yield self._entries[name][version]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    # -- persistence ---------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format": _FORMAT,
+            "version": _FORMAT_VERSION,
+            "detectors": [
+                {
+                    "name": entry.name,
+                    "version": entry.version,
+                    "detector": detector_to_dict(entry.detector),
+                }
+                for entry in self
+            ],
+        }
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Write the registry as one JSON document."""
+        path = pathlib.Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2))
+        return path
+
+    @classmethod
+    def from_dict(cls, payload: dict, *, check: bool = True) -> "DetectorRegistry":
+        if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+            raise SerializationError(
+                f"not a {_FORMAT} document: {payload!r:.80}"
+            )
+        if payload.get("version") != _FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported registry format version "
+                f"{payload.get('version')!r}"
+            )
+        registry = cls()
+        entries = payload.get("detectors")
+        if not isinstance(entries, list):
+            raise SerializationError("registry payload needs 'detectors'")
+        for spec in entries:
+            try:
+                name = spec["name"]
+                version = int(spec["version"])
+                detector = detector_from_dict(spec["detector"])
+            except (TypeError, KeyError, ValueError) as exc:
+                raise SerializationError(
+                    f"bad registry entry: {exc}"
+                ) from exc
+            registry.register(detector, name=name, version=version,
+                              check=check)
+        return registry
+
+    @classmethod
+    def load(
+        cls, path: str | pathlib.Path, *, check: bool = True
+    ) -> "DetectorRegistry":
+        """Rebuild (and recompile) a registry from ``save`` output."""
+        text = pathlib.Path(path).read_text()
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"invalid JSON: {exc}") from exc
+        return cls.from_dict(payload, check=check)

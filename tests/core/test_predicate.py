@@ -114,6 +114,21 @@ class TestConnectives:
                       {"v": 4.0, "w": 0.0}):
             assert eval(source, {}, {"state": state}) == p.evaluate(state)
 
+    def test_to_source_missing_variable_is_false(self):
+        # The rendered assertion must not raise (or flag) when the
+        # target cannot provide a variable -- same as evaluate().
+        p = Or([And([V_LE_5, W_EQ_1]), V_GT_5])
+        source = p.to_source("state")
+        for state in ({}, {"v": 4.0}, {"w": 1.0}):
+            assert eval(source, {}, {"state": state}) == p.evaluate(state)
+
+    def test_to_source_nan_is_false_for_every_operator(self):
+        nan_state = {"v": float("nan")}
+        for op in ("<=", ">", "==", "!="):
+            source = Comparison("v", op, 5.0).to_source("state")
+            assert eval(source, {}, {"state": nan_state}) is False, op
+            assert eval(source, {}, {"state": {}}) is False, op
+
 
 class TestSimplify:
     def test_empty_and_is_true(self):

@@ -1,0 +1,172 @@
+"""Engine semantics: micro-batching, enable/disable, error isolation."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import Detector
+from repro.core.predicate import Comparison, Or, Predicate
+from repro.runtime.engine import StreamingEngine
+from repro.runtime.registry import DetectorRegistry
+
+HI = Comparison("v", ">", 5.0)
+LO = Comparison("v", "<=", -5.0)
+EDGES = Or([HI, LO])
+
+
+def make_states(n=20):
+    return [{"v": float(i - n // 2), "w": float(i)} for i in range(n)]
+
+
+class RaisingPredicate(Predicate):
+    """A predicate whose batch path always crashes."""
+
+    def evaluate(self, state):
+        raise RuntimeError("scalar boom")
+
+    def evaluate_rows(self, x, attribute_index):
+        raise RuntimeError("batch boom")
+
+    def variables(self):
+        return frozenset(("v",))
+
+    def simplify(self):
+        return self
+
+    def complexity(self):
+        return 1
+
+    def _source(self, state_name):
+        return "False"
+
+
+class TestBatching:
+    def test_stream_matches_per_state_check(self):
+        states = make_states()
+        engine = StreamingEngine(batch_size=7)
+        engine.add(Detector(EDGES, name="edges"))
+        flags = np.concatenate(
+            [r.flags["edges"] for r in engine.evaluate_stream(states)]
+        )
+        expected = [Detector(EDGES).check(s) for s in states]
+        assert flags.tolist() == expected
+
+    def test_submit_flushes_at_batch_size(self):
+        engine = StreamingEngine(batch_size=3)
+        engine.add(Detector(HI, name="hi"))
+        assert engine.submit({"v": 9.0}) is None
+        assert engine.submit({"v": 1.0}) is None
+        result = engine.submit({"v": 8.0})
+        assert result is not None
+        assert result.size == 3
+        assert result.flags["hi"].tolist() == [True, False, True]
+        assert engine.flush() is None  # nothing pending
+
+    def test_flush_drains_partial_batch(self):
+        engine = StreamingEngine(batch_size=100)
+        engine.add(Detector(HI, name="hi"))
+        engine.submit({"v": 9.0})
+        result = engine.flush()
+        assert result is not None and result.size == 1
+
+    def test_detector_counters_updated(self):
+        engine = StreamingEngine(batch_size=4)
+        detector = Detector(HI, name="hi")
+        engine.add(detector)
+        list(engine.evaluate_stream(make_states(8)))
+        assert detector.evaluations == 8
+        assert detector.detections == sum(
+            HI.evaluate(s) for s in make_states(8)
+        )
+
+    def test_any_flags_union(self):
+        engine = StreamingEngine()
+        engine.add(Detector(HI, name="hi"))
+        engine.add(Detector(LO, name="lo"))
+        result = engine.evaluate_batch(
+            [{"v": 9.0}, {"v": 0.0}, {"v": -9.0}]
+        )
+        assert result.any_flags().tolist() == [True, False, True]
+        assert result.detections() == {"hi": 1, "lo": 1}
+
+    def test_from_registry_serves_latest(self):
+        registry = DetectorRegistry()
+        registry.register(Detector(LO, name="d"))
+        registry.register(Detector(HI, name="d"))  # v2 wins
+        engine = StreamingEngine.from_registry(registry)
+        result = engine.evaluate_batch([{"v": 9.0}])
+        assert result.flags["d"].tolist() == [True]
+
+
+class TestEnableDisable:
+    def test_disabled_detector_is_skipped(self):
+        engine = StreamingEngine()
+        engine.add(Detector(HI, name="hi"))
+        engine.add(Detector(LO, name="lo"))
+        engine.disable("lo")
+        result = engine.evaluate_batch([{"v": -9.0}])
+        assert set(result.flags) == {"hi"}
+        assert engine.enabled_names() == ["hi"]
+        engine.enable("lo")
+        result = engine.evaluate_batch([{"v": -9.0}])
+        assert result.flags["lo"].tolist() == [True]
+
+    def test_unknown_name_raises(self):
+        engine = StreamingEngine()
+        with pytest.raises(KeyError):
+            engine.disable("ghost")
+
+
+class TestErrorIsolation:
+    def test_crashing_detector_does_not_poison_batch(self):
+        engine = StreamingEngine()
+        engine.add(Detector(RaisingPredicate(), name="bad"))
+        engine.add(Detector(HI, name="good"))
+        result = engine.evaluate_batch([{"v": 9.0}, {"v": 0.0}])
+        # The healthy detector still reports detections...
+        assert result.flags["good"].tolist() == [True, False]
+        # ...the crashing one degrades to "no detection" + a fault.
+        assert result.flags["bad"].tolist() == [False, False]
+        assert len(result.faults) == 1
+        assert result.faults[0].detector == "bad"
+        assert "batch boom" in result.faults[0].error
+        report = engine.report()
+        assert report["detectors"]["bad"]["faults"] == 1
+        assert report["detectors"]["good"]["faults"] == 0
+
+    def test_fault_quarantine_after_max_faults(self):
+        engine = StreamingEngine(max_faults=2)
+        engine.add(Detector(RaisingPredicate(), name="bad"))
+        engine.evaluate_batch([{"v": 1.0}])
+        assert engine.is_enabled("bad")
+        engine.evaluate_batch([{"v": 1.0}])
+        assert not engine.is_enabled("bad")  # quarantined
+        # Re-enabling clears the fault count.
+        engine.enable("bad")
+        assert engine.is_enabled("bad")
+
+    def test_wrong_shape_is_a_fault(self):
+        class WrongShape(RaisingPredicate):
+            def evaluate_rows(self, x, attribute_index):
+                return np.zeros(1, dtype=bool)  # ignores batch size
+
+        engine = StreamingEngine()
+        engine.add(Detector(WrongShape(), name="short"))
+        result = engine.evaluate_batch([{"v": 1.0}, {"v": 2.0}])
+        assert len(result.faults) == 1
+        assert result.flags["short"].tolist() == [False, False]
+
+
+class TestMetricsWiring:
+    def test_report_structure(self):
+        engine = StreamingEngine(batch_size=5)
+        engine.add(Detector(HI, name="hi"))
+        list(engine.evaluate_stream(make_states(12)))
+        report = engine.report()
+        stats = report["detectors"]["hi"]
+        assert stats["evaluations"] == 12
+        assert stats["batches"] == 3
+        latency = stats["latency"]
+        assert latency["count"] == 3
+        assert 0 < latency["p50"] <= latency["p95"] <= latency["p99"]
+        assert report["totals"]["evaluations"] == 12
+        assert report["serving"]["hi"]["mode"] == "compiled"

@@ -1,0 +1,118 @@
+"""Registry semantics: versioning, lookup, persist/reload."""
+
+import json
+
+import pytest
+
+from repro.core.detector import Detector
+from repro.core.predicate import And, Comparison, Or
+from repro.core.serialize import SerializationError
+from repro.injection.instrument import Location, Probe
+from repro.runtime.registry import DetectorRegistry, RegistryError
+
+P1 = Comparison("v", ">", 5.0)
+P2 = Or([Comparison("v", "<=", 1.0), Comparison("w", "==", 0.0)])
+P3 = And([Comparison("u", "!=", 3.0), Comparison("v", ">", 0.0)])
+
+
+def make_registry() -> DetectorRegistry:
+    registry = DetectorRegistry()
+    registry.register(Detector(P1, name="entry"))
+    registry.register(Detector(P2, name="entry"))  # v2
+    registry.register(
+        Detector(P3, location=Probe("MG", Location.EXIT), name="exit")
+    )
+    return registry
+
+
+class TestVersioning:
+    def test_versions_auto_increment(self):
+        registry = make_registry()
+        assert registry.versions("entry") == [1, 2]
+        assert registry.versions("exit") == [1]
+
+    def test_lookup_defaults_to_latest(self):
+        registry = make_registry()
+        assert registry.lookup("entry").version == 2
+        assert registry.lookup("entry").detector.predicate == P2
+
+    def test_lookup_pinned_version(self):
+        registry = make_registry()
+        assert registry.lookup("entry", version=1).detector.predicate == P1
+
+    def test_published_versions_are_immutable(self):
+        registry = make_registry()
+        with pytest.raises(RegistryError):
+            registry.register(Detector(P1, name="entry"), version=2)
+
+    def test_unknown_lookups_raise(self):
+        registry = make_registry()
+        with pytest.raises(RegistryError):
+            registry.lookup("nope")
+        with pytest.raises(RegistryError):
+            registry.lookup("entry", version=9)
+
+    def test_registration_is_compiled(self):
+        entry = make_registry().lookup("entry")
+        assert entry.compiled.mode == "compiled"
+        assert entry.compiled.evaluate({"v": 0.5}) is True
+
+    def test_unregister(self):
+        registry = make_registry()
+        registry.unregister("entry", version=2)
+        assert registry.lookup("entry").version == 1
+        registry.unregister("entry")
+        assert "entry" not in registry
+        with pytest.raises(RegistryError):
+            registry.unregister("entry")
+
+    def test_latest_and_len(self):
+        registry = make_registry()
+        assert len(registry) == 3
+        assert [e.name for e in registry.latest()] == ["entry", "exit"]
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        registry = make_registry()
+        path = registry.save(tmp_path / "registry.json")
+        loaded = DetectorRegistry.load(path)
+        assert loaded.names() == registry.names()
+        assert loaded.versions("entry") == [1, 2]
+        for entry in registry:
+            twin = loaded.lookup(entry.name, entry.version)
+            assert twin.detector.predicate == entry.detector.predicate
+        # Locations survive.
+        assert str(loaded.lookup("exit").detector.location) == "MG@exit"
+
+    def test_reloaded_registry_serves(self, tmp_path):
+        path = make_registry().save(tmp_path / "registry.json")
+        loaded = DetectorRegistry.load(path)
+        entry = loaded.lookup("entry")
+        assert entry.compiled.mode == "compiled"
+        state = {"v": 0.0, "w": 0.0}
+        assert entry.compiled.evaluate(state) == P2.evaluate(state)
+
+    def test_document_is_plain_json(self, tmp_path):
+        path = make_registry().save(tmp_path / "registry.json")
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro.runtime.registry"
+        assert payload["version"] == 1
+        assert len(payload["detectors"]) == 3
+
+    def test_malformed_documents_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        with pytest.raises(SerializationError):
+            DetectorRegistry.load(bad)
+        bad.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(SerializationError):
+            DetectorRegistry.load(bad)
+        bad.write_text(
+            json.dumps(
+                {"format": "repro.runtime.registry", "version": 99,
+                 "detectors": []}
+            )
+        )
+        with pytest.raises(SerializationError):
+            DetectorRegistry.load(bad)
