@@ -17,6 +17,21 @@ substrate over the reproduction's campaign records:
 * :mod:`repro.analysis.significance` -- paired and Nadeau-Bengio
   corrected t-tests over matched cross-validation folds, for claims of
   the form "model A beats model B on this dataset".
+
+The static-verification half of the package reasons about detectors
+without running them:
+
+* :mod:`repro.analysis.intervals` -- the interval abstract domain the
+  checker interprets the predicate algebra in;
+* :mod:`repro.analysis.simplify` -- the abstract-interpretation checker
+  and canonical simplifier (unsatisfiable / tautological / subsumed /
+  vacuous clause verdicts, provably equivalent smaller predicates);
+* :mod:`repro.analysis.redundancy` -- cross-detector diffing
+  (equivalence / implication proofs, battery-evidence overlap);
+* :mod:`repro.analysis.surface` -- AST injection-surface analysis of
+  target modules (instrumentable variables, def-use, dead injections);
+* :mod:`repro.analysis.lint` -- the pluggable lint framework tying the
+  above together behind ``repro lint`` / ``repro analyze``.
 """
 
 from repro.analysis.propagation import (
@@ -38,19 +53,80 @@ from repro.analysis.significance import (
     corrected_paired_t_test,
     paired_t_test,
 )
+from repro.analysis.intervals import Constraint, atom_constraint
+from repro.analysis.simplify import (
+    ClauseVerdict,
+    SimplificationResult,
+    check_predicate,
+    simplify_predicate,
+)
+from repro.analysis.redundancy import (
+    PredicateRelation,
+    RedundancyFinding,
+    analyze_registry,
+    compare_predicates,
+)
+from repro.analysis.surface import (
+    ProbeSite,
+    SurfaceReport,
+    SurfaceVariable,
+    analyze_module,
+    analyze_source,
+    analyze_target_package,
+    check_campaign,
+)
+from repro.analysis.lint import (
+    Finding,
+    LintContext,
+    LintRule,
+    Linter,
+    Severity,
+    default_rules,
+    exit_code,
+    register_rule,
+    render_json,
+    render_text,
+)
 
 __all__ = [
+    "ClauseVerdict",
+    "Constraint",
     "CoverageEstimate",
     "EfficiencyReport",
+    "Finding",
     "LatencyStatistics",
+    "LintContext",
+    "LintRule",
+    "Linter",
+    "PredicateRelation",
+    "ProbeSite",
     "PropagationReport",
+    "RedundancyFinding",
+    "Severity",
+    "SimplificationResult",
+    "SurfaceReport",
+    "SurfaceVariable",
     "TTestResult",
     "VariablePropagation",
     "analyse_propagation",
+    "analyze_module",
+    "analyze_registry",
+    "analyze_source",
+    "analyze_target_package",
+    "atom_constraint",
+    "check_campaign",
+    "check_predicate",
     "compare_fold_metrics",
+    "compare_predicates",
     "corrected_paired_t_test",
     "coverage_estimate",
+    "default_rules",
     "detector_efficiency_report",
+    "exit_code",
     "latency_statistics",
     "paired_t_test",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "simplify_predicate",
 ]

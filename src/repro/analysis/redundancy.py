@@ -1,0 +1,245 @@
+"""Cross-detector redundancy analysis.
+
+A registry serving many detectors pays for every one of them on every
+state, so two detectors that are equivalent -- or where one implies the
+other -- are wasted work (and a publishing mistake: a team re-deriving
+a detector from the same campaign should bump a version, not add a
+name).  This module diffs predicate *pairs*:
+
+* **proof**: both predicates are simplified to canonical form; when
+  each is a disjunction of conjunctive interval branches, implication
+  is decided branch-wise in the interval domain (sound: a proven
+  relation holds on every state, missing/NaN included; incomplete:
+  opaque atoms and non-DNF shapes fall through);
+* **evidence**: when no proof applies, both predicates are evaluated
+  over a deterministic battery of states probing every threshold, NaN
+  and absence (the same construction the compiler's self-check uses),
+  and the observed agreement is reported as evidence, never as proof.
+
+:func:`analyze_registry` applies the pairwise diff to the newest
+version of every published name --
+:meth:`repro.runtime.registry.DetectorRegistry.publish` runs it at
+publish time to warn about (or reject) duplicates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+import numpy as np
+
+from repro.analysis.intervals import Constraint
+from repro.analysis.simplify import _branch_table, _implies, simplify_predicate
+from repro.core.predicate import (
+    And,
+    Comparison,
+    FalsePredicate,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+
+__all__ = [
+    "PredicateRelation",
+    "RedundancyFinding",
+    "compare_predicates",
+    "analyze_registry",
+]
+
+#: Relations, strongest first.  ``equivalent``/``implies``/
+#: ``implied_by``/``disjoint`` are interval-domain *proofs*;
+#: ``overlap``/``independent`` summarise battery evidence only.
+RELATIONS = (
+    "equivalent",
+    "implies",
+    "implied_by",
+    "disjoint",
+    "overlap",
+    "independent",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class PredicateRelation:
+    """Outcome of diffing one predicate pair."""
+
+    relation: str
+    proven: bool
+    detail: str
+    #: Battery agreement counts (both fired, only left, only right).
+    both: int = 0
+    only_left: int = 0
+    only_right: int = 0
+
+    @property
+    def is_redundant(self) -> bool:
+        """One of the pair adds no detection capability."""
+        return self.relation in ("equivalent", "implies", "implied_by")
+
+
+@dataclasses.dataclass(frozen=True)
+class RedundancyFinding:
+    """One redundant (or overlapping) registry pair."""
+
+    left: str
+    right: str
+    relation: PredicateRelation
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.relation.relation} {self.right}"
+
+
+def _branches(predicate: Predicate) -> list[dict[str, Constraint]] | None:
+    """Branch tables of a DNF-shaped predicate; None when opaque."""
+    if isinstance(predicate, TruePredicate):
+        return [{}]  # one empty branch: satisfied by every state
+    if isinstance(predicate, FalsePredicate):
+        return []
+    if isinstance(predicate, (Comparison, And)):
+        table = _branch_table(predicate)
+        return None if table is None else [table]
+    if isinstance(predicate, Or):
+        tables = []
+        for child in predicate.children:
+            table = _branch_table(child)
+            if table is None:
+                return None
+            tables.append(table)
+        return tables
+    return None
+
+
+def _dnf_implies(
+    left: list[dict[str, Constraint]], right: list[dict[str, Constraint]]
+) -> bool:
+    """Every left branch is implied by some right branch (sound)."""
+    return all(
+        any(_implies(branch, other) for other in right) for branch in left
+    )
+
+
+def _dnf_disjoint(
+    left: list[dict[str, Constraint]], right: list[dict[str, Constraint]]
+) -> bool:
+    """No state satisfies a left branch and a right branch (sound)."""
+    for a, b in itertools.product(left, right):
+        conflict = any(
+            a[v].intersect(b[v]).empty for v in set(a) & set(b)
+        )
+        if not conflict:
+            return False
+    return True
+
+
+def _battery(left: Predicate, right: Predicate) -> list[dict[str, object]]:
+    """Deterministic states probing both predicates' thresholds."""
+    thresholds: dict[str, set[float]] = {}
+
+    def collect(node: Predicate) -> None:
+        if isinstance(node, Comparison):
+            thresholds.setdefault(node.variable, set()).add(node.value)
+        elif isinstance(node, (And, Or)):
+            for child in node.children:
+                collect(child)
+        else:
+            for variable in node.variables():
+                thresholds.setdefault(variable, set())
+
+    collect(left)
+    collect(right)
+    nan = float("nan")
+    candidates: dict[str, list[object]] = {}
+    for variable, values in thresholds.items():
+        pool = {0.0}
+        for value in values:
+            pool.update((value - 1.0, value, value + 1.0))
+        candidates[variable] = sorted(pool) + [nan, None]
+    variables = sorted(candidates)
+    states: list[dict[str, object]] = [{}]
+    pools = [candidates[v] for v in variables]
+    total = 1
+    for pool in pools:
+        total *= len(pool)
+    if total <= 1024:
+        combos = itertools.product(*pools)
+    else:
+        rng = np.random.default_rng(0)
+        combos = (
+            tuple(pool[rng.integers(len(pool))] for pool in pools)
+            for _ in range(1024)
+        )
+    for combo in combos:
+        states.append(
+            {
+                variable: value
+                for variable, value in zip(variables, combo)
+                if value is not None
+            }
+        )
+    return states
+
+
+def compare_predicates(
+    left: Predicate, right: Predicate
+) -> PredicateRelation:
+    """Diff two predicates: an interval-domain proof when both are
+    DNF-shaped, battery evidence otherwise."""
+    simple_left = simplify_predicate(left).simplified
+    simple_right = simplify_predicate(right).simplified
+    left_branches = _branches(simple_left)
+    right_branches = _branches(simple_right)
+    if left_branches is not None and right_branches is not None:
+        forward = _dnf_implies(left_branches, right_branches)
+        backward = _dnf_implies(right_branches, left_branches)
+        if forward and backward:
+            return PredicateRelation(
+                "equivalent", True, "identical interval coverage"
+            )
+        if forward:
+            return PredicateRelation(
+                "implies", True, "left never fires without right"
+            )
+        if backward:
+            return PredicateRelation(
+                "implied_by", True, "right never fires without left"
+            )
+        if _dnf_disjoint(left_branches, right_branches):
+            return PredicateRelation(
+                "disjoint", True, "no state can fire both"
+            )
+    states = _battery(simple_left, simple_right)
+    both = only_left = only_right = 0
+    for state in states:
+        fired_left = bool(simple_left.evaluate(state))
+        fired_right = bool(simple_right.evaluate(state))
+        both += fired_left and fired_right
+        only_left += fired_left and not fired_right
+        only_right += fired_right and not fired_left
+    relation = "overlap" if both else "independent"
+    return PredicateRelation(
+        relation,
+        False,
+        f"battery of {len(states)} states: {both} fired both, "
+        f"{only_left} only left, {only_right} only right",
+        both=both,
+        only_left=only_left,
+        only_right=only_right,
+    )
+
+
+def analyze_registry(registry) -> list[RedundancyFinding]:
+    """Diff the newest version of every published detector pairwise.
+
+    Returns findings for every pair whose relation is a proven
+    implication/equivalence, or whose battery evidence shows overlap --
+    sorted redundant-first so callers can slice off the severe ones.
+    """
+    entries = registry.latest()
+    findings: list[RedundancyFinding] = []
+    for a, b in itertools.combinations(entries, 2):
+        relation = compare_predicates(a.detector.predicate, b.detector.predicate)
+        if relation.is_redundant or relation.relation == "overlap":
+            findings.append(RedundancyFinding(str(a), str(b), relation))
+    findings.sort(key=lambda f: RELATIONS.index(f.relation.relation))
+    return findings

@@ -1,0 +1,362 @@
+"""Injection-surface analysis of instrumented target modules.
+
+A fault-injection campaign is only as useful as its injection surface:
+flipping a bit in a variable the target never reads back cannot change
+the execution, so every run against it is wasted compute and every
+sampled instance a guaranteed non-failure (FastFlip's observation that
+static analysis of the injection surface makes campaigns cheaper).
+This module walks the *AST* of a target module -- no execution -- to
+recover the instrumentation surface:
+
+* every ``harness.probe("Module", Location.ENTRY, {...})`` call site,
+  with the dict-literal keys as the instrumentable variables at that
+  (module, location) probe;
+* the *def-use* trail of each probe: which keys of the returned state
+  dict the module actually reads afterwards (``state["x"]`` /
+  ``state.get("x")``), at which lines;
+* **dead** variables -- exposed at a probe but never read back -- and
+  probes whose returned state is discarded entirely.
+
+:func:`check_campaign` then flags a
+:class:`~repro.injection.campaign.CampaignConfig` that spends runs
+injecting into dead variables.
+
+The analysis is conservative: a read through a non-literal key (or any
+shape it does not recognise) marks *every* variable of that probe as
+read, so "dead" is only ever reported with an explicit witness.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import importlib
+import inspect
+import pkgutil
+import types
+
+__all__ = [
+    "ProbeSite",
+    "SurfaceVariable",
+    "SurfaceReport",
+    "analyze_source",
+    "analyze_module",
+    "analyze_target_package",
+    "check_campaign",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbeSite:
+    """One ``harness.probe(module, location, {...})`` call site."""
+
+    module: str
+    location: str  # "entry" | "exit"
+    line: int
+    state_name: str | None  # name the returned dict is bound to
+    variables: tuple[str, ...]
+
+    @property
+    def result_discarded(self) -> bool:
+        """The returned (possibly corrupted) state is never bound, so
+        injections at this probe cannot reach the module."""
+        return self.state_name is None
+
+    def __str__(self) -> str:
+        return f"{self.module}@{self.location} (line {self.line})"
+
+
+@dataclasses.dataclass(frozen=True)
+class SurfaceVariable:
+    """One instrumentable variable with its def-use sites."""
+
+    module: str
+    location: str
+    name: str
+    defined_line: int
+    reads: tuple[int, ...]  # line numbers of state reads after the probe
+
+    @property
+    def is_dead(self) -> bool:
+        return not self.reads
+
+
+@dataclasses.dataclass
+class SurfaceReport:
+    """The instrumentation surface of one or more analysed sources."""
+
+    source: str
+    probes: list[ProbeSite]
+    variables: list[SurfaceVariable]
+
+    def merged_with(self, other: "SurfaceReport") -> "SurfaceReport":
+        return SurfaceReport(
+            source=f"{self.source}, {other.source}",
+            probes=self.probes + other.probes,
+            variables=self.variables + other.variables,
+        )
+
+    def modules(self) -> list[str]:
+        return sorted({p.module for p in self.probes})
+
+    def variables_at(self, module: str, location: str) -> list[SurfaceVariable]:
+        return [
+            v
+            for v in self.variables
+            if v.module == module and v.location == str(location)
+        ]
+
+    def dead_variables(
+        self, module: str | None = None, location: str | None = None
+    ) -> list[SurfaceVariable]:
+        return [
+            v
+            for v in self.variables
+            if v.is_dead
+            and (module is None or v.module == module)
+            and (location is None or v.location == str(location))
+        ]
+
+    def lookup(self, module: str, location: str, name: str) -> SurfaceVariable | None:
+        for v in self.variables_at(module, location):
+            if v.name == name:
+                return v
+        return None
+
+
+def _probe_parts(call: ast.Call) -> tuple[str, str, ast.expr] | None:
+    """Match ``<anything>.probe("Module", Location.X, state_expr)``."""
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "probe"):
+        return None
+    if len(call.args) != 3:
+        return None
+    module_arg, location_arg, state_arg = call.args
+    if not (isinstance(module_arg, ast.Constant) and isinstance(module_arg.value, str)):
+        return None
+    if isinstance(location_arg, ast.Attribute):
+        location = location_arg.attr.lower()
+    elif isinstance(location_arg, ast.Constant) and isinstance(location_arg.value, str):
+        location = location_arg.value.lower()
+    else:
+        return None
+    if location not in ("entry", "exit"):
+        return None
+    return module_arg.value, location, state_arg
+
+
+def _dict_keys(expression: ast.expr) -> tuple[str, ...] | None:
+    if not isinstance(expression, ast.Dict):
+        return None
+    keys: list[str] = []
+    for key in expression.keys:
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return None
+        keys.append(key.value)
+    return tuple(keys)
+
+
+@dataclasses.dataclass
+class _Probe:
+    site: ProbeSite
+    function: ast.AST
+
+
+def _function_probes(function: ast.AST) -> list[_Probe]:
+    """Probe call sites directly inside one function body."""
+    probes: list[_Probe] = []
+    for node in ast.walk(function):
+        call: ast.Call | None = None
+        state_name: str | None = None
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            call = node.value
+            if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+                state_name = node.targets[0].id
+        elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            call = node.value
+        if call is None:
+            continue
+        parts = _probe_parts(call)
+        if parts is None:
+            continue
+        module, location, state_arg = parts
+        variables = _dict_keys(state_arg) or ()
+        probes.append(
+            _Probe(
+                ProbeSite(
+                    module=module,
+                    location=location,
+                    line=call.lineno,
+                    state_name=state_name,
+                    variables=variables,
+                ),
+                function,
+            )
+        )
+    return probes
+
+
+def _state_reads(
+    function: ast.AST, state_name: str, after_line: int
+) -> dict[str, list[int]] | None:
+    """Lines where ``state_name[<key>]`` / ``state_name.get(<key>)`` is
+    read after ``after_line``.  ``None`` means an unrecognised access
+    shape was seen -- the caller must assume every key is read."""
+    reads: dict[str, list[int]] = {}
+    for node in ast.walk(function):
+        if getattr(node, "lineno", 0) <= after_line:
+            continue
+        key_node: ast.expr | None = None
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == state_name
+        ):
+            key_node = node.slice
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == state_name
+            and node.args
+        ):
+            key_node = node.args[0]
+        elif isinstance(node, ast.Name) and node.id == state_name:
+            # A bare reference (e.g. passed to a helper, iterated,
+            # returned): conservatively, everything may be read.  The
+            # subscript/get parents also contain a Name node, but those
+            # are matched above before their child is reached... walk
+            # order does not guarantee that, so bare names are handled
+            # by the caller via the sentinel below only when no other
+            # shape claimed the same location.
+            continue
+        if key_node is None:
+            continue
+        if isinstance(key_node, ast.Constant) and isinstance(key_node.value, str):
+            reads.setdefault(key_node.value, []).append(node.lineno)
+        else:
+            return None  # dynamic key: give up, assume all read
+    # Second pass: bare Name references outside subscript/get shapes.
+    claimed_lines = {
+        line for lines in reads.values() for line in lines
+    }
+    for node in ast.walk(function):
+        if (
+            isinstance(node, ast.Name)
+            and node.id == state_name
+            and getattr(node, "lineno", 0) > after_line
+            and node.lineno not in claimed_lines
+            and isinstance(node.ctx, ast.Load)
+        ):
+            return None  # escapes the recognised shapes: assume all read
+    return reads
+
+
+def analyze_source(source: str, name: str = "<module>") -> SurfaceReport:
+    """Analyse one module's source text."""
+    tree = ast.parse(source, filename=name)
+    probes: list[ProbeSite] = []
+    variables: list[SurfaceVariable] = []
+    functions = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    for function in functions:
+        for probe in _function_probes(function):
+            site = probe.site
+            probes.append(site)
+            if site.state_name is None:
+                reads: dict[str, list[int]] | None = {}
+            else:
+                reads = _state_reads(function, site.state_name, site.line)
+            for variable in site.variables:
+                if reads is None:
+                    lines: tuple[int, ...] = (-1,)  # unknown reads: assume read
+                else:
+                    lines = tuple(reads.get(variable, ()))
+                variables.append(
+                    SurfaceVariable(
+                        module=site.module,
+                        location=site.location,
+                        name=variable,
+                        defined_line=site.line,
+                        reads=lines,
+                    )
+                )
+    return SurfaceReport(source=name, probes=probes, variables=variables)
+
+
+def analyze_module(module: types.ModuleType) -> SurfaceReport:
+    """Analyse an imported Python module."""
+    return analyze_source(inspect.getsource(module), module.__name__)
+
+
+def analyze_target_package(package: str | types.ModuleType) -> SurfaceReport:
+    """Analyse every submodule of a target package.
+
+    ``package`` is a dotted name (``"repro.targets.flightgear"``, or
+    the shorthand ``"flightgear"``) or an imported package object.
+    """
+    if isinstance(package, str):
+        name = package if "." in package else f"repro.targets.{package}"
+        package = importlib.import_module(name)
+    report = SurfaceReport(source=package.__name__, probes=[], variables=[])
+    if hasattr(package, "__path__"):
+        for info in sorted(pkgutil.iter_modules(package.__path__), key=lambda i: i.name):
+            submodule = importlib.import_module(f"{package.__name__}.{info.name}")
+            report = report.merged_with(analyze_module(submodule))
+        report.source = package.__name__
+    else:
+        report = analyze_module(package)
+    return report
+
+
+def check_campaign(config, report: SurfaceReport) -> list[str]:
+    """Flag campaign configuration against the analysed surface.
+
+    Returns human-readable problems: injections into dead variables,
+    probes whose state is discarded, and variables the campaign names
+    that the surface does not expose at the injection probe.
+    """
+    problems: list[str] = []
+    module = config.module
+    location = str(config.injection_location)
+    exposed = {v.name: v for v in report.variables_at(module, location)}
+    if not exposed:
+        if module not in report.modules():
+            problems.append(
+                f"module {module!r} has no probe in the analysed surface"
+            )
+            return problems
+        problems.append(
+            f"no variables exposed at {module}@{location} in the analysed "
+            "surface"
+        )
+        return problems
+    discarded = [
+        p
+        for p in report.probes
+        if p.module == module and p.location == location and p.result_discarded
+    ]
+    for probe in discarded:
+        problems.append(
+            f"probe at line {probe.line} discards its returned state: "
+            "injections there cannot reach the module"
+        )
+    targeted = config.variables if config.variables is not None else tuple(exposed)
+    for name in targeted:
+        variable = exposed.get(name)
+        if variable is None:
+            problems.append(
+                f"campaign injects into {name!r} which {module}@{location} "
+                "does not expose"
+            )
+        elif variable.is_dead:
+            problems.append(
+                f"campaign injects into dead variable {name!r}: exposed at "
+                f"{module}@{location} (line {variable.defined_line}) but "
+                "never read back -- corruption cannot propagate"
+            )
+    return problems

@@ -1,0 +1,293 @@
+"""Command-line entry point: ``repro <command> [options]``.
+
+Static analysis from the shell, over published artefacts::
+
+    repro lint registry.json                 # gate: exit 1 on errors
+    repro lint detector.json --fail-on warning --format json
+    repro analyze registry.json              # full report, exit 0
+    repro simplify detector.json             # canonical predicate form
+    repro surface flightgear                 # injection surface of targets
+
+``lint``/``analyze`` accept any mix of registry documents
+(``DetectorRegistry.save`` output), single-detector documents
+(``detector_to_json``) and bare predicate documents
+(``predicate_to_json``); the document shape is sniffed per file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import warnings
+
+from repro.analysis.lint import (
+    LintContext,
+    Linter,
+    default_rules,
+    exit_code,
+    render_json,
+    render_text,
+)
+from repro.analysis.redundancy import analyze_registry
+from repro.analysis.simplify import simplify_predicate
+from repro.analysis.surface import analyze_target_package
+from repro.core.serialize import (
+    SerializationError,
+    detector_from_dict,
+    predicate_from_dict,
+)
+from repro.runtime.registry import DetectorRegistry, RegistryWarning
+
+__all__ = ["main"]
+
+
+def _load_documents(paths: list[str]) -> LintContext:
+    """Build one lint context from a mix of artefact documents."""
+    context = LintContext()
+    for raw in paths:
+        path = pathlib.Path(raw)
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as exc:
+            raise SerializationError(f"{path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"{path}: invalid JSON: {exc}") from exc
+        if isinstance(payload, dict) and payload.get("format") == "repro.runtime.registry":
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RegistryWarning)
+                registry = DetectorRegistry.from_dict(payload, check=False)
+            if context.registry is not None:
+                raise SerializationError(
+                    f"{path}: only one registry document per run"
+                )
+            context.registry = registry
+            for entry in registry.latest():
+                context.predicates[_unique(context, entry.name)] = (
+                    entry.detector.predicate
+                )
+        elif isinstance(payload, dict) and "predicate" in payload:
+            detector = detector_from_dict(payload)
+            context.predicates[_unique(context, detector.name)] = (
+                detector.predicate
+            )
+        else:
+            context.predicates[_unique(context, path.stem)] = (
+                predicate_from_dict(payload)
+            )
+    return context
+
+
+def _unique(context: LintContext, name: str) -> str:
+    if name not in context.predicates:
+        return name
+    suffix = 2
+    while f"{name}#{suffix}" in context.predicates:
+        suffix += 1
+    return f"{name}#{suffix}"
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in default_rules():
+            doc = (rule.__doc__ or "").strip().split("\n")[0]
+            print(f"{rule.name:24s} {doc}")
+        return 0
+    if not args.paths:
+        print("error: no documents to lint", file=sys.stderr)
+        return 2
+    context = _load_documents(args.paths)
+    linter = Linter(select=args.select or None, ignore=args.ignore or None)
+    findings = linter.run(context)
+    report = render_json(findings) if args.format == "json" else render_text(findings)
+    print(report)
+    return exit_code(findings, args.fail_on)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    context = _load_documents(args.paths)
+    out: dict[str, object] = {"subjects": [], "redundancy": []}
+    for subject in sorted(context.predicates):
+        result = context.simplification(subject)
+        out["subjects"].append(
+            {
+                "subject": subject,
+                "atoms_before": result.atoms_before,
+                "atoms_after": result.atoms_after,
+                "changed": result.changed,
+                "simplified": result.simplified.to_source("state"),
+                "verdicts": [
+                    {"status": v.status, "detail": v.detail}
+                    for v in result.verdicts
+                ],
+            }
+        )
+    if context.registry is not None:
+        out["redundancy"] = [
+            {
+                "left": finding.left,
+                "right": finding.right,
+                "relation": finding.relation.relation,
+                "proven": finding.relation.proven,
+                "detail": finding.relation.detail,
+            }
+            for finding in analyze_registry(context.registry)
+        ]
+    if args.format == "json":
+        print(json.dumps(out, indent=2))
+        return 0
+    for spec in out["subjects"]:
+        marker = "~" if spec["changed"] else "="
+        print(
+            f"{spec['subject']}: {spec['atoms_before']} -> "
+            f"{spec['atoms_after']} atoms {marker}"
+        )
+        print(f"  {spec['simplified']}")
+        for verdict in spec["verdicts"]:
+            print(f"  [{verdict['status']}] {verdict['detail']}")
+    for pair in out["redundancy"]:
+        kind = "proven" if pair["proven"] else "evidence"
+        print(
+            f"{pair['left']} {pair['relation']} {pair['right']} "
+            f"({kind}: {pair['detail']})"
+        )
+    return 0
+
+
+def _cmd_simplify(args: argparse.Namespace) -> int:
+    context = _load_documents(args.paths)
+    for subject in sorted(context.predicates):
+        result = simplify_predicate(context.predicates[subject])
+        print(f"# {subject}: {result.atoms_before} -> {result.atoms_after} atoms")
+        print(result.simplified.to_source("state"))
+    return 0
+
+
+def _cmd_surface(args: argparse.Namespace) -> int:
+    report = analyze_target_package(args.package)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "source": report.source,
+                    "probes": [
+                        {
+                            "module": p.module,
+                            "location": p.location,
+                            "line": p.line,
+                            "variables": list(p.variables),
+                            "result_discarded": p.result_discarded,
+                        }
+                        for p in report.probes
+                    ],
+                    "dead_variables": [
+                        {
+                            "module": v.module,
+                            "location": v.location,
+                            "name": v.name,
+                            "defined_line": v.defined_line,
+                        }
+                        for v in report.dead_variables()
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    for probe in report.probes:
+        print(f"{probe}: {', '.join(probe.variables) or '(no variables)'}")
+        for variable in report.variables_at(probe.module, probe.location):
+            status = (
+                "dead"
+                if variable.is_dead
+                else f"read at {', '.join(map(str, variable.reads))}"
+            )
+            print(f"  {variable.name}: {status}")
+    dead = report.dead_variables()
+    print(f"{len(report.probes)} probe(s), {len(dead)} dead variable(s)")
+    return 0
+
+
+def _add_document_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", help="registry/detector/predicate JSON documents"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="static analysis of detector artefacts"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    lint = commands.add_parser(
+        "lint", help="run lint rules; non-zero exit on findings at --fail-on"
+    )
+    _add_document_options(lint)
+    lint.add_argument(
+        "--fail-on", choices=("error", "warning", "info", "never"),
+        default="error",
+        help="lowest severity that fails the run (default: error)",
+    )
+    lint.add_argument(
+        "--select", action="append", metavar="RULE",
+        help="run only these rules (repeatable)",
+    )
+    lint.add_argument(
+        "--ignore", action="append", metavar="RULE",
+        help="skip these rules (repeatable)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    lint.set_defaults(func=_cmd_lint)
+
+    analyze = commands.add_parser(
+        "analyze", help="full static report: simplification + redundancy"
+    )
+    _add_document_options(analyze)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    simplify = commands.add_parser(
+        "simplify", help="print the canonical form of each predicate"
+    )
+    simplify.add_argument(
+        "paths", nargs="+", help="registry/detector/predicate JSON documents"
+    )
+    simplify.set_defaults(func=_cmd_simplify)
+
+    surface = commands.add_parser(
+        "surface", help="injection-surface report of a target package"
+    )
+    surface.add_argument(
+        "package",
+        help='target package (e.g. "flightgear" or a dotted module path)',
+    )
+    surface.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    surface.set_defaults(func=_cmd_surface)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except SerializationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not our error.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,21 +69,40 @@ class Detector:
         location: Probe | None = None,
         name: str = "detector",
     ) -> None:
-        self.predicate = predicate
+        self._predicate = predicate
         self.location = location
         self.name = name
         self.evaluations = 0
         self.detections = 0
         self._compiled = None
 
-    def compile(self, *, check: bool = True):
+    @property
+    def predicate(self) -> Predicate:
+        return self._predicate
+
+    @predicate.setter
+    def predicate(self, predicate: Predicate) -> None:
+        # A new predicate invalidates the cached compilation; checks
+        # fall back to the interpreted path until the next compile().
+        if predicate is not self._predicate:
+            self._compiled = None
+        self._predicate = predicate
+
+    def compile(self, *, check: bool = True, force: bool = False):
         """Lower the predicate for serving (see :mod:`repro.runtime`).
 
         Subsequent :meth:`check`/:meth:`flags_for` calls run the
         compiled evaluators; behaviour is bit-identical (enforced by
         the compiler's self-check) but much faster.  Returns the
         :class:`~repro.runtime.compile.CompiledPredicate`.
+
+        The result is cached: repeat calls return it without paying
+        the lowering and self-check again, until the predicate is
+        reassigned (which invalidates the cache) or ``force=True``
+        requests a fresh compilation.
         """
+        if self._compiled is not None and not force:
+            return self._compiled
         from repro.runtime.compile import compile_predicate
 
         self._compiled = compile_predicate(self.predicate, check=check)

@@ -35,6 +35,7 @@ import numpy as np
 
 __all__ = [
     "Predicate",
+    "PredicateVisitor",
     "Comparison",
     "And",
     "Or",
@@ -87,8 +88,53 @@ class Predicate(abc.ABC):
     @abc.abstractmethod
     def _source(self, state_name: str) -> str: ...
 
+    def accept(self, visitor: "PredicateVisitor"):
+        """Double-dispatch hook for :class:`PredicateVisitor`.
+
+        Atoms outside the core algebra (user subclasses, ordering
+        invariants, majority votes) fall through to
+        :meth:`PredicateVisitor.generic_visit`, so analyses can treat
+        them as opaque rather than mis-handling them.
+        """
+        return visitor.generic_visit(self)
+
     def __call__(self, state: Mapping[str, object]) -> bool:
         return self.evaluate(state)
+
+
+class PredicateVisitor:
+    """Base visitor over the predicate algebra.
+
+    Dispatch happens through :meth:`Predicate.accept`; every ``visit_*``
+    method defaults to :meth:`generic_visit`, so a visitor only
+    overrides the node kinds it cares about.  The static analyses in
+    :mod:`repro.analysis` are built on this.
+    """
+
+    def visit(self, predicate: Predicate):
+        return predicate.accept(self)
+
+    def visit_comparison(self, predicate: "Comparison"):
+        return self.generic_visit(predicate)
+
+    def visit_and(self, predicate: "And"):
+        return self.generic_visit(predicate)
+
+    def visit_or(self, predicate: "Or"):
+        return self.generic_visit(predicate)
+
+    def visit_true(self, predicate: "TruePredicate"):
+        return self.generic_visit(predicate)
+
+    def visit_false(self, predicate: "FalsePredicate"):
+        return self.generic_visit(predicate)
+
+    def generic_visit(self, predicate: Predicate):
+        """Fallback for nodes without a specific handler."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no handler for "
+            f"{type(predicate).__name__}"
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -112,6 +158,9 @@ class TruePredicate(Predicate):
 
     def _source(self, state_name: str) -> str:
         return "True"
+
+    def accept(self, visitor: "PredicateVisitor"):
+        return visitor.visit_true(self)
 
     def __str__(self) -> str:
         return "TRUE"
@@ -138,6 +187,9 @@ class FalsePredicate(Predicate):
 
     def _source(self, state_name: str) -> str:
         return "False"
+
+    def accept(self, visitor: "PredicateVisitor"):
+        return visitor.visit_false(self)
 
     def __str__(self) -> str:
         return "FALSE"
@@ -218,6 +270,9 @@ class Comparison(Predicate):
             return f"({lookup} < {self.value!r} or {lookup} > {self.value!r})"
         return f"{lookup} {self.op} {self.value!r}"
 
+    def accept(self, visitor: "PredicateVisitor"):
+        return visitor.visit_comparison(self)
+
     def __str__(self) -> str:
         shown = self.label if self.label is not None else f"{self.value:.6g}"
         return f"{self.variable} {self.op} {shown}"
@@ -275,6 +330,9 @@ class And(_Compound):
 
     _symbol = "AND"
 
+    def accept(self, visitor: "PredicateVisitor"):
+        return visitor.visit_and(self)
+
     def evaluate(self, state: Mapping[str, object]) -> bool:
         return all(child.evaluate(state) for child in self.children)
 
@@ -309,6 +367,9 @@ class Or(_Compound):
     """Disjunction; empty disjunction is FALSE."""
 
     _symbol = "OR"
+
+    def accept(self, visitor: "PredicateVisitor"):
+        return visitor.visit_or(self)
 
     def evaluate(self, state: Mapping[str, object]) -> bool:
         return any(child.evaluate(state) for child in self.children)

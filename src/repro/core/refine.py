@@ -12,6 +12,13 @@ Table IV as entries without an N value, so the grid includes it), and
 :func:`refine` evaluates each with stratified cross-validation,
 keeping the plan with the best mean AUC -- ties broken towards higher
 TPR, then smaller trees.
+
+Alongside the data-level sweep, :func:`refine_predicate` is the
+*model-level* half of Step 4: after extraction, the mined predicate is
+rewritten to its provably-equivalent canonical form by the static
+checker (:mod:`repro.analysis.simplify`) -- fewer atoms means a
+cheaper runtime assertion with identical completeness and accuracy,
+a refinement that costs no additional cross-validation.
 """
 
 from __future__ import annotations
@@ -26,7 +33,13 @@ from repro.mining.base import Classifier
 from repro.mining.crossval import CrossValidationResult, cross_validate
 from repro.mining.dataset import Dataset
 
-__all__ = ["RefinementGrid", "RefinementTrial", "RefinementResult", "refine"]
+__all__ = [
+    "RefinementGrid",
+    "RefinementTrial",
+    "RefinementResult",
+    "refine",
+    "refine_predicate",
+]
 
 #: The paper's sweep (Section VII-D).
 PAPER_UNDERSAMPLE_LEVELS = (5.0, 15.0, 25.0, 35.0, 45.0, 55.0, 65.0, 75.0, 85.0, 100.0)
@@ -144,3 +157,21 @@ def refine(
         raise ValueError("refinement grid is empty")
     best = max(trials, key=lambda t: t.key)
     return RefinementResult(trials, best)
+
+
+def refine_predicate(predicate):
+    """Model-level refinement: canonicalise an extracted predicate.
+
+    Returns the :class:`repro.analysis.simplify.SimplificationResult`
+    whose ``simplified`` predicate is provably equivalent to the input
+    on every state (missing and NaN variables included) and carries
+    the checker's clause verdicts -- an unsatisfiable or vacuous
+    clause surfacing here means the mined model memorised an artefact
+    of the campaign rather than a property of the module.
+    """
+    # Imported lazily: repro.core is a parent package of the predicate
+    # algebra the analysis package builds on, so the import lives here
+    # rather than at module scope.
+    from repro.analysis.simplify import simplify_predicate
+
+    return simplify_predicate(predicate)

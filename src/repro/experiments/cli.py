@@ -27,6 +27,7 @@ from repro.experiments import (
     propagation,
     runtime_bench,
     significance,
+    simplify_bench,
     table1,
     table2,
     table3,
@@ -64,6 +65,7 @@ EXPERIMENTS = {
     "significance": significance.main,
     "latency": lambda scale, datasets: latency.main(scale, datasets),
     "runtime": runtime_bench.main,
+    "simplify": simplify_bench.main,
     "validation": validation.main,
 }
 

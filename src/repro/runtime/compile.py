@@ -23,6 +23,14 @@ self-check disagrees with the interpreted path fall back to the
 interpreted evaluators, flagged via ``CompiledPredicate.mode`` and
 ``fallback_reason`` so the metrics layer can report which detectors
 run slow.
+
+Before lowering, the predicate is run through the static simplifier
+(:func:`repro.analysis.simplify.simplify_predicate`, disable with
+``simplify=False``): the *lowered* form is the provably-equivalent
+canonical predicate, while ``CompiledPredicate.predicate`` stays the
+original.  The self-check battery is built from -- and compared
+against -- the **original** interpreted predicate, so it doubles as an
+independent equivalence check of the simplification itself.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ from collections.abc import Callable, Mapping
 
 import numpy as np
 
+from repro.analysis.simplify import simplify_predicate
 from repro.core.predicate import (
     And,
     Comparison,
@@ -69,6 +78,14 @@ class CompiledPredicate:
     _scalar: Callable[[Mapping[str, object]], bool]
     _batch: Callable[[dict[str, np.ndarray], int], np.ndarray] | None
     fallback_reason: str | None = None
+    #: The provably-equivalent predicate actually lowered (the original
+    #: when simplification was disabled or changed nothing).  Batch
+    #: packing only needs *its* variables.
+    lowered: Predicate = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.lowered is None:
+            self.lowered = self.predicate
 
     @property
     def is_compiled(self) -> bool:
@@ -90,7 +107,7 @@ class CompiledPredicate:
             return self.predicate.evaluate_rows(x, attribute_index)
         columns = {
             name: x[:, attribute_index[name]]
-            for name in self.predicate.variables()
+            for name in self.lowered.variables()
             if name in attribute_index
         }
         return self._batch(columns, len(x))
@@ -304,24 +321,39 @@ def _interpreted(predicate: Predicate, reason: str) -> CompiledPredicate:
 
 
 def compile_predicate(
-    predicate: Predicate, *, check: bool = True
+    predicate: Predicate, *, check: bool = True, simplify: bool = True
 ) -> CompiledPredicate:
     """Lower ``predicate`` for serving.
 
-    With ``check=True`` (the default) the lowered evaluators are
-    verified bit-identical to the interpreted path over a threshold/
-    NaN/missing battery before being trusted; any disagreement -- or
-    any atom outside the core algebra -- degrades to interpreted
-    evaluation rather than failing.
+    With ``simplify=True`` (the default) the static simplifier runs
+    first and the canonical equivalent form is what gets lowered --
+    fewer atoms, and often fewer variables to pack.  With
+    ``check=True`` (the default) the lowered evaluators are verified
+    bit-identical to the **original** interpreted predicate over a
+    threshold/NaN/missing battery before being trusted; any
+    disagreement -- or any atom outside the core algebra -- degrades
+    to interpreted evaluation rather than failing.
     """
+    lowered = predicate
+    if simplify:
+        try:
+            lowered = simplify_predicate(predicate).simplified
+        except Exception:
+            lowered = predicate  # never let analysis break serving
     try:
-        batch = _lower_batch(predicate)
-        scalar, source = _lower_scalar(predicate)
+        batch = _lower_batch(lowered)
+        scalar, source = _lower_scalar(lowered)
     except _Unsupported as exc:
+        if lowered is not predicate:
+            # The simplifier may have exposed an opaque atom it kept
+            # verbatim; the original may still fail the same way.
+            return compile_predicate(predicate, check=check, simplify=False)
         return _interpreted(predicate, str(exc))
     if check:
         reason = _self_check(predicate, scalar, batch)
         if reason is not None:
+            if lowered is not predicate:
+                return compile_predicate(predicate, check=check, simplify=False)
             return _interpreted(predicate, f"self-check failed: {reason}")
     return CompiledPredicate(
         predicate=predicate,
@@ -330,4 +362,5 @@ def compile_predicate(
         _scalar=scalar,
         _batch=batch,
         fallback_reason=None,
+        lowered=lowered,
     )

@@ -190,7 +190,7 @@ class StreamingEngine:
         served = [s for s in self._served.values() if s.enabled]
         variables: set[str] = set()
         for entry in served:
-            variables |= entry.compiled.predicate.variables()
+            variables |= entry.compiled.lowered.variables()
         index = build_index(variables)
         x = pack_states(states, index)
         n = len(states)

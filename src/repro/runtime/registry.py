@@ -13,6 +13,15 @@ single JSON document (format ``repro.runtime.registry`` v1) with every
 version of every detector, ``load`` rebuilds the registry -- including
 recompilation -- so a server can start from a published artefact with
 no access to the mining pipeline.
+
+Publishing is statically gated (see :mod:`repro.analysis`): a detector
+whose predicate has an error-grade lint finding (an unsatisfiable
+clause, a provably constant predicate), or that is provably equivalent
+to / implied by an already-published name, triggers the registry's
+``lint_policy`` -- ``"warn"`` (default, emits :class:`RegistryWarning`),
+``"reject"`` (raises :class:`RegistryError`) or ``"off"``.  ``load`` /
+``from_dict`` rebuild with gating off: an artefact that was publishable
+when written must stay loadable.
 """
 
 from __future__ import annotations
@@ -20,7 +29,10 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
+import warnings
 
+from repro.analysis.lint import LintContext, Linter, Severity
+from repro.analysis.redundancy import compare_predicates
 from repro.core.detector import Detector
 from repro.core.serialize import (
     SerializationError,
@@ -29,14 +41,25 @@ from repro.core.serialize import (
 )
 from repro.runtime.compile import CompiledPredicate, compile_predicate
 
-__all__ = ["DetectorRegistry", "RegisteredDetector", "RegistryError"]
+__all__ = [
+    "DetectorRegistry",
+    "RegisteredDetector",
+    "RegistryError",
+    "RegistryWarning",
+]
 
 _FORMAT = "repro.runtime.registry"
 _FORMAT_VERSION = 1
 
+_LINT_POLICIES = ("warn", "reject", "off")
+
 
 class RegistryError(KeyError):
     """Unknown detector/version, or a conflicting registration."""
+
+
+class RegistryWarning(UserWarning):
+    """A publish went through despite static findings (policy "warn")."""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -53,12 +76,48 @@ class RegisteredDetector:
 
 
 class DetectorRegistry:
-    """In-memory registry with JSON persist/reload."""
+    """In-memory registry with JSON persist/reload.
 
-    def __init__(self) -> None:
+    ``lint_policy`` governs publish-time static gating: ``"warn"``
+    (default), ``"reject"`` or ``"off"``; :meth:`register` can override
+    it per publish.
+    """
+
+    def __init__(self, *, lint_policy: str = "warn") -> None:
+        if lint_policy not in _LINT_POLICIES:
+            raise ValueError(
+                f"lint_policy must be one of {_LINT_POLICIES}, "
+                f"got {lint_policy!r}"
+            )
         self._entries: dict[str, dict[int, RegisteredDetector]] = {}
+        self.lint_policy = lint_policy
 
     # -- publishing ----------------------------------------------------
+    def _publish_problems(self, name: str, detector: Detector) -> list[str]:
+        """Static findings that should block (or flag) a publish:
+        error-grade lint findings on the predicate, plus a proven
+        equivalence/implication against the newest version of every
+        *other* published name (new versions of the same name are the
+        sanctioned way to supersede a detector)."""
+        context = LintContext(predicates={name: detector.predicate})
+        problems = [
+            str(finding)
+            for finding in Linter().run(context)
+            if finding.severity >= Severity.ERROR
+        ]
+        for other in self.latest():
+            if other.name == name:
+                continue
+            relation = compare_predicates(
+                detector.predicate, other.detector.predicate
+            )
+            if relation.is_redundant:
+                problems.append(
+                    f"predicate is provably {relation.relation.replace('_', ' ')}"
+                    f" {other.name}@v{other.version} ({relation.detail})"
+                )
+        return problems
+
     def register(
         self,
         detector: Detector,
@@ -66,15 +125,35 @@ class DetectorRegistry:
         version: int | None = None,
         *,
         check: bool = True,
+        lint_policy: str | None = None,
     ) -> RegisteredDetector:
         """Publish ``detector``; returns the registered entry.
 
         ``version`` defaults to one past the latest published version
         of ``name`` (1 for a new name); re-publishing an existing
         (name, version) is rejected -- published versions are
-        immutable by contract.
+        immutable by contract.  ``lint_policy`` overrides the
+        registry's static-gating policy for this publish.
         """
         name = name if name is not None else detector.name
+        policy = lint_policy if lint_policy is not None else self.lint_policy
+        if policy not in _LINT_POLICIES:
+            raise ValueError(
+                f"lint_policy must be one of {_LINT_POLICIES}, got {policy!r}"
+            )
+        if policy != "off":
+            problems = self._publish_problems(name, detector)
+            if problems:
+                summary = "; ".join(problems)
+                if policy == "reject":
+                    raise RegistryError(
+                        f"refusing to publish {name}: {summary}"
+                    )
+                warnings.warn(
+                    f"publishing {name} despite findings: {summary}",
+                    RegistryWarning,
+                    stacklevel=2,
+                )
         versions = self._entries.setdefault(name, {})
         if version is None:
             version = max(versions, default=0) + 1
@@ -93,6 +172,20 @@ class DetectorRegistry:
         )
         versions[version] = entry
         return entry
+
+    def publish(
+        self,
+        detector: Detector,
+        name: str | None = None,
+        version: int | None = None,
+        *,
+        check: bool = True,
+        lint_policy: str | None = None,
+    ) -> RegisteredDetector:
+        """Alias of :meth:`register` (the paper-facing verb)."""
+        return self.register(
+            detector, name, version, check=check, lint_policy=lint_policy
+        )
 
     def unregister(self, name: str, version: int | None = None) -> None:
         """Retire one version, or every version when ``version=None``."""
@@ -194,8 +287,10 @@ class DetectorRegistry:
                 raise SerializationError(
                     f"bad registry entry: {exc}"
                 ) from exc
+            # Gating off: a saved artefact must stay loadable even if
+            # the lint rules have tightened since it was published.
             registry.register(detector, name=name, version=version,
-                              check=check)
+                              check=check, lint_policy="off")
         return registry
 
     @classmethod

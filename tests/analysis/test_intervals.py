@@ -1,0 +1,177 @@
+"""Interval domain: membership, intersection, union, atom round-trip."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.intervals import Constraint, atom_constraint
+from repro.core.predicate import And, Comparison
+
+INF = math.inf
+NAN = float("nan")
+
+
+class TestAtomConstraint:
+    def test_le(self):
+        c = atom_constraint(Comparison("x", "<=", 5.0))
+        assert c.contains_value(5.0)
+        assert c.contains_value(-INF)
+        assert not c.contains_value(5.1)
+
+    def test_gt(self):
+        c = atom_constraint(Comparison("x", ">", 5.0))
+        assert c.contains_value(5.1)
+        assert c.contains_value(INF)
+        assert not c.contains_value(5.0)
+
+    def test_eq(self):
+        c = atom_constraint(Comparison("x", "==", 2.0))
+        assert c.contains_value(2.0)
+        assert not c.contains_value(2.5)
+
+    def test_ne(self):
+        c = atom_constraint(Comparison("x", "!=", 2.0))
+        assert not c.contains_value(2.0)
+        assert c.contains_value(2.5)
+
+    def test_nan_never_contained(self):
+        for op in ("<=", ">", "==", "!="):
+            assert not atom_constraint(Comparison("x", op, 0.0)).contains_value(NAN)
+
+
+class TestIntersect:
+    def test_contradiction_is_empty(self):
+        le = atom_constraint(Comparison("x", "<=", 1.0))
+        gt = atom_constraint(Comparison("x", ">", 5.0))
+        assert le.intersect(gt).empty
+
+    def test_touching_bounds_empty(self):
+        # (5, inf] & [-inf, 5] -- no value is both > 5 and <= 5.
+        le = atom_constraint(Comparison("x", "<=", 5.0))
+        gt = atom_constraint(Comparison("x", ">", 5.0))
+        assert le.intersect(gt).empty
+
+    def test_point_absorbed(self):
+        eq = Constraint.point(3.0)
+        bounds = Constraint(lo=0.0, hi=10.0)
+        assert bounds.intersect(eq) == eq
+        assert eq.intersect(bounds) == eq
+
+    def test_point_outside_empty(self):
+        assert Constraint(lo=0.0, hi=10.0).intersect(Constraint.point(11.0)).empty
+
+    def test_excluded_point_filtered_outside_range(self):
+        a = Constraint(excluded=frozenset((99.0,)))
+        b = Constraint(lo=0.0, hi=10.0)
+        assert a.intersect(b).excluded == frozenset()
+
+
+class TestSubset:
+    def test_tighter_interval(self):
+        assert Constraint(lo=1.0, hi=2.0).subset_of(Constraint(lo=0.0, hi=3.0))
+        assert not Constraint(lo=0.0, hi=3.0).subset_of(Constraint(lo=1.0, hi=2.0))
+
+    def test_point_in_interval(self):
+        assert Constraint.point(1.5).subset_of(Constraint(lo=1.0, hi=2.0))
+        assert not Constraint.point(1.0).subset_of(Constraint(lo=1.0, hi=2.0))
+
+    def test_empty_subset_of_everything(self):
+        assert Constraint.none().subset_of(Constraint.point(0.0))
+
+    def test_excluded_point_blocks_subset(self):
+        full = Constraint(lo=0.0, hi=10.0)
+        holey = Constraint(lo=0.0, hi=10.0, excluded=frozenset((5.0,)))
+        assert holey.subset_of(full)
+        assert not full.subset_of(holey)
+
+
+class TestUnion:
+    def test_overlapping_intervals_merge(self):
+        union = Constraint(lo=0.0, hi=5.0).union(Constraint(lo=3.0, hi=9.0))
+        assert union == Constraint(lo=0.0, hi=9.0)
+
+    def test_touching_intervals_merge(self):
+        union = Constraint(hi=5.0).union(Constraint(lo=5.0, hi=9.0))
+        assert union == Constraint(hi=9.0)
+
+    def test_gap_unrepresentable(self):
+        assert Constraint(lo=0.0, hi=1.0).union(Constraint(lo=5.0, hi=9.0)) is None
+
+    def test_full_range_refused(self):
+        # x <= 5 OR x > 5 is a definedness test, not TRUE: missing/NaN
+        # states fail it, so the union must not claim the full range.
+        le = atom_constraint(Comparison("x", "<=", 5.0))
+        gt = atom_constraint(Comparison("x", ">", 5.0))
+        assert le.union(gt) is None
+
+    def test_points_and_exclusions_refused(self):
+        assert Constraint.point(1.0).union(Constraint(lo=0.0, hi=2.0)) is None
+        holey = Constraint(lo=0.0, hi=2.0, excluded=frozenset((1.0,)))
+        assert holey.union(Constraint(lo=2.0, hi=3.0)) is None
+
+
+class TestAtoms:
+    def test_round_trip(self):
+        c = Constraint(lo=1.0, hi=4.0, excluded=frozenset((2.0,)))
+        atoms = c.atoms("x")
+        rebuilt = Constraint.full()
+        for atom in atoms:
+            rebuilt = rebuilt.intersect(atom_constraint(atom))
+        assert rebuilt == c
+
+    def test_point_round_trip(self):
+        (atom,) = Constraint.point(7.0).atoms("x")
+        assert atom == Comparison("x", "==", 7.0)
+
+    def test_empty_and_full_have_no_atom_form(self):
+        with pytest.raises(ValueError):
+            Constraint.none().atoms("x")
+        with pytest.raises(ValueError):
+            Constraint.full().atoms("x")
+
+
+constraints = st.builds(
+    lambda lo, width, excl: Constraint(
+        lo=lo,
+        hi=lo + width,
+        excluded=frozenset(e for e in excl if lo < e <= lo + width),
+    ),
+    st.floats(min_value=-5, max_value=5, allow_nan=False),
+    st.floats(min_value=0.5, max_value=10, allow_nan=False),
+    st.lists(st.floats(min_value=-5, max_value=15, allow_nan=False), max_size=2),
+)
+probes = st.floats(min_value=-20, max_value=20, allow_nan=False)
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=constraints, b=constraints, value=probes)
+def test_intersect_is_conjunction(a, b, value):
+    assert a.intersect(b).contains_value(value) == (
+        a.contains_value(value) and b.contains_value(value)
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=constraints, b=constraints, value=probes)
+def test_union_when_defined_is_disjunction(a, b, value):
+    union = a.union(b)
+    if union is not None:
+        assert union.contains_value(value) == (
+            a.contains_value(value) or b.contains_value(value)
+        )
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=constraints, b=constraints, value=probes)
+def test_subset_is_sound(a, b, value):
+    if a.subset_of(b) and a.contains_value(value):
+        assert b.contains_value(value)
+
+
+@settings(max_examples=200, deadline=None)
+@given(c=constraints, value=probes)
+def test_atoms_denote_constraint(c, value):
+    """The emitted atom conjunction accepts exactly the members."""
+    conj = And(list(c.atoms("x")))
+    assert conj.evaluate({"x": value}) == c.contains_value(value)

@@ -1,0 +1,165 @@
+"""Cross-detector diffing: interval proofs and battery evidence."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.redundancy import analyze_registry, compare_predicates
+from repro.core.detector import Detector
+from repro.core.predicate import And, Comparison, Or, Predicate
+from repro.runtime.registry import DetectorRegistry
+
+NAN = float("nan")
+
+
+class TestProofs:
+    def test_equivalent(self):
+        left = And([Comparison("x", "<=", 5.0), Comparison("x", "<=", 9.0)])
+        right = Comparison("x", "<=", 5.0)
+        relation = compare_predicates(left, right)
+        assert relation.relation == "equivalent"
+        assert relation.proven
+        assert relation.is_redundant
+
+    def test_implies(self):
+        relation = compare_predicates(
+            Comparison("x", "<=", 5.0), Comparison("x", "<=", 10.0)
+        )
+        assert (relation.relation, relation.proven) == ("implies", True)
+
+    def test_implied_by(self):
+        relation = compare_predicates(
+            Comparison("x", "<=", 10.0), Comparison("x", "<=", 5.0)
+        )
+        assert (relation.relation, relation.proven) == ("implied_by", True)
+
+    def test_disjoint(self):
+        relation = compare_predicates(
+            Comparison("x", "<=", 5.0), Comparison("x", ">", 5.0)
+        )
+        assert (relation.relation, relation.proven) == ("disjoint", True)
+
+    def test_dnf_implication(self):
+        left = Or(
+            [
+                And([Comparison("x", "<=", 3.0), Comparison("y", ">", 0.0)]),
+                And([Comparison("x", ">", 7.0), Comparison("y", ">", 1.0)]),
+            ]
+        )
+        right = Comparison("y", ">", 0.0)
+        assert compare_predicates(left, right).relation == "implies"
+
+    def test_variable_definedness_blocks_proof(self):
+        # y > 0 does not imply x-less truth for states missing x, so
+        # {y>0} must not be proven to imply {x<=9 OR x>9}-style cover.
+        left = Comparison("y", ">", 0.0)
+        right = And([Comparison("y", ">", -1.0), Comparison("x", "<=", 9.0)])
+        relation = compare_predicates(left, right)
+        assert relation.relation not in ("implies", "equivalent")
+
+
+class TestEvidence:
+    def test_overlap(self):
+        relation = compare_predicates(
+            Or([Comparison("x", "<=", 3.0), Comparison("y", ">", 1.0)]),
+            Comparison("x", "<=", 5.0),
+        )
+        assert relation.relation == "overlap"
+        assert not relation.proven
+        assert relation.both > 0
+        assert relation.only_left > 0 or relation.only_right > 0
+
+    def test_counts_reported(self):
+        relation = compare_predicates(
+            Or([Comparison("x", "<=", 3.0), Comparison("y", ">", 1.0)]),
+            Comparison("x", "<=", 5.0),
+        )
+        assert relation.both + relation.only_left + relation.only_right > 0
+
+    def test_opaque_atom_falls_back_to_battery(self):
+        class Custom(Predicate):
+            def evaluate(self, state):
+                value = state.get("x")
+                return isinstance(value, float) and value == value and value > 0
+
+            def evaluate_rows(self, x, attribute_index):
+                return np.zeros(len(np.atleast_2d(x)), dtype=bool)
+
+            def variables(self):
+                return frozenset(("x",))
+
+            def simplify(self):
+                return self
+
+            def complexity(self):
+                return 1
+
+            def _source(self, state_name):
+                return "False"
+
+        relation = compare_predicates(Custom(), Comparison("x", ">", 0.0))
+        assert not relation.proven
+        assert relation.relation in ("overlap", "independent")
+
+
+class TestRegistry:
+    def test_pairwise_findings(self):
+        registry = DetectorRegistry(lint_policy="off")
+        registry.publish(Detector(Comparison("x", "<=", 5.0), name="narrow"))
+        registry.publish(Detector(Comparison("x", "<=", 9.0), name="wide"))
+        registry.publish(Detector(Comparison("z", ">", 0.0), name="other"))
+        findings = analyze_registry(registry)
+        pairs = {(f.left.split("@")[0], f.right.split("@")[0]) for f in findings}
+        assert ("narrow", "wide") in pairs
+        (finding,) = [f for f in findings if f.relation.is_redundant]
+        assert finding.relation.relation == "implies"
+
+    def test_only_latest_versions_compared(self):
+        registry = DetectorRegistry(lint_policy="off")
+        registry.publish(Detector(Comparison("x", "<=", 5.0), name="d"))
+        registry.publish(Detector(Comparison("y", ">", 0.0), name="d"))
+        registry.publish(Detector(Comparison("x", "<=", 9.0), name="e"))
+        # Superseded d@v1 implies e@v1, but only the latest versions are
+        # compared -- and d@v2 shares no variable with e@v1.
+        findings = analyze_registry(registry)
+        assert all("d@v1" not in (f.left, f.right) for f in findings)
+        assert not any(f.relation.proven for f in findings)
+
+
+comparisons = st.builds(
+    Comparison,
+    variable=st.sampled_from(["a", "b"]),
+    op=st.sampled_from(["<=", ">", "==", "!="]),
+    value=st.sampled_from([-1.0, 0.0, 1.0]),
+)
+predicates = st.recursive(
+    comparisons,
+    lambda children: st.one_of(
+        st.builds(lambda cs: And(cs), st.lists(children, min_size=1, max_size=3)),
+        st.builds(lambda cs: Or(cs), st.lists(children, min_size=1, max_size=3)),
+    ),
+    max_leaves=6,
+)
+states = st.dictionaries(
+    st.sampled_from(["a", "b"]),
+    st.one_of(st.floats(min_value=-3, max_value=3), st.just(NAN)),
+    max_size=2,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(left=predicates, right=predicates, state=states)
+def test_proven_relations_hold_on_any_state(left, right, state):
+    """A proof must hold on every state, missing/NaN included."""
+    relation = compare_predicates(left, right)
+    if not relation.proven:
+        return
+    fired_left = left.evaluate(state)
+    fired_right = right.evaluate(state)
+    if relation.relation == "equivalent":
+        assert fired_left == fired_right
+    elif relation.relation == "implies":
+        assert (not fired_left) or fired_right
+    elif relation.relation == "implied_by":
+        assert (not fired_right) or fired_left
+    elif relation.relation == "disjoint":
+        assert not (fired_left and fired_right)

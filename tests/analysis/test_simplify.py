@@ -1,0 +1,255 @@
+"""Checker/simplifier: verdicts, canonical form and the equivalence
+property (the acceptance gate for every rewrite in the module)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.simplify import check_predicate, simplify_predicate
+from repro.core.predicate import (
+    And,
+    Comparison,
+    FalsePredicate,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+
+NAN = float("nan")
+
+
+def statuses(predicate):
+    return {v.status for v in check_predicate(predicate)}
+
+
+class TestUnsatisfiable:
+    def test_contradictory_bounds(self):
+        clause = And([Comparison("x", "<=", 1.0), Comparison("x", ">", 5.0)])
+        result = simplify_predicate(clause)
+        assert isinstance(result.simplified, FalsePredicate)
+        assert result.verdicts_with("unsatisfiable")
+
+    def test_eq_outside_bounds(self):
+        clause = And([Comparison("x", "==", 9.0), Comparison("x", "<=", 5.0)])
+        assert isinstance(simplify_predicate(clause).simplified, FalsePredicate)
+
+    def test_eq_against_ne(self):
+        clause = And([Comparison("x", "==", 2.0), Comparison("x", "!=", 2.0)])
+        assert isinstance(simplify_predicate(clause).simplified, FalsePredicate)
+
+    def test_dead_branch_dropped_not_whole_predicate(self):
+        dead = And([Comparison("x", "<=", 1.0), Comparison("x", ">", 5.0)])
+        live = Comparison("y", ">", 0.0)
+        result = simplify_predicate(Or([dead, live]))
+        assert result.simplified == live
+
+
+class TestRedundantAtoms:
+    def test_tighter_bound_wins(self):
+        clause = And([Comparison("x", "<=", 5.0), Comparison("x", "<=", 9.0)])
+        result = simplify_predicate(clause)
+        assert result.simplified == Comparison("x", "<=", 5.0)
+        assert result.verdicts_with("redundant")
+
+    def test_eq_absorbs_bounds(self):
+        clause = And(
+            [
+                Comparison("x", "==", 3.0),
+                Comparison("x", "<=", 5.0),
+                Comparison("x", ">", 0.0),
+            ]
+        )
+        assert simplify_predicate(clause).simplified == Comparison("x", "==", 3.0)
+
+    def test_ne_subsumed_by_bounds(self):
+        clause = And([Comparison("x", "<=", 5.0), Comparison("x", "!=", 9.0)])
+        assert simplify_predicate(clause).simplified == Comparison("x", "<=", 5.0)
+
+    def test_labels_survive(self):
+        labelled = Comparison("x", "<=", 5.0, label="leaf-3")
+        clause = And([labelled, Comparison("x", "<=", 9.0)])
+        assert simplify_predicate(clause).simplified.label == "leaf-3"
+
+
+class TestSubsumption:
+    def test_weaker_branch_absorbs_stronger(self):
+        weak = Comparison("x", "<=", 9.0)
+        strong = And([Comparison("x", "<=", 5.0), Comparison("y", ">", 0.0)])
+        result = simplify_predicate(Or([strong, weak]))
+        assert result.simplified == weak
+        assert result.verdicts_with("subsumed")
+
+    def test_duplicate_branches_collapse(self):
+        branch = Comparison("x", ">", 1.0)
+        result = simplify_predicate(Or([branch, Comparison("x", ">", 1.0)]))
+        assert result.simplified == branch
+
+    def test_variable_set_guard(self):
+        # {x<=5} does NOT subsume {x<=9, y>0}: a state with y missing
+        # satisfies neither definedness story the same way; both stay.
+        a = Comparison("x", "<=", 5.0)
+        b = And([Comparison("x", "<=", 9.0), Comparison("y", ">", 0.0)])
+        result = simplify_predicate(Or([b, a]))
+        assert isinstance(result.simplified, Or)
+        assert len(result.simplified.children) == 2
+
+
+class TestMerging:
+    def test_abutting_intervals_fuse(self):
+        low = And([Comparison("x", ">", 0.0), Comparison("x", "<=", 5.0)])
+        high = And([Comparison("x", ">", 5.0), Comparison("x", "<=", 9.0)])
+        result = simplify_predicate(Or([low, high]))
+        assert result.simplified == And(
+            [Comparison("x", ">", 0.0), Comparison("x", "<=", 9.0)]
+        )
+        assert result.verdicts_with("merged")
+
+    def test_full_range_not_merged(self):
+        # x <= 5 OR x > 5 stays: it is false for missing/NaN x.
+        disj = Or([Comparison("x", "<=", 5.0), Comparison("x", ">", 5.0)])
+        result = simplify_predicate(disj)
+        assert isinstance(result.simplified, Or)
+        assert result.verdicts_with("vacuous")
+        assert not result.verdicts_with("merged")
+
+
+class TestContextPropagation:
+    def test_tautological_atom_inside_conjunction(self):
+        clause = And(
+            [
+                Comparison("x", "<=", 3.0),
+                Or([Comparison("x", "<=", 5.0), Comparison("y", ">", 0.0)]),
+            ]
+        )
+        result = simplify_predicate(clause)
+        # x <= 3 makes the x <= 5 branch always true, absorbing the Or.
+        assert result.simplified == Comparison("x", "<=", 3.0)
+        assert result.verdicts_with("tautological")
+
+    def test_contradicting_branch_inside_conjunction(self):
+        clause = And(
+            [
+                Comparison("x", ">", 7.0),
+                Or([Comparison("x", "<=", 5.0), Comparison("y", ">", 0.0)]),
+            ]
+        )
+        result = simplify_predicate(clause)
+        assert result.simplified == And(
+            [Comparison("x", ">", 7.0), Comparison("y", ">", 0.0)]
+        )
+
+
+class TestCanonicalForm:
+    def test_atoms_sorted_by_variable(self):
+        clause = And(
+            [
+                Comparison("z", ">", 0.0),
+                Comparison("a", "<=", 1.0),
+                Comparison("m", "==", 2.0),
+            ]
+        )
+        simplified = simplify_predicate(clause).simplified
+        assert [c.variable for c in simplified.children] == ["a", "m", "z"]
+
+    def test_idempotent(self):
+        predicate = Or(
+            [
+                And([Comparison("x", "<=", 5.0), Comparison("x", "<=", 9.0)]),
+                Comparison("y", ">", 0.0),
+                Comparison("y", ">", 2.0),
+            ]
+        )
+        once = simplify_predicate(predicate).simplified
+        twice = simplify_predicate(once)
+        assert twice.simplified == once
+        assert not twice.changed
+
+    def test_never_grows(self):
+        predicate = Or(
+            [And([Comparison("x", ">", 0.0)]), Comparison("x", "<=", 0.0)]
+        )
+        result = simplify_predicate(predicate)
+        assert result.atoms_after <= result.atoms_before
+
+
+class TestOpaqueAtoms:
+    def test_kept_verbatim(self):
+        class Custom(Predicate):
+            def evaluate(self, state):
+                return False
+
+            def evaluate_rows(self, x, attribute_index):
+                raise NotImplementedError
+
+            def variables(self):
+                return frozenset(("q",))
+
+            def simplify(self):
+                return self
+
+            def complexity(self):
+                return 1
+
+            def _source(self, state_name):
+                return "False"
+
+        custom = Custom()
+        clause = And([Comparison("x", "<=", 5.0), custom])
+        simplified = simplify_predicate(clause).simplified
+        assert custom in simplified.children
+
+    def test_composition_majority_survives(self):
+        from repro.core.composition import _MajorityPredicate
+
+        vote = _MajorityPredicate(
+            [Comparison("a", ">", 0.0), Comparison("b", ">", 0.0),
+             Comparison("c", ">", 0.0)]
+        )
+        result = simplify_predicate(vote)
+        state = {"a": 1.0, "b": 1.0, "c": -1.0}
+        assert result.simplified.evaluate(state) == vote.evaluate(state)
+
+
+# ----------------------------------------------------------------------
+# Property: simplified == original on random states (NaN and missing
+# variables included) -- the soundness contract of every rewrite.
+# ----------------------------------------------------------------------
+values = st.one_of(
+    st.floats(min_value=-10, max_value=10),
+    st.just(NAN),
+    st.just(float("inf")),
+    st.just(float("-inf")),
+)
+variables = st.sampled_from(["a", "b", "c", "d"])
+comparisons = st.builds(
+    Comparison,
+    variable=variables,
+    op=st.sampled_from(["<=", ">", "==", "!="]),
+    value=st.sampled_from([-2.0, -1.0, 0.0, 1.0, 2.0]),
+)
+predicates = st.recursive(
+    st.one_of(
+        comparisons,
+        st.just(TruePredicate()),
+        st.just(FalsePredicate()),
+    ),
+    lambda children: st.one_of(
+        st.builds(lambda cs: And(cs), st.lists(children, max_size=4)),
+        st.builds(lambda cs: Or(cs), st.lists(children, max_size=4)),
+    ),
+    max_leaves=16,
+)
+states = st.dictionaries(variables, values, max_size=4)
+
+
+@settings(max_examples=300, deadline=None)
+@given(predicate=predicates, state=states)
+def test_simplified_equals_original_property(predicate, state):
+    result = simplify_predicate(predicate)
+    assert result.simplified.evaluate(state) == predicate.evaluate(state)
+    assert result.atoms_after <= result.atoms_before
+
+
+@settings(max_examples=150, deadline=None)
+@given(predicate=predicates)
+def test_simplification_idempotent_property(predicate):
+    once = simplify_predicate(predicate).simplified
+    assert simplify_predicate(once).simplified == once

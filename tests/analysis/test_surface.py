@@ -1,0 +1,149 @@
+"""Injection-surface analysis: probe discovery, def-use, dead flags."""
+
+import pytest
+
+from repro.analysis.surface import (
+    analyze_source,
+    analyze_target_package,
+    check_campaign,
+)
+from repro.injection.campaign import CampaignConfig
+from repro.injection.instrument import Location
+
+SOURCE = '''
+def run(harness, x, y):
+    state = harness.probe("M", Location.ENTRY, {"x": x, "y": y})
+    x = state["x"]
+    out = compute(x)
+    harness.probe("M", Location.EXIT, {"out": out})
+    return out
+'''
+
+
+def config(module="M", location=Location.ENTRY, variables=None):
+    return CampaignConfig(
+        module=module,
+        injection_location=location,
+        sample_location=location,
+        test_cases=(0,),
+        injection_times=(0,),
+        variables=variables,
+    )
+
+
+class TestProbeDiscovery:
+    def test_probe_sites(self):
+        report = analyze_source(SOURCE)
+        assert [(p.module, p.location) for p in report.probes] == [
+            ("M", "entry"),
+            ("M", "exit"),
+        ]
+
+    def test_variables_from_dict_keys(self):
+        report = analyze_source(SOURCE)
+        entry = report.variables_at("M", "entry")
+        assert sorted(v.name for v in entry) == ["x", "y"]
+
+    def test_discarded_result_flagged(self):
+        report = analyze_source(SOURCE)
+        (exit_probe,) = [p for p in report.probes if p.location == "exit"]
+        assert exit_probe.result_discarded
+
+    def test_string_location_accepted(self):
+        report = analyze_source(
+            'def f(h):\n    s = h.probe("M", "entry", {"a": 1})\n    return s["a"]\n'
+        )
+        assert report.probes[0].location == "entry"
+
+    def test_non_probe_calls_ignored(self):
+        report = analyze_source(
+            'def f(h):\n    s = h.sample("M", "entry", {"a": 1})\n    return s\n'
+        )
+        assert report.probes == []
+
+
+class TestDefUse:
+    def test_read_variable_has_sites(self):
+        report = analyze_source(SOURCE)
+        variable = report.lookup("M", "entry", "x")
+        assert not variable.is_dead
+        assert variable.reads
+
+    def test_unread_variable_is_dead(self):
+        report = analyze_source(SOURCE)
+        assert report.lookup("M", "entry", "y").is_dead
+        assert [v.name for v in report.dead_variables("M", "entry")] == ["y"]
+
+    def test_get_counts_as_read(self):
+        source = (
+            'def f(h):\n'
+            '    s = h.probe("M", Location.ENTRY, {"a": 1, "b": 2})\n'
+            '    return s.get("a")\n'
+        )
+        report = analyze_source(source)
+        assert not report.lookup("M", "entry", "a").is_dead
+        assert report.lookup("M", "entry", "b").is_dead
+
+    def test_dynamic_key_assumes_all_read(self):
+        source = (
+            'def f(h, k):\n'
+            '    s = h.probe("M", Location.ENTRY, {"a": 1, "b": 2})\n'
+            '    return s[k]\n'
+        )
+        report = analyze_source(source)
+        assert report.dead_variables() == []
+
+    def test_escaping_reference_assumes_all_read(self):
+        source = (
+            'def f(h):\n'
+            '    s = h.probe("M", Location.ENTRY, {"a": 1, "b": 2})\n'
+            '    return helper(s)\n'
+        )
+        report = analyze_source(source)
+        assert report.dead_variables() == []
+
+
+class TestTargetPackages:
+    @pytest.mark.parametrize("package", ["flightgear", "sevenzip", "mp3gain"])
+    def test_analyzes_real_targets(self, package):
+        try:
+            report = analyze_target_package(package)
+        except ModuleNotFoundError:
+            pytest.skip(f"target package {package} not present")
+        assert report.probes
+        # Every probe of the shipped targets exposes variables.
+        assert all(p.variables for p in report.probes)
+
+    def test_gear_entry_variables_all_live(self):
+        report = analyze_target_package("flightgear")
+        entry = report.variables_at("Gear", "entry")
+        assert entry
+        assert all(not v.is_dead for v in entry)
+
+
+class TestCheckCampaign:
+    def test_dead_variable_flagged(self):
+        report = analyze_source(SOURCE)
+        problems = check_campaign(config(variables=("y",)), report)
+        assert any("dead variable 'y'" in p for p in problems)
+
+    def test_live_variables_pass(self):
+        report = analyze_source(SOURCE)
+        assert check_campaign(config(variables=("x",)), report) == []
+
+    def test_unknown_module_flagged(self):
+        report = analyze_source(SOURCE)
+        problems = check_campaign(config(module="Ghost"), report)
+        assert any("no probe" in p for p in problems)
+
+    def test_unknown_variable_flagged(self):
+        report = analyze_source(SOURCE)
+        problems = check_campaign(config(variables=("zz",)), report)
+        assert any("does not expose" in p for p in problems)
+
+    def test_discarded_probe_flagged(self):
+        report = analyze_source(SOURCE)
+        problems = check_campaign(
+            config(location=Location.EXIT, variables=("out",)), report
+        )
+        assert any("discards its returned state" in p for p in problems)

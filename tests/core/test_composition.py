@@ -1,6 +1,5 @@
 """Tests for detector composition."""
 
-import numpy as np
 import pytest
 
 from repro.core.composition import all_of, any_of, majority
@@ -116,3 +115,47 @@ class TestValidation:
         combo.check({"v1": 0.0, "v2": 1.0})
         assert combo.evaluations == 2
         assert combo.detections == 1
+
+
+class TestStaticAnalysisInteraction:
+    """Composites through the PR's checker, compiler and lint."""
+
+    def test_any_of_overlapping_members_canonicalised(self):
+        from repro.analysis.simplify import simplify_predicate
+
+        combo = any_of([det("v1", ">", 1.0, "narrow"), det("v1", ">", 0.0, "wide")])
+        result = simplify_predicate(combo.predicate)
+        assert result.simplified == Comparison("v1", ">", 0.0)
+
+    def test_all_of_contradiction_detected(self):
+        from repro.analysis.simplify import simplify_predicate
+        from repro.core.predicate import FalsePredicate
+
+        combo = all_of([det("v1", ">", 5.0, "hi"), det("v1", "<=", 1.0, "lo")])
+        result = simplify_predicate(combo.predicate)
+        assert isinstance(result.simplified, FalsePredicate)
+        assert result.verdicts_with("unsatisfiable")
+
+    def test_any_all_compile_to_native_evaluators(self):
+        from repro.runtime.compile import compile_predicate
+
+        for combo in (any_of([A(), B()]), all_of([A(), B()])):
+            assert compile_predicate(combo.predicate).mode == "compiled"
+
+    def test_majority_compiles_via_interpreted_fallback(self):
+        from repro.runtime.compile import compile_predicate
+
+        combo = majority([A(), B(), C()])
+        compiled = compile_predicate(combo.predicate)
+        assert compiled.mode == "interpreted"
+        state = {"v1": 2.0, "v2": 0.0}
+        assert compiled.evaluate(state) == combo.predicate.evaluate(state)
+
+    def test_majority_triggers_fallback_lint(self):
+        from repro.analysis.lint import LintContext, Linter
+
+        combo = majority([A(), B(), C()])
+        findings = Linter(select=["interpreted-fallback"]).run(
+            LintContext(predicates={"vote": combo.predicate})
+        )
+        assert [f.rule for f in findings] == ["interpreted-fallback"]

@@ -1,10 +1,7 @@
 """Tests for the detector component."""
 
-import numpy as np
-import pytest
-
 from repro.core.detector import Detector
-from repro.core.predicate import Comparison, FalsePredicate, Or, TruePredicate
+from repro.core.predicate import Comparison, FalsePredicate, TruePredicate
 from repro.injection.instrument import Location, Probe
 from tests.conftest import make_separable
 
@@ -84,3 +81,29 @@ class TestSource:
 
     def test_repr(self):
         assert "exact" in repr(exact_detector())
+
+
+class TestCompileCache:
+    def test_compile_is_cached(self):
+        det = exact_detector()
+        assert det.compile() is det.compile()
+
+    def test_force_recompiles(self):
+        det = exact_detector()
+        first = det.compile()
+        assert det.compile(force=True) is not first
+
+    def test_predicate_reassignment_invalidates(self):
+        det = exact_detector()
+        first = det.compile()
+        det.predicate = Comparison("v1", ">", 2.0)
+        second = det.compile()
+        assert second is not first
+        assert second.predicate == Comparison("v1", ">", 2.0)
+        assert not second.evaluate({"v1": 1.5, "v2": 0.0})
+
+    def test_same_predicate_assignment_keeps_cache(self):
+        det = exact_detector()
+        first = det.compile()
+        det.predicate = det.predicate
+        assert det.compile() is first

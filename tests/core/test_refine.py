@@ -1,0 +1,112 @@
+"""Step 4 refinement: grid enumeration details, trial ordering and the
+model-level half (``refine_predicate``)."""
+
+import dataclasses
+
+from repro.core.predicate import And, Comparison, FalsePredicate
+from repro.core.refine import (
+    PAPER_NEIGHBOUR_COUNTS,
+    PAPER_OVERSAMPLE_LEVELS,
+    PAPER_UNDERSAMPLE_LEVELS,
+    RefinementGrid,
+    RefinementResult,
+    RefinementTrial,
+    refine,
+    refine_predicate,
+)
+from repro.mining.tree import C45DecisionTree
+from tests.conftest import make_imbalanced
+
+TINY_GRID = RefinementGrid(
+    undersample_levels=(25.0,),
+    oversample_levels=(200.0,),
+    neighbour_counts=(3,),
+)
+
+
+class TestGrid:
+    def test_paper_constants(self):
+        assert len(PAPER_UNDERSAMPLE_LEVELS) == 10
+        assert len(PAPER_OVERSAMPLE_LEVELS) == 15
+        assert len(PAPER_NEIGHBOUR_COUNTS) == 15
+        assert PAPER_UNDERSAMPLE_LEVELS[0] == 5.0
+        assert PAPER_OVERSAMPLE_LEVELS[-1] == 1500.0
+
+    def test_plain_oversample_excluded(self):
+        grid = dataclasses.replace(TINY_GRID, include_plain_oversample=False)
+        plans = list(grid.plans())
+        assert len(plans) == grid.size() == 2
+        assert all(
+            p.neighbours is not None
+            for p in plans
+            if p.sampling in ("oversample", "smote")
+        )
+
+    def test_smote_plans_carry_neighbours(self):
+        smote = [p for p in TINY_GRID.plans() if p.sampling == "smote"]
+        assert [p.neighbours for p in smote] == [3]
+        assert all(p.level == 200.0 for p in smote)
+
+    def test_undersample_plans_have_no_neighbours(self):
+        under = [p for p in TINY_GRID.plans() if p.sampling == "undersample"]
+        assert [p.neighbours for p in under] == [None]
+
+
+class TestTrialOrdering:
+    def _trial(self, auc, tpr, complexity):
+        class _Eval:
+            mean_auc = auc
+            mean_tpr = tpr
+            mean_complexity = complexity
+
+        return RefinementTrial(plan=None, evaluation=_Eval())
+
+    def test_auc_dominates(self):
+        assert self._trial(0.9, 0.1, 9).key > self._trial(0.8, 1.0, 1).key
+
+    def test_tpr_breaks_auc_ties(self):
+        assert self._trial(0.9, 0.8, 9).key > self._trial(0.9, 0.7, 1).key
+
+    def test_smaller_tree_breaks_full_ties(self):
+        assert self._trial(0.9, 0.8, 3).key > self._trial(0.9, 0.8, 7).key
+
+    def test_ranked_respects_key(self):
+        trials = [self._trial(0.7, 0.5, 5), self._trial(0.9, 0.5, 5)]
+        result = RefinementResult(trials, best=trials[1])
+        assert result.ranked()[0] is trials[1]
+
+
+class TestRefineRun:
+    def test_trials_cover_grid(self):
+        result = refine(
+            make_imbalanced(n=200), C45DecisionTree, TINY_GRID, folds=3
+        )
+        assert len(result.trials) == TINY_GRID.size()
+        assert result.best in result.trials
+
+    def test_seed_changes_streams_not_structure(self):
+        ds = make_imbalanced(n=200)
+        a = refine(ds, C45DecisionTree, TINY_GRID, folds=3, seed=1)
+        b = refine(ds, C45DecisionTree, TINY_GRID, folds=3, seed=2)
+        assert [t.plan for t in a.trials] == [t.plan for t in b.trials]
+
+
+class TestRefinePredicate:
+    def test_returns_simplification_result(self):
+        fat = And([Comparison("x", "<=", 5.0), Comparison("x", "<=", 9.0)])
+        result = refine_predicate(fat)
+        assert result.simplified == Comparison("x", "<=", 5.0)
+        assert result.atoms_before == 2
+        assert result.atoms_after == 1
+
+    def test_unsatisfiable_model_surfaces(self):
+        bogus = And([Comparison("x", "<=", 1.0), Comparison("x", ">", 5.0)])
+        result = refine_predicate(bogus)
+        assert isinstance(result.simplified, FalsePredicate)
+        assert result.verdicts_with("unsatisfiable")
+
+    def test_already_minimal_is_unchanged(self):
+        lean = Comparison("x", ">", 0.0)
+        result = refine_predicate(lean)
+        assert result.simplified == lean
+        assert not result.changed

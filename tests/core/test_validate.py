@@ -5,7 +5,6 @@ import pytest
 from repro.core.detector import Detector
 from repro.core.predicate import And, Comparison, FalsePredicate, TruePredicate
 from repro.core.validate import ValidationCampaign
-from repro.injection.instrument import Location
 from tests.injection.test_campaign import CounterTarget, config
 
 

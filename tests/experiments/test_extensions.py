@@ -1,6 +1,5 @@
 """Smoke-scale tests for the extension experiment drivers."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

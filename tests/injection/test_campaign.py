@@ -1,6 +1,5 @@
 """Tests for the campaign driver, using a tiny in-repo target."""
 
-import numpy as np
 import pytest
 
 from repro.injection.campaign import Campaign, CampaignConfig

@@ -1,7 +1,5 @@
 """Tests for failure specification helpers."""
 
-import math
-
 from repro.injection.failure import outputs_differ, sequences_differ
 
 

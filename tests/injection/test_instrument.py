@@ -5,7 +5,6 @@ import pytest
 from repro.injection.bitflip import BitFlip
 from repro.injection.instrument import (
     GoldenHarness,
-    Harness,
     InjectionHarness,
     InstrumentationError,
     Location,

@@ -8,7 +8,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.mining.arff import ArffError, dumps_arff, loads_arff
 from repro.mining.dataset import Attribute, Dataset
-from tests.conftest import make_mixed, make_separable
 
 
 class TestRoundTrip:

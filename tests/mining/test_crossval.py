@@ -5,7 +5,7 @@ import pytest
 
 from repro.mining.crossval import cross_validate, stratified_folds
 from repro.mining.tree import C45DecisionTree
-from tests.conftest import make_imbalanced, make_separable
+from tests.conftest import make_imbalanced
 
 
 class TestStratifiedFolds:

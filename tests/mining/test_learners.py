@@ -9,8 +9,6 @@ from repro.mining.knn import KNNClassifier, NearestNeighbours
 from repro.mining.logistic import LogisticRegression
 from repro.mining.rules import Prism, SequentialCoveringRules
 from repro.mining.transforms import SignedLogTransform
-from tests.conftest import make_imbalanced, make_mixed, make_separable
-
 
 ALL_LEARNERS = [
     NaiveBayes,

@@ -11,7 +11,6 @@ from repro.mining.transforms import (
     StandardiseTransform,
     signed_log,
 )
-from tests.conftest import make_mixed, make_separable
 
 
 class TestSignedLog:

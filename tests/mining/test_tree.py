@@ -10,7 +10,7 @@ from repro.mining.dataset import Attribute, Dataset
 from repro.mining.tree import C45DecisionTree, render_tree, tree_to_rules
 from repro.mining.tree.induction import _entropy, _entropy_rows, _threshold_between
 from repro.mining.tree.node import DecisionNode, LeafNode
-from tests.conftest import make_imbalanced, make_mixed, make_separable
+from tests.conftest import make_mixed, make_separable
 
 
 class TestEntropy:

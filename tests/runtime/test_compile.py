@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.detector import Detector
@@ -204,3 +203,55 @@ def test_rendered_source_preserves_missing_nan_semantics():
     source = P.to_source("state")
     for state in STATES:
         assert eval(source, {}, {"state": state}) == P.evaluate(state), state
+
+
+class TestSimplifyIntegration:
+    def test_redundant_atoms_lowered_away(self):
+        fat = And([Comparison("x", "<=", 5.0), Comparison("x", "<=", 9.0)])
+        compiled = compile_predicate(fat)
+        assert compiled.mode == "compiled"
+        assert compiled.predicate == fat  # original kept for provenance
+        assert compiled.lowered == Comparison("x", "<=", 5.0)
+        for state in ({}, {"x": 4.0}, {"x": 7.0}, {"x": NAN}):
+            assert compiled.evaluate(state) == fat.evaluate(state), state
+
+    def test_simplify_false_lowers_verbatim(self):
+        fat = And([Comparison("x", "<=", 5.0), Comparison("x", "<=", 9.0)])
+        compiled = compile_predicate(fat, simplify=False)
+        assert compiled.lowered == fat
+
+    def test_lowered_defaults_to_predicate(self):
+        compiled = compile_predicate(Comparison("x", ">", 0.0))
+        assert compiled.lowered is compiled.predicate
+
+    def test_lowered_variables_drive_batch_columns(self):
+        dead = And([Comparison("x", "<=", 1.0), Comparison("x", ">", 5.0)])
+        live = Comparison("y", ">", 0.0)
+        compiled = compile_predicate(Or([dead, live]))
+        assert compiled.lowered.variables() == frozenset(("y",))
+        index = build_index(compiled.lowered.variables())
+        x = pack_states([{"y": 1.0}, {"y": -1.0}], index)
+        assert list(compiled.evaluate_rows(x, index)) == [True, False]
+
+    def test_unsupported_simplified_form_falls_back_to_original(self):
+        class Opaque(Predicate):
+            def evaluate(self, state):
+                return bool(state.get("q", 0) > 0)
+
+            def evaluate_rows(self, x, attribute_index):
+                raise NotImplementedError
+
+            def variables(self):
+                return frozenset(("q",))
+
+            def simplify(self):
+                return self
+
+            def complexity(self):
+                return 1
+
+            def _source(self, state_name):
+                return "False"
+
+        compiled = compile_predicate(And([Opaque(), Comparison("x", ">", 0.0)]))
+        assert compiled.mode == "interpreted"

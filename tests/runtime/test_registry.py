@@ -8,7 +8,11 @@ from repro.core.detector import Detector
 from repro.core.predicate import And, Comparison, Or
 from repro.core.serialize import SerializationError
 from repro.injection.instrument import Location, Probe
-from repro.runtime.registry import DetectorRegistry, RegistryError
+from repro.runtime.registry import (
+    DetectorRegistry,
+    RegistryError,
+    RegistryWarning,
+)
 
 P1 = Comparison("v", ">", 5.0)
 P2 = Or([Comparison("v", "<=", 1.0), Comparison("w", "==", 0.0)])
@@ -116,3 +120,55 @@ class TestPersistence:
         )
         with pytest.raises(SerializationError):
             DetectorRegistry.load(bad)
+
+
+UNSAT = And([Comparison("v", "<=", 1.0), Comparison("v", ">", 5.0)])
+
+
+class TestLintGating:
+    def test_reject_refuses_unsatisfiable(self):
+        registry = DetectorRegistry(lint_policy="reject")
+        with pytest.raises(RegistryError, match="refusing to publish"):
+            registry.publish(Detector(UNSAT, name="bad"))
+        assert "bad" not in registry
+
+    def test_warn_publishes_with_warning(self):
+        registry = DetectorRegistry()  # warn is the default
+        with pytest.warns(RegistryWarning, match="bad"):
+            registry.publish(Detector(UNSAT, name="bad"))
+        assert registry.lookup("bad").version == 1
+
+    def test_off_is_silent(self, recwarn):
+        registry = DetectorRegistry(lint_policy="off")
+        registry.publish(Detector(UNSAT, name="bad"))
+        assert not [w for w in recwarn if issubclass(w.category, RegistryWarning)]
+
+    def test_per_call_override(self):
+        registry = DetectorRegistry(lint_policy="reject")
+        registry.publish(Detector(UNSAT, name="bad"), lint_policy="off")
+        assert "bad" in registry
+
+    def test_duplicate_of_other_name_flagged(self):
+        registry = DetectorRegistry(lint_policy="reject")
+        registry.publish(Detector(P1, name="a"))
+        with pytest.raises(RegistryError, match="equivalent"):
+            registry.publish(Detector(Comparison("v", ">", 5.0), name="b"))
+
+    def test_version_bump_of_same_name_allowed(self):
+        registry = DetectorRegistry(lint_policy="reject")
+        registry.publish(Detector(P1, name="a"))
+        # Republishing an equivalent predicate under the SAME name is the
+        # sanctioned supersede path and must not be rejected.
+        registry.publish(Detector(Comparison("v", ">", 5.0), name="a"))
+        assert registry.versions("a") == [1, 2]
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            DetectorRegistry(lint_policy="loud")
+
+    def test_saved_artefact_loads_despite_policy(self, tmp_path):
+        registry = DetectorRegistry(lint_policy="off")
+        registry.publish(Detector(UNSAT, name="bad"))
+        path = registry.save(tmp_path / "registry.json")
+        loaded = DetectorRegistry.load(path)
+        assert "bad" in loaded

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.injection.bitflip import BitFlip
-from repro.injection.golden import capture_golden_run
 from repro.injection.instrument import (
     GoldenHarness,
     InjectionHarness,
@@ -11,7 +10,6 @@ from repro.injection.instrument import (
     Probe,
 )
 from repro.targets.flightgear import FlightGearTarget, scenario_for
-from repro.targets.flightgear.aircraft import Aircraft, Scenario
 from repro.targets.flightgear.spec import (
     BASE_WEIGHT_LBS,
     FailureReport,

@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.injection.instrument import GoldenHarness, Location, Probe
+from repro.injection.instrument import GoldenHarness
 from repro.targets.flightgear.aircraft import Aircraft
 from repro.targets.flightgear.gear import GearModule
 from repro.targets.flightgear.massbalance import MassModule

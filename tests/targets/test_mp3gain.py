@@ -14,7 +14,7 @@ from repro.injection.instrument import (
     Probe,
 )
 from repro.targets.mp3gain import Mp3GainTarget, analyse_track, make_track
-from repro.targets.mp3gain.analysis import AnalysisResult, GAnalysisModule
+from repro.targets.mp3gain.analysis import GAnalysisModule
 from repro.targets.mp3gain.replaygain import (
     REFERENCE_LOUDNESS_DB,
     RGainModule,

@@ -1,7 +1,6 @@
 """Tests for the likely-invariant / range-assertion baselines."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import (
     invariants_from_golden_runs,

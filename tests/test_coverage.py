@@ -1,7 +1,5 @@
 """Tests for coverage/latency estimation (Powell-style)."""
 
-import math
-
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -6,7 +6,6 @@ extraction, detector, runtime-assertion validation -- at a scale that
 runs in seconds.
 """
 
-import dataclasses
 import io
 
 import numpy as np
