@@ -1,0 +1,90 @@
+"""Bench R-3: parallel campaign execution (repro.orchestration).
+
+Times one latency-bound injection campaign serially and on a 4-worker
+:class:`~repro.orchestration.ProcessPool`.  The target models the
+dominant cost of a real campaign -- waiting on an external binary to
+run one injected test case -- with a fixed sleep per run, so the
+speedup measures the orchestration layer's scheduling rather than this
+machine's core count (CI runners and the reference container expose a
+single CPU, where a compute-bound workload cannot speed up at all).
+
+The assertions encode the subsystem's contract: the merged parallel
+result is bit-identical to the serial one, and 4 workers clear a >= 2x
+wall-clock speedup on the wait-bound workload.
+"""
+
+import time
+
+from repro.injection.campaign import Campaign, CampaignConfig
+from repro.injection.instrument import Harness, Location, VariableSpec
+from repro.orchestration import ProcessPool
+from repro.targets.base import TargetSystem
+
+
+class WaitBoundTarget(TargetSystem):
+    """Each run waits ``delay`` seconds, like an external binary would."""
+
+    name = "WB"
+    delay = 0.02
+
+    @property
+    def modules(self):
+        return ("Acc",)
+
+    def variables_of(self, module, location=None):
+        self.check_module(module)
+        return (VariableSpec("acc", "int32"), VariableSpec("scratch", "int32"))
+
+    def run(self, test_case, harness: Harness):
+        time.sleep(self.delay)
+        acc = test_case
+        for step in range(4):
+            state = harness.probe(
+                "Acc", Location.ENTRY, {"acc": acc, "scratch": 0}
+            )
+            acc = int(state["acc"]) + step
+        return acc
+
+    def is_failure(self, golden_output, run_output):
+        return golden_output != run_output
+
+
+CONFIG = CampaignConfig(
+    module="Acc",
+    injection_location=Location.ENTRY,
+    sample_location=Location.ENTRY,
+    test_cases=(0, 1, 2),
+    injection_times=(1, 2),
+    bits=(0, 1, 2, 3),
+)
+
+
+def _timed_run(pool=None):
+    campaign = Campaign(WaitBoundTarget(), CONFIG)
+    started = time.perf_counter()
+    result = campaign.run(pool=pool) if pool is not None else campaign.run()
+    return time.perf_counter() - started, result
+
+
+def test_bench_orchestration_speedup(benchmark):
+    serial_seconds, serial = _timed_run()
+
+    def parallel_run():
+        with ProcessPool(4, backoff=0) as pool:
+            return _timed_run(pool=pool)
+
+    parallel_seconds, parallel = benchmark.pedantic(
+        parallel_run, rounds=1, iterations=1
+    )
+    speedup = serial_seconds / parallel_seconds
+    print()
+    print(
+        f"orchestration: {serial.n_runs} runs, serial {serial_seconds:.2f}s, "
+        f"4 workers {parallel_seconds:.2f}s ({speedup:.1f}x)"
+    )
+    # Contract first: parallel merge is bit-identical to the serial run.
+    assert parallel.records == serial.records
+    assert parallel.orchestration["jobs"] == 4
+    assert parallel.orchestration["quarantined"] == []
+    # The acceptance bar: >= 2x at 4 workers on the wait-bound campaign.
+    assert speedup >= 2.0, f"speedup {speedup:.2f}x below the 2x bar"

@@ -20,6 +20,9 @@ On top of the four layers, :mod:`repro.runtime` serves the generated
 detectors: predicate compilation (vectorised batch + scalar closure),
 a versioned detector registry, a streaming micro-batch evaluation
 engine with fault isolation, and runtime latency/detection metrics.
+:mod:`repro.orchestration` runs the expensive steps -- injection
+campaigns and refinement grids -- sharded across worker processes with
+checkpointed, resumable journals, bit-identical to serial execution.
 
 Quickstart::
 
@@ -59,4 +62,8 @@ def __getattr__(name: str):
         from repro.core.predicate import Predicate
 
         return Predicate
+    if name in ("Journal", "ProcessPool", "SerialPool", "make_pool"):
+        from repro import orchestration
+
+        return getattr(orchestration, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

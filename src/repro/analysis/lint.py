@@ -33,6 +33,8 @@ duplicate-detector        ERROR/    a registry pair is provably equivalent
                           /INFO     shows battery overlap (INFO)
 dead-injection            WARNING   a campaign injects into a variable the
                                     target never reads back
+unjournaled-campaign      WARNING   a campaign estimated above the run budget
+                                    has no checkpoint journal configured
 ========================  ========  =============================================
 """
 
@@ -114,6 +116,9 @@ class LintContext:
     registry: object | None = None  # duck-typed DetectorRegistry
     surface: SurfaceReport | None = None
     campaigns: dict[str, object] = dataclasses.field(default_factory=dict)
+    #: subjects in ``campaigns`` whose document declares a checkpoint
+    #: journal (see repro.orchestration.Journal)
+    journaled: set[str] = dataclasses.field(default_factory=set)
     _simplified: dict[str, SimplificationResult] = dataclasses.field(
         default_factory=dict, repr=False
     )
@@ -334,6 +339,39 @@ class DeadInjectionRule(LintRule):
         for subject, config in context.campaigns.items():
             for problem in check_campaign(config, context.surface):
                 yield Finding(self.name, Severity.WARNING, subject, problem)
+
+
+@register_rule
+class UnjournaledCampaignRule(LintRule):
+    """Campaign configurations whose estimated run count exceeds the
+    budget but have no checkpoint journal configured: a crash near the
+    end loses hours of injection work that
+    :class:`repro.orchestration.Journal` would have made resumable."""
+
+    name = "unjournaled-campaign"
+    budget = 5000
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        from repro.orchestration.tasks import estimate_runs
+
+        for subject, config in context.campaigns.items():
+            if subject in context.journaled:
+                continue
+            surface = context.surface
+            n_variables = None
+            if surface is not None and hasattr(config, "injection_probe"):
+                probe = config.injection_probe
+                n_variables = len(
+                    surface.variables_at(probe.module, probe.location)
+                )
+            runs = estimate_runs(config, n_variables=n_variables)
+            if runs is not None and runs > self.budget:
+                yield Finding(
+                    self.name, Severity.WARNING, subject,
+                    f"campaign estimates {runs} runs (budget {self.budget}) "
+                    "with no checkpoint journal; a crash re-runs everything "
+                    "-- configure a journal (repro.orchestration.Journal)",
+                )
 
 
 class Linter:

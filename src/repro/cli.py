@@ -10,8 +10,14 @@ Static analysis from the shell, over published artefacts::
 
 ``lint``/``analyze`` accept any mix of registry documents
 (``DetectorRegistry.save`` output), single-detector documents
-(``detector_to_json``) and bare predicate documents
-(``predicate_to_json``); the document shape is sniffed per file.
+(``detector_to_json``), bare predicate documents
+(``predicate_to_json``) and campaign-configuration documents
+(``CampaignConfig.to_dict``, optionally with a ``journal`` path); the
+document shape is sniffed per file.
+
+The expensive half of the pipeline runs through the orchestrator::
+
+    repro orchestrate 7Z-A1 --scale smoke --jobs 4 --journal run.jsonl
 """
 
 from __future__ import annotations
@@ -67,6 +73,22 @@ def _load_documents(paths: list[str]) -> LintContext:
                 context.predicates[_unique(context, entry.name)] = (
                     entry.detector.predicate
                 )
+        elif (
+            isinstance(payload, dict)
+            and "module" in payload
+            and "injection_location" in payload
+        ):
+            from repro.injection.campaign import CampaignConfig
+
+            subject = path.stem
+            try:
+                context.campaigns[subject] = CampaignConfig.from_dict(payload)
+            except (KeyError, ValueError) as exc:
+                raise SerializationError(
+                    f"{path}: invalid campaign configuration: {exc}"
+                ) from exc
+            if payload.get("journal"):
+                context.journaled.add(subject)
         elif isinstance(payload, dict) and "predicate" in payload:
             detector = detector_from_dict(payload)
             context.predicates[_unique(context, detector.name)] = (
@@ -209,6 +231,40 @@ def _cmd_surface(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_orchestrate(args: argparse.Namespace) -> int:
+    from repro.orchestration.orchestrate import run_dataset
+
+    report = run_dataset(
+        args.dataset,
+        scale=args.scale,
+        jobs=args.jobs,
+        journal_path=args.journal,
+        learner=args.learner,
+    )
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+    campaign = report.campaign
+    print(
+        f"{report.dataset} @ {report.scale} (learner {report.learner}, "
+        f"jobs {report.jobs}): {report.seconds:.2f}s"
+    )
+    print(
+        f"  campaign: {campaign['runs']} runs, "
+        f"{campaign['failures']} failures ({campaign['crashes']} crashes); "
+        f"{campaign.get('executed', '?')} shard(s) executed, "
+        f"{campaign.get('cached', 0)} cached, "
+        f"{len(campaign.get('quarantined', ()))} quarantined"
+    )
+    for label, row in (("baseline", report.baseline), ("refined", report.refined)):
+        print(
+            f"  {label}: auc={row['auc']:.3f} tpr={row['tpr']:.3f} "
+            f"fpr={row['fpr']:.3f} comp={row['comp']:.1f}"
+        )
+    print(f"  best plan: {report.best_plan}")
+    return 0
+
+
 def _add_document_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "paths", nargs="*", help="registry/detector/predicate JSON documents"
@@ -273,6 +329,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
     surface.set_defaults(func=_cmd_surface)
+
+    orchestrate = commands.add_parser(
+        "orchestrate",
+        help="run campaign + refinement for a dataset, parallel and resumable",
+    )
+    orchestrate.add_argument(
+        "dataset", help='Table II dataset name (e.g. "7Z-A1")'
+    )
+    orchestrate.add_argument(
+        "--scale", choices=("smoke", "bench", "paper"), default="smoke",
+        help="experiment scale (default: smoke)",
+    )
+    orchestrate.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: serial)",
+    )
+    orchestrate.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="checkpoint journal; an existing one resumes the run",
+    )
+    orchestrate.add_argument(
+        "--learner", default="c45", help="learner name (default: c45)"
+    )
+    orchestrate.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    orchestrate.set_defaults(func=_cmd_orchestrate)
     return parser
 
 

@@ -30,6 +30,7 @@ from repro.core.extraction import ruleset_to_predicate, tree_to_predicate
 from repro.core.predicate import Predicate
 from repro.core.preprocess import (
     LEARNERS,
+    LearnerFactory,
     PreprocessingPlan,
     default_plan_for,
     make_learner,
@@ -131,9 +132,20 @@ class Methodology:
     # ------------------------------------------------------------------
     # Step 1
     # ------------------------------------------------------------------
-    def step1_inject(self, target, campaign_config: CampaignConfig) -> CampaignResult:
-        """Run the fault injection campaign (Section V-B)."""
-        return Campaign(target, campaign_config).run()
+    def step1_inject(
+        self,
+        target,
+        campaign_config: CampaignConfig,
+        pool=None,
+        journal=None,
+    ) -> CampaignResult:
+        """Run the fault injection campaign (Section V-B).
+
+        ``pool``/``journal`` (see :mod:`repro.orchestration`) run the
+        campaign sharded in parallel and checkpointed; the result is
+        bit-identical to the serial campaign.
+        """
+        return Campaign(target, campaign_config).run(pool=pool, journal=journal)
 
     # ------------------------------------------------------------------
     # Step 2
@@ -167,7 +179,7 @@ class Methodology:
         plan = plan if plan is not None else self.default_plan()
         evaluation = cross_validate(
             dataset,
-            lambda: make_learner(self.config.learner),
+            LearnerFactory(self.config.learner),
             k=self.config.folds,
             rng=np.random.default_rng(self.config.seed),
             preprocess=plan.apply,
@@ -180,30 +192,61 @@ class Methodology:
     # Step 4
     # ------------------------------------------------------------------
     def step4_refine(
-        self, dataset: Dataset, grid: RefinementGrid | None = None
+        self,
+        dataset: Dataset,
+        grid: RefinementGrid | None = None,
+        pool=None,
+        journal=None,
     ) -> RefinementResult:
-        """Search sampling parameters for the most effective predicate."""
+        """Search sampling parameters for the most effective predicate.
+
+        The grid trials are independent; ``pool`` evaluates them in
+        parallel and ``journal`` checkpoints them (see
+        :mod:`repro.orchestration`) with bit-identical results.
+        """
         grid = grid if grid is not None else RefinementGrid.paper()
         grid = dataclasses.replace(grid, base_plan=self.default_plan())
         return refine(
             dataset,
-            lambda: make_learner(self.config.learner),
+            LearnerFactory(self.config.learner),
             grid,
             folds=self.config.folds,
             seed=self.config.seed,
             complexity=model_complexity,
             positive=self.config.positive,
+            pool=pool,
+            journal=journal,
         )
 
     # ------------------------------------------------------------------
     # End-to-end
     # ------------------------------------------------------------------
     def run(
-        self, dataset: Dataset, grid: RefinementGrid | None = None
+        self,
+        dataset: Dataset,
+        grid: RefinementGrid | None = None,
+        jobs: int | None = None,
+        journal=None,
     ) -> MethodologyOutcome:
-        """Steps 2-4 on an injection dataset."""
+        """Steps 2-4 on an injection dataset.
+
+        ``jobs`` runs the Step 4 grid search on that many worker
+        processes (``None``/1 keeps the serial path); ``journal``
+        checkpoints the trials for resumption.
+        """
         baseline = self.step3_generate(dataset)
-        refinement = self.step4_refine(dataset, grid)
+        if (jobs is not None and jobs > 1) or journal is not None:
+            from repro.orchestration.pool import make_pool
+
+            pool = make_pool(jobs)
+            try:
+                refinement = self.step4_refine(
+                    dataset, grid, pool=pool, journal=journal
+                )
+            finally:
+                pool.close()
+        else:
+            refinement = self.step4_refine(dataset, grid)
         best = refinement.best
         # The refined candidate must actually beat the baseline to be
         # adopted; the paper reports the improved model in Table IV.

@@ -37,6 +37,7 @@ from repro.mining.tree import C45DecisionTree
 
 __all__ = [
     "LEARNERS",
+    "LearnerFactory",
     "PreprocessingPlan",
     "default_plan_for",
     "make_learner",
@@ -67,6 +68,32 @@ def make_learner(name: str) -> Classifier:
             f"unknown learner {name!r}; available: {sorted(LEARNERS)}"
         ) from None
     return factory()
+
+
+@dataclasses.dataclass(frozen=True)
+class LearnerFactory:
+    """A picklable zero-argument classifier factory.
+
+    Equivalent to ``lambda: make_learner(name)`` but able to cross a
+    process boundary (lambdas cannot), so methodology steps can hand
+    it to a :class:`repro.orchestration.ProcessPool`.  The
+    ``fingerprint`` names the learner stably for checkpoint journals.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in LEARNERS:
+            raise ValueError(
+                f"unknown learner {self.name!r}; available: {sorted(LEARNERS)}"
+            )
+
+    def __call__(self) -> Classifier:
+        return make_learner(self.name)
+
+    @property
+    def fingerprint(self) -> str:
+        return f"learner:{self.name}"
 
 
 def model_complexity(model: Classifier) -> float:

@@ -132,6 +132,8 @@ def refine(
     seed: int = 0,
     complexity: Callable[[Classifier], float] | None = None,
     positive: int = 1,
+    pool=None,
+    journal=None,
 ) -> RefinementResult:
     """Evaluate every plan in the grid and return the trials + winner.
 
@@ -139,7 +141,41 @@ def refine(
     ``seed`` and the plan index) so results are reproducible and
     independent of grid ordering; resampling is applied to training
     folds only, inside the cross-validation.
+
+    ``pool`` (a :class:`repro.orchestration.WorkerPool`) evaluates the
+    trials in parallel and ``journal`` checkpoints them; both paths
+    produce bit-identical results to the serial loop because every
+    trial's RNG is already derived from its own (seed, index) identity.
+    A :func:`repro.orchestration.configure`-d default pool is picked up
+    automatically when the arguments can cross a process boundary.
     """
+    if pool is None and journal is None:
+        from repro.orchestration.pool import default_pool, picklable
+
+        if picklable((dataset, make_classifier, complexity)):
+            pool = default_pool()
+            if pool is not None:
+                try:
+                    return refine(
+                        dataset, make_classifier, grid, folds, seed,
+                        complexity, positive, pool=pool,
+                    )
+                finally:
+                    pool.close()
+    if pool is not None or journal is not None:
+        from repro.orchestration.grids import run_refinement
+
+        return run_refinement(
+            dataset,
+            make_classifier,
+            grid,
+            folds=folds,
+            seed=seed,
+            complexity=complexity,
+            positive=positive,
+            pool=pool,
+            journal=journal,
+        )
     trials: list[RefinementTrial] = []
     for index, plan in enumerate(grid.plans()):
         rng = np.random.default_rng((seed, index))

@@ -97,7 +97,29 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="for 'report': write the combined markdown to this file",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="run campaigns and refinement grids on N worker processes "
+        "(results are bit-identical to serial)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="checkpoint campaign shards under the cache directory and "
+        "resume from existing checkpoints",
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs is not None or args.resume:
+        from repro.experiments.datasets import default_cache_dir
+        from repro.orchestration import configure
+
+        configure(
+            jobs=args.jobs,
+            journal_dir=default_cache_dir() if args.resume else None,
+        )
 
     if args.experiment == "report":
         from repro.experiments import report

@@ -172,4 +172,15 @@ def load_dataset(path: pathlib.Path, name: str | None = None) -> Dataset:
 def _run_campaign(spec: DatasetSpec, scale: Scale) -> CampaignResult:
     target = build_target(spec.target, scale)
     config = campaign_config(spec, scale)
-    return Campaign(target, config).run()
+    # When the experiments CLI was invoked with --resume, checkpoint
+    # the campaign shards next to the log cache so a killed run picks
+    # up where it stopped (repro-experiments ... --resume).
+    from repro.orchestration import Journal, default_journal_dir
+
+    journal_dir = default_journal_dir()
+    journal = None
+    if journal_dir is not None:
+        journal = Journal(
+            journal_dir / f"{spec.name}.{scale.name}.journal.jsonl"
+        )
+    return Campaign(target, config).run(journal=journal)

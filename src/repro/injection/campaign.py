@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import struct
 from collections.abc import Mapping
 
 from repro.injection.bitflip import BitFlip, bit_width
@@ -39,6 +40,29 @@ from repro.injection.instrument import (
 )
 
 __all__ = ["CampaignConfig", "ExperimentRecord", "CampaignResult", "Campaign"]
+
+
+def _encode_value(value: float | int | bool) -> float | int | bool | str:
+    """JSON-safe encoding of a sample value.
+
+    Bools and ints pass through; floats become their raw IEEE-754 bits
+    as a hex string so the round trip is exact even for NaN payloads
+    and denormals (sample values are never plain strings, so the
+    encoding is unambiguous).
+    """
+    if isinstance(value, (bool, int)):
+        return value
+    (bits,) = struct.unpack("<Q", struct.pack("<d", float(value)))
+    return f"0x{bits:016x}"
+
+
+def _decode_value(token: float | int | bool | str) -> float | int | bool:
+    if isinstance(token, str):
+        (value,) = struct.unpack("<d", struct.pack("<Q", int(token, 16)))
+        return value
+    if isinstance(token, float):  # tolerate plain floats
+        return token
+    return token
 
 
 @dataclasses.dataclass(frozen=True)
@@ -85,6 +109,43 @@ class CampaignConfig:
     def sample_probe(self) -> Probe:
         return Probe(self.module, self.sample_location)
 
+    def to_dict(self) -> dict:
+        """JSON-compatible form (used by journals and ``repro lint``)."""
+        bits: object
+        if isinstance(self.bits, Mapping):
+            bits = {kind: list(b) for kind, b in sorted(self.bits.items())}
+        elif self.bits is not None:
+            bits = list(self.bits)
+        else:
+            bits = None
+        return {
+            "module": self.module,
+            "injection_location": self.injection_location.value,
+            "sample_location": self.sample_location.value,
+            "test_cases": list(self.test_cases),
+            "injection_times": list(self.injection_times),
+            "variables": None if self.variables is None else list(self.variables),
+            "bits": bits,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CampaignConfig":
+        bits = payload.get("bits")
+        if isinstance(bits, Mapping):
+            bits = {kind: tuple(b) for kind, b in bits.items()}
+        elif bits is not None:
+            bits = tuple(bits)
+        variables = payload.get("variables")
+        return cls(
+            module=payload["module"],
+            injection_location=Location(payload["injection_location"]),
+            sample_location=Location(payload["sample_location"]),
+            test_cases=tuple(payload["test_cases"]),
+            injection_times=tuple(payload["injection_times"]),
+            variables=None if variables is None else tuple(variables),
+            bits=bits,
+        )
+
 
 @dataclasses.dataclass
 class ExperimentRecord:
@@ -110,6 +171,43 @@ class ExperimentRecord:
     def has_instance(self) -> bool:
         """Whether this run contributes an instance to the dataset."""
         return self.sample is not None
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form; float samples keep their exact bits."""
+        return {
+            "test_case": self.test_case,
+            "flip": {
+                "variable": self.flip.variable,
+                "kind": self.flip.kind,
+                "bit": self.flip.bit,
+            },
+            "injection_time": self.injection_time,
+            "sample": None if self.sample is None else {
+                name: _encode_value(value)
+                for name, value in self.sample.items()
+            },
+            "failed": self.failed,
+            "crashed": self.crashed,
+            "temporal_impact": self.temporal_impact,
+            "deviated": self.deviated,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ExperimentRecord":
+        flip = payload["flip"]
+        sample = payload["sample"]
+        return cls(
+            test_case=int(payload["test_case"]),
+            flip=BitFlip(flip["variable"], flip["kind"], int(flip["bit"])),
+            injection_time=int(payload["injection_time"]),
+            sample=None if sample is None else {
+                name: _decode_value(token) for name, token in sample.items()
+            },
+            failed=bool(payload["failed"]),
+            crashed=bool(payload["crashed"]),
+            temporal_impact=int(payload["temporal_impact"]),
+            deviated=bool(payload.get("deviated", False)),
+        )
 
 
 @dataclasses.dataclass
@@ -150,6 +248,40 @@ class CampaignResult:
         from repro.injection import readout
 
         return readout.records_to_dataset(self, name, label_mode)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form of the whole campaign.
+
+        Like the PROPANE log format, golden runs are not persisted
+        (their outputs are arbitrary Python objects); everything the
+        analysis consumes -- config, variable specs, records -- round
+        trips exactly.
+        """
+        return {
+            "format": "repro.injection.campaign",
+            "target": self.target_name,
+            "config": self.config.to_dict(),
+            "variable_specs": [
+                {"name": spec.name, "kind": spec.kind}
+                for spec in self.variable_specs
+            ],
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CampaignResult":
+        return cls(
+            target_name=payload["target"],
+            config=CampaignConfig.from_dict(payload["config"]),
+            records=[
+                ExperimentRecord.from_dict(r) for r in payload["records"]
+            ],
+            golden_runs={},
+            variable_specs=tuple(
+                VariableSpec(spec["name"], spec["kind"])
+                for spec in payload["variable_specs"]
+            ),
+        )
 
 
 class Campaign:
@@ -204,8 +336,42 @@ class Campaign:
             sample_probe=self.config.sample_probe,
         )
 
-    def run(self) -> CampaignResult:
-        """Execute the full campaign and return its records."""
+    def run(self, pool=None, journal=None, shard_size: int = 1) -> CampaignResult:
+        """Execute the full campaign and return its records.
+
+        With no arguments the campaign runs serially in-process, as the
+        paper's loop does.  ``pool`` (a
+        :class:`repro.orchestration.WorkerPool`) shards the campaign
+        into independent run-batches and executes them in parallel --
+        the merged records are bit-identical to the serial path for any
+        worker count.  ``journal`` (a
+        :class:`repro.orchestration.Journal`) checkpoints each
+        completed shard so a killed campaign resumes without
+        re-executing finished work.  When neither is given, a pool
+        configured via :func:`repro.orchestration.configure` (the
+        experiments CLI's ``--jobs``) is picked up automatically.
+
+        Campaign subclasses that observe per-run harness state through
+        :meth:`_after_run` (e.g. the validation campaign) are forced
+        onto in-process execution, since a worker process's harness
+        observations would be lost with the worker.
+        """
+        if pool is None:
+            from repro.orchestration.pool import default_pool
+
+            pool = default_pool()
+            if pool is None:
+                if journal is None:
+                    return self._run_serial()
+                return self._run_orchestrated(None, journal, shard_size)
+            try:
+                return self._run_orchestrated(pool, journal, shard_size)
+            finally:
+                pool.close()
+        return self._run_orchestrated(pool, journal, shard_size)
+
+    def _run_serial(self) -> CampaignResult:
+        """The paper's strictly serial experiment loop."""
         golden_runs = {
             tc: capture_golden_run(self.target, tc)
             for tc in self.config.test_cases
@@ -225,6 +391,21 @@ class Campaign:
             records,
             golden_runs,
             self.variable_specs,
+        )
+
+    def _run_orchestrated(self, pool, journal, shard_size: int) -> CampaignResult:
+        from repro.orchestration.campaigns import run_campaign
+        from repro.orchestration.pool import SerialPool
+
+        if (
+            pool is not None
+            and getattr(pool, "jobs", 1) > 1
+            and type(self)._after_run is not Campaign._after_run
+        ):
+            # Observation hooks need the runs in this process.
+            pool = SerialPool(metrics=getattr(pool, "metrics", None))
+        return run_campaign(
+            self, pool=pool, journal=journal, shard_size=shard_size
         )
 
     def _run_one(

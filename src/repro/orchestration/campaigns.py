@@ -1,0 +1,172 @@
+"""Sharded, checkpointed execution of fault injection campaigns.
+
+A campaign enumerates runs in a fixed canonical order -- variable,
+then bit, then injection time, then test case (the serial loop of
+:meth:`repro.injection.campaign.Campaign._run_serial`).  The shard
+planner cuts that enumeration at ``(variable, bit)`` granularity into
+consecutive batches, so concatenating shard results *in shard order*
+reproduces the serial record order exactly, whatever order the shards
+actually finished in.  Targets are deterministic per test case and a
+run has no other randomness, so the merged result is bit-identical to
+the serial campaign for any worker count.
+
+The default shard size is one ``(variable, bit)`` pair per task.  That
+keeps shard boundaries -- and therefore journal fingerprints --
+independent of the worker count, so a campaign journaled at
+``jobs=8`` resumes correctly at ``jobs=2``.
+
+A shard whose injected faults keep killing the worker process is
+quarantined by the pool after its retries; the campaign then
+synthesises one crash record per planned run in the shard
+(``crashed=True``/``failed=True``, the campaign's standing definition
+of a crash) rather than losing the whole campaign to one pathological
+fault.
+"""
+
+from __future__ import annotations
+
+from repro.injection.bitflip import BitFlip
+from repro.injection.campaign import Campaign, CampaignResult, ExperimentRecord
+from repro.injection.golden import GoldenRun, capture_golden_run
+from repro.orchestration.journal import Journal
+from repro.orchestration.pool import SerialPool, WorkerPool
+from repro.orchestration.tasks import Task, TaskGraph, _chunk, fingerprint_of
+
+__all__ = ["plan_pairs", "plan_shards", "run_campaign"]
+
+#: pair = (variable name, kind, bit position)
+Pair = tuple[str, str, int]
+
+
+def plan_pairs(campaign: Campaign) -> list[Pair]:
+    """Every (variable, bit) the campaign will flip, canonical order."""
+    return [
+        (spec.name, spec.kind, bit)
+        for spec in campaign._targeted_specs()
+        for bit in campaign._bits_for(spec)
+    ]
+
+
+def plan_shards(campaign: Campaign, shard_size: int = 1) -> list[tuple[Pair, ...]]:
+    """Cut the pair enumeration into consecutive run-batches."""
+    return _chunk(plan_pairs(campaign), shard_size)
+
+
+def _execute_shard(
+    campaign: Campaign,
+    pairs: tuple[Pair, ...],
+    golden_runs: dict[int, GoldenRun],
+) -> list[ExperimentRecord]:
+    """Worker body: the serial inner loops for one shard's pairs."""
+    records: list[ExperimentRecord] = []
+    for name, kind, bit in pairs:
+        flip = BitFlip(name, kind, bit)
+        for injection_time in campaign.config.injection_times:
+            for tc in campaign.config.test_cases:
+                records.append(
+                    campaign._run_one(flip, injection_time, tc, golden_runs[tc])
+                )
+    return records
+
+
+def _crash_records(
+    campaign: Campaign, pairs: tuple[Pair, ...]
+) -> list[ExperimentRecord]:
+    """Records for a quarantined shard: every planned run crashed."""
+    records: list[ExperimentRecord] = []
+    for name, kind, bit in pairs:
+        flip = BitFlip(name, kind, bit)
+        for injection_time in campaign.config.injection_times:
+            for tc in campaign.config.test_cases:
+                records.append(
+                    ExperimentRecord(
+                        test_case=tc,
+                        flip=flip,
+                        injection_time=injection_time,
+                        sample=None,
+                        failed=True,
+                        crashed=True,
+                        temporal_impact=0,
+                        deviated=True,
+                    )
+                )
+    return records
+
+
+def run_campaign(
+    campaign: Campaign,
+    pool: WorkerPool | None = None,
+    journal: Journal | None = None,
+    shard_size: int = 1,
+) -> CampaignResult:
+    """Execute a campaign through a worker pool, optionally journaled.
+
+    Returns a :class:`CampaignResult` bit-identical to
+    ``campaign.run()`` serial execution (absent quarantined shards).
+    The result additionally carries an ``orchestration`` attribute
+    summarising the schedule: total/executed/cached task counts and
+    the ids of quarantined shards.
+    """
+    if pool is None:
+        pool = SerialPool()
+    config = campaign.config
+    golden_runs = {
+        tc: capture_golden_run(campaign.target, tc)
+        for tc in config.test_cases
+    }
+    shards = plan_shards(campaign, shard_size)
+    base = {
+        "schema": 1,
+        "target": campaign.target.name,
+        "config": config.to_dict(),
+    }
+    tasks = [
+        Task(
+            task_id=f"campaign:{index:05d}",
+            fingerprint=fingerprint_of(
+                {**base, "pairs": [list(pair) for pair in pairs]}
+            ),
+            fn=_execute_shard,
+            args=(campaign, pairs, golden_runs),
+            weight=len(pairs)
+            * len(config.injection_times)
+            * len(config.test_cases),
+        )
+        for index, pairs in enumerate(shards)
+    ]
+    graph = TaskGraph(
+        tasks,
+        encode=lambda records: [record.to_dict() for record in records],
+        decode=lambda payload: [
+            ExperimentRecord.from_dict(entry) for entry in payload
+        ],
+    )
+    outcomes = graph.run(pool, journal)
+
+    records: list[ExperimentRecord] = []
+    quarantined: list[str] = []
+    cached = 0
+    for task, pairs in zip(tasks, shards):
+        outcome = outcomes[task.task_id]
+        if outcome.status == "quarantined":
+            quarantined.append(task.task_id)
+            records.extend(_crash_records(campaign, pairs))
+        else:
+            if outcome.status == "cached":
+                cached += 1
+            records.extend(outcome.result)
+    result = CampaignResult(
+        campaign.target.name,
+        config,
+        records,
+        golden_runs,
+        campaign.variable_specs,
+    )
+    result.orchestration = {  # type: ignore[attr-defined]
+        "tasks": len(tasks),
+        "executed": len(tasks) - cached - len(quarantined),
+        "cached": cached,
+        "quarantined": quarantined,
+        "jobs": pool.jobs,
+    }
+    return result

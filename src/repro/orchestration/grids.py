@@ -1,0 +1,200 @@
+"""Parallel evaluation of refinement grids (Step 4 trials).
+
+:func:`repro.core.refine.refine` evaluates every preprocessing plan of
+a :class:`~repro.core.refine.RefinementGrid` with stratified
+cross-validation.  The trials are independent by construction -- each
+plan's RNG is ``np.random.default_rng((seed, index))``, derived from
+the trial's identity rather than any shared stream -- so the grid
+parallelises without touching the statistics: the worker evaluates a
+trial with exactly the code and exactly the RNG the serial loop would
+have used, and trials are collated in plan order, so the winning plan
+(``max`` over trials, first-best-wins) is bit-identical serial or
+parallel.
+
+Trial fingerprints cover the dataset content, the plan, the CV
+protocol and the learner, but *not* the grid as a whole: adding plans
+to a grid re-executes only the new trials against an existing journal,
+and a journal shared with campaign generation reuses every campaign
+shard when only the grid changed (FastFlip-style incremental reuse).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.refine import (
+    RefinementGrid,
+    RefinementResult,
+    RefinementTrial,
+)
+from repro.mining.crossval import (
+    CrossValidationResult,
+    FoldResult,
+    cross_validate,
+)
+from repro.mining.dataset import Dataset
+from repro.mining.metrics import ConfusionMatrix
+from repro.orchestration.journal import Journal
+from repro.orchestration.pool import SerialPool, WorkerPool
+from repro.orchestration.tasks import Task, TaskGraph, fingerprint_of
+
+__all__ = ["dataset_fingerprint", "run_refinement"]
+
+
+def dataset_fingerprint(dataset: Dataset) -> str:
+    """Content fingerprint of a dataset (schema + exact cell bytes)."""
+    digest = hashlib.sha256()
+    for attribute in (*dataset.attributes, dataset.class_attribute):
+        digest.update(
+            f"{attribute.name}:{attribute.kind}:{','.join(attribute.values)};".encode()
+        )
+    digest.update(np.ascontiguousarray(dataset.x, dtype=np.float64).tobytes())
+    digest.update(np.ascontiguousarray(dataset.y, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(dataset.weights, dtype=np.float64).tobytes())
+    return digest.hexdigest()[:16]
+
+
+def _callable_tag(fn: Callable | None) -> str | None:
+    """Stable identity of a callable for fingerprinting.
+
+    Factories that want cache hits across processes should expose a
+    ``fingerprint`` attribute (e.g.
+    :class:`repro.core.preprocess.LearnerFactory`); otherwise the
+    qualified name identifies the code being run.
+    """
+    if fn is None:
+        return None
+    tag = getattr(fn, "fingerprint", None)
+    if tag is not None:
+        return str(tag)
+    return f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', repr(fn))}"
+
+
+def _encode_evaluation(evaluation: CrossValidationResult) -> dict:
+    # json round-trips finite float64 exactly (repr shortest-round-trip),
+    # and confusion cells / complexities are always finite.
+    return {
+        "folds": [
+            {
+                "fold": fold.fold,
+                "matrix": fold.confusion.matrix.tolist(),
+                "labels": list(fold.confusion.labels),
+                "positive": fold.confusion.positive,
+                "complexity": fold.complexity,
+            }
+            for fold in evaluation.folds
+        ]
+    }
+
+
+def _decode_evaluation(payload: dict) -> CrossValidationResult:
+    return CrossValidationResult(
+        [
+            FoldResult(
+                fold=int(entry["fold"]),
+                confusion=ConfusionMatrix(
+                    np.array(entry["matrix"], dtype=np.float64),
+                    tuple(entry["labels"]),
+                    int(entry["positive"]),
+                ),
+                complexity=float(entry["complexity"]),
+            )
+            for entry in payload["folds"]
+        ]
+    )
+
+
+def _evaluate_plan(
+    dataset: Dataset,
+    make_classifier: Callable,
+    plan,
+    index: int,
+    folds: int,
+    seed: int,
+    complexity: Callable | None,
+    positive: int,
+) -> CrossValidationResult:
+    """Worker body: one trial, with the serial loop's exact RNG."""
+    rng = np.random.default_rng((seed, index))
+    return cross_validate(
+        dataset,
+        make_classifier,
+        k=folds,
+        rng=rng,
+        preprocess=plan.apply,
+        complexity=complexity,
+        positive=positive,
+    )
+
+
+def run_refinement(
+    dataset: Dataset,
+    make_classifier: Callable,
+    grid: RefinementGrid,
+    folds: int = 10,
+    seed: int = 0,
+    complexity: Callable | None = None,
+    positive: int = 1,
+    pool: WorkerPool | None = None,
+    journal: Journal | None = None,
+) -> RefinementResult:
+    """Evaluate a refinement grid through a worker pool.
+
+    Bit-identical to :func:`repro.core.refine.refine` for the same
+    arguments, any worker count.  A trial that exhausts its retries
+    raises -- unlike campaign shards there is no meaningful degraded
+    record for a trial, and silently dropping one would bias the
+    winner selection.
+    """
+    if pool is None:
+        pool = SerialPool()
+    plans = list(grid.plans())
+    if not plans:
+        raise ValueError("refinement grid is empty")
+    dataset_fp = dataset_fingerprint(dataset)
+    base = {
+        "schema": 1,
+        "dataset": dataset_fp,
+        "folds": folds,
+        "seed": seed,
+        "positive": positive,
+        "learner": _callable_tag(make_classifier),
+        "complexity": _callable_tag(complexity),
+    }
+    tasks = [
+        Task(
+            task_id=f"trial:{index:05d}",
+            fingerprint=fingerprint_of(
+                {**base, "index": index, "plan": dataclasses.asdict(plan)}
+            ),
+            fn=_evaluate_plan,
+            args=(
+                dataset,
+                make_classifier,
+                plan,
+                index,
+                folds,
+                seed,
+                complexity,
+                positive,
+            ),
+            weight=folds,
+        )
+        for index, plan in enumerate(plans)
+    ]
+    graph = TaskGraph(tasks, encode=_encode_evaluation, decode=_decode_evaluation)
+    outcomes = graph.run(pool, journal)
+    trials: list[RefinementTrial] = []
+    for task, plan in zip(tasks, plans):
+        outcome = outcomes[task.task_id]
+        if not outcome.ok:
+            raise RuntimeError(
+                f"refinement trial {task.task_id} quarantined: {outcome.error}"
+            )
+        trials.append(RefinementTrial(plan, outcome.result))
+    best = max(trials, key=lambda t: t.key)
+    return RefinementResult(trials, best)

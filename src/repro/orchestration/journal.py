@@ -1,0 +1,94 @@
+"""JSONL checkpoint journal for task results.
+
+FastFlip's lesson (PAPERS.md) is that injection analyses should
+persist per-unit results and reuse them incrementally instead of
+recomputing the world on every change.  The journal is that persistence
+layer for orchestrated runs:
+
+* **append-only JSONL** -- one line per completed task, written as the
+  task finishes, so a run killed mid-flight keeps everything completed
+  so far (a torn final line from the kill itself is tolerated and
+  skipped on load);
+* **fingerprinted** -- every line carries the task's content
+  fingerprint; on resume a stored result is only reused when the
+  fingerprint still matches, so editing the campaign config silently
+  invalidates exactly the affected tasks;
+* **incremental across phases** -- campaign shards and refinement
+  trials share one journal under distinct task-id families.  Campaign
+  fingerprints do not include the refinement grid, so re-running with
+  only the grid changed reuses every campaign shard and re-executes
+  only the trials.
+
+The journal stores JSON payloads; task-specific ``encode``/``decode``
+hooks on :class:`~repro.orchestration.tasks.TaskGraph` translate real
+results (e.g. :class:`~repro.injection.campaign.ExperimentRecord`
+lists with NaN samples) exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+__all__ = ["Journal"]
+
+_FORMAT = "repro.orchestration.journal"
+_VERSION = 1
+
+
+class Journal:
+    """An append-only JSONL checkpoint file."""
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self) -> dict[str, dict]:
+        """Task entries keyed by task id (the last line per id wins).
+
+        Unparseable lines -- typically one torn tail line from a killed
+        writer -- are skipped; the surviving entries are exactly the
+        tasks whose results were durably checkpointed.
+        """
+        entries: dict[str, dict] = {}
+        if not self.path.exists():
+            return entries
+        with open(self.path, encoding="utf-8") as fp:
+            for line in fp:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(payload, dict):
+                    continue
+                task_id = payload.get("task")
+                if task_id is not None:
+                    entries[task_id] = payload
+        return entries
+
+    def append(self, task_id: str, fingerprint: str, result: object) -> None:
+        """Durably record one completed task."""
+        line = json.dumps(
+            {
+                "format": _FORMAT,
+                "version": _VERSION,
+                "task": task_id,
+                "fingerprint": fingerprint,
+                "result": result,
+            },
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fp:
+            fp.write(line + "\n")
+            fp.flush()
+
+    def clear(self) -> None:
+        """Discard the checkpoint (start the next run fresh)."""
+        self.path.unlink(missing_ok=True)

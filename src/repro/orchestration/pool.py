@@ -1,0 +1,379 @@
+"""Worker pools: serial and process-parallel task execution.
+
+Fault injection campaigns are embarrassingly parallel (ZOFI runs
+injection campaigns at near-linear speedup across cores), but they are
+also *hostile* workloads: an injected fault can take the whole worker
+process down with it.  The pools here make that survivable:
+
+* :class:`SerialPool` executes tasks in order, in-process -- the
+  reference schedule every parallel schedule must reproduce
+  bit-identically;
+* :class:`ProcessPool` fans tasks out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  A task that
+  *raises* fails that task only; a task that *kills its worker* (the
+  segfault analogue) breaks the executor, so the pool rebuilds it with
+  exponential backoff and resubmits whatever had not finished.  Either
+  way a task is retried up to ``max_retries`` times and then
+  **quarantined** -- reported as a
+  :class:`TaskOutcome` with ``status="quarantined"`` instead of
+  poisoning the run -- mirroring the detector quarantine of
+  :class:`repro.runtime.engine.StreamingEngine`.
+
+Both pools report per-task latency and fault counters through a
+:class:`repro.runtime.metrics.RuntimeMetrics` instance under
+``orchestration.<kind>`` names, so campaign and grid progress shows up
+in the same report as detector serving.
+
+:func:`configure` installs process-wide defaults (worker count,
+journal directory) that :meth:`Campaign.run` and :func:`refine` pick
+up when no explicit pool is passed -- this is how the experiments
+CLI's ``--jobs``/``--resume`` flags reach every driver without
+threading parameters through eighteen call sites.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import pickle
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.orchestration.tasks import Task
+from repro.runtime.metrics import RuntimeMetrics
+
+__all__ = [
+    "TaskOutcome",
+    "WorkerPool",
+    "SerialPool",
+    "ProcessPool",
+    "make_pool",
+    "configure",
+    "default_pool",
+    "default_journal_dir",
+    "picklable",
+]
+
+
+@dataclasses.dataclass
+class TaskOutcome:
+    """Terminal state of one task.
+
+    ``status`` is ``"done"`` (result valid), ``"cached"`` (result
+    restored from a journal without executing) or ``"quarantined"``
+    (the task exhausted its retries; ``error`` holds the last
+    failure).
+    """
+
+    task_id: str
+    status: str
+    result: object = None
+    error: str | None = None
+    attempts: int = 0
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("done", "cached")
+
+
+def _invoke(fn: Callable, args: tuple) -> tuple[float, object]:
+    """Worker-side shim: run the task and time it where it ran."""
+    started = time.perf_counter()
+    result = fn(*args)
+    return time.perf_counter() - started, result
+
+
+class WorkerPool:
+    """Common retry/quarantine/metrics machinery for the pools."""
+
+    jobs: int = 1
+
+    def __init__(
+        self,
+        max_retries: int = 2,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
+        metrics: RuntimeMetrics | None = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self.metrics = metrics
+
+    def run(
+        self,
+        tasks: Sequence[Task],
+        on_result: Callable[[Task, TaskOutcome], None] | None = None,
+    ) -> dict[str, TaskOutcome]:
+        """Execute ``tasks``, calling ``on_result`` as each finishes."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- shared bookkeeping --------------------------------------------
+    def _sleep(self, failures: int) -> None:
+        if self.backoff > 0:
+            time.sleep(min(self.backoff * (2 ** (failures - 1)), self.max_backoff))
+
+    def _record_done(self, task: Task, seconds: float) -> None:
+        if self.metrics is not None:
+            self.metrics.stats_for(f"orchestration.{task.kind}").record_batch(
+                task.weight, 0, seconds
+            )
+
+    def _record_fault(self, task: Task) -> None:
+        if self.metrics is not None:
+            self.metrics.stats_for(f"orchestration.{task.kind}").record_fault()
+
+
+class SerialPool(WorkerPool):
+    """In-process execution in task order: the reference schedule."""
+
+    jobs = 1
+
+    def run(
+        self,
+        tasks: Sequence[Task],
+        on_result: Callable[[Task, TaskOutcome], None] | None = None,
+    ) -> dict[str, TaskOutcome]:
+        outcomes: dict[str, TaskOutcome] = {}
+        for task in tasks:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    seconds, result = _invoke(task.fn, task.args)
+                except Exception as exc:  # noqa: BLE001 -- isolation boundary
+                    self._record_fault(task)
+                    if attempts > self.max_retries:
+                        outcome = TaskOutcome(
+                            task_id=task.task_id,
+                            status="quarantined",
+                            error=f"{type(exc).__name__}: {exc}",
+                            attempts=attempts,
+                        )
+                        break
+                    self._sleep(attempts)
+                else:
+                    self._record_done(task, seconds)
+                    outcome = TaskOutcome(
+                        task_id=task.task_id,
+                        status="done",
+                        result=result,
+                        attempts=attempts,
+                        seconds=seconds,
+                    )
+                    break
+            outcomes[task.task_id] = outcome
+            if on_result is not None:
+                on_result(task, outcome)
+        return outcomes
+
+
+class ProcessPool(WorkerPool):
+    """``ProcessPoolExecutor``-backed pool that survives worker death.
+
+    Tasks are submitted in waves; when an injected fault (or anything
+    else) kills a worker, the broken executor is torn down, rebuilt
+    after an exponential backoff, and every unfinished task is
+    resubmitted.  Per-task failure counts persist across rebuilds, so
+    the task that keeps killing its worker is eventually quarantined
+    while innocent tasks complete on a later wave.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        max_retries: int = 2,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
+        metrics: RuntimeMetrics | None = None,
+        mp_context=None,
+    ) -> None:
+        super().__init__(max_retries, backoff, max_backoff, metrics)
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._mp_context = mp_context
+        self._executor: ProcessPoolExecutor | None = None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=self._mp_context
+            )
+        return self._executor
+
+    def _teardown_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def run(
+        self,
+        tasks: Sequence[Task],
+        on_result: Callable[[Task, TaskOutcome], None] | None = None,
+    ) -> dict[str, TaskOutcome]:
+        outcomes: dict[str, TaskOutcome] = {}
+        pending: dict[str, Task] = {t.task_id: t for t in tasks}
+        failures: dict[str, int] = {t.task_id: 0 for t in tasks}
+        rebuilds = 0
+
+        def settle(task: Task, outcome: TaskOutcome) -> None:
+            outcomes[task.task_id] = outcome
+            del pending[task.task_id]
+            if on_result is not None:
+                on_result(task, outcome)
+
+        def run_wave(batch: Sequence[Task]) -> bool:
+            """Run one wave; True when the executor broke.
+
+            A dead worker breaks the whole executor, so *every*
+            unfinished future in the wave reports BrokenProcessPool --
+            blaming them all would quarantine innocent tasks.  A
+            worker-death failure is therefore only charged when the
+            batch ran alone (blame is unambiguous); multi-task breakage
+            just triggers the isolation pass below.
+            """
+            nonlocal rebuilds
+            executor = self._ensure_executor()
+            futures = {
+                executor.submit(_invoke, task.fn, task.args): task
+                for task in batch
+            }
+            broken = False
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    task = futures[future]
+                    try:
+                        seconds, result = future.result()
+                    except BrokenProcessPool as exc:
+                        broken = True
+                        if len(futures) == 1:
+                            self._record_fault(task)
+                            failures[task.task_id] += 1
+                            if failures[task.task_id] > self.max_retries:
+                                settle(task, TaskOutcome(
+                                    task_id=task.task_id,
+                                    status="quarantined",
+                                    error=f"worker died: {exc}",
+                                    attempts=failures[task.task_id],
+                                ))
+                    except Exception as exc:  # noqa: BLE001 -- isolation
+                        self._record_fault(task)
+                        failures[task.task_id] += 1
+                        if failures[task.task_id] > self.max_retries:
+                            settle(task, TaskOutcome(
+                                task_id=task.task_id,
+                                status="quarantined",
+                                error=f"{type(exc).__name__}: {exc}",
+                                attempts=failures[task.task_id],
+                            ))
+                    else:
+                        self._record_done(task, seconds)
+                        settle(task, TaskOutcome(
+                            task_id=task.task_id,
+                            status="done",
+                            result=result,
+                            attempts=failures[task.task_id] + 1,
+                            seconds=seconds,
+                        ))
+            if broken:
+                self._teardown_executor()
+                rebuilds += 1
+                self._sleep(rebuilds)
+            return broken
+
+        while pending:
+            batch = [task for task in tasks if task.task_id in pending]
+            broken = run_wave(batch)
+            if broken and len(batch) > 1:
+                # Isolation pass: rerun the survivors one at a time so
+                # the task that keeps killing its worker accumulates
+                # failures (and is eventually quarantined) while the
+                # innocent majority completes.
+                for task in [t for t in tasks if t.task_id in pending]:
+                    run_wave([task])
+            elif not broken and pending:
+                # Plain task failures: back off before the retry wave.
+                self._sleep(max(failures[tid] for tid in pending))
+        # Collate in task order, never completion order.
+        return {task.task_id: outcomes[task.task_id] for task in tasks}
+
+
+def make_pool(
+    jobs: int | None,
+    metrics: RuntimeMetrics | None = None,
+    **kwargs,
+) -> WorkerPool:
+    """A pool sized for ``jobs`` workers (serial for ``None``/``<=1``)."""
+    if jobs is None or jobs <= 1:
+        return SerialPool(metrics=metrics, **kwargs)
+    return ProcessPool(jobs, metrics=metrics, **kwargs)
+
+
+def picklable(obj: object) -> bool:
+    """Whether ``obj`` can cross a process boundary."""
+    try:
+        pickle.dumps(obj)
+    except Exception:  # noqa: BLE001 -- any pickling failure disqualifies
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Process-wide defaults (the experiments CLI's --jobs / --resume)
+# ----------------------------------------------------------------------
+_DEFAULT_JOBS: int | None = None
+_DEFAULT_JOURNAL_DIR: pathlib.Path | None = None
+
+
+def configure(
+    jobs: int | None = None,
+    journal_dir: str | pathlib.Path | None = None,
+) -> None:
+    """Install process-wide orchestration defaults.
+
+    ``jobs`` makes every :meth:`Campaign.run`/:func:`refine` call
+    without an explicit pool run on ``jobs`` workers; ``journal_dir``
+    makes campaign generation checkpoint (and resume) under that
+    directory.  ``configure()`` with no arguments resets both.
+    """
+    global _DEFAULT_JOBS, _DEFAULT_JOURNAL_DIR
+    _DEFAULT_JOBS = jobs
+    _DEFAULT_JOURNAL_DIR = (
+        pathlib.Path(journal_dir) if journal_dir is not None else None
+    )
+
+
+def default_pool(metrics: RuntimeMetrics | None = None) -> WorkerPool | None:
+    """A fresh pool per the configured default, or None when serial.
+
+    The caller owns the returned pool and must :meth:`close` it.
+    """
+    if _DEFAULT_JOBS is None or _DEFAULT_JOBS <= 1:
+        return None
+    return ProcessPool(_DEFAULT_JOBS, metrics=metrics)
+
+
+def default_journal_dir() -> pathlib.Path | None:
+    return _DEFAULT_JOURNAL_DIR

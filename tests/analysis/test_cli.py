@@ -130,6 +130,75 @@ class TestSurface:
         assert payload["probes"]
 
 
+class TestCampaignDocuments:
+    def _campaign_doc(self, **extra):
+        from repro.injection.campaign import CampaignConfig
+        from repro.injection.instrument import Location
+
+        payload = CampaignConfig(
+            module="M",
+            injection_location=Location.ENTRY,
+            sample_location=Location.ENTRY,
+            test_cases=tuple(range(50)),
+            injection_times=(0, 1, 2, 3),
+            variables=("a", "b"),
+            bits=tuple(range(32)),
+        ).to_dict()
+        payload.update(extra)
+        return payload
+
+    def test_large_unjournaled_campaign_warns(self, write_doc, capsys):
+        path = write_doc("camp.json", self._campaign_doc())
+        assert main(["lint", path, "--fail-on", "warning"]) == 1
+        assert "unjournaled-campaign" in capsys.readouterr().out
+
+    def test_journal_key_silences_rule(self, write_doc):
+        path = write_doc(
+            "camp.json", self._campaign_doc(journal="runs/camp.jsonl")
+        )
+        assert main(["lint", path, "--fail-on", "warning"]) == 0
+
+    def test_invalid_campaign_document(self, write_doc, capsys):
+        path = write_doc(
+            "camp.json",
+            {"module": "M", "injection_location": "sideways"},
+        )
+        assert main(["lint", path]) == 2
+        assert "invalid campaign configuration" in capsys.readouterr().err
+
+
+class TestOrchestrate:
+    def test_smoke_run_text(self, capsys):
+        assert main(["orchestrate", "MG-B1", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "MG-B1 @ smoke" in out
+        assert "best plan:" in out
+
+    def test_smoke_run_json_with_journal_resume(self, tmp_path, capsys):
+        journal = str(tmp_path / "mg.jsonl")
+        assert main([
+            "orchestrate", "MG-B1", "--scale", "smoke",
+            "--journal", journal, "--format", "json",
+        ]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["campaign"]["cached"] == 0
+        assert first["campaign"]["executed"] == first["campaign"]["tasks"]
+
+        assert main([
+            "orchestrate", "MG-B1", "--scale", "smoke",
+            "--journal", journal, "--format", "json",
+        ]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["campaign"]["executed"] == 0
+        assert second["baseline"] == first["baseline"]
+        assert second["refined"] == first["refined"]
+        assert second["best_plan"] == first["best_plan"]
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            main(["orchestrate", "XX-Z9", "--scale", "smoke"])
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path, capsys):
         assert main(["lint", str(tmp_path / "nope.json")]) == 2

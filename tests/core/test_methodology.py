@@ -184,3 +184,18 @@ class TestEndToEnd:
         outcome = method.run(ds, SMALL_GRID)
         assert len(outcome.refinement.trials) == SMALL_GRID.size()
         assert outcome.dataset_name == ds.name
+
+    def test_run_jobs_matches_serial(self):
+        ds = make_imbalanced(n=300)
+        config = MethodologyConfig(folds=5, seed=7)
+        serial = Methodology(config).run(ds, SMALL_GRID)
+        pooled = Methodology(config).run(ds, SMALL_GRID, jobs=2)
+        assert pooled.baseline.summary() == serial.baseline.summary()
+        assert pooled.refined.plan == serial.refined.plan
+        assert (
+            pooled.refined.evaluation.summary()
+            == serial.refined.evaluation.summary()
+        )
+        for a, b in zip(pooled.refinement.trials, serial.refinement.trials):
+            assert a.plan == b.plan
+            assert a.evaluation.summary() == b.evaluation.summary()

@@ -105,3 +105,27 @@ class TestGeneration:
     def test_unknown_dataset(self):
         with pytest.raises(ValueError):
             generate_dataset("XX-Z9", "smoke")
+
+    def test_configured_journal_dir_checkpoints_campaign(self, tmp_path):
+        """The --resume path: a configured journal directory makes the
+        campaign checkpoint (and a repeat run replay) its shards."""
+        from repro.orchestration import configure
+
+        configure(journal_dir=tmp_path)
+        try:
+            ds = generate_dataset(
+                "MG-B1", "smoke", cache_dir=tmp_path / "c", use_cache=False
+            )
+            journal = tmp_path / "MG-B1.smoke.journal.jsonl"
+            assert journal.exists()
+            lines = len(journal.read_text().splitlines())
+            assert lines > 0
+            again = generate_dataset(
+                "MG-B1", "smoke", cache_dir=tmp_path / "c", use_cache=False
+            )
+            # Fully replayed from the journal: no new lines, same data.
+            assert len(journal.read_text().splitlines()) == lines
+            assert np.array_equal(again.x, ds.x)
+            assert np.array_equal(again.y, ds.y)
+        finally:
+            configure()

@@ -189,6 +189,112 @@ class TestCrashes:
                 assert record.failed
 
 
+class TestSerialization:
+    """to_dict/from_dict round trips, exact to the bit (incl. NaN)."""
+
+    def test_config_round_trip_tuple_bits(self):
+        cfg = config()
+        rebuilt = CampaignConfig.from_dict(cfg.to_dict())
+        assert rebuilt == cfg
+
+    def test_config_round_trip_mapping_bits(self):
+        cfg = config(bits={"int32": (0, 5), "float64": (52, 63)},
+                     variables=("acc",))
+        rebuilt = CampaignConfig.from_dict(cfg.to_dict())
+        assert rebuilt == cfg
+
+    def test_config_round_trip_default_bits(self):
+        cfg = config(bits=None)
+        assert CampaignConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_config_dict_is_json_compatible(self):
+        import json
+
+        cfg = config(bits={"int32": (0,)})
+        assert CampaignConfig.from_dict(
+            json.loads(json.dumps(cfg.to_dict()))
+        ) == cfg
+
+    def test_record_round_trip(self):
+        result = Campaign(CounterTarget(), config()).run()
+        for record in result.records:
+            from repro.injection.campaign import ExperimentRecord
+
+            rebuilt = ExperimentRecord.from_dict(record.to_dict())
+            assert rebuilt == record
+
+    def test_record_round_trip_crash_and_nan(self):
+        import json
+        import math
+        import struct
+
+        from repro.injection.bitflip import BitFlip
+        from repro.injection.campaign import ExperimentRecord
+
+        nan_payload = struct.unpack("<d", struct.pack("<Q", 0x7FF8DEADBEEF0001))[0]
+        crash = ExperimentRecord(
+            test_case=3,
+            flip=BitFlip("acc", "float64", 62),
+            injection_time=1,
+            sample=None,
+            failed=True,
+            crashed=True,
+            temporal_impact=0,
+            deviated=True,
+        )
+        nan_record = ExperimentRecord(
+            test_case=0,
+            flip=BitFlip("acc", "float64", 51),
+            injection_time=2,
+            sample={"acc": nan_payload, "flag": True, "count": -7},
+            failed=False,
+            crashed=False,
+            temporal_impact=2,
+            deviated=True,
+        )
+        assert ExperimentRecord.from_dict(crash.to_dict()) == crash
+        # NaN != NaN, so compare through the (exact) encoded form plus
+        # the raw bits of the decoded sample value.
+        rebuilt = ExperimentRecord.from_dict(
+            json.loads(json.dumps(nan_record.to_dict()))
+        )
+        assert rebuilt.to_dict() == nan_record.to_dict()
+        assert math.isnan(rebuilt.sample["acc"])
+        assert struct.pack("<d", rebuilt.sample["acc"]) == struct.pack(
+            "<d", nan_payload
+        )
+        assert rebuilt.sample["flag"] is True
+        assert rebuilt.sample["count"] == -7
+
+    def test_campaign_result_round_trip(self):
+        from repro.injection.campaign import CampaignResult
+
+        result = Campaign(CounterTarget(), config()).run()
+        payload = result.to_dict()
+        assert payload["format"] == "repro.injection.campaign"
+        rebuilt = CampaignResult.from_dict(payload)
+        assert rebuilt.target_name == result.target_name
+        assert rebuilt.config == result.config
+        assert rebuilt.variable_specs == result.variable_specs
+        assert rebuilt.records == result.records
+        # Golden runs are documented as not persisted.
+        assert rebuilt.golden_runs == {}
+
+    def test_campaign_result_round_trip_with_crashes(self):
+        import json
+
+        from repro.injection.campaign import CampaignResult
+
+        cfg = config(bits=(31,), variables=("acc",))
+        result = Campaign(CrashingTarget(), cfg).run()
+        assert result.n_crashes > 0
+        rebuilt = CampaignResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert rebuilt.records == result.records
+        assert rebuilt.n_crashes == result.n_crashes
+
+
 class TestDeviationLabelling:
     def test_acc_flips_deviate(self):
         result = Campaign(CounterTarget(), config()).run()

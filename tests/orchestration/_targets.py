@@ -1,0 +1,135 @@
+"""Picklable task functions and targets for orchestration tests.
+
+Worker functions must live in an importable module (not a test body)
+so they can cross the process boundary; everything the pool tests
+submit is defined here.
+"""
+
+import os
+import time
+
+from repro.injection.campaign import Campaign
+from repro.injection.instrument import Harness, Location, VariableSpec
+from repro.targets.base import TargetSystem
+
+
+def square(x):
+    return x * x
+
+
+def boom(message="boom"):
+    raise RuntimeError(message)
+
+
+def flaky(path, failures, value):
+    """Fail the first ``failures`` invocations (counted in ``path``)."""
+    with open(path, "a") as fp:
+        fp.write("x\n")
+    with open(path) as fp:
+        calls = sum(1 for _ in fp)
+    if calls <= failures:
+        raise RuntimeError(f"flaky failure {calls}")
+    return value
+
+
+def record_call(path, value):
+    """Append to ``path`` (an execution counter) and return ``value``."""
+    with open(path, "a") as fp:
+        fp.write(f"{value}\n")
+    return value
+
+
+def die(code=13):
+    """Kill the worker process without raising (the segfault analogue)."""
+    os._exit(code)
+
+
+def die_if_marked(path, value):
+    """Die while the marker file exists, else return ``value``."""
+    if os.path.exists(path):
+        os.unlink(path)
+        os._exit(13)
+    return value
+
+
+def snooze(seconds, value):
+    time.sleep(seconds)
+    return value
+
+
+class GridTarget(TargetSystem):
+    """Deterministic picklable target (mirrors the campaign test one)."""
+
+    name = "GT"
+
+    @property
+    def modules(self):
+        return ("Acc",)
+
+    def variables_of(self, module, location=None):
+        self.check_module(module)
+        return (VariableSpec("acc", "int32"), VariableSpec("scratch", "int32"))
+
+    def run(self, test_case, harness: Harness):
+        acc = test_case
+        for step in range(4):
+            state = harness.probe(
+                "Acc", Location.ENTRY, {"acc": acc, "scratch": 0}
+            )
+            acc = int(state["acc"]) + step
+        return acc
+
+    def is_failure(self, golden_output, run_output):
+        return golden_output != run_output
+
+
+class CrashingGridTarget(GridTarget):
+    """A target whose injected runs kill the whole worker process.
+
+    ``acc`` sign flips drive the accumulator negative, upon which the
+    target exits the process -- the analogue of a segfaulting C target
+    taking the injection harness down with it.
+    """
+
+    name = "KGT"
+
+    def run(self, test_case, harness: Harness):
+        acc = test_case
+        for step in range(4):
+            state = harness.probe(
+                "Acc", Location.ENTRY, {"acc": acc, "scratch": 0}
+            )
+            acc = int(state["acc"]) + step
+            if acc < 0:
+                os._exit(23)
+        return acc
+
+
+class LatencyTarget(GridTarget):
+    """A target dominated by external wait, like a real subprocess run."""
+
+    name = "LT"
+    delay = 0.004
+
+    def run(self, test_case, harness: Harness):
+        time.sleep(self.delay)
+        return super().run(test_case, harness)
+
+
+def grid_config(**overrides):
+    from repro.injection.campaign import CampaignConfig
+
+    base = dict(
+        module="Acc",
+        injection_location=Location.ENTRY,
+        sample_location=Location.ENTRY,
+        test_cases=(0, 1),
+        injection_times=(1, 2),
+        bits=(0, 1, 2),
+    )
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+def run_grid_campaign(**overrides):
+    return Campaign(GridTarget(), grid_config(**overrides))
