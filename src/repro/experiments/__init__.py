@@ -25,7 +25,11 @@ per-experiment index lives in DESIGN.md):
   :mod:`repro.runtime` compiled detectors vs interpreted evaluation;
 * :mod:`repro.experiments.simplify_bench` -- effect of the static
   simplifier (:mod:`repro.analysis.simplify`) on mined detectors:
-  atom counts, clause verdicts and batch-serving time.
+  atom counts, clause verdicts and batch-serving time;
+* :mod:`repro.experiments.mining_bench` -- throughput of the
+  vectorised mining data plane (presorted induction, batch inference,
+  reuse caches) vs the naive reference, under its bit-identity
+  contract.
 
 All drivers are parameterised by an :class:`~repro.experiments.scale.Scale`
 ("smoke" for tests, "bench" for the recorded numbers, "paper" for the

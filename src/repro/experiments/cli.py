@@ -24,6 +24,7 @@ from repro.experiments import (
     figure2,
     figure_roc,
     latency,
+    mining_bench,
     propagation,
     runtime_bench,
     significance,
@@ -64,6 +65,7 @@ EXPERIMENTS = {
     "propagation": propagation.main,
     "significance": significance.main,
     "latency": lambda scale, datasets: latency.main(scale, datasets),
+    "mining": lambda scale, datasets: mining_bench.main(scale),
     "runtime": runtime_bench.main,
     "simplify": simplify_bench.main,
     "validation": validation.main,

@@ -26,10 +26,20 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.mining.base import Classifier
+from repro.mining.cache import ContentCache, array_fingerprint
 from repro.mining.dataset import Dataset
 from repro.mining.metrics import ConfusionMatrix
 
 __all__ = ["FoldResult", "CrossValidationResult", "stratified_folds", "cross_validate"]
+
+# Fold partitions depend only on the class vector, the fold count, and
+# the generator's exact state, so they can be memoised without changing
+# a single drawn number: a hit replays the stored partition *and*
+# fast-forwards the generator to the state the computation would have
+# left it in.  Keying on the pre-call state (not just the seed) keeps
+# every caller semantics-identical -- a refine() trial seeded
+# differently simply misses.
+_FOLD_PARTITIONS = ContentCache(maxsize=32, name="stratified-fold-partitions")
 
 
 @dataclasses.dataclass
@@ -113,6 +123,13 @@ def stratified_folds(
         raise ValueError(
             f"cannot make {k} folds from {len(dataset)} instances"
         )
+    key = (array_fingerprint(dataset.y), dataset.n_classes, k,
+           repr(rng.bit_generator.state))
+    cached = _FOLD_PARTITIONS.get(key)
+    if cached is not None:
+        partition, post_state = cached
+        rng.bit_generator.state = post_state
+        return [fold.copy() for fold in partition]
     folds: list[list[int]] = [[] for _ in range(k)]
     offset = 0
     for cls in range(dataset.n_classes):
@@ -123,7 +140,9 @@ def stratified_folds(
         # Continue dealing where the previous class stopped so small
         # classes do not all land in fold 0.
         offset += len(members)
-    return [np.array(sorted(fold), dtype=np.int64) for fold in folds]
+    partition = [np.array(sorted(fold), dtype=np.int64) for fold in folds]
+    _FOLD_PARTITIONS.put(key, (partition, rng.bit_generator.state))
+    return [fold.copy() for fold in partition]
 
 
 def cross_validate(
@@ -152,6 +171,10 @@ def cross_validate(
         confusion matrices.
     """
     rng = np.random.default_rng(0) if rng is None else rng
+    # Warm the column presort once; the k order-preserving training
+    # subsets below derive their sort orders from it instead of
+    # re-sorting (see Dataset.presort).
+    dataset.presort()
     fold_indices = stratified_folds(dataset, k, rng)
     all_indices = np.arange(len(dataset))
     results: list[FoldResult] = []

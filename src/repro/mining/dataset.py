@@ -11,6 +11,17 @@ stored as the ``float64`` index of the value within the attribute's
 value tuple (``NaN`` marks a missing value for either kind).  This keeps
 the whole dataset in one NumPy array, which the decision-tree induction
 relies on for speed.
+
+Datasets also carry a lazily computed **presort cache**
+(:meth:`Dataset.presort`): one stable sort order per numeric column,
+restricted to the rows where the value is known.  C4.5 induction seeds
+its index-based recursion from this cache instead of re-sorting every
+column at every node, and the cache is *derived* -- never recomputed --
+across the row operations the mining pipeline chains: an
+order-preserving :meth:`subset` filters the parent's orders,
+:meth:`concat` merges the two operands' orders, and weight-only
+:meth:`replace` shares the cache outright (sort order depends on ``x``
+alone).  See ``docs/mining-performance.md``.
 """
 
 from __future__ import annotations
@@ -165,6 +176,8 @@ class Dataset:
                     )
         self.name = name
         self._attribute_index = {a.name: i for i, a in enumerate(self.attributes)}
+        # Lazily computed per-column stable sort orders (see presort()).
+        self._presort: dict[int, tuple[np.ndarray, np.ndarray]] | None = None
 
     # ------------------------------------------------------------------
     # Basic introspection
@@ -227,6 +240,44 @@ class Dataset:
         return int(np.argmax(self.class_weights()))
 
     # ------------------------------------------------------------------
+    # Presort cache
+    # ------------------------------------------------------------------
+    def presort(self) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+        """Per-numeric-column stable sort orders over the known values.
+
+        Returns a mapping ``{column index: (positions, values)}`` where
+        ``positions`` holds the row indices whose value in that column
+        is known (non-NaN), ordered by ``(value, row index)``, and
+        ``values`` is the column at those positions (ascending).  The
+        result is cached on the dataset and must not be mutated; the
+        arrays depend only on ``x``, so mutating ``x`` in place after
+        calling this leaves a stale cache (the pipeline never does --
+        every transformation goes through :meth:`replace`).
+        """
+        if self._presort is None:
+            orders: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+            for j, attribute in enumerate(self.attributes):
+                if not attribute.is_numeric:
+                    continue
+                column = self.x[:, j]
+                # Stable argsort puts NaNs (missing) last; trim them so
+                # positions cover exactly the known rows.
+                order = np.argsort(column, kind="stable")
+                n_known = len(column) - int(np.count_nonzero(np.isnan(column)))
+                positions = order[:n_known]
+                orders[j] = (positions, column[positions])
+            self._presort = orders
+        return self._presort
+
+    # The pickle payload drops the cache: it is pure derived state, and
+    # orchestration workers ship datasets by value where the extra
+    # arrays would double the transfer for no benefit.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_presort"] = None
+        return state
+
+    # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
@@ -278,7 +329,7 @@ class Dataset:
         name: str | None = None,
     ) -> "Dataset":
         """Return a copy with any of the underlying arrays replaced."""
-        return Dataset(
+        out = Dataset(
             self.attributes if attributes is None else attributes,
             self.class_attribute,
             self.x if x is None else x,
@@ -286,6 +337,11 @@ class Dataset:
             self.weights if weights is None else weights,
             name=self.name if name is None else name,
         )
+        # Sort orders depend only on x: label/weight/name replacements
+        # share the cache outright.
+        if x is None and attributes is None:
+            out._presort = self._presort
+        return out
 
     def copy(self) -> "Dataset":
         return self.replace(
@@ -293,11 +349,35 @@ class Dataset:
         )
 
     def subset(self, indices: np.ndarray) -> "Dataset":
-        """Return the sub-dataset selected by an index or boolean array."""
+        """Return the sub-dataset selected by an index or boolean array.
+
+        When this dataset's presort cache is already computed and the
+        selection preserves row order (a boolean mask or strictly
+        ascending indices), the subset's cache is *derived* by
+        filtering the parent's sort orders -- O(n) per column instead
+        of a fresh O(n log n) sort.
+        """
         indices = np.asarray(indices)
-        return self.replace(
+        out = self.replace(
             x=self.x[indices], y=self.y[indices], weights=self.weights[indices]
         )
+        if self._presort is not None:
+            if indices.dtype == bool:
+                selected = np.flatnonzero(indices)
+            else:
+                selected = indices
+            if selected.ndim == 1 and (
+                selected.size == 0 or np.all(np.diff(selected) > 0)
+            ):
+                remap = np.full(len(self), -1, dtype=np.int64)
+                remap[selected] = np.arange(selected.size, dtype=np.int64)
+                derived: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+                for j, (positions, values) in self._presort.items():
+                    mapped = remap[positions]
+                    keep = mapped >= 0
+                    derived[j] = (mapped[keep], values[keep])
+                out._presort = derived
+        return out
 
     def concat(self, other: "Dataset") -> "Dataset":
         """Return the row-wise concatenation of two schema-compatible datasets."""
@@ -306,11 +386,24 @@ class Dataset:
             or other.class_attribute != self.class_attribute
         ):
             raise DatasetError("cannot concatenate datasets with different schemas")
-        return self.replace(
+        out = self.replace(
             x=np.vstack([self.x, other.x]),
             y=np.concatenate([self.y, other.y]),
             weights=np.concatenate([self.weights, other.weights]),
         )
+        if self._presort is not None and other._presort is not None:
+            # Merge the operands' sort orders; all of self's rows come
+            # before other's, so ties resolve self-first -- exactly the
+            # stable order a fresh sort of the concatenation would give.
+            derived: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+            offset = len(self)
+            for j, (pos_a, val_a) in self._presort.items():
+                pos_b, val_b = other._presort[j]
+                derived[j] = _merge_sorted(
+                    pos_a, val_a, pos_b + offset, val_b
+                )
+            out._presort = derived
+        return out
 
     def shuffled(self, rng: np.random.Generator) -> "Dataset":
         """Return a row-shuffled copy."""
@@ -376,6 +469,34 @@ class Dataset:
 
     def decode_label(self, i: int) -> str:
         return self.class_attribute.value_of(int(self.y[i]))
+
+
+def _merge_sorted(
+    pos_a: np.ndarray,
+    val_a: np.ndarray,
+    pos_b: np.ndarray,
+    val_b: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stable merge of two (positions, ascending values) sort orders.
+
+    Every position in ``pos_a`` must be smaller than every position in
+    ``pos_b`` (the caller offsets the second operand), so putting ``a``
+    elements first on value ties reproduces a stable sort by
+    ``(value, position)`` of the union.
+    """
+    if pos_b.size == 0:
+        return pos_a, val_a
+    if pos_a.size == 0:
+        return pos_b, val_b
+    at = np.searchsorted(val_b, val_a, side="left") + np.arange(pos_a.size)
+    bt = np.searchsorted(val_a, val_b, side="right") + np.arange(pos_b.size)
+    positions = np.empty(pos_a.size + pos_b.size, dtype=np.int64)
+    values = np.empty(positions.size, dtype=np.float64)
+    positions[at] = pos_a
+    positions[bt] = pos_b
+    values[at] = val_a
+    values[bt] = val_b
+    return positions, values
 
 
 def _encode_value(value: object, attribute: Attribute) -> float:

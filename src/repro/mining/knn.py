@@ -72,6 +72,45 @@ class NearestNeighbours:
             # is the right answer: maximally distant.
             return np.sqrt((diff**2).sum(axis=1))
 
+    def distances_many(self, rows: np.ndarray) -> np.ndarray:
+        """Return the ``(len(rows), n)`` all-pairs distance matrix.
+
+        Row ``i`` is bit-identical to ``distances(rows[i])``: the same
+        elementwise encodings, subtractions, and per-pair reductions
+        run over a broadcast ``(m, n, d)`` difference tensor instead of
+        ``m`` Python-level calls.  Intended for moderate ``m`` (SMOTE
+        minority folds); memory is ``m * n * d`` floats.
+        """
+        queries = self._encode(rows)
+        numeric = self._numeric
+        diff = np.empty((queries.shape[0],) + self._encoded.shape)
+        diff[:, :, numeric] = self._encoded[None, :, numeric] - queries[:, None, numeric]
+        nominal = ~numeric
+        if nominal.any():
+            diff[:, :, nominal] = np.where(
+                self._encoded[None, :, nominal] == queries[:, None, nominal], 0.0, 1.0
+            )
+        missing = np.isnan(diff)
+        diff[missing] = 1.0
+        with np.errstate(over="ignore"):
+            return np.sqrt((diff**2).sum(axis=2))
+
+    def neighbour_table(self, k: int) -> list[np.ndarray]:
+        """Self-query every indexed instance at once.
+
+        Entry ``i`` equals ``neighbours(x[i], k, exclude=i)``, so a
+        table built at the largest ``k`` of a sweep can be sliced
+        (``table[i][:smaller_k]``) for every smaller ``k``: per-row
+        ``neighbours`` returns a prefix of one stable full ordering.
+        """
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        distances = self.distances_many(self._dataset.x)
+        np.fill_diagonal(distances, np.inf)
+        counts = np.isfinite(distances).sum(axis=1)
+        order = np.argsort(distances, axis=1, kind="stable")
+        return [order[i, : min(k, int(counts[i]))] for i in range(len(order))]
+
     def neighbours(
         self, row: np.ndarray, k: int, exclude: int | None = None
     ) -> np.ndarray:

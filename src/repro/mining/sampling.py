@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.mining.cache import ContentCache, array_fingerprint, caching_disabled
 from repro.mining.dataset import Dataset
 from repro.mining.knn import NearestNeighbours
 
@@ -42,6 +43,27 @@ __all__ = [
 
 class SamplingError(ValueError):
     """Raised for invalid sampling parameters or degenerate datasets."""
+
+
+# The paper's refinement grid sweeps SMOTE over k in [1, 15] against a
+# fixed training fold, so the minority neighbour lists are computed once
+# at the grid's largest k and *sliced* for every smaller k (per-seed
+# neighbour lists are prefixes of one stable distance ordering; see
+# NearestNeighbours.neighbour_table).  Keyed purely by minority-matrix
+# content, so any two plans sharing a training fold share the table.
+_TABLE_K = 15
+_NEIGHBOUR_TABLES = ContentCache(maxsize=16, name="smote-neighbour-tables")
+
+
+def _minority_neighbour_table(minority: Dataset, k: int) -> list[np.ndarray]:
+    table_k = max(k, _TABLE_K)
+    key = array_fingerprint(minority.x)
+    cached = _NEIGHBOUR_TABLES.get(key)
+    if cached is not None and cached[0] >= table_k:
+        return cached[1]
+    table = NearestNeighbours(minority).neighbour_table(table_k)
+    _NEIGHBOUR_TABLES.put(key, (table_k, table))
+    return table
 
 
 def _split_by_class(dataset: Dataset, positive: int) -> tuple[np.ndarray, np.ndarray]:
@@ -126,40 +148,54 @@ def smote(
         # back to replication, the q=0 special case.
         return oversample_minority(dataset, level, rng, positive)
 
-    index = NearestNeighbours(minority)
+    if caching_disabled():
+        # Pre-reuse reference path: an index queried seed by seed.
+        index = NearestNeighbours(minority)
+        table = None
+    else:
+        table = _minority_neighbour_table(minority, k)
     numeric = np.array([a.is_numeric for a in dataset.attributes])
+    nominal = ~numeric
+    n_nominal = int(np.count_nonzero(nominal))
     r_whole, r_frac = divmod(level / 100.0, 1.0)
 
-    synthetic_rows = []
+    synthetic_chunks = []
+    n_synthetic = 0
     for i in range(len(minority)):
         r = int(r_whole) + (1 if rng.random() < r_frac else 0)
         if r == 0:
             continue
-        neighbours = index.neighbours(minority.x[i], k, exclude=i)
+        if table is None:
+            neighbours = index.neighbours(minority.x[i], k, exclude=i)
+        else:
+            neighbours = table[i][:k]
         if len(neighbours) == 0:
             continue
         choices = rng.choice(neighbours, size=r, replace=True)
         seed = minority.x[i]
-        for neighbour in choices:
-            other = minority.x[neighbour]
-            q = rng.random()
-            row = seed.copy()
-            row[numeric] = seed[numeric] + q * (other[numeric] - seed[numeric])
-            if (~numeric).any():
-                take_other = rng.random((~numeric).sum()) < 0.5
-                nominal_values = np.where(
-                    take_other, other[~numeric], seed[~numeric]
-                )
-                row[~numeric] = nominal_values
-            synthetic_rows.append(row)
+        others = minority.x[choices]
+        # One seed's rows each consumed 1 + n_nominal uniforms in order
+        # (the interpolation q, then the nominal coin vector), with no
+        # other draw interleaved -- and Generator.random fills an array
+        # from the very double stream repeated scalar calls consume, so
+        # one batched draw replays the per-row sequence exactly.
+        draws = rng.random(r * (1 + n_nominal)).reshape(r, 1 + n_nominal)
+        q = draws[:, :1]
+        block = np.repeat(seed[None, :], r, axis=0)
+        block[:, numeric] = seed[numeric] + q * (others[:, numeric] - seed[numeric])
+        if n_nominal:
+            take_other = draws[:, 1:] < 0.5
+            block[:, nominal] = np.where(take_other, others[:, nominal], seed[nominal])
+        synthetic_chunks.append(block)
+        n_synthetic += r
 
-    if not synthetic_rows:
+    if not synthetic_chunks:
         return dataset.copy()
     synthetic = Dataset(
         dataset.attributes,
         dataset.class_attribute,
-        np.asarray(synthetic_rows),
-        np.full(len(synthetic_rows), positive, dtype=np.int64),
+        np.concatenate(synthetic_chunks, axis=0),
+        np.full(n_synthetic, positive, dtype=np.int64),
         name=dataset.name,
     )
     return dataset.concat(synthetic).shuffled(rng)

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.mining.dataset import Attribute
 
-__all__ = ["TreeNode", "DecisionNode", "LeafNode"]
+__all__ = ["TreeNode", "DecisionNode", "LeafNode", "batch_distribution"]
 
 
 @dataclasses.dataclass
@@ -141,3 +141,54 @@ class DecisionNode(TreeNode):
 
     def depth(self) -> int:
         return 1 + max(child.depth() for child in self.children)
+
+
+def batch_distribution(node: TreeNode, x: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Route an index set through the tree level by level.
+
+    Returns one distribution row per entry of ``rows`` (indices into
+    ``x``), bit-identical to descending the tree once per row via
+    :meth:`DecisionNode.branch_of`: known values partition the index
+    set across children, and missing values take the same
+    fraction-weighted blend, accumulated child by child in the same
+    order with the same ``fraction * child`` products.  The result may
+    be a read-only broadcast view; copy before mutating.
+    """
+    n_classes = len(node.class_weights)
+    if isinstance(node, LeafNode):
+        return np.broadcast_to(node.distribution(), (rows.size, n_classes))
+    assert isinstance(node, DecisionNode)
+    column = x[rows, node.attribute_index]
+    missing = np.isnan(column)
+    known = ~missing
+    out = np.empty((rows.size, n_classes))
+    if node.attribute.is_numeric:
+        low = known & (column <= node.threshold)
+        selections = [low, known & ~low]
+    else:
+        # int(value) truncation semantics of the per-row reference,
+        # including Python's negative-index wraparound; values outside
+        # the children list raise exactly as children[int(value)] does.
+        n_children = len(node.children)
+        finite = np.where(known, column, 0.0)
+        if not np.isfinite(finite).all():
+            raise OverflowError("cannot convert float infinity to integer")
+        if (np.abs(finite) >= 2**63).any():
+            raise IndexError("list index out of range")
+        branch = finite.astype(np.int64)
+        if ((branch < -n_children) | (branch >= n_children)).any():
+            raise IndexError("list index out of range")
+        branch[branch < 0] += n_children
+        selections = [known & (branch == value) for value in range(n_children)]
+    for selection, child in zip(selections, node.children):
+        if selection.any():
+            out[selection] = batch_distribution(child, x, rows[selection])
+    if missing.any():
+        fractions = node.branch_fractions()
+        blended = np.zeros((int(np.count_nonzero(missing)), n_classes))
+        missing_rows = rows[missing]
+        for fraction, child in zip(fractions, node.children):
+            if fraction > 0:
+                blended += fraction * batch_distribution(child, x, missing_rows)
+        out[missing] = blended
+    return out
