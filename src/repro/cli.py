@@ -18,6 +18,12 @@ document shape is sniffed per file.
 The expensive half of the pipeline runs through the orchestrator::
 
     repro orchestrate 7Z-A1 --scale smoke --jobs 4 --journal run.jsonl
+
+Traces are recorded, summarized and exported with ``trace``::
+
+    repro trace record 7Z-A1 --jobs 4 --out run-trace.jsonl
+    repro trace summarize run-trace.jsonl
+    repro trace export run-trace.jsonl -o run-trace.chrome.json
 """
 
 from __future__ import annotations
@@ -265,6 +271,57 @@ def _cmd_orchestrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from repro import observability as obs
+    from repro.orchestration.orchestrate import run_dataset
+
+    with obs.tracing_to(args.out):
+        report = run_dataset(
+            args.dataset,
+            scale=args.scale,
+            jobs=args.jobs,
+            journal_path=args.journal,
+            learner=args.learner,
+        )
+    spans = obs.load_trace(args.out)
+    summary = obs.summarize(spans)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {"report": report.to_dict(), "summary": summary.to_dict()},
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"{report.dataset} @ {report.scale} (jobs {report.jobs}): "
+        f"{report.seconds:.2f}s -> {args.out}"
+    )
+    print(obs.render_summary(summary))
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro import observability as obs
+
+    summary = obs.summarize(obs.load_trace(args.trace))
+    if args.format == "json":
+        print(json.dumps(summary.to_dict(), indent=2))
+    else:
+        print(obs.render_summary(summary))
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from repro import observability as obs
+
+    spans = obs.load_trace(args.trace)
+    out = args.out or f"{args.trace}.chrome.json"
+    obs.write_chrome_trace(spans, out)
+    print(f"{len(spans)} span(s) -> {out} (open in about:tracing / Perfetto)")
+    return 0
+
+
 def _add_document_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "paths", nargs="*", help="registry/detector/predicate JSON documents"
@@ -357,6 +414,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
     orchestrate.set_defaults(func=_cmd_orchestrate)
+
+    trace = commands.add_parser(
+        "trace", help="record, summarize and export pipeline traces"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+
+    record = trace_commands.add_parser(
+        "record", help="run an orchestrated dataset with tracing enabled"
+    )
+    record.add_argument("dataset", help='Table II dataset name (e.g. "7Z-A1")')
+    record.add_argument(
+        "--scale", choices=("smoke", "bench", "paper"), default="smoke",
+        help="experiment scale (default: smoke)",
+    )
+    record.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: serial)",
+    )
+    record.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="checkpoint journal; an existing one resumes the run",
+    )
+    record.add_argument(
+        "--learner", default="c45", help="learner name (default: c45)"
+    )
+    record.add_argument(
+        "--out", default="trace.jsonl", metavar="PATH",
+        help="trace journal to write (default: trace.jsonl)",
+    )
+    record.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    record.set_defaults(func=_cmd_trace_record)
+
+    summarize = trace_commands.add_parser(
+        "summarize", help="per-phase totals, self-time, counter rollups"
+    )
+    summarize.add_argument("trace", help="trace journal (JSONL) to summarize")
+    summarize.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    summarize.set_defaults(func=_cmd_trace_summarize)
+
+    export = trace_commands.add_parser(
+        "export", help="convert a trace journal to Chrome trace-event JSON"
+    )
+    export.add_argument("trace", help="trace journal (JSONL) to convert")
+    export.add_argument(
+        "-o", "--out", default=None, metavar="PATH",
+        help="output path (default: <trace>.chrome.json)",
+    )
+    export.set_defaults(func=_cmd_trace_export)
     return parser
 
 

@@ -25,6 +25,7 @@ import dataclasses
 
 import numpy as np
 
+from repro import observability as obs
 from repro.core.detector import Detector
 from repro.core.extraction import ruleset_to_predicate, tree_to_predicate
 from repro.core.predicate import Predicate
@@ -145,7 +146,10 @@ class Methodology:
         campaign sharded in parallel and checkpointed; the result is
         bit-identical to the serial campaign.
         """
-        return Campaign(target, campaign_config).run(pool=pool, journal=journal)
+        with obs.span("phase.campaign", target=target.name):
+            return Campaign(target, campaign_config).run(
+                pool=pool, journal=journal
+            )
 
     # ------------------------------------------------------------------
     # Step 2
@@ -234,26 +238,35 @@ class Methodology:
         processes (``None``/1 keeps the serial path); ``journal``
         checkpoints the trials for resumption.
         """
-        baseline = self.step3_generate(dataset)
-        if (jobs is not None and jobs > 1) or journal is not None:
-            from repro.orchestration.pool import make_pool
+        with obs.span(
+            "methodology.run", dataset=dataset.name, learner=self.config.learner
+        ):
+            with obs.span("phase.baseline"):
+                baseline = self.step3_generate(dataset)
+            with obs.span("phase.refine"):
+                if (jobs is not None and jobs > 1) or journal is not None:
+                    from repro.orchestration.pool import make_pool
 
-            pool = make_pool(jobs)
-            try:
-                refinement = self.step4_refine(
-                    dataset, grid, pool=pool, journal=journal
-                )
-            finally:
-                pool.close()
-        else:
-            refinement = self.step4_refine(dataset, grid)
-        best = refinement.best
-        # The refined candidate must actually beat the baseline to be
-        # adopted; the paper reports the improved model in Table IV.
-        if best.evaluation.mean_auc >= baseline.evaluation.mean_auc:
-            refined = self._final_report(dataset, best.plan, best.evaluation)
-        else:
-            refined = baseline
+                    pool = make_pool(jobs)
+                    try:
+                        refinement = self.step4_refine(
+                            dataset, grid, pool=pool, journal=journal
+                        )
+                    finally:
+                        pool.close()
+                else:
+                    refinement = self.step4_refine(dataset, grid)
+            with obs.span("phase.finalize"):
+                best = refinement.best
+                # The refined candidate must actually beat the baseline
+                # to be adopted; the paper reports the improved model in
+                # Table IV.
+                if best.evaluation.mean_auc >= baseline.evaluation.mean_auc:
+                    refined = self._final_report(
+                        dataset, best.plan, best.evaluation
+                    )
+                else:
+                    refined = baseline
         return MethodologyOutcome(dataset.name, baseline, refined, refinement)
 
     # ------------------------------------------------------------------

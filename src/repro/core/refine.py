@@ -28,6 +28,7 @@ from collections.abc import Callable, Iterator
 
 import numpy as np
 
+from repro import observability as obs
 from repro.core.preprocess import PreprocessingPlan
 from repro.mining.base import Classifier
 from repro.mining.crossval import CrossValidationResult, cross_validate
@@ -181,18 +182,20 @@ def refine(
     # orders from this one set instead of re-sorting per tree.
     dataset.presort()
     trials: list[RefinementTrial] = []
-    for index, plan in enumerate(grid.plans()):
-        rng = np.random.default_rng((seed, index))
-        evaluation = cross_validate(
-            dataset,
-            make_classifier,
-            k=folds,
-            rng=rng,
-            preprocess=plan.apply,
-            complexity=complexity,
-            positive=positive,
-        )
-        trials.append(RefinementTrial(plan, evaluation))
+    with obs.span("refine.sweep", plans=grid.size(), folds=folds):
+        for index, plan in enumerate(grid.plans()):
+            rng = np.random.default_rng((seed, index))
+            with obs.span("refine.trial", index=index, plan=plan.describe()):
+                evaluation = cross_validate(
+                    dataset,
+                    make_classifier,
+                    k=folds,
+                    rng=rng,
+                    preprocess=plan.apply,
+                    complexity=complexity,
+                    positive=positive,
+                )
+            trials.append(RefinementTrial(plan, evaluation))
     if not trials:
         raise ValueError("refinement grid is empty")
     best = max(trials, key=lambda t: t.key)

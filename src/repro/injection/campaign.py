@@ -29,6 +29,7 @@ import math
 import struct
 from collections.abc import Mapping
 
+from repro import observability as obs
 from repro.injection.bitflip import BitFlip, bit_width
 from repro.injection.golden import GoldenRun, capture_golden_run
 from repro.injection.instrument import (
@@ -372,19 +373,28 @@ class Campaign:
 
     def _run_serial(self) -> CampaignResult:
         """The paper's strictly serial experiment loop."""
-        golden_runs = {
-            tc: capture_golden_run(self.target, tc)
-            for tc in self.config.test_cases
-        }
-        records: list[ExperimentRecord] = []
-        for spec in self._targeted_specs():
-            for bit in self._bits_for(spec):
-                flip = BitFlip(spec.name, spec.kind, bit)
-                for injection_time in self.config.injection_times:
-                    for tc in self.config.test_cases:
-                        records.append(
-                            self._run_one(flip, injection_time, tc, golden_runs[tc])
-                        )
+        with obs.span(
+            "campaign.serial", target=self.target.name
+        ) as campaign_span:
+            golden_runs = {
+                tc: capture_golden_run(self.target, tc)
+                for tc in self.config.test_cases
+            }
+            records: list[ExperimentRecord] = []
+            for spec in self._targeted_specs():
+                for bit in self._bits_for(spec):
+                    flip = BitFlip(spec.name, spec.kind, bit)
+                    for injection_time in self.config.injection_times:
+                        for tc in self.config.test_cases:
+                            records.append(
+                                self._run_one(
+                                    flip, injection_time, tc, golden_runs[tc]
+                                )
+                            )
+            campaign_span.count("runs", len(records))
+            campaign_span.count(
+                "failures", sum(1 for r in records if r.failed)
+            )
         return CampaignResult(
             self.target.name,
             self.config,

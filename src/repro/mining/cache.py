@@ -25,6 +25,8 @@ from typing import Any
 
 import numpy as np
 
+from repro import observability as obs
+
 __all__ = [
     "ContentCache",
     "array_fingerprint",
@@ -106,8 +108,12 @@ class ContentCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.hits += 1
+                if obs.enabled():
+                    obs.count(f"cache.{self.name or 'anon'}.hits")
                 return self._entries[key]
             self.misses += 1
+            if obs.enabled():
+                obs.count(f"cache.{self.name or 'anon'}.misses")
             return None
 
     def put(self, key: Any, value: Any) -> None:

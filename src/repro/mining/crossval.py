@@ -25,6 +25,7 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro import observability as obs
 from repro.mining.base import Classifier
 from repro.mining.cache import ContentCache, array_fingerprint
 from repro.mining.dataset import Dataset
@@ -171,32 +172,38 @@ def cross_validate(
         confusion matrices.
     """
     rng = np.random.default_rng(0) if rng is None else rng
-    # Warm the column presort once; the k order-preserving training
-    # subsets below derive their sort orders from it instead of
-    # re-sorting (see Dataset.presort).
-    dataset.presort()
-    fold_indices = stratified_folds(dataset, k, rng)
-    all_indices = np.arange(len(dataset))
-    results: list[FoldResult] = []
-    for fold, test_idx in enumerate(fold_indices):
-        train_mask = np.ones(len(dataset), dtype=bool)
-        train_mask[test_idx] = False
-        train = dataset.subset(all_indices[train_mask])
-        test = dataset.subset(test_idx)
-        if preprocess is not None:
-            train = preprocess(train, np.random.default_rng(rng.integers(2**63)))
-        model = make_classifier().fit(train)
-        predicted = model.predict(test.x) if len(test) else np.empty(0, dtype=int)
-        confusion = ConfusionMatrix.from_predictions(
-            test.y,
-            predicted,
-            dataset.class_attribute.values,
-            weights=test.weights,
-            positive=positive,
-        )
-        if complexity is not None:
-            size = complexity(model)
-        else:
-            size = float(getattr(model, "node_count", 0.0))
-        results.append(FoldResult(fold, confusion, size))
+    with obs.span("crossval", k=k, instances=len(dataset)):
+        # Warm the column presort once; the k order-preserving training
+        # subsets below derive their sort orders from it instead of
+        # re-sorting (see Dataset.presort).
+        dataset.presort()
+        fold_indices = stratified_folds(dataset, k, rng)
+        all_indices = np.arange(len(dataset))
+        results: list[FoldResult] = []
+        for fold, test_idx in enumerate(fold_indices):
+            with obs.span("crossval.fold", fold=fold):
+                train_mask = np.ones(len(dataset), dtype=bool)
+                train_mask[test_idx] = False
+                train = dataset.subset(all_indices[train_mask])
+                test = dataset.subset(test_idx)
+                if preprocess is not None:
+                    train = preprocess(
+                        train, np.random.default_rng(rng.integers(2**63))
+                    )
+                model = make_classifier().fit(train)
+                predicted = (
+                    model.predict(test.x) if len(test) else np.empty(0, dtype=int)
+                )
+                confusion = ConfusionMatrix.from_predictions(
+                    test.y,
+                    predicted,
+                    dataset.class_attribute.values,
+                    weights=test.weights,
+                    positive=positive,
+                )
+                if complexity is not None:
+                    size = complexity(model)
+                else:
+                    size = float(getattr(model, "node_count", 0.0))
+                results.append(FoldResult(fold, confusion, size))
     return CrossValidationResult(results)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import observability as obs
 from repro.mining.cache import ContentCache, array_fingerprint, caching_disabled
 from repro.mining.dataset import Dataset
 from repro.mining.knn import NearestNeighbours
@@ -219,12 +220,13 @@ def apply_sampling(
         return dataset
     if level is None:
         raise SamplingError(f"sampling kind {kind!r} requires a level")
-    if kind == "undersample":
-        return undersample_majority(dataset, level, rng, positive)
-    if kind == "oversample":
-        return oversample_minority(dataset, level, rng, positive)
-    if kind == "smote":
-        if k is None:
-            raise SamplingError("SMOTE requires a neighbour count k")
-        return smote(dataset, level, k, rng, positive)
-    raise SamplingError(f"unknown sampling kind {kind!r}")
+    with obs.span("sampling.apply", kind=kind, level=level):
+        if kind == "undersample":
+            return undersample_majority(dataset, level, rng, positive)
+        if kind == "oversample":
+            return oversample_minority(dataset, level, rng, positive)
+        if kind == "smote":
+            if k is None:
+                raise SamplingError("SMOTE requires a neighbour count k")
+            return smote(dataset, level, k, rng, positive)
+        raise SamplingError(f"unknown sampling kind {kind!r}")

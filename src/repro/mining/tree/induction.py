@@ -28,6 +28,7 @@ import math
 
 import numpy as np
 
+from repro import observability as obs
 from repro.mining.base import Classifier
 from repro.mining.dataset import Attribute, Dataset, _merge_sorted
 from repro.mining.tree.node import (
@@ -114,22 +115,26 @@ class C45DecisionTree(Classifier):
     def fit(self, dataset: Dataset) -> "C45DecisionTree":
         if len(dataset) == 0:
             raise ValueError("cannot fit a decision tree on an empty dataset")
-        self._remember_schema(dataset)
-        self._attributes = dataset.attributes
-        self._n_classes = dataset.n_classes
-        if self.engine == "presort":
-            grower = _PresortedGrower(self, dataset)
-            root = grower.grow(
-                np.arange(len(dataset), dtype=np.int64),
-                dataset.weights,
-                dataset.presort(),
-                depth=0,
-            )
-        else:
-            root = self._grow(dataset.x, dataset.y, dataset.weights, depth=0)
-        if self.prune:
-            root = prune_tree(root, self.confidence_factor)
-        self.root = root
+        with obs.span(
+            "c45.fit", engine=self.engine, instances=len(dataset)
+        ) as fit_span:
+            self._remember_schema(dataset)
+            self._attributes = dataset.attributes
+            self._n_classes = dataset.n_classes
+            if self.engine == "presort":
+                grower = _PresortedGrower(self, dataset)
+                root = grower.grow(
+                    np.arange(len(dataset), dtype=np.int64),
+                    dataset.weights,
+                    dataset.presort(),
+                    depth=0,
+                )
+            else:
+                root = self._grow(dataset.x, dataset.y, dataset.weights, depth=0)
+            if self.prune:
+                root = prune_tree(root, self.confidence_factor)
+            self.root = root
+            fit_span.count("nodes", root.node_count())
         return self
 
     def _class_weights(self, y: np.ndarray, w: np.ndarray) -> np.ndarray:

@@ -1,0 +1,170 @@
+"""Aggregated trace summaries: per-phase totals, self-time, counters.
+
+A raw trace answers "what happened when"; the summary answers the
+cost question directly:
+
+* **per-name aggregation** -- count, total, self-time (total minus the
+  time attributed to direct children), min/max per span name;
+* **phases** -- spans named ``phase.<name>`` are the pipeline's
+  top-level stages (campaign, baseline, refine, ...); the summary
+  reports their totals and what fraction of the root span's wall
+  clock they cover, which is the acceptance check for the
+  instrumentation itself (phases should account for ~all of a run);
+* **counter rollups** -- additive counters (cache hits/misses,
+  detections, records) summed per span name and overall.
+
+Self-time is computed within a process: a worker's spans root at its
+own task span, and the scheduler overhead between a pool's ``run``
+span and its workers' task spans shows up as the pool span's
+self-time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.observability.tracer import SpanRecord
+
+__all__ = ["NameStats", "TraceSummary", "summarize", "render_summary"]
+
+
+@dataclasses.dataclass
+class NameStats:
+    """Aggregate over every span sharing one name."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    self_s: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+    counters: dict = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "self_s": self.self_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+            "mean_s": self.total_s / self.count if self.count else 0.0,
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+
+@dataclasses.dataclass
+class TraceSummary:
+    """The aggregated view of one trace."""
+
+    names: dict[str, NameStats]
+    phases: dict[str, float]
+    counters: dict[str, float]
+    wall_s: float
+    root: str | None
+    span_count: int
+
+    @property
+    def phase_total_s(self) -> float:
+        return sum(self.phases.values())
+
+    @property
+    def phase_coverage(self) -> float:
+        """Fraction of the root span's wall clock the phases explain."""
+        return self.phase_total_s / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "spans": self.span_count,
+            "wall_s": self.wall_s,
+            "root": self.root,
+            "phases": {name: seconds for name, seconds in self.phases.items()},
+            "phase_total_s": self.phase_total_s,
+            "phase_coverage": self.phase_coverage,
+            "counters": dict(sorted(self.counters.items())),
+            "names": {
+                name: stats.to_dict() for name, stats in sorted(self.names.items())
+            },
+        }
+
+
+def summarize(spans: list[SpanRecord]) -> TraceSummary:
+    """Aggregate a list of span records into a :class:`TraceSummary`.
+
+    The *root* is the longest parentless span (an orchestrated run's
+    ``orchestrate.run``/``methodology.run``); its duration is the wall
+    clock the ``phase.*`` totals are compared against.
+    """
+    names: dict[str, NameStats] = {}
+    phases: dict[str, float] = {}
+    counters: dict[str, float] = {}
+    child_time: dict[tuple[int, int], float] = {}
+    for record in spans:
+        if record.parent_id is not None:
+            key = (record.pid, record.parent_id)
+            child_time[key] = child_time.get(key, 0.0) + record.duration_s
+    root: SpanRecord | None = None
+    for record in spans:
+        stats = names.get(record.name)
+        if stats is None:
+            stats = names[record.name] = NameStats(record.name)
+        seconds = record.duration_s
+        stats.count += 1
+        stats.total_s += seconds
+        children = child_time.get((record.pid, record.span_id), 0.0)
+        stats.self_s += max(seconds - children, 0.0)
+        stats.min_s = min(stats.min_s, seconds)
+        stats.max_s = max(stats.max_s, seconds)
+        for name, value in record.counters.items():
+            stats.counters[name] = stats.counters.get(name, 0) + value
+            counters[name] = counters.get(name, 0) + value
+        if record.name.startswith("phase."):
+            phase = record.name[len("phase."):]
+            phases[phase] = phases.get(phase, 0.0) + seconds
+        if record.parent_id is None and (
+            root is None or record.duration_ns > root.duration_ns
+        ):
+            root = record
+    return TraceSummary(
+        names=names,
+        phases=phases,
+        counters=counters,
+        wall_s=root.duration_s if root is not None else 0.0,
+        root=root.name if root is not None else None,
+        span_count=len(spans),
+    )
+
+
+def render_summary(summary: TraceSummary) -> str:
+    """Human-readable summary table (phases, then hottest names)."""
+    lines: list[str] = []
+    lines.append(
+        f"{summary.span_count} span(s); root "
+        f"{summary.root or '(none)'} wall {summary.wall_s:.3f}s"
+    )
+    if summary.phases:
+        lines.append(
+            f"phases ({summary.phase_total_s:.3f}s, "
+            f"{summary.phase_coverage * 100:.1f}% of wall):"
+        )
+        for name, seconds in sorted(
+            summary.phases.items(), key=lambda kv: -kv[1]
+        ):
+            share = seconds / summary.wall_s * 100 if summary.wall_s else 0.0
+            lines.append(f"  {name:<12s} {seconds:>9.3f}s  {share:5.1f}%")
+    lines.append(
+        f"{'span':<24s} {'count':>7s} {'total s':>9s} {'self s':>9s} "
+        f"{'mean ms':>9s} {'max ms':>9s}"
+    )
+    for name, stats in sorted(
+        summary.names.items(), key=lambda kv: -kv[1].self_s
+    ):
+        mean_ms = stats.total_s / stats.count * 1e3 if stats.count else 0.0
+        lines.append(
+            f"{name:<24s} {stats.count:>7d} {stats.total_s:>9.3f} "
+            f"{stats.self_s:>9.3f} {mean_ms:>9.2f} {stats.max_s * 1e3:>9.2f}"
+        )
+    if summary.counters:
+        lines.append("counters:")
+        for name, value in sorted(summary.counters.items()):
+            lines.append(f"  {name:<32s} {value:>12g}")
+    return "\n".join(lines)

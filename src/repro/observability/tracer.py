@@ -1,0 +1,311 @@
+"""Span-based structured tracing for the whole pipeline.
+
+The methodology's cost question -- where does a campaign or a
+refinement sweep actually spend its time? -- is exactly what ZOFI and
+DETOx treat as first-class when judging detector configurations, and
+answering it needs more than the runtime's latency histograms.  This
+module is the measurement substrate:
+
+* a **span** is one timed region of work (a refinement trial, a CV
+  fold, an engine micro-batch) with a name, monotonic start/duration,
+  free-form attributes and additive counters;
+* spans **nest**: a thread-local stack links each span to its parent,
+  so a trace is a forest of per-process trees (a worker's spans root
+  at its task span);
+* the **active tracer** is process-global.  The default is a shared
+  :data:`NULL_TRACER` whose spans are a single reusable no-op object,
+  so instrumented code pays one call and no allocation when tracing is
+  off -- near-zero cost, and *bit-identical results either way* is
+  part of the contract (tracing only reads clocks; it never touches an
+  RNG or a result value).
+
+Clocks: durations come from :func:`time.perf_counter_ns` (monotonic);
+span starts are anchored to :func:`time.time_ns` captured once per
+tracer, so traces from different processes land on one comparable
+timeline while staying monotonic within a process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "SpanRecord",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "span",
+    "count",
+    "enabled",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class SpanRecord:
+    """One completed span, ready for export.
+
+    ``start_ns`` is wall-anchored (epoch nanoseconds derived from the
+    tracer's monotonic anchor); ``duration_ns`` is purely monotonic.
+    ``span_id`` is unique within ``pid``, so ``(pid, span_id)`` names a
+    span globally and ``(pid, parent_id)`` its parent.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    pid: int
+    tid: int
+    start_ns: int
+    duration_ns: int
+    attributes: dict
+    counters: dict
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_ns / 1e9
+
+    def to_dict(self) -> dict:
+        return {
+            "k": "span",
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "pid": self.pid,
+            "tid": self.tid,
+            "start": self.start_ns,
+            "dur": self.duration_ns,
+            "attrs": self.attributes,
+            "counters": self.counters,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpanRecord":
+        return cls(
+            name=str(payload["name"]),
+            span_id=int(payload["id"]),
+            parent_id=(
+                int(payload["parent"]) if payload.get("parent") is not None else None
+            ),
+            pid=int(payload["pid"]),
+            tid=int(payload["tid"]),
+            start_ns=int(payload["start"]),
+            duration_ns=int(payload["dur"]),
+            attributes=dict(payload.get("attrs") or {}),
+            counters=dict(payload.get("counters") or {}),
+        )
+
+
+def _sanitize(value: object) -> object:
+    """Clamp an attribute value to something JSON-serialisable."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # Journals are written with allow_nan=False; non-finite floats
+        # become their repr rather than poisoning the whole line.
+        return value if math.isfinite(value) else repr(value)
+    return str(value)
+
+
+class Span:
+    """A live (open) span; use as a context manager."""
+
+    __slots__ = (
+        "name", "attributes", "counters", "span_id", "parent_id",
+        "_tracer", "_start_perf", "record",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.counters: dict[str, float] = {}
+        self.span_id = next(tracer._ids)
+        self.parent_id: int | None = None
+        self._tracer = tracer
+        self._start_perf = 0
+        self.record: SpanRecord | None = None
+
+    def set(self, key: str, value: object) -> None:
+        """Attach one attribute to the span."""
+        self.attributes[key] = _sanitize(value)
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to one of the span's additive counters."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def __enter__(self) -> "Span":
+        stack = self._tracer._stack()
+        if stack:
+            self.parent_id = stack[-1].span_id
+        stack.append(self)
+        self._start_perf = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        duration = time.perf_counter_ns() - self._start_perf
+        tracer = self._tracer
+        stack = tracer._stack()
+        # Tolerate exotic exits (generators finalised out of order):
+        # drop everything above this span rather than corrupting parents.
+        while stack and stack[-1] is not self:
+            stack.pop()
+        if stack:
+            stack.pop()
+        self.record = SpanRecord(
+            name=self.name,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            pid=tracer.pid,
+            tid=threading.get_native_id(),
+            start_ns=tracer._time_anchor + (self._start_perf - tracer._perf_anchor),
+            duration_ns=duration,
+            attributes=self.attributes,
+            counters=self.counters,
+        )
+        tracer._finish(self.record)
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is off."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+    def count(self, name: str, value: float = 1) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default tracer: every operation is a near-free no-op."""
+
+    __slots__ = ()
+
+    pid = -1
+    worker_spec = None
+
+    def span(self, name: str, **attributes) -> _NullSpan:
+        return _NULL_SPAN
+
+    def count(self, name: str, value: float = 1) -> None:
+        pass
+
+    def current(self) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """A recording tracer: spans buffer in memory or stream to a sink.
+
+    ``sink`` is called with each completed :class:`SpanRecord`; when
+    omitted, records accumulate on :attr:`spans` (the in-memory form
+    tests and the overhead benchmark use).  ``worker_spec`` advertises
+    where worker processes should write their shard-local traces (see
+    :func:`repro.observability.context.export_spec`).
+    """
+
+    def __init__(self, sink=None, worker_spec=None) -> None:
+        self.spans: list[SpanRecord] = []
+        self.counters: dict[str, float] = {}
+        self.sink = sink
+        self.worker_spec = worker_spec
+        self.pid = os.getpid()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._time_anchor = time.time_ns()
+        self._perf_anchor = time.perf_counter_ns()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attributes) -> Span:
+        return Span(self, name, {k: _sanitize(v) for k, v in attributes.items()})
+
+    def current(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add to the innermost open span's counters, else the tracer's."""
+        current = self.current()
+        if current is not None:
+            current.count(name, value)
+        else:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def _finish(self, record: SpanRecord) -> None:
+        if self.sink is not None:
+            self.sink(record)
+        else:
+            self.spans.append(record)
+
+
+# ----------------------------------------------------------------------
+# The process-global active tracer
+# ----------------------------------------------------------------------
+_active: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process's active tracer (the shared no-op by default)."""
+    return _active
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer | NullTracer:
+    """Install ``tracer`` (``None`` restores the no-op); returns the old one."""
+    global _active
+    previous = _active
+    _active = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+def span(name: str, **attributes):
+    """Open a span on the active tracer (no-op while tracing is off)."""
+    return _active.span(name, **attributes)
+
+
+def count(name: str, value: float = 1) -> None:
+    """Bump a counter on the active tracer's innermost open span."""
+    _active.count(name, value)
+
+
+def enabled() -> bool:
+    """Whether a recording tracer is active in this process."""
+    return _active is not NULL_TRACER
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None):
+    """Activate an in-memory tracer for the duration of the block."""
+    tracer = tracer if tracer is not None else Tracer()
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        global _active
+        _active = previous

@@ -25,6 +25,7 @@ fault.
 
 from __future__ import annotations
 
+from repro import observability as obs
 from repro.injection.bitflip import BitFlip
 from repro.injection.campaign import Campaign, CampaignResult, ExperimentRecord
 from repro.injection.golden import GoldenRun, capture_golden_run
@@ -59,13 +60,16 @@ def _execute_shard(
 ) -> list[ExperimentRecord]:
     """Worker body: the serial inner loops for one shard's pairs."""
     records: list[ExperimentRecord] = []
-    for name, kind, bit in pairs:
-        flip = BitFlip(name, kind, bit)
-        for injection_time in campaign.config.injection_times:
-            for tc in campaign.config.test_cases:
-                records.append(
-                    campaign._run_one(flip, injection_time, tc, golden_runs[tc])
-                )
+    with obs.span("campaign.shard", pairs=len(pairs)) as shard_span:
+        for name, kind, bit in pairs:
+            flip = BitFlip(name, kind, bit)
+            for injection_time in campaign.config.injection_times:
+                for tc in campaign.config.test_cases:
+                    records.append(
+                        campaign._run_one(flip, injection_time, tc, golden_runs[tc])
+                    )
+        shard_span.count("runs", len(records))
+        shard_span.count("failures", sum(1 for r in records if r.failed))
     return records
 
 
@@ -110,11 +114,12 @@ def run_campaign(
     if pool is None:
         pool = SerialPool()
     config = campaign.config
-    golden_runs = {
-        tc: capture_golden_run(campaign.target, tc)
-        for tc in config.test_cases
-    }
-    shards = plan_shards(campaign, shard_size)
+    with obs.span("campaign.plan", target=campaign.target.name):
+        golden_runs = {
+            tc: capture_golden_run(campaign.target, tc)
+            for tc in config.test_cases
+        }
+        shards = plan_shards(campaign, shard_size)
     base = {
         "schema": 1,
         "target": campaign.target.name,
@@ -146,15 +151,19 @@ def run_campaign(
     records: list[ExperimentRecord] = []
     quarantined: list[str] = []
     cached = 0
-    for task, pairs in zip(tasks, shards):
-        outcome = outcomes[task.task_id]
-        if outcome.status == "quarantined":
-            quarantined.append(task.task_id)
-            records.extend(_crash_records(campaign, pairs))
-        else:
-            if outcome.status == "cached":
-                cached += 1
-            records.extend(outcome.result)
+    with obs.span("campaign.merge", shards=len(shards)) as merge_span:
+        for task, pairs in zip(tasks, shards):
+            outcome = outcomes[task.task_id]
+            if outcome.status == "quarantined":
+                quarantined.append(task.task_id)
+                records.extend(_crash_records(campaign, pairs))
+            else:
+                if outcome.status == "cached":
+                    cached += 1
+                records.extend(outcome.result)
+        merge_span.count("records", len(records))
+        merge_span.count("cached_shards", cached)
+        merge_span.count("quarantined_shards", len(quarantined))
     result = CampaignResult(
         campaign.target.name,
         config,

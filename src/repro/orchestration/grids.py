@@ -26,6 +26,7 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro import observability as obs
 from repro.core.refine import (
     RefinementGrid,
     RefinementResult,
@@ -127,22 +128,23 @@ def _evaluate_plan(
     positive: int,
 ) -> CrossValidationResult:
     """Worker body: one trial, with the serial loop's exact RNG."""
-    fingerprint = dataset_fingerprint(dataset)
-    presort = _WORKER_PRESORTS.get(fingerprint)
-    if presort is not None:
-        dataset._presort = presort
-    else:
-        _WORKER_PRESORTS.put(fingerprint, dataset.presort())
-    rng = np.random.default_rng((seed, index))
-    return cross_validate(
-        dataset,
-        make_classifier,
-        k=folds,
-        rng=rng,
-        preprocess=plan.apply,
-        complexity=complexity,
-        positive=positive,
-    )
+    with obs.span("refine.trial", index=index, plan=plan.describe()):
+        fingerprint = dataset_fingerprint(dataset)
+        presort = _WORKER_PRESORTS.get(fingerprint)
+        if presort is not None:
+            dataset._presort = presort
+        else:
+            _WORKER_PRESORTS.put(fingerprint, dataset.presort())
+        rng = np.random.default_rng((seed, index))
+        return cross_validate(
+            dataset,
+            make_classifier,
+            k=folds,
+            rng=rng,
+            preprocess=plan.apply,
+            complexity=complexity,
+            positive=positive,
+        )
 
 
 def run_refinement(

@@ -26,6 +26,7 @@ import time
 
 import numpy as np
 
+from repro import observability as obs
 from repro.orchestration.grids import run_refinement
 from repro.orchestration.journal import Journal
 from repro.orchestration.pool import WorkerPool, make_pool
@@ -92,31 +93,37 @@ def run_dataset(
         pool = make_pool(jobs, metrics=metrics)
     started = time.perf_counter()
     try:
-        target = build_target(spec.target, scale_obj)
-        config = campaign_config(spec, scale_obj)
-        result = Campaign(target, config).run(pool=pool, journal=journal)
-        dataset = result.to_dataset(name)
+        with obs.span(
+            "orchestrate.run", dataset=name, scale=scale_obj.name, jobs=pool.jobs
+        ):
+            with obs.span("phase.campaign", target=spec.target):
+                target = build_target(spec.target, scale_obj)
+                config = campaign_config(spec, scale_obj)
+                result = Campaign(target, config).run(pool=pool, journal=journal)
+                dataset = result.to_dataset(name)
 
-        factory = LearnerFactory(learner)
-        plan = default_plan_for(learner)
-        baseline = cross_validate(
-            dataset,
-            factory,
-            k=scale_obj.folds,
-            rng=np.random.default_rng((scale_obj.seed, 0)),
-            preprocess=plan.apply,
-            complexity=model_complexity,
-        )
-        refined = run_refinement(
-            dataset,
-            factory,
-            scale_obj.grid,
-            folds=scale_obj.folds,
-            seed=scale_obj.seed,
-            complexity=model_complexity,
-            pool=pool,
-            journal=journal,
-        )
+            factory = LearnerFactory(learner)
+            plan = default_plan_for(learner)
+            with obs.span("phase.baseline", learner=learner):
+                baseline = cross_validate(
+                    dataset,
+                    factory,
+                    k=scale_obj.folds,
+                    rng=np.random.default_rng((scale_obj.seed, 0)),
+                    preprocess=plan.apply,
+                    complexity=model_complexity,
+                )
+            with obs.span("phase.refine", plans=scale_obj.grid.size()):
+                refined = run_refinement(
+                    dataset,
+                    factory,
+                    scale_obj.grid,
+                    folds=scale_obj.folds,
+                    seed=scale_obj.seed,
+                    complexity=model_complexity,
+                    pool=pool,
+                    journal=journal,
+                )
     finally:
         if owns_pool:
             pool.close()

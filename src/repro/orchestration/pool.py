@@ -41,6 +41,7 @@ from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 
+from repro import observability as obs
 from repro.orchestration.tasks import Task
 from repro.runtime.metrics import RuntimeMetrics
 
@@ -79,10 +80,27 @@ class TaskOutcome:
         return self.status in ("done", "cached")
 
 
-def _invoke(fn: Callable, args: tuple) -> tuple[float, object]:
-    """Worker-side shim: run the task and time it where it ran."""
+def _invoke(
+    fn: Callable,
+    args: tuple,
+    task_id: str | None = None,
+    trace=None,
+) -> tuple[float, object]:
+    """Worker-side shim: run the task and time it where it ran.
+
+    ``trace`` (a :class:`repro.observability.TraceSpec`, shipped by
+    the submitting pool when tracing is active) makes the worker
+    journal its spans to a shard-local file; each task runs under an
+    ``orchestration.task`` span either way, which is a no-op while
+    tracing is off.
+    """
+    obs.ensure_worker(trace)
     started = time.perf_counter()
-    result = fn(*args)
+    if task_id is None:
+        result = fn(*args)
+    else:
+        with obs.span("orchestration.task", task=task_id):
+            result = fn(*args)
     return time.perf_counter() - started, result
 
 
@@ -149,36 +167,39 @@ class SerialPool(WorkerPool):
         on_result: Callable[[Task, TaskOutcome], None] | None = None,
     ) -> dict[str, TaskOutcome]:
         outcomes: dict[str, TaskOutcome] = {}
-        for task in tasks:
-            attempts = 0
-            while True:
-                attempts += 1
-                try:
-                    seconds, result = _invoke(task.fn, task.args)
-                except Exception as exc:  # noqa: BLE001 -- isolation boundary
-                    self._record_fault(task)
-                    if attempts > self.max_retries:
+        with obs.span("pool.run", kind="serial", jobs=1, tasks=len(tasks)):
+            for task in tasks:
+                attempts = 0
+                while True:
+                    attempts += 1
+                    try:
+                        seconds, result = _invoke(
+                            task.fn, task.args, task.task_id
+                        )
+                    except Exception as exc:  # noqa: BLE001 -- isolation boundary
+                        self._record_fault(task)
+                        if attempts > self.max_retries:
+                            outcome = TaskOutcome(
+                                task_id=task.task_id,
+                                status="quarantined",
+                                error=f"{type(exc).__name__}: {exc}",
+                                attempts=attempts,
+                            )
+                            break
+                        self._sleep(attempts)
+                    else:
+                        self._record_done(task, seconds)
                         outcome = TaskOutcome(
                             task_id=task.task_id,
-                            status="quarantined",
-                            error=f"{type(exc).__name__}: {exc}",
+                            status="done",
+                            result=result,
                             attempts=attempts,
+                            seconds=seconds,
                         )
                         break
-                    self._sleep(attempts)
-                else:
-                    self._record_done(task, seconds)
-                    outcome = TaskOutcome(
-                        task_id=task.task_id,
-                        status="done",
-                        result=result,
-                        attempts=attempts,
-                        seconds=seconds,
-                    )
-                    break
-            outcomes[task.task_id] = outcome
-            if on_result is not None:
-                on_result(task, outcome)
+                outcomes[task.task_id] = outcome
+                if on_result is not None:
+                    on_result(task, outcome)
         return outcomes
 
 
@@ -254,8 +275,11 @@ class ProcessPool(WorkerPool):
             """
             nonlocal rebuilds
             executor = self._ensure_executor()
+            trace = obs.export_spec()
             futures = {
-                executor.submit(_invoke, task.fn, task.args): task
+                executor.submit(
+                    _invoke, task.fn, task.args, task.task_id, trace
+                ): task
                 for task in batch
             }
             broken = False
@@ -303,19 +327,23 @@ class ProcessPool(WorkerPool):
                 self._sleep(rebuilds)
             return broken
 
-        while pending:
-            batch = [task for task in tasks if task.task_id in pending]
-            broken = run_wave(batch)
-            if broken and len(batch) > 1:
-                # Isolation pass: rerun the survivors one at a time so
-                # the task that keeps killing its worker accumulates
-                # failures (and is eventually quarantined) while the
-                # innocent majority completes.
-                for task in [t for t in tasks if t.task_id in pending]:
-                    run_wave([task])
-            elif not broken and pending:
-                # Plain task failures: back off before the retry wave.
-                self._sleep(max(failures[tid] for tid in pending))
+        with obs.span(
+            "pool.run", kind="process", jobs=self.jobs, tasks=len(tasks)
+        ) as pool_span:
+            while pending:
+                batch = [task for task in tasks if task.task_id in pending]
+                broken = run_wave(batch)
+                if broken and len(batch) > 1:
+                    # Isolation pass: rerun the survivors one at a time so
+                    # the task that keeps killing its worker accumulates
+                    # failures (and is eventually quarantined) while the
+                    # innocent majority completes.
+                    for task in [t for t in tasks if t.task_id in pending]:
+                        run_wave([task])
+                elif not broken and pending:
+                    # Plain task failures: back off before the retry wave.
+                    self._sleep(max(failures[tid] for tid in pending))
+            pool_span.count("rebuilds", rebuilds)
         # Collate in task order, never completion order.
         return {task.task_id: outcomes[task.task_id] for task in tasks}
 

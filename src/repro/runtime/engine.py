@@ -33,6 +33,7 @@ from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from repro import observability as obs
 from repro.core.detector import Detector
 from repro.runtime.compile import CompiledPredicate, compile_predicate
 from repro.runtime.metrics import RuntimeMetrics
@@ -188,49 +189,57 @@ class StreamingEngine:
         self._batches += 1
         batch_id = self._batches
         served = [s for s in self._served.values() if s.enabled]
-        variables: set[str] = set()
-        for entry in served:
-            variables |= entry.compiled.lowered.variables()
-        index = build_index(variables)
-        x = pack_states(states, index)
-        n = len(states)
-        flags: dict[str, np.ndarray] = {}
-        faults: list[DetectorFault] = []
-        for entry in served:
-            stats = self.metrics.stats_for(entry.name)
-            started = time.perf_counter()
-            try:
-                flagged = np.asarray(
-                    entry.compiled.evaluate_rows(x, index), dtype=bool
-                )
-                if flagged.shape != (n,):
-                    raise ValueError(
-                        f"detection vector has shape {flagged.shape}, "
-                        f"expected ({n},)"
+        with obs.span(
+            "engine.batch",
+            batch=batch_id,
+            size=len(states),
+            detectors=len(served),
+        ) as batch_span:
+            variables: set[str] = set()
+            for entry in served:
+                variables |= entry.compiled.lowered.variables()
+            index = build_index(variables)
+            x = pack_states(states, index)
+            n = len(states)
+            flags: dict[str, np.ndarray] = {}
+            faults: list[DetectorFault] = []
+            for entry in served:
+                stats = self.metrics.stats_for(entry.name)
+                started = time.perf_counter()
+                try:
+                    flagged = np.asarray(
+                        entry.compiled.evaluate_rows(x, index), dtype=bool
                     )
-            except Exception as exc:  # noqa: BLE001 -- isolation boundary
-                flagged = np.zeros(n, dtype=bool)
-                entry.faults += 1
-                stats.record_fault()
-                faults.append(
-                    DetectorFault(
-                        detector=entry.name,
-                        batch=batch_id,
-                        error=f"{type(exc).__name__}: {exc}",
+                    if flagged.shape != (n,):
+                        raise ValueError(
+                            f"detection vector has shape {flagged.shape}, "
+                            f"expected ({n},)"
+                        )
+                except Exception as exc:  # noqa: BLE001 -- isolation boundary
+                    flagged = np.zeros(n, dtype=bool)
+                    entry.faults += 1
+                    stats.record_fault()
+                    faults.append(
+                        DetectorFault(
+                            detector=entry.name,
+                            batch=batch_id,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
                     )
-                )
-                if (
-                    self.max_faults is not None
-                    and entry.faults >= self.max_faults
-                ):
-                    entry.enabled = False
-            else:
-                elapsed = time.perf_counter() - started
-                detections = int(flagged.sum())
-                stats.record_batch(n, detections, elapsed)
-                entry.detector.evaluations += n
-                entry.detector.detections += detections
-            flags[entry.name] = flagged
+                    if (
+                        self.max_faults is not None
+                        and entry.faults >= self.max_faults
+                    ):
+                        entry.enabled = False
+                else:
+                    elapsed = time.perf_counter() - started
+                    detections = int(flagged.sum())
+                    stats.record_batch(n, detections, elapsed)
+                    entry.detector.evaluations += n
+                    entry.detector.detections += detections
+                flags[entry.name] = flagged
+            batch_span.count("detections", sum(int(f.sum()) for f in flags.values()))
+            batch_span.count("faults", len(faults))
         return BatchResult(
             batch=batch_id, size=n, flags=flags, faults=tuple(faults)
         )

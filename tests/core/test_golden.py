@@ -1,0 +1,102 @@
+"""Fixed-seed golden run: the exact winning detector, forever.
+
+``Methodology.run`` is deterministic for a fixed (dataset, grid, seed)
+triple -- every trial derives its RNG from ``(seed, index)`` and fold
+partitions from the call-site generator state.  This test pins the
+*exact* serialized output of one tiny run: the winning predicate's
+source, the refined plan, the per-table summaries and the full trial
+ranking.  Any change to induction, sampling, cross-validation, RNG
+derivation, or tie-breaking shows up here as a value diff rather than
+as a silent drift -- if a change is intentional, regenerate the
+constants and say so in the commit.
+"""
+
+from repro.core.methodology import Methodology, MethodologyConfig
+from repro.core.refine import RefinementGrid
+
+from tests.conftest import make_separable
+
+GOLDEN_PREDICATE = (
+    "(state.get('v1', float('nan')) > 0.6579889483987437 and "
+    "state.get('v2', float('nan')) <= -0.21299707515979807 and "
+    "state.get('v1', float('nan')) <= 0.9927486681638309 and "
+    "state.get('v2', float('nan')) > -0.677553017608134) or "
+    "(state.get('v1', float('nan')) > 0.9927486681638309 and "
+    "state.get('v2', float('nan')) <= 0.3347755173273096 and "
+    "state.get('v1', float('nan')) <= 1.1281067498444624 and "
+    "state.get('v2', float('nan')) > -0.677553017608134) or "
+    "(state.get('v1', float('nan')) > 0.6579889483987437 and "
+    "state.get('v2', float('nan')) <= 1.5577413973969314 and "
+    "state.get('v1', float('nan')) <= 1.1281067498444624 and "
+    "state.get('v2', float('nan')) > 0.3347755173273096) or "
+    "(state.get('v1', float('nan')) > 1.1281067498444624 and "
+    "state.get('v2', float('nan')) <= -0.3256041373615955) or "
+    "(state.get('v1', float('nan')) > 1.1281067498444624 and "
+    "state.get('v2', float('nan')) <= 1.5577413973969314 and "
+    "state.get('v2', float('nan')) > -0.3256041373615955 and "
+    "state.get('v1', float('nan')) <= 1.2608848182300478) or "
+    "(state.get('v1', float('nan')) > 1.2608848182300478 and "
+    "state.get('v2', float('nan')) <= 0.22130408054447087 and "
+    "state.get('v2', float('nan')) > -0.3256041373615955)"
+)
+
+GOLDEN_BASELINE = {
+    "fpr": 0.06604506604506605,
+    "tpr": 0.3,
+    "auc": 0.6169774669774669,
+    "comp": 12.333333333333334,
+    "var": 0.0035436155832426278,
+}
+
+GOLDEN_REFINED = {
+    "fpr": 0.07132867132867134,
+    "tpr": 0.38888888888888884,
+    "auc": 0.6587801087801087,
+    "comp": 7.0,
+    "var": 0.0014855415671266483,
+}
+
+GOLDEN_RANKING = [
+    ("60(U)", (0.6587801087801087, 0.38888888888888884, -7.0)),
+    ("200(O) N=3", (0.642024642024642, 0.5285714285714286, -52.333333333333336)),
+    ("200(O)", (0.6179098679098679, 0.38888888888888884, -47.0)),
+    ("25(U)", (0.5320290820290821, 0.3904761904761904, -21.0)),
+]
+
+
+def _golden_run():
+    dataset = make_separable(n=240, seed=42, noise=0.12)
+    grid = RefinementGrid(
+        undersample_levels=(25.0, 60.0),
+        oversample_levels=(200.0,),
+        neighbour_counts=(3,),
+    )
+    return Methodology(MethodologyConfig(folds=3, seed=5)).run(dataset, grid)
+
+
+class TestGoldenRun:
+    def test_exact_outcome(self):
+        outcome = _golden_run()
+        assert outcome.improved
+        assert outcome.refined.plan.describe() == "60(U)"
+        assert outcome.refined.predicate.to_source("state") == GOLDEN_PREDICATE
+        assert outcome.baseline.summary() == GOLDEN_BASELINE
+        assert outcome.refined.summary() == GOLDEN_REFINED
+
+    def test_exact_trial_ranking(self):
+        outcome = _golden_run()
+        ranking = [
+            (trial.plan.describe(), trial.key)
+            for trial in outcome.refinement.ranked()
+        ]
+        assert ranking == GOLDEN_RANKING
+
+    def test_stable_across_repeated_runs(self):
+        first, second = _golden_run(), _golden_run()
+        assert (
+            first.refined.predicate.to_source("state")
+            == second.refined.predicate.to_source("state")
+        )
+        assert [t.key for t in first.refinement.trials] == [
+            t.key for t in second.refinement.trials
+        ]

@@ -1,0 +1,140 @@
+"""Process-safe activation: tracing_to, TraceSpec, ensure_worker.
+
+The worker-side paths normally execute inside pool processes (where
+the traced-orchestrate acceptance test exercises them end to end);
+here they run in-process so their behaviour -- fork-inherited tracer
+dropped, shard tracer installed idempotently -- is asserted directly.
+"""
+
+import os
+
+from repro import observability as obs
+from repro.observability.journal import TraceJournal
+
+
+class TestExportSpec:
+    def test_none_by_default(self):
+        assert obs.export_spec() is None
+
+    def test_none_for_in_memory_tracing(self):
+        with obs.tracing():
+            assert obs.export_spec() is None
+
+    def test_advertised_by_tracing_to(self, tmp_path):
+        with obs.tracing_to(tmp_path / "t.jsonl") as tracer:
+            spec = obs.export_spec()
+            assert spec == tracer.worker_spec
+            assert spec.directory == str(tmp_path / "t.jsonl.workers")
+
+    def test_workers_false_disables_worker_tracing(self, tmp_path):
+        with obs.tracing_to(tmp_path / "t.jsonl", workers=False):
+            assert obs.export_spec() is None
+
+
+class TestEnsureWorker:
+    def test_no_spec_no_tracer_is_noop(self):
+        obs.ensure_worker(None)
+        assert obs.get_tracer() is obs.NULL_TRACER
+
+    def test_no_spec_keeps_own_process_tracer(self):
+        with obs.tracing() as tracer:
+            obs.ensure_worker(None)
+            assert obs.get_tracer() is tracer
+
+    def test_no_spec_drops_fork_inherited_tracer(self):
+        # Simulate fork inheritance: a recording tracer whose pid is
+        # not this process's.
+        tracer = obs.Tracer()
+        tracer.pid = os.getpid() + 1
+        previous = obs.set_tracer(tracer)
+        try:
+            obs.ensure_worker(None)
+            assert obs.get_tracer() is obs.NULL_TRACER
+        finally:
+            obs.set_tracer(previous if previous is not obs.NULL_TRACER else None)
+
+    def test_spec_installs_shard_tracer_idempotently(self, tmp_path):
+        spec = obs.TraceSpec(str(tmp_path))
+        previous = obs.get_tracer()
+        try:
+            obs.ensure_worker(spec)
+            installed = obs.get_tracer()
+            assert installed is not obs.NULL_TRACER
+            obs.ensure_worker(spec)  # second call: same tracer
+            assert obs.get_tracer() is installed
+        finally:
+            obs.set_tracer(previous if previous is not obs.NULL_TRACER else None)
+        shard = TraceJournal(tmp_path / f"worker-{os.getpid()}.jsonl")
+        spans, metas, _ = shard.load()
+        # Exactly one lifecycle marker and one worker meta despite the
+        # double ensure.
+        assert [record.name for record in spans] == ["worker.start"]
+        assert [m["role"] for m in metas.values()] == ["worker"]
+
+    def test_spec_replaces_fork_inherited_tracer(self, tmp_path):
+        inherited = obs.Tracer()
+        inherited.pid = os.getpid() + 1
+        previous = obs.set_tracer(inherited)
+        try:
+            obs.ensure_worker(obs.TraceSpec(str(tmp_path)))
+            assert obs.get_tracer() is not inherited
+            assert obs.get_tracer().pid == os.getpid()
+        finally:
+            obs.set_tracer(previous if previous is not obs.NULL_TRACER else None)
+
+    def test_spec_is_picklable(self, tmp_path):
+        import pickle
+
+        spec = obs.TraceSpec(str(tmp_path))
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestTracingTo:
+    def test_spans_journal_as_they_complete(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with obs.tracing_to(path):
+            with obs.span("first"):
+                pass
+            # Already durable before the block exits.
+            assert [s.name for s in TraceJournal(path).load()[0]] == ["first"]
+
+    def test_tracer_level_counters_flushed_on_exit(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with obs.tracing_to(path):
+            obs.count("loose", 4)
+        _, _, counters = TraceJournal(path).load()
+        assert counters == {"loose": 4}
+
+    def test_previous_tracer_restored(self, tmp_path):
+        with obs.tracing() as outer:
+            with obs.tracing_to(tmp_path / "t.jsonl"):
+                assert obs.get_tracer() is not outer
+            assert obs.get_tracer() is outer
+        assert obs.get_tracer() is obs.NULL_TRACER
+
+    def test_worker_directory_merged_and_removed(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with obs.tracing_to(path) as tracer:
+            workers = tracer.worker_spec.directory
+            # Simulate one worker shard written during the block.
+            shard = TraceJournal(
+                os.path.join(workers, "worker-9999.jsonl")
+            )
+            shard.append_meta(role="worker", pid=9999)
+            shard.append_span(
+                obs.SpanRecord(
+                    name="orchestration.task",
+                    span_id=1,
+                    parent_id=None,
+                    pid=9999,
+                    tid=1,
+                    start_ns=0,
+                    duration_ns=1,
+                    attributes={},
+                    counters={},
+                )
+            )
+        assert not os.path.exists(workers)
+        spans, metas, _ = TraceJournal(path).load()
+        assert {record.pid for record in spans} == {9999}
+        assert {m["role"] for m in metas.values()} == {"main", "worker"}

@@ -1,0 +1,97 @@
+"""The CI coverage-floor gate, tested against synthetic reports.
+
+pytest-cov only runs in CI (it is a dev extra, not a runtime
+dependency), so the gate's logic is verified here against hand-built
+coverage.py JSON documents.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parents[2] / "tools")
+)
+from check_coverage_floor import aggregate, main  # noqa: E402
+
+
+def _report(files):
+    return {
+        "files": {
+            name: {
+                "summary": {
+                    "covered_lines": covered,
+                    "num_statements": statements,
+                }
+            }
+            for name, (covered, statements) in files.items()
+        }
+    }
+
+
+REPORT = _report(
+    {
+        "src/repro/observability/tracer.py": (90, 100),
+        "src/repro/observability/journal.py": (95, 100),
+        "src/repro/mining/cache.py": (10, 100),  # outside the prefix
+    }
+)
+
+
+class TestAggregate:
+    def test_only_prefix_files_counted(self):
+        percent, statements, matched = aggregate(
+            REPORT, "src/repro/observability/"
+        )
+        assert percent == 92.5
+        assert statements == 200
+        assert matched == [
+            "src/repro/observability/journal.py",
+            "src/repro/observability/tracer.py",
+        ]
+
+    def test_prefix_matches_path_components_not_substrings(self):
+        report = _report({"src/repro/observability2/x.py": (1, 1)})
+        _, _, matched = aggregate(report, "src/repro/observability/")
+        assert matched == []
+
+    def test_windows_separators_normalised(self):
+        report = _report({"src\\repro\\observability\\tracer.py": (1, 2)})
+        percent, _, matched = aggregate(report, "src/repro/observability/")
+        assert matched and percent == 50.0
+
+    def test_invalid_report_raises(self):
+        with pytest.raises(ValueError, match="coverage.py"):
+            aggregate({"totals": {}}, "src/")
+
+
+class TestMain:
+    def _write(self, tmp_path, report):
+        path = tmp_path / "coverage.json"
+        path.write_text(json.dumps(report))
+        return str(path)
+
+    def test_passes_at_or_above_floor(self, tmp_path, capsys):
+        path = self._write(tmp_path, REPORT)
+        assert main([path, "--floor", "92.5"]) == 0
+        assert "92.5%" in capsys.readouterr().out
+
+    def test_fails_below_floor(self, tmp_path, capsys):
+        path = self._write(tmp_path, REPORT)
+        assert main([path, "--floor", "95"]) == 1
+        assert "below the ratcheted floor" in capsys.readouterr().err
+
+    def test_no_matching_files_is_an_error(self, tmp_path, capsys):
+        path = self._write(tmp_path, REPORT)
+        assert main([path, "--prefix", "src/repro/nonexistent/"]) == 2
+        assert "no measured files" in capsys.readouterr().err
+
+    def test_missing_report_is_an_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.json")]) == 2
+
+    def test_malformed_json_is_an_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main([str(path)]) == 2

@@ -1,0 +1,92 @@
+"""Chrome trace-event export: structure, rebase, and validation."""
+
+import json
+
+import pytest
+
+from repro import observability as obs
+
+
+def _spans():
+    with obs.tracing() as tracer:
+        with obs.span("phase.work", stage="demo") as outer:
+            outer.count("items", 3)
+            with obs.span("inner"):
+                pass
+    return tracer.spans
+
+
+class TestChromeTrace:
+    def test_export_validates(self):
+        payload = obs.chrome_trace(_spans())
+        assert obs.validate_chrome_trace(payload) == 3  # 1 meta + 2 spans
+
+    def test_events_are_well_formed(self):
+        payload = obs.chrome_trace(_spans())
+        events = payload["traceEvents"]
+        metas = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(metas) == 1 and metas[0]["name"] == "process_name"
+        for event in complete:
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            assert event["ts"] >= 0 and event["dur"] >= 0
+        # Timestamps are rebased: the earliest span opens at t=0.
+        assert min(e["ts"] for e in complete) == 0.0
+
+    def test_attributes_and_counters_in_args(self):
+        payload = obs.chrome_trace(_spans())
+        outer = next(
+            e for e in payload["traceEvents"] if e["name"] == "phase.work"
+        )
+        assert outer["args"] == {"stage": "demo", "counter.items": 3}
+        assert outer["cat"] == "phase"
+
+    def test_empty_trace_validates(self):
+        payload = obs.chrome_trace([])
+        assert obs.validate_chrome_trace(payload) == 0
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        out = tmp_path / "t.chrome.json"
+        count = obs.write_chrome_trace(_spans(), out)
+        loaded = json.loads(out.read_text())
+        assert obs.validate_chrome_trace(loaded) == count
+
+
+class TestValidation:
+    def _event(self, **overrides):
+        event = {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0, "dur": 1.0}
+        event.update(overrides)
+        return {"traceEvents": [event]}
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            obs.validate_chrome_trace([])
+
+    def test_rejects_missing_event_list(self):
+        with pytest.raises(ValueError, match="must be a list"):
+            obs.validate_chrome_trace({"traceEvents": {}})
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="phase"):
+            obs.validate_chrome_trace(self._event(ph="B"))
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            obs.validate_chrome_trace(self._event(name=""))
+
+    def test_rejects_bool_pid(self):
+        with pytest.raises(ValueError, match="pid"):
+            obs.validate_chrome_trace(self._event(pid=True))
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="dur"):
+            obs.validate_chrome_trace(self._event(dur=-1.0))
+
+    def test_rejects_nan_timestamp(self):
+        with pytest.raises(ValueError, match="ts"):
+            obs.validate_chrome_trace(self._event(ts=float("nan")))
+
+    def test_rejects_non_dict_args(self):
+        with pytest.raises(ValueError, match="args"):
+            obs.validate_chrome_trace(self._event(args=[1]))

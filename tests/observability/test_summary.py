@@ -1,0 +1,92 @@
+"""Trace summaries: per-phase totals, self-time, counter rollups."""
+
+from repro import observability as obs
+
+
+def _record(name, span_id, parent=None, pid=100, start=0, dur=0, counters=None):
+    return obs.SpanRecord(
+        name=name,
+        span_id=span_id,
+        parent_id=parent,
+        pid=pid,
+        tid=1,
+        start_ns=start,
+        duration_ns=dur,
+        attributes={},
+        counters=counters or {},
+    )
+
+
+SECOND = 1_000_000_000
+
+
+def _pipeline():
+    """root(10s) > phase.a(6s) > leaf(2s); phase.b(3s); second process."""
+    return [
+        _record("root", 1, dur=10 * SECOND),
+        _record("phase.a", 2, parent=1, start=0, dur=6 * SECOND),
+        _record("leaf", 3, parent=2, start=1, dur=2 * SECOND,
+                counters={"items": 5}),
+        _record("phase.b", 4, parent=1, start=6, dur=3 * SECOND),
+        _record("task", 1, pid=200, dur=4 * SECOND,
+                counters={"items": 2}),
+    ]
+
+
+class TestSummarize:
+    def test_root_is_longest_parentless_span(self):
+        summary = obs.summarize(_pipeline())
+        assert summary.root == "root"
+        assert summary.wall_s == 10.0
+
+    def test_phase_totals_and_coverage(self):
+        summary = obs.summarize(_pipeline())
+        assert summary.phases == {"a": 6.0, "b": 3.0}
+        assert summary.phase_total_s == 9.0
+        assert summary.phase_coverage == 0.9
+
+    def test_self_time_subtracts_direct_children(self):
+        summary = obs.summarize(_pipeline())
+        assert summary.names["root"].self_s == 1.0  # 10 - (6 + 3)
+        assert summary.names["phase.a"].self_s == 4.0  # 6 - 2
+        assert summary.names["leaf"].self_s == 2.0
+
+    def test_child_time_is_per_process(self):
+        # pid 200's span_id collides with pid 100's root; it must not
+        # be attributed as the root's child.
+        summary = obs.summarize(_pipeline())
+        assert summary.names["task"].self_s == 4.0
+        assert summary.names["root"].self_s == 1.0
+
+    def test_counters_rolled_up_per_name_and_overall(self):
+        summary = obs.summarize(_pipeline())
+        assert summary.counters == {"items": 7}
+        assert summary.names["leaf"].counters == {"items": 5}
+        assert summary.names["task"].counters == {"items": 2}
+
+    def test_empty_trace(self):
+        summary = obs.summarize([])
+        assert summary.root is None
+        assert summary.wall_s == 0.0
+        assert summary.phase_coverage == 0.0
+        assert summary.to_dict()["spans"] == 0
+
+    def test_to_dict_shape(self):
+        payload = obs.summarize(_pipeline()).to_dict()
+        assert payload["root"] == "root"
+        assert payload["phases"] == {"a": 6.0, "b": 3.0}
+        assert payload["names"]["leaf"]["count"] == 1
+        assert payload["names"]["leaf"]["mean_s"] == 2.0
+
+
+class TestRender:
+    def test_render_mentions_phases_and_hot_spans(self):
+        text = obs.render_summary(obs.summarize(_pipeline()))
+        assert "root root wall 10.000s" in text
+        assert "90.0% of wall" in text
+        assert "phase.a" in text
+        assert "items" in text
+
+    def test_render_empty(self):
+        text = obs.render_summary(obs.summarize([]))
+        assert "(none)" in text

@@ -1,0 +1,207 @@
+"""Trace journal durability: torn tails, resume, last-wins, merge.
+
+The corruption cases mirror the orchestration checkpoint journal's
+contract (tests/orchestration/test_journal.py): a reader must survive
+a journal whose writer was killed mid-line, and resuming must keep
+every record that was durably written.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro import observability as obs
+from repro.observability.journal import TraceJournal
+
+
+def _record(name="s", span_id=1, parent=None, pid=100, start=1_000, dur=10,
+            attrs=None, counters=None):
+    return obs.SpanRecord(
+        name=name,
+        span_id=span_id,
+        parent_id=parent,
+        pid=pid,
+        tid=1,
+        start_ns=start,
+        duration_ns=dur,
+        attributes=attrs or {},
+        counters=counters or {},
+    )
+
+
+class TestRoundTrip:
+    def test_spans_metas_counters(self, tmp_path):
+        journal = TraceJournal(tmp_path / "t.jsonl")
+        assert not journal.exists()
+        journal.append_meta(role="main", run="r1")
+        journal.append_span(_record(name="a", counters={"n": 2}))
+        journal.append_counters({"loose": 3})
+        spans, metas, counters = journal.load()
+        assert [s.name for s in spans] == ["a"]
+        assert spans[0].counters == {"n": 2}
+        assert metas[next(iter(metas))]["role"] == "main"
+        assert counters == {"loose": 3}
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert TraceJournal(tmp_path / "nope.jsonl").load() == ([], {}, {})
+
+    def test_clear_is_idempotent(self, tmp_path):
+        journal = TraceJournal(tmp_path / "t.jsonl")
+        journal.append_span(_record())
+        journal.clear()
+        assert not journal.exists()
+        journal.clear()
+
+
+class TestTornTail:
+    @given(cut=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_truncated_final_line_skipped(self, tmp_path_factory, cut):
+        """Cutting the last record anywhere loses only that record."""
+        journal = TraceJournal(
+            tmp_path_factory.mktemp("torn") / "t.jsonl"
+        )
+        journal.append_meta(role="main")
+        journal.append_span(_record(name="kept", span_id=1))
+        journal.append_span(_record(name="torn", span_id=2))
+        text = journal.path.read_text()
+        lines = text.splitlines()
+        cut = min(cut, len(lines[-1]) - 1)  # strictly mid-line
+        journal.path.write_text(
+            "\n".join(lines[:-1]) + "\n" + lines[-1][:cut]
+        )
+        spans, metas, _ = journal.load()
+        assert [s.name for s in spans] == ["kept"]
+        assert len(metas) == 1
+
+    @given(garbage=st.text(max_size=40).filter(lambda s: "\n" not in s))
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_garbage_lines_skipped(self, tmp_path_factory, garbage):
+        journal = TraceJournal(
+            tmp_path_factory.mktemp("garbage") / "t.jsonl"
+        )
+        journal.append_span(_record(name="before"))
+        with open(journal.path, "a", encoding="utf-8") as fp:
+            fp.write(garbage + "\n")
+        journal.append_span(_record(name="after", span_id=2))
+        spans, _, _ = journal.load()
+        # "before" and "after" always survive; the garbage line only
+        # counts if it happens to be a valid span record itself.
+        names = [s.name for s in spans]
+        assert names[0] == "before" and names[-1] == "after"
+
+    def test_structurally_invalid_records_skipped(self, tmp_path):
+        journal = TraceJournal(tmp_path / "t.jsonl")
+        journal.append_span(_record(name="good"))
+        with open(journal.path, "a", encoding="utf-8") as fp:
+            fp.write(json.dumps({"k": "span", "name": "no-id"}) + "\n")
+            fp.write(json.dumps({"k": "meta", "pid": "not-an-int"}) + "\n")
+            fp.write(json.dumps(["not", "a", "dict"]) + "\n")
+        spans, metas, _ = journal.load()
+        assert [s.name for s in spans] == ["good"]
+        assert metas == {}
+
+    def test_resume_after_torn_tail(self, tmp_path):
+        """Appending after a torn tail keeps old and new records."""
+        journal = TraceJournal(tmp_path / "t.jsonl")
+        journal.append_span(_record(name="first", span_id=1))
+        journal.append_span(_record(name="torn", span_id=2))
+        text = journal.path.read_text()
+        lines = text.splitlines()
+        journal.path.write_text(
+            lines[0] + "\n" + lines[1][: len(lines[1]) // 2]
+        )
+        # The torn tail has no trailing newline; a resumed writer
+        # appends after it -- that one concatenated line is lost, the
+        # rest of the resumed run is durable.
+        journal.append_span(_record(name="resumed-lost", span_id=3))
+        journal.append_span(_record(name="resumed", span_id=4))
+        spans, _, _ = journal.load()
+        assert [s.name for s in spans] == ["first", "resumed"]
+
+    def test_last_meta_per_pid_wins(self, tmp_path):
+        journal = TraceJournal(tmp_path / "t.jsonl")
+        journal.append_meta(role="main", run="old")
+        journal.append_meta(role="main", run="new")
+        _, metas, _ = journal.load()
+        (meta,) = metas.values()
+        assert meta["run"] == "new"
+
+
+class TestMerge:
+    def _shard(self, directory, pid, names):
+        shard = TraceJournal(directory / f"worker-{pid}.jsonl")
+        shard.append_meta(role="worker", pid=pid)
+        for i, (name, start) in enumerate(names, start=1):
+            shard.append_span(
+                _record(name=name, span_id=i, pid=pid, start=start)
+            )
+        return shard
+
+    def test_merge_is_deterministic_and_removes_shards(self, tmp_path):
+        def build(tag, order):
+            journal = TraceJournal(tmp_path / f"main-{tag}.jsonl")
+            journal.append_meta(role="main")
+            workers = tmp_path / f"workers-{tag}"
+            workers.mkdir()
+            for pid in order:
+                self._shard(
+                    workers, pid, [(f"w{pid}.a", 50 + pid), (f"w{pid}.b", 10)]
+                )
+            merged = obs.merge_worker_traces(journal, workers)
+            assert merged == 2 * len(order)
+            assert not workers.exists()
+            return journal.path.read_text()
+
+        # Shard creation order must not matter: the merge sorts by
+        # (start_ns, pid, span_id).
+        assert build("fwd", [201, 202]) == build("rev", [202, 201])
+
+    def test_merge_carries_worker_metas_and_counters(self, tmp_path):
+        journal = TraceJournal(tmp_path / "main.jsonl")
+        journal.append_meta(role="main")
+        workers = tmp_path / "w"
+        workers.mkdir()
+        shard = self._shard(workers, 300, [("t", 5)])
+        shard.append_counters({"cache.x.hits": 4})
+        obs.merge_worker_traces(journal, workers)
+        spans, metas, counters = journal.load()
+        assert [s.pid for s in spans] == [300]
+        assert {m["role"] for m in metas.values()} == {"main", "worker"}
+        assert counters == {"cache.x.hits": 4}
+
+    def test_merge_tolerates_torn_shard(self, tmp_path):
+        journal = TraceJournal(tmp_path / "main.jsonl")
+        workers = tmp_path / "w"
+        workers.mkdir()
+        shard = self._shard(workers, 400, [("ok", 1), ("torn", 2)])
+        text = shard.path.read_text()
+        lines = text.splitlines()
+        shard.path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:10])
+        assert obs.merge_worker_traces(journal, workers) == 1
+        spans, _, _ = journal.load()
+        assert [s.name for s in spans] == ["ok"]
+
+    def test_merge_missing_directory_is_noop(self, tmp_path):
+        journal = TraceJournal(tmp_path / "main.jsonl")
+        assert obs.merge_worker_traces(journal, tmp_path / "absent") == 0
+
+    def test_load_trace_on_directory(self, tmp_path):
+        workers = tmp_path / "w"
+        workers.mkdir()
+        self._shard(workers, 500, [("b", 20)])
+        self._shard(workers, 501, [("a", 10)])
+        spans = obs.load_trace(workers)
+        assert [s.name for s in spans] == ["a", "b"]
+
+    def test_sort_spans_canonical_order(self):
+        records = [
+            _record(name="late", span_id=1, pid=2, start=30),
+            _record(name="tie-high-pid", span_id=1, pid=3, start=10),
+            _record(name="tie-low-pid", span_id=1, pid=1, start=10),
+            _record(name="tie-second-id", span_id=2, pid=1, start=10),
+        ]
+        ordered = obs.sort_spans(records)
+        assert [r.name for r in ordered] == [
+            "tie-low-pid", "tie-second-id", "tie-high-pid", "late"
+        ]

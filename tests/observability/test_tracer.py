@@ -1,0 +1,131 @@
+"""Tracer core: nesting, attributes, counters, and the no-op default."""
+
+import threading
+
+from repro import observability as obs
+from repro.observability.tracer import _NULL_SPAN, _sanitize
+
+
+class TestNullDefault:
+    def test_default_tracer_is_the_shared_noop(self):
+        assert obs.get_tracer() is obs.NULL_TRACER
+        assert not obs.enabled()
+
+    def test_noop_span_is_one_shared_object(self):
+        first = obs.span("anything", attr=1)
+        second = obs.span("else")
+        assert first is second is _NULL_SPAN
+
+    def test_noop_span_accepts_full_api(self):
+        with obs.span("x", a=1) as span:
+            span.set("k", 2)
+            span.count("n", 3)
+        obs.count("loose")  # out-of-span count is also a no-op
+
+
+class TestRecording:
+    def test_span_records_name_attributes_counters(self):
+        with obs.tracing() as tracer:
+            with obs.span("work", kind="test") as span:
+                span.set("extra", 7)
+                span.count("items", 2)
+                span.count("items", 3)
+        (record,) = tracer.spans
+        assert record.name == "work"
+        assert record.attributes == {"kind": "test", "extra": 7}
+        assert record.counters == {"items": 5}
+        assert record.duration_ns >= 0
+        assert record.parent_id is None
+
+    def test_nesting_links_parent_and_children_complete_first(self):
+        with obs.tracing() as tracer:
+            with obs.span("outer") as outer:
+                with obs.span("inner"):
+                    pass
+        inner, outer_rec = tracer.spans
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert outer_rec.parent_id is None
+        assert inner.duration_ns <= outer_rec.duration_ns
+        assert (inner.pid, inner.span_id) != (outer_rec.pid, outer_rec.span_id)
+
+    def test_out_of_span_count_lands_on_tracer(self):
+        with obs.tracing() as tracer:
+            obs.count("orphan", 2)
+            with obs.span("s"):
+                obs.count("inside")
+        assert tracer.counters == {"orphan": 2}
+        assert tracer.spans[0].counters == {"inside": 1}
+
+    def test_tracer_restored_after_block(self):
+        with obs.tracing():
+            assert obs.enabled()
+        assert obs.get_tracer() is obs.NULL_TRACER
+
+    def test_sink_streams_records(self):
+        seen = []
+        tracer = obs.Tracer(sink=seen.append)
+        with obs.tracing(tracer):
+            with obs.span("a"):
+                pass
+        assert [r.name for r in seen] == ["a"]
+        assert tracer.spans == []  # streamed, not buffered
+
+    def test_threads_get_independent_stacks(self):
+        ready = threading.Barrier(2)
+        parents = {}
+
+        def worker(label):
+            with obs.span(f"thread.{label}") as span:
+                ready.wait(timeout=5)
+                parents[label] = span.parent_id
+
+        with obs.tracing() as tracer:
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        # Neither thread saw the other's span as its parent.
+        assert parents == {0: None, 1: None}
+        assert len({r.tid for r in tracer.spans}) == 2
+
+    def test_out_of_order_exit_tolerated(self):
+        with obs.tracing() as tracer:
+            outer = obs.span("outer")
+            inner = obs.span("inner")
+            outer.__enter__()
+            inner.__enter__()
+            # Close the outer first (a generator finalised late does
+            # this); the stack recovers instead of corrupting parents.
+            outer.__exit__(None, None, None)
+            with obs.span("after"):
+                pass
+        names = [r.name for r in tracer.spans]
+        assert names == ["outer", "after"]
+        assert tracer.spans[-1].parent_id is None
+
+
+class TestSpanRecord:
+    def test_dict_round_trip(self):
+        with obs.tracing() as tracer:
+            with obs.span("r", a="x") as span:
+                span.count("c", 2)
+        record = tracer.spans[0]
+        assert obs.SpanRecord.from_dict(record.to_dict()) == record
+
+    def test_non_finite_attributes_sanitized(self):
+        assert _sanitize(float("nan")) == "nan"
+        assert _sanitize(float("inf")) == "inf"
+        assert _sanitize(1.5) == 1.5
+        assert _sanitize(None) is None
+        assert _sanitize(True) is True
+        assert _sanitize(object()).startswith("<object")
+
+    def test_attribute_values_sanitized_on_set(self):
+        with obs.tracing() as tracer:
+            with obs.span("s", bad=float("inf")) as span:
+                span.set("worse", float("nan"))
+        assert tracer.spans[0].attributes == {"bad": "inf", "worse": "nan"}

@@ -1,0 +1,86 @@
+"""Ratcheted coverage floor over a coverage.py JSON report.
+
+CI runs ``pytest --cov=repro --cov-report=json`` and then::
+
+    python tools/check_coverage_floor.py coverage.json \
+        --prefix src/repro/observability/ --floor 90
+
+The check aggregates ``covered_lines / num_statements`` across every
+measured file under ``--prefix`` and fails (exit 1) below ``--floor``.
+It is a *ratchet*: when the measured coverage rises, raise the floor in
+ci.yml to match -- never lower it to make a red build green.  Matching
+zero files is an error (exit 2), so a renamed package cannot silently
+disable the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+__all__ = ["aggregate", "main"]
+
+
+def aggregate(report: dict, prefix: str) -> tuple[float, int, list[str]]:
+    """(percent covered, statement count, matched files) under prefix."""
+    files = report.get("files")
+    if not isinstance(files, dict):
+        raise ValueError("not a coverage.py JSON report: no 'files' object")
+    prefix_path = pathlib.PurePosixPath(prefix.rstrip("/"))
+    covered = statements = 0
+    matched: list[str] = []
+    for raw_name, entry in sorted(files.items()):
+        name = pathlib.PurePosixPath(raw_name.replace("\\", "/"))
+        if not name.is_relative_to(prefix_path):
+            continue
+        summary = entry.get("summary", {})
+        covered += int(summary.get("covered_lines", 0))
+        statements += int(summary.get("num_statements", 0))
+        matched.append(str(name))
+    percent = 100.0 * covered / statements if statements else 0.0
+    return percent, statements, matched
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="coverage.py JSON report path")
+    parser.add_argument(
+        "--prefix", default="src/repro/observability/",
+        help="only count files under this path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--floor", type=float, default=90.0,
+        help="minimum aggregate line coverage percent (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = json.loads(pathlib.Path(args.report).read_text())
+        percent, statements, matched = aggregate(report, args.prefix)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not matched:
+        print(
+            f"error: no measured files under {args.prefix!r} -- "
+            "wrong prefix or the package was renamed without moving the gate",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"{args.prefix}: {percent:.1f}% of {statements} statements "
+        f"across {len(matched)} file(s); floor {args.floor:.1f}%"
+    )
+    if percent < args.floor:
+        print(
+            f"FAIL: coverage {percent:.1f}% is below the ratcheted floor "
+            f"{args.floor:.1f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
