@@ -1,0 +1,133 @@
+"""Bench R-6: sustained throughput of the serving tier (repro.serving).
+
+Times one synthetic load run against the multi-process topology with 1
+evaluator worker and with 4, on a **wait-bound** workload: each event
+carries a modeled 0.3 ms downstream cost
+(``ServeConfig.worker_cost_s`` -- an external scorer or RPC), so the
+scaling measures the tier's sharding/ring/drain machinery rather than
+this machine's core count (CI runners and the reference container
+expose a single CPU, where a compute-bound workload cannot speed up at
+all; the precedent is the R-3 orchestration bench).
+
+The assertions encode the subsystem's contract:
+
+* accounting closed on both runs -- ``processed + shed == submitted``
+  with zero shed (no silent loss at any worker count);
+* per-event flags bit-identical between the 1-worker and 4-worker
+  topologies (sharding must never change what gets flagged);
+* >= 2x sustained-throughput scaling from 1 to 4 workers.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.detector import Detector
+from repro.core.predicate import And, Comparison, Or
+from repro.runtime.registry import DetectorRegistry
+from repro.serving import (
+    LoadProfile,
+    ServeConfig,
+    ServingTopology,
+    synthesize_states,
+)
+
+EVENTS = 1600
+BATCH = 20
+COST_S = 0.0003  # modeled downstream cost per event
+
+
+def make_registry() -> DetectorRegistry:
+    registry = DetectorRegistry(lint_policy="off")
+    registry.register(Detector(Comparison("v", ">", 5.0), name="hi"))
+    registry.register(
+        Detector(
+            Or([Comparison("v", "<=", 1.0), Comparison("w", "==", 0.0)]),
+            name="lo",
+        )
+    )
+    registry.register(
+        Detector(
+            And([Comparison("u", "!=", 3.0), Comparison("v", ">", 0.0)]),
+            name="mix",
+        )
+    )
+    return registry
+
+
+def _timed_run(tmp_path, registry, states, workers):
+    topology = ServingTopology.from_registry(
+        registry,
+        tmp_path / f"snapshot-{workers}.json",
+        ServeConfig(
+            workers=workers,
+            capacity=256,
+            batch_size=BATCH,
+            shed_after_s=5.0,
+            worker_cost_s=COST_S,
+        ),
+    )
+    topology.start()
+    started = time.perf_counter()
+    topology.submit_many(states)
+    topology.drain()
+    elapsed = time.perf_counter() - started
+    return elapsed, topology.stop()
+
+
+@pytest.mark.bench_smoke
+def test_bench_serving_scales_with_workers(benchmark, tmp_path):
+    registry = make_registry()
+    states = list(
+        synthesize_states(registry, LoadProfile(events=EVENTS, seed=0))
+    )
+    single_s, single = _timed_run(tmp_path, registry, states, workers=1)
+
+    def quad_run():
+        return _timed_run(tmp_path, registry, states, workers=4)
+
+    quad_s, quad = benchmark.pedantic(quad_run, rounds=1, iterations=1)
+    speedup = single_s / quad_s
+
+    print()
+    print(
+        f"serving: {EVENTS} events, 1 worker {single_s:.2f}s "
+        f"({EVENTS / single_s:,.0f} ev/s), 4 workers {quad_s:.2f}s "
+        f"({EVENTS / quad_s:,.0f} ev/s, {speedup:.1f}x)"
+    )
+
+    # Contract first: closed accounting, nothing shed, on both runs.
+    for report in (single, quad):
+        assert report.accounted, "processed + shed != submitted"
+        assert report.submitted == EVENTS
+        assert report.shed == 0 and report.processed == EVENTS
+    # Sharding must never change what gets flagged: bit-identical
+    # per-event masks between the two topologies.
+    assert single.flags_by_seq() == quad.flags_by_seq()
+    # Both runs ran the same deploy serial throughout.
+    assert set(single.serials) == set(quad.serials) == {1}
+    # The acceptance bar: >= 2x sustained throughput from 1 -> 4
+    # workers on the wait-bound load.
+    assert speedup >= 2.0, f"speedup {speedup:.2f}x below the 2x bar"
+
+    artifact = os.environ.get("REPRO_BENCH_SERVING_JSON")
+    if artifact:
+        with open(artifact, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "events": EVENTS,
+                    "batch_size": BATCH,
+                    "worker_cost_s": COST_S,
+                    "single_worker_s": single_s,
+                    "four_worker_s": quad_s,
+                    "single_events_per_s": EVENTS / single_s,
+                    "four_events_per_s": EVENTS / quad_s,
+                    "speedup": speedup,
+                    "shed": quad.shed,
+                    "detections": quad.detections(),
+                },
+                handle,
+                indent=2,
+            )

@@ -33,6 +33,8 @@ duplicate-detector        ERROR/    a registry pair is provably equivalent
                           /INFO     shows battery overlap (INFO)
 dead-injection            WARNING   a campaign injects into a variable the
                                     target never reads back
+unbounded-serving-ring    WARNING   a serving topology's ingest ring has no
+                                    shed policy (``shed_after_s`` null)
 unjournaled-campaign      WARNING   a campaign estimated above the run budget
                                     has no checkpoint journal configured
 ========================  ========  =============================================
@@ -119,6 +121,9 @@ class LintContext:
     #: subjects in ``campaigns`` whose document declares a checkpoint
     #: journal (see repro.orchestration.Journal)
     journaled: set[str] = dataclasses.field(default_factory=set)
+    #: serving-topology configurations (duck-typed
+    #: repro.serving.ServeConfig), by subject
+    serving: dict[str, object] = dataclasses.field(default_factory=dict)
     _simplified: dict[str, SimplificationResult] = dataclasses.field(
         default_factory=dict, repr=False
     )
@@ -371,6 +376,32 @@ class UnjournaledCampaignRule(LintRule):
                     f"campaign estimates {runs} runs (budget {self.budget}) "
                     "with no checkpoint journal; a crash re-runs everything "
                     "-- configure a journal (repro.orchestration.Journal)",
+                )
+
+
+@register_rule
+class UnboundedServingRingRule(LintRule):
+    """Serving configurations whose ingest rings have no shed policy:
+    with ``shed_after_s`` unset, one stalled evaluator worker holds its
+    ring full forever and the router blocks every producer behind it.
+    Bounded topologies shed overflow *counted* (the serve report keeps
+    ``processed + shed == submitted``); unbounded ones just stop."""
+
+    name = "unbounded-serving-ring"
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        for subject, config in context.serving.items():
+            if isinstance(config, dict):
+                bounded = config.get("shed_after_s") is not None
+            else:
+                bounded = getattr(config, "shed_after_s", 0) is not None
+            if not bounded:
+                yield Finding(
+                    self.name, Severity.WARNING, subject,
+                    "serving ring has no shed policy (shed_after_s is "
+                    "null): a stalled worker blocks producers "
+                    "indefinitely -- set a bounded wait so overflow is "
+                    "shed and counted instead",
                 )
 
 

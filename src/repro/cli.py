@@ -11,9 +11,15 @@ Static analysis from the shell, over published artefacts::
 ``lint``/``analyze`` accept any mix of registry documents
 (``DetectorRegistry.save`` output), single-detector documents
 (``detector_to_json``), bare predicate documents
-(``predicate_to_json``) and campaign-configuration documents
-(``CampaignConfig.to_dict``, optionally with a ``journal`` path); the
+(``predicate_to_json``), campaign-configuration documents
+(``CampaignConfig.to_dict``, optionally with a ``journal`` path) and
+serving-topology configurations (``ServeConfig.to_dict``); the
 document shape is sniffed per file.
+
+The serving tier runs (and load-tests itself) with ``serve``::
+
+    repro serve registry.json --workers 4 --events 20000
+    repro serve registry.json --slo-p99 0.05 --trace serve.jsonl
 
 The expensive half of the pipeline runs through the orchestrator::
 
@@ -95,6 +101,18 @@ def _load_documents(paths: list[str]) -> LintContext:
                 ) from exc
             if payload.get("journal"):
                 context.journaled.add(subject)
+        elif (
+            isinstance(payload, dict)
+            and payload.get("format") == "repro.serving.config"
+        ):
+            from repro.serving.config import ServeConfig
+
+            try:
+                context.serving[path.stem] = ServeConfig.from_dict(payload)
+            except (TypeError, ValueError) as exc:
+                raise SerializationError(
+                    f"{path}: invalid serving configuration: {exc}"
+                ) from exc
         elif isinstance(payload, dict) and "predicate" in payload:
             detector = detector_from_dict(payload)
             context.predicates[_unique(context, detector.name)] = (
@@ -271,6 +289,97 @@ def _cmd_orchestrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the serving tier against a registry, self-driven by the
+    load generator, and report throughput, detections and SLOs."""
+    import contextlib
+    import tempfile
+
+    from repro import observability as obs
+    from repro.serving import (
+        LoadProfile,
+        ServeConfig,
+        ServingTopology,
+        SLOPolicy,
+        run_load,
+    )
+
+    try:
+        config = ServeConfig(
+            workers=args.workers,
+            capacity=args.capacity,
+            batch_size=args.batch_size,
+            shed_after_s=args.shed_after,
+            key_field=args.key_field,
+            worker_cost_s=args.worker_cost,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    slo = None
+    if any(
+        v is not None
+        for v in (args.slo_p50, args.slo_p95, args.slo_p99)
+    ) or args.max_shed_ratio is not None:
+        slo = SLOPolicy(
+            p50_s=args.slo_p50,
+            p95_s=args.slo_p95,
+            p99_s=args.slo_p99,
+            max_shed_ratio=(
+                args.max_shed_ratio if args.max_shed_ratio is not None else 0.0
+            ),
+        )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RegistryWarning)
+        registry = DetectorRegistry.load(args.registry, check=False)
+    with contextlib.ExitStack() as stack:
+        if args.trace:
+            stack.enter_context(obs.tracing_to(args.trace))
+        if args.snapshot:
+            snapshot = pathlib.Path(args.snapshot)
+        else:
+            tmp = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-serve-")
+            )
+            snapshot = pathlib.Path(tmp) / "snapshot.json"
+        topology = ServingTopology.from_registry(
+            registry, snapshot, config, slo=slo, inline=args.inline
+        )
+        topology.start()
+        try:
+            with obs.span("phase.serve", workers=config.workers):
+                timing = run_load(
+                    topology,
+                    LoadProfile(events=args.events, seed=args.seed),
+                )
+        finally:
+            report = topology.stop()
+    payload = report.to_dict()
+    payload["load"] = timing
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"{args.registry}: {report.submitted} events -> "
+            f"{report.processed} processed, {report.shed} shed "
+            f"({timing['events_per_second']:.0f} events/s, "
+            f"{config.workers} worker(s))"
+        )
+        for name, count in sorted(payload["detections"].items()):
+            print(f"  {name}: {count} detection(s)")
+        if report.slo is not None:
+            verdict = "ok" if report.slo.ok else "VIOLATED"
+            print(f"  slo: {verdict}")
+            for violation in report.slo.violations:
+                print(f"    {violation}")
+    if not report.accounted:
+        print("error: accounting broken", file=sys.stderr)
+        return 1
+    if report.slo is not None and not report.slo.ok:
+        return 1
+    return 0
+
+
 def _cmd_trace_record(args: argparse.Namespace) -> int:
     from repro import observability as obs
     from repro.orchestration.orchestrate import run_dataset
@@ -414,6 +523,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
     orchestrate.set_defaults(func=_cmd_orchestrate)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a registry behind sharded workers under generated load",
+    )
+    serve.add_argument(
+        "registry", help="registry document (DetectorRegistry.save output)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="evaluator worker processes (default: 2)",
+    )
+    serve.add_argument(
+        "--events", type=int, default=10000,
+        help="synthetic events to generate (default: 10000)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="load-generator seed (default: 0)",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=64,
+        help="micro-batch size (default: 64)",
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=1024,
+        help="per-worker ring capacity in events (default: 1024)",
+    )
+    serve.add_argument(
+        "--shed-after", type=float, default=0.25, metavar="SECONDS",
+        help="backpressure bound before shedding (default: 0.25)",
+    )
+    serve.add_argument(
+        "--key-field", default=None, metavar="FIELD",
+        help="state field to shard by (default: sequence round-robin)",
+    )
+    serve.add_argument(
+        "--worker-cost", type=float, default=0.0, metavar="SECONDS",
+        help="modeled per-event downstream cost in workers (default: 0)",
+    )
+    serve.add_argument(
+        "--inline", action="store_true",
+        help="step workers in-process (deterministic, no subprocesses)",
+    )
+    serve.add_argument(
+        "--snapshot", default=None, metavar="PATH",
+        help="snapshot file for hot deploys (default: private temp file)",
+    )
+    serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record spans to this trace journal",
+    )
+    serve.add_argument(
+        "--slo-p50", type=float, default=None, metavar="SECONDS",
+        help="per-detector p50 batch-latency budget",
+    )
+    serve.add_argument(
+        "--slo-p95", type=float, default=None, metavar="SECONDS",
+        help="per-detector p95 batch-latency budget",
+    )
+    serve.add_argument(
+        "--slo-p99", type=float, default=None, metavar="SECONDS",
+        help="per-detector p99 batch-latency budget",
+    )
+    serve.add_argument(
+        "--max-shed-ratio", type=float, default=None, metavar="RATIO",
+        help="topology-wide shed budget (events shed / submitted)",
+    )
+    serve.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     trace = commands.add_parser(
         "trace", help="record, summarize and export pipeline traces"

@@ -24,6 +24,7 @@ tracer reads clocks and writes journals; it never touches an RNG, a
 dataset, or a result value.  See ``docs/observability.md``.
 """
 
+from repro.observability import names
 from repro.observability.context import (
     TraceSpec,
     ensure_worker,
@@ -62,6 +63,7 @@ from repro.observability.tracer import (
 )
 
 __all__ = [
+    "names",
     "Span",
     "SpanRecord",
     "Tracer",

@@ -1,0 +1,70 @@
+"""Canonical span and counter names across the pipeline.
+
+Span names are the tracer's public contract: summaries group by them,
+dashboards filter on them, and cross-subsystem traces only line up
+when every emitter spells them the same way.  This module is the one
+place they are defined; emitters import the constant instead of
+retyping the string.
+
+Phases (``phase.*``) are the top-level pipeline stages the summary
+compares against the root wall clock; everything else is a nested
+working span.  The serving tier (:mod:`repro.serving`) threads spans
+through all three of its layers -- router (ingest/shed), ring-fed
+evaluator workers (batch/deploy), and the supervisor lifecycle -- so
+one trace shows an event's whole path from submit to flags.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PHASE_CAMPAIGN",
+    "PHASE_BASELINE",
+    "PHASE_REFINE",
+    "PHASE_SERVE",
+    "ENGINE_BATCH",
+    "POOL_RUN",
+    "ORCHESTRATION_TASK",
+    "WORKER_START",
+    "SERVE_FLUSH",
+    "SERVE_DRAIN",
+    "SERVE_PUBLISH",
+    "SERVE_WORKER",
+    "SERVE_WORKER_BATCH",
+    "SERVE_DEPLOY",
+    "COUNTER_SHED",
+    "COUNTER_DETECTIONS",
+    "COUNTER_FAULTS",
+]
+
+# -- pipeline phases (orchestrate.run, serve lifecycles) ---------------
+PHASE_CAMPAIGN = "phase.campaign"
+PHASE_BASELINE = "phase.baseline"
+PHASE_REFINE = "phase.refine"
+#: One serving session end-to-end: start -> ingest -> drain -> stop.
+PHASE_SERVE = "phase.serve"
+
+# -- runtime / orchestration (emitted since PR 1/3/5) ------------------
+ENGINE_BATCH = "engine.batch"
+POOL_RUN = "pool.run"
+ORCHESTRATION_TASK = "orchestration.task"
+WORKER_START = "worker.start"
+
+# -- serving tier ------------------------------------------------------
+#: Router flushing one shard's pending micro-batch into its ring
+#: (carries ``shard``, ``size``; counts ``shed`` on backpressure).
+SERVE_FLUSH = "serve.flush"
+#: Supervisor waiting for in-flight events to clear the topology.
+SERVE_DRAIN = "serve.drain"
+#: Supervisor publishing a registry snapshot (hot deploy/rollback).
+SERVE_PUBLISH = "serve.publish"
+#: One evaluator worker's lifetime (root of the worker's span tree).
+SERVE_WORKER = "serve.worker"
+#: One micro-batch through a worker's StreamingEngine.
+SERVE_WORKER_BATCH = "serve.worker.batch"
+#: A worker swapping detector versions between micro-batches.
+SERVE_DEPLOY = "serve.deploy"
+
+# -- counter names -----------------------------------------------------
+COUNTER_SHED = "shed"
+COUNTER_DETECTIONS = "detections"
+COUNTER_FAULTS = "faults"

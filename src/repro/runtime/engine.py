@@ -111,12 +111,44 @@ class StreamingEngine:
         return engine
 
     # -- detector management -------------------------------------------
-    def add(self, detector: Detector, name: str | None = None) -> str:
-        """Install a detector, compiling its predicate; returns name."""
+    def add(
+        self,
+        detector: Detector,
+        name: str | None = None,
+        compiled: CompiledPredicate | None = None,
+    ) -> str:
+        """Install a detector, compiling its predicate; returns name.
+
+        ``compiled`` skips compilation when the caller already holds
+        the lowered form (e.g. a registry entry).
+        """
         name = name if name is not None else detector.name
-        compiled = compile_predicate(detector.predicate, check=self._check)
+        if compiled is None:
+            compiled = compile_predicate(detector.predicate, check=self._check)
         self._install(name, detector, compiled)
         return name
+
+    def swap(
+        self,
+        detector: Detector,
+        name: str,
+        compiled: CompiledPredicate | None = None,
+    ) -> None:
+        """Replace the implementation behind an installed name.
+
+        The serving tier's hot-deploy path: the registration keeps its
+        name (and so its metrics continuity) while the detector and
+        compiled predicate are exchanged between micro-batches.  The
+        fault count resets and the detector re-enables -- a fresh
+        implementation earns a fresh quarantine budget.
+        """
+        served = self._require(name)
+        if compiled is None:
+            compiled = compile_predicate(detector.predicate, check=self._check)
+        served.detector = detector
+        served.compiled = compiled
+        served.faults = 0
+        served.enabled = True
 
     def _install(
         self, name: str, detector: Detector, compiled: CompiledPredicate
@@ -186,21 +218,39 @@ class StreamingEngine:
         self, states: Sequence[Mapping[str, object]]
     ) -> BatchResult:
         """Pack ``states`` once and fan out across enabled detectors."""
+        served = [s for s in self._served.values() if s.enabled]
+        variables: set[str] = set()
+        for entry in served:
+            variables |= entry.compiled.lowered.variables()
+        index = build_index(variables)
+        x = pack_states(states, index)
+        return self.evaluate_packed(x, index)
+
+    def evaluate_packed(
+        self, x: np.ndarray, attribute_index: Mapping[str, int]
+    ) -> BatchResult:
+        """Fan a pre-packed ``(n, d)`` batch out across the detectors.
+
+        The serving tier's zero-copy path: a shared-memory ingest ring
+        already holds states in packed column form, so evaluation runs
+        directly on the ring's NumPy view.  ``attribute_index`` must
+        cover every enabled detector's variables (a missing column
+        evaluates as missing/NaN, same as :func:`pack_states`); flags
+        are bit-identical to :meth:`evaluate_batch` over the same
+        states because both paths feed the same compiled evaluators
+        with per-variable column lookups.
+        """
         self._batches += 1
         batch_id = self._batches
         served = [s for s in self._served.values() if s.enabled]
+        index = attribute_index
+        n = len(x)
         with obs.span(
             "engine.batch",
             batch=batch_id,
-            size=len(states),
+            size=n,
             detectors=len(served),
         ) as batch_span:
-            variables: set[str] = set()
-            for entry in served:
-                variables |= entry.compiled.lowered.variables()
-            index = build_index(variables)
-            x = pack_states(states, index)
-            n = len(states)
             flags: dict[str, np.ndarray] = {}
             faults: list[DetectorFault] = []
             for entry in served:

@@ -17,6 +17,15 @@ Latencies are recorded per micro-batch (the engine's unit of work);
 ``per_state`` in the report divides by the states served so the two
 cost views -- batch overhead and amortised per-check cost -- are both
 visible.
+
+Cross-process aggregation: the multi-worker serving tier
+(:mod:`repro.serving`) runs one ``RuntimeMetrics`` per evaluator
+process and folds them together with :meth:`RuntimeMetrics.merge`.
+Merging is **bucket-exact** -- histograms over identical bounds add
+slot-by-slot, so quantiles of the merged histogram are exactly the
+quantiles of the pooled samples' bucketing -- and commutative.
+``to_dict``/``from_dict`` give the lossless transport form a worker
+writes at exit and the supervisor reloads.
 """
 
 from __future__ import annotations
@@ -101,6 +110,57 @@ class LatencyHistogram:
             "p99": self.quantile(0.99),
         }
 
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other`` into this histogram, bucket-exact.
+
+        Both histograms must share bucket bounds; counts add
+        slot-by-slot, so the merged quantiles are exactly what one
+        histogram observing both sample streams would report.  The
+        operation is commutative: ``a.merge(b)`` and ``b.merge(a)``
+        leave the two sides with identical contents.
+        """
+        if self.bounds != other.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds "
+                f"({len(self.bounds)} vs {len(other.bounds)} buckets)"
+            )
+        for slot, bucket_count in enumerate(other.counts):
+            self.counts[slot] += bucket_count
+        self.overflow += other.overflow
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
+    def to_dict(self) -> dict:
+        """Lossless transport form (sparse bucket counts)."""
+        return {
+            "buckets": [
+                [slot, count]
+                for slot, count in enumerate(self.counts)
+                if count
+            ],
+            "overflow": self.overflow,
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LatencyHistogram":
+        histogram = cls()
+        for slot, count in payload.get("buckets", ()):
+            histogram.counts[int(slot)] = int(count)
+        histogram.overflow = int(payload.get("overflow", 0))
+        histogram.count = int(payload.get("count", 0))
+        histogram.total = float(payload.get("total", 0.0))
+        minimum = payload.get("min")
+        histogram.minimum = float(minimum) if minimum is not None else math.inf
+        histogram.maximum = float(payload.get("max", 0.0))
+        return histogram
+
 
 @dataclasses.dataclass
 class DetectorStats:
@@ -125,6 +185,36 @@ class DetectorStats:
 
     def record_fault(self) -> None:
         self.faults += 1
+
+    def merge(self, other: "DetectorStats") -> "DetectorStats":
+        """Fold another worker's stats for the same detector in."""
+        self.evaluations += other.evaluations
+        self.detections += other.detections
+        self.faults += other.faults
+        self.batches += other.batches
+        self.latency.merge(other.latency)
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "evaluations": self.evaluations,
+            "detections": self.detections,
+            "faults": self.faults,
+            "batches": self.batches,
+            "latency": self.latency.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DetectorStats":
+        return cls(
+            name=str(payload["name"]),
+            evaluations=int(payload.get("evaluations", 0)),
+            detections=int(payload.get("detections", 0)),
+            faults=int(payload.get("faults", 0)),
+            batches=int(payload.get("batches", 0)),
+            latency=LatencyHistogram.from_dict(payload.get("latency", {})),
+        )
 
     def snapshot(self) -> dict[str, object]:
         latency = self.latency.snapshot()
@@ -161,6 +251,35 @@ class RuntimeMetrics:
 
     def reset(self) -> None:
         self._stats.clear()
+
+    def merge(self, other: "RuntimeMetrics") -> "RuntimeMetrics":
+        """Fold another process's metrics in, per-detector.
+
+        Names present on either side survive; shared names merge
+        counter-exact and bucket-exact (see
+        :meth:`LatencyHistogram.merge`).  Commutative, so a supervisor
+        can fold worker reports in any completion order and always
+        produce the same aggregate.
+        """
+        for name, stats in other._stats.items():
+            self.stats_for(name).merge(stats)
+        return self
+
+    def to_dict(self) -> dict:
+        """Lossless transport form (`report` is the human-facing one)."""
+        return {
+            "stats": [
+                self._stats[name].to_dict() for name in sorted(self._stats)
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RuntimeMetrics":
+        metrics = cls()
+        for spec in payload.get("stats", ()):
+            stats = DetectorStats.from_dict(spec)
+            metrics._stats[stats.name] = stats
+        return metrics
 
     def report(self) -> dict[str, object]:
         """Plain-dict export: per-detector snapshots plus totals."""

@@ -91,6 +91,11 @@ class DetectorRegistry:
             )
         self._entries: dict[str, dict[int, RegisteredDetector]] = {}
         self.lint_policy = lint_policy
+        #: explicit latest pointers: only names whose serving version
+        #: diverges from the numerically newest one (i.e. rollbacks).
+        self._latest: dict[str, int] = {}
+        #: recorded deploy actions (rollbacks), newest last.
+        self.actions: list[dict] = []
 
     # -- publishing ----------------------------------------------------
     def _publish_problems(self, name: str, detector: Detector) -> list[str]:
@@ -171,6 +176,9 @@ class DetectorRegistry:
             compiled=compile_predicate(detector.predicate, check=check),
         )
         versions[version] = entry
+        # A fresh publish supersedes any standing rollback: the newest
+        # version is what `latest` serves again.
+        self._latest.pop(name, None)
         return entry
 
     def publish(
@@ -194,12 +202,45 @@ class DetectorRegistry:
             raise RegistryError(f"unknown detector {name!r}")
         if version is None:
             del self._entries[name]
+            self._latest.pop(name, None)
             return
         if version not in versions:
             raise RegistryError(f"unknown version {name}@v{version}")
         del versions[version]
+        if self._latest.get(name) == version:
+            del self._latest[name]
         if not versions:
             del self._entries[name]
+            self._latest.pop(name, None)
+
+    def rollback(self, name: str) -> RegisteredDetector:
+        """Re-point ``latest`` at the version before the one serving.
+
+        The serving version stays published (versions are immutable);
+        ``latest``/:meth:`lookup` simply resolve to its predecessor,
+        and the action is recorded on :attr:`actions` so a registry
+        snapshot carries its own deploy history.  Repeated rollbacks
+        walk further back; :meth:`register`-ing a new version clears
+        the pointer (a fresh publish is the roll-forward).  Raises
+        :class:`RegistryError` when there is no prior version to
+        return to.
+        """
+        versions = self._entries.get(name)
+        if not versions:
+            raise RegistryError(f"unknown detector {name!r}")
+        current = self.latest_version(name)
+        prior_candidates = [v for v in versions if v < current]
+        if not prior_candidates:
+            raise RegistryError(
+                f"cannot roll back {name}@v{current}: no prior version"
+            )
+        prior = max(prior_candidates)
+        self._latest[name] = prior
+        self.actions.append(
+            {"action": "rollback", "name": name,
+             "from_version": current, "to_version": prior}
+        )
+        return self.lookup(name)
 
     # -- lookup --------------------------------------------------------
     def lookup(
@@ -210,7 +251,7 @@ class DetectorRegistry:
         if not versions:
             raise RegistryError(f"unknown detector {name!r}")
         if version is None:
-            version = max(versions)
+            version = self._latest.get(name, max(versions))
         try:
             return versions[version]
         except KeyError:
@@ -226,6 +267,13 @@ class DetectorRegistry:
         if not versions:
             raise RegistryError(f"unknown detector {name!r}")
         return sorted(versions)
+
+    def latest_version(self, name: str) -> int:
+        """The version ``latest`` resolves to (rollback-aware)."""
+        versions = self._entries.get(name)
+        if not versions:
+            raise RegistryError(f"unknown detector {name!r}")
+        return self._latest.get(name, max(versions))
 
     def latest(self) -> list[RegisteredDetector]:
         """The newest version of every published name."""
@@ -244,7 +292,7 @@ class DetectorRegistry:
 
     # -- persistence ---------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "format": _FORMAT,
             "version": _FORMAT_VERSION,
             "detectors": [
@@ -256,6 +304,13 @@ class DetectorRegistry:
                 for entry in self
             ],
         }
+        # Optional keys, omitted when empty so pre-rollback artefacts
+        # stay byte-for-byte what they were.
+        if self._latest:
+            payload["latest"] = dict(sorted(self._latest.items()))
+        if self.actions:
+            payload["actions"] = list(self.actions)
+        return payload
 
     def save(self, path: str | pathlib.Path) -> pathlib.Path:
         """Write the registry as one JSON document."""
@@ -291,6 +346,27 @@ class DetectorRegistry:
             # the lint rules have tightened since it was published.
             registry.register(detector, name=name, version=version,
                               check=check, lint_policy="off")
+        latest = payload.get("latest") or {}
+        if not isinstance(latest, dict):
+            raise SerializationError("registry 'latest' must be a mapping")
+        for name, version in latest.items():
+            try:
+                version = int(version)
+            except (TypeError, ValueError) as exc:
+                raise SerializationError(
+                    f"bad latest pointer for {name!r}: {exc}"
+                ) from exc
+            if name not in registry._entries or (
+                version not in registry._entries[name]
+            ):
+                raise SerializationError(
+                    f"latest pointer {name}@v{version} is not published"
+                )
+            registry._latest[name] = version
+        actions = payload.get("actions") or []
+        if not isinstance(actions, list):
+            raise SerializationError("registry 'actions' must be a list")
+        registry.actions = [dict(action) for action in actions]
         return registry
 
     @classmethod

@@ -1,0 +1,88 @@
+"""Serving topology configuration.
+
+One :class:`ServeConfig` describes everything about a topology except
+the detectors themselves (those come from a registry snapshot): worker
+count, ring geometry, micro-batch size, the backpressure/shed policy,
+sharding key, and deploy polling.  The document form (format
+``repro.serving.config``) is what ``repro lint`` sniffs so the
+``unbounded-serving-ring`` rule can flag a topology whose ingest ring
+has no shed policy before it ever blocks a producer in production.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["ServeConfig"]
+
+_FORMAT = "repro.serving.config"
+_FORMAT_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeConfig:
+    """Static parameters of one serving topology.
+
+    ``shed_after_s`` is the backpressure bound: when a shard's ingest
+    ring stays full for that long, the pending events for the shard
+    are **shed** -- counted, never silently dropped.  ``None`` means
+    block forever (lint warns: an unbounded ring turns one stalled
+    worker into a stalled producer fleet).
+
+    ``worker_cost_s`` models a fixed **per-event** downstream cost in
+    the evaluator loop (an external scorer, a downstream RPC); the
+    load-generator benchmarks use it to make the workload wait-bound
+    so worker scaling is measurable on any core count.  Charging per
+    event rather than per micro-batch keeps the modeled time
+    independent of how the ring happens to fragment batches.
+    """
+
+    workers: int = 2
+    capacity: int = 1024
+    batch_size: int = 64
+    shed_after_s: float | None = 0.25
+    key_field: str | None = None
+    poll_interval_s: float = 0.0005
+    deploy_poll_s: float = 0.05
+    max_faults: int | None = 25
+    worker_cost_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        if self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.shed_after_s is not None and self.shed_after_s < 0:
+            raise ValueError(
+                f"shed_after_s must be >= 0 or None, got {self.shed_after_s}"
+            )
+        if self.poll_interval_s <= 0:
+            raise ValueError(
+                f"poll_interval_s must be > 0, got {self.poll_interval_s}"
+            )
+        if self.worker_cost_s < 0:
+            raise ValueError(
+                f"worker_cost_s must be >= 0, got {self.worker_cost_s}"
+            )
+
+    @property
+    def bounded(self) -> bool:
+        """Whether the ring has a shed policy (backpressure is bounded)."""
+        return self.shed_after_s is not None
+
+    def to_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["format"] = _FORMAT
+        payload["version"] = _FORMAT_VERSION
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServeConfig":
+        if payload.get("format") not in (None, _FORMAT):
+            raise ValueError(f"not a {_FORMAT} document")
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in fields})

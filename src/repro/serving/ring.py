@@ -1,0 +1,234 @@
+"""Shared-memory columnar ring buffers: the serving tier's data plane.
+
+One :class:`SharedRing` is a fixed-capacity, single-writer /
+single-reader ring of *packed* events living in one
+:class:`multiprocessing.shared_memory.SharedMemory` segment:
+
+* a small int64 **header** (monotonic written/read cursors, a stop
+  flag, a deploy epoch) -- cursors only ever grow, so ``written -
+  read`` is always the number of undelivered events and wraparound is
+  a modulo, never an ambiguity;
+* a ``(capacity, width)`` float64 **payload** block holding events in
+  the column layout :mod:`repro.runtime.pack` defines (one row per
+  event, NaN for missing), so evaluator workers run compiled
+  predicates **directly on a zero-copy NumPy view of the ring** --
+  no per-event deserialisation anywhere on the hot path;
+* a ``(capacity, meta)`` int64 **metadata** block (sequence numbers on
+  the ingest side; sequence/flag-mask/deploy-serial on the results
+  side).
+
+Ownership protocol: the writer publishes a batch by filling slots and
+*then* advancing the written cursor; the reader consumes by reading
+the cursor, using the slots, and then advancing the read cursor.  A
+slot is never overwritten until the reader has advanced past it, which
+is what makes the reader's in-place view safe.  Cursor stores are
+aligned 8-byte writes ordered after the slot data they publish -- the
+ordering contract x86-64's total store order gives directly and that
+CPython's memory model preserves for NumPy scalar stores.
+
+The topology supervisor owns every segment's lifetime: workers attach
+by :class:`RingSpec`, and under the ``spawn`` start method immediately
+unregister the mapping from their ``resource_tracker`` (a spawned
+child's tracker registers attachments as if they were creations;
+letting that stand means the first worker to exit "cleans up" --
+unlinks -- a segment the supervisor still serves).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+
+import numpy as np
+from multiprocessing import resource_tracker, shared_memory
+
+__all__ = ["RingSpec", "SharedRing"]
+
+# Header slots (int64 each).
+_WRITTEN, _READ, _STOP, _EPOCH = range(4)
+_HEADER_SLOTS = 4
+_HEADER_BYTES = _HEADER_SLOTS * 8
+
+
+@dataclasses.dataclass(frozen=True)
+class RingSpec:
+    """Picklable attachment instructions for one ring."""
+
+    name: str
+    capacity: int
+    width: int
+    meta: int
+
+
+class SharedRing:
+    """One shared-memory ring; see the module docstring for protocol."""
+
+    def __init__(
+        self, spec: RingSpec, shm: shared_memory.SharedMemory, *, owner: bool
+    ) -> None:
+        self.spec = spec
+        self._shm = shm
+        self.owner = owner
+        payload = spec.capacity * spec.width
+        meta = spec.capacity * spec.meta
+        self._header = np.frombuffer(
+            shm.buf, dtype=np.int64, count=_HEADER_SLOTS
+        )
+        self._rows = np.frombuffer(
+            shm.buf, dtype=np.float64, count=payload, offset=_HEADER_BYTES
+        ).reshape(spec.capacity, spec.width)
+        self._meta = np.frombuffer(
+            shm.buf,
+            dtype=np.int64,
+            count=meta,
+            offset=_HEADER_BYTES + payload * 8,
+        ).reshape(spec.capacity, spec.meta)
+
+    # -- lifecycle -----------------------------------------------------
+    @classmethod
+    def create(cls, capacity: int, width: int, meta: int = 1) -> "SharedRing":
+        """Allocate a fresh ring; the caller owns (and must unlink) it."""
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if width < 0 or meta < 1:
+            raise ValueError(
+                f"need width >= 0 and meta >= 1, got {width}/{meta}"
+            )
+        size = _HEADER_BYTES + capacity * width * 8 + capacity * meta * 8
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        ring = cls(RingSpec(shm.name, capacity, width, meta), shm, owner=True)
+        ring._header[:] = 0
+        return ring
+
+    @classmethod
+    def attach(cls, spec: RingSpec) -> "SharedRing":
+        """Attach to an existing ring (worker side)."""
+        shm = shared_memory.SharedMemory(name=spec.name)
+        if multiprocessing.get_start_method(allow_none=True) == "spawn":
+            # Attaching registers with the resource tracker exactly like
+            # creating does.  A spawned worker has its *own* tracker, so
+            # letting the registration stand means worker exit unlinks a
+            # segment the owning supervisor is still serving; unregister.
+            # Forked workers share the supervisor's tracker (where the
+            # registration is an idempotent no-op), and unregistering
+            # there would strip the owner's entry instead.
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:  # noqa: BLE001 -- best-effort, varies by OS
+                pass
+        return cls(spec, shm, owner=False)
+
+    def close(self) -> None:
+        """Detach (and, for the owner, unlink) the segment."""
+        if self._shm is None:
+            return
+        # The mmap refuses to close while NumPy views are exported.
+        self._header = self._rows = self._meta = None
+        self._shm.close()
+        if self.owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._shm = None
+
+    def __enter__(self) -> "SharedRing":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- cursors -------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self.spec.capacity
+
+    @property
+    def written(self) -> int:
+        return int(self._header[_WRITTEN])
+
+    @property
+    def read(self) -> int:
+        return int(self._header[_READ])
+
+    @property
+    def pending(self) -> int:
+        """Events published but not yet consumed."""
+        return int(self._header[_WRITTEN]) - int(self._header[_READ])
+
+    @property
+    def free(self) -> int:
+        """Slots the writer may fill without overtaking the reader."""
+        return self.spec.capacity - self.pending
+
+    # -- control flags -------------------------------------------------
+    def request_stop(self) -> None:
+        self._header[_STOP] = 1
+
+    @property
+    def stopped(self) -> bool:
+        return bool(self._header[_STOP])
+
+    def bump_epoch(self) -> int:
+        """Signal readers that the deploy snapshot changed."""
+        epoch = int(self._header[_EPOCH]) + 1
+        self._header[_EPOCH] = epoch
+        return epoch
+
+    @property
+    def epoch(self) -> int:
+        return int(self._header[_EPOCH])
+
+    # -- data plane ----------------------------------------------------
+    def push(self, rows: np.ndarray | None, meta: np.ndarray) -> int:
+        """Publish up to ``len(meta)`` events; returns how many fit.
+
+        ``rows`` is ``(n, width)`` float64 (ignored for width-0 rings),
+        ``meta`` is ``(n, meta)`` int64.  Partial pushes are normal
+        under backpressure -- the router retries (and eventually
+        sheds) the remainder.
+        """
+        n = min(len(meta), self.free)
+        if n <= 0:
+            return 0
+        written = self.written
+        start = written % self.spec.capacity
+        first = min(n, self.spec.capacity - start)
+        if self.spec.width:
+            self._rows[start:start + first] = rows[:first]
+        self._meta[start:start + first] = meta[:first]
+        if first < n:
+            if self.spec.width:
+                self._rows[: n - first] = rows[first:n]
+            self._meta[: n - first] = meta[first:n]
+        # Publish *after* the slot data: the cursor store is what makes
+        # the batch visible to the reader.
+        self._header[_WRITTEN] = written + n
+        return n
+
+    def peek(self, max_n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-copy views of up to ``max_n`` consumable events.
+
+        Returns the longest *contiguous* run from the read cursor (a
+        wrapped tail shows up on the next peek), as in-place views of
+        the ring.  The slots stay owned by the reader until
+        :meth:`advance`; callers must drop the views before advancing
+        past them.
+        """
+        pending = self.pending
+        if pending <= 0 or max_n <= 0:
+            return self._rows[:0], self._meta[:0]
+        start = self.read % self.spec.capacity
+        n = min(pending, max_n, self.spec.capacity - start)
+        return (
+            self._rows[start:start + n],
+            self._meta[start:start + n],
+        )
+
+    def advance(self, n: int) -> None:
+        """Return ``n`` consumed slots to the writer."""
+        if n < 0 or n > self.pending:
+            raise ValueError(
+                f"cannot advance {n} with {self.pending} pending"
+            )
+        self._header[_READ] = self.read + n

@@ -1,0 +1,140 @@
+"""Deterministic shard-by-key routing with bounded backpressure.
+
+The router is the single writer in front of the per-worker ingest
+rings.  Each submitted state gets a global sequence number, is mapped
+to a shard by a *stable* key hash (CRC32 of the key's canonical form
+-- Python's builtin ``hash`` is salted per process, which would make
+the topology's sharding irreproducible), buffered per shard, and
+flushed as a packed micro-batch:
+
+* packing happens once, in the router, via
+  :func:`repro.runtime.pack.pack_states` over the topology's fixed
+  column schema -- workers evaluate the ring view directly;
+* a full ring applies **backpressure**: the router waits up to
+  ``shed_after_s`` (calling the topology's drain hook while it waits,
+  so an in-process topology makes progress and a multi-process one
+  keeps its result rings drained), then **sheds** the remainder of
+  the batch -- counted per shard and surfaced in the serve report;
+  shedding is never silent, which is what makes
+  ``processed + shed == submitted`` checkable;
+* ``shed_after_s=None`` waits forever (the ``unbounded-serving-ring``
+  lint rule warns about configuring that).
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from collections.abc import Callable, Mapping
+
+import numpy as np
+
+from repro import observability as obs
+from repro.observability.names import COUNTER_SHED, SERVE_FLUSH
+from repro.runtime.pack import pack_states
+from repro.serving.config import ServeConfig
+from repro.serving.ring import SharedRing
+
+__all__ = ["shard_of", "ShardRouter"]
+
+
+def shard_of(key: object, shards: int) -> int:
+    """Deterministic shard for ``key``: stable across processes/runs.
+
+    Integers shard by value (sequence numbers round-robin evenly);
+    everything else hashes its ``repr`` with CRC32, which is seedless
+    and stable, unlike the interpreter's salted ``hash``.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if isinstance(key, (int, np.integer)) and not isinstance(key, bool):
+        return int(key) % shards
+    return zlib.crc32(repr(key).encode("utf-8", "backslashreplace")) % shards
+
+
+class ShardRouter:
+    """Pack and fan incoming states out across the shard rings."""
+
+    def __init__(
+        self,
+        rings: list[SharedRing],
+        index: Mapping[str, int],
+        config: ServeConfig,
+        drain_hook: Callable[[], None] | None = None,
+    ) -> None:
+        if not rings:
+            raise ValueError("need at least one shard ring")
+        self.rings = rings
+        self.index = dict(index)
+        self.config = config
+        self.drain_hook = drain_hook
+        self.submitted = 0
+        self.shed = [0] * len(rings)
+        self.pushed = [0] * len(rings)
+        self._states: list[list[Mapping[str, object]]] = [
+            [] for _ in rings
+        ]
+        self._seqs: list[list[int]] = [[] for _ in rings]
+
+    @property
+    def total_shed(self) -> int:
+        return sum(self.shed)
+
+    def submit(self, state: Mapping[str, object], key: object = None) -> int:
+        """Route one state; returns its global sequence number."""
+        seq = self.submitted
+        self.submitted += 1
+        if key is None:
+            if self.config.key_field is not None:
+                key = state.get(self.config.key_field, seq)
+            else:
+                key = seq
+        shard = shard_of(key, len(self.rings))
+        self._states[shard].append(state)
+        self._seqs[shard].append(seq)
+        if len(self._states[shard]) >= self.config.batch_size:
+            self._flush_shard(shard)
+        return seq
+
+    def flush(self) -> None:
+        """Flush every shard's partial micro-batch."""
+        for shard in range(len(self.rings)):
+            self._flush_shard(shard)
+
+    def _flush_shard(self, shard: int) -> None:
+        states = self._states[shard]
+        if not states:
+            return
+        seqs = self._seqs[shard]
+        self._states[shard] = []
+        self._seqs[shard] = []
+        rows = pack_states(states, self.index)
+        meta = np.asarray(seqs, dtype=np.int64).reshape(-1, 1)
+        ring = self.rings[shard]
+        with obs.span(SERVE_FLUSH, shard=shard, size=len(states)) as span:
+            offset = 0
+            waited = 0.0
+            budget = self.config.shed_after_s
+            while offset < len(states):
+                pushed = ring.push(rows[offset:], meta[offset:])
+                if pushed:
+                    offset += pushed
+                    self.pushed[shard] += pushed
+                    waited = 0.0  # progress resets the shed clock
+                    continue
+                if budget is not None and waited >= budget:
+                    # Bounded wait exhausted: shed the remainder,
+                    # counted -- never silent loss.
+                    dropped = len(states) - offset
+                    self.shed[shard] += dropped
+                    span.count(COUNTER_SHED, dropped)
+                    break
+                if self.drain_hook is not None:
+                    # Lets an in-process topology consume, and keeps a
+                    # multi-process topology's result rings drained (a
+                    # worker blocked on results cannot free ingest).
+                    self.drain_hook()
+                    if ring.free:
+                        continue
+                time.sleep(self.config.poll_interval_s)
+                waited += self.config.poll_interval_s

@@ -1,0 +1,140 @@
+"""Per-detector SLO tracking over merged worker metrics.
+
+DETOx's framing (PAPERS.md) is that a detector earns its deployment by
+its coverage *per unit of overhead*; an SLO is the operational form of
+the overhead half.  A :class:`SLOPolicy` states the budgets -- batch
+latency quantiles per detector, fault ratio, and the topology-wide
+shed ratio -- and :func:`evaluate_slo` checks them against a
+:class:`~repro.runtime.metrics.RuntimeMetrics` aggregate, typically
+the cross-worker merge the supervisor builds
+(:meth:`RuntimeMetrics.merge` is bucket-exact, so the pooled p99 is
+the true pooled-bucket p99, not an average of per-worker p99s --
+averaging quantiles is the classic SLO-dashboard lie).
+
+Detector names carrying an ``orchestration.`` prefix are pool-side
+bookkeeping, not served detectors, and are excluded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.runtime.metrics import RuntimeMetrics
+
+__all__ = ["SLOPolicy", "SLOViolation", "SLOReport", "evaluate_slo"]
+
+_QUANTILES = {"p50": 0.50, "p95": 0.95, "p99": 0.99}
+
+
+@dataclasses.dataclass(frozen=True)
+class SLOPolicy:
+    """Budgets for a serving topology; ``None`` disables a clause."""
+
+    #: per-detector batch-latency budgets, seconds.
+    p50_s: float | None = None
+    p95_s: float | None = None
+    p99_s: float | None = None
+    #: per-detector faults per evaluated batch.
+    max_fault_ratio: float | None = 0.01
+    #: topology-wide shed events per submitted event.
+    max_shed_ratio: float | None = 0.0
+
+    def quantile_budgets(self) -> dict[str, float]:
+        budgets = {"p50": self.p50_s, "p95": self.p95_s, "p99": self.p99_s}
+        return {k: v for k, v in budgets.items() if v is not None}
+
+
+@dataclasses.dataclass(frozen=True)
+class SLOViolation:
+    """One exceeded budget."""
+
+    subject: str
+    clause: str
+    measured: float
+    budget: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.subject}: {self.clause} {self.measured:.6g} "
+            f"exceeds budget {self.budget:.6g}"
+        )
+
+
+@dataclasses.dataclass
+class SLOReport:
+    """Outcome of one SLO evaluation."""
+
+    ok: bool
+    violations: list[SLOViolation]
+    detectors: dict[str, dict]
+    submitted: int
+    shed: int
+
+    @property
+    def shed_ratio(self) -> float:
+        return self.shed / self.submitted if self.submitted else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "violations": [
+                {
+                    "subject": v.subject,
+                    "clause": v.clause,
+                    "measured": v.measured,
+                    "budget": v.budget,
+                }
+                for v in self.violations
+            ],
+            "detectors": self.detectors,
+            "submitted": self.submitted,
+            "shed": self.shed,
+            "shed_ratio": self.shed_ratio,
+        }
+
+
+def evaluate_slo(
+    metrics: RuntimeMetrics,
+    policy: SLOPolicy,
+    *,
+    submitted: int = 0,
+    shed: int = 0,
+) -> SLOReport:
+    """Check ``metrics`` (usually a cross-worker merge) against ``policy``."""
+    violations: list[SLOViolation] = []
+    detectors: dict[str, dict] = {}
+    report = metrics.report()
+    for name, snapshot in report["detectors"].items():
+        if name.startswith("orchestration."):
+            continue
+        detectors[name] = snapshot
+        stats = metrics.stats_for(name)
+        for clause, budget in policy.quantile_budgets().items():
+            measured = stats.latency.quantile(_QUANTILES[clause])
+            if measured > budget:
+                violations.append(
+                    SLOViolation(name, f"latency {clause}", measured, budget)
+                )
+        if policy.max_fault_ratio is not None and stats.batches:
+            ratio = stats.faults / (stats.batches + stats.faults)
+            if ratio > policy.max_fault_ratio:
+                violations.append(
+                    SLOViolation(
+                        name, "fault ratio", ratio, policy.max_fault_ratio
+                    )
+                )
+    if policy.max_shed_ratio is not None and submitted:
+        ratio = shed / submitted
+        if ratio > policy.max_shed_ratio:
+            violations.append(
+                SLOViolation(
+                    "topology", "shed ratio", ratio, policy.max_shed_ratio
+                )
+            )
+    return SLOReport(
+        ok=not violations,
+        violations=violations,
+        detectors=detectors,
+        submitted=submitted,
+        shed=shed,
+    )

@@ -172,3 +172,84 @@ class TestLintGating:
         path = registry.save(tmp_path / "registry.json")
         loaded = DetectorRegistry.load(path)
         assert "bad" in loaded
+
+
+class TestRollback:
+    """Hot-deploy rollback: re-pointing ``latest`` at a prior version."""
+
+    def test_rollback_repoints_latest(self):
+        registry = make_registry()  # entry has v1 and v2
+        assert registry.lookup("entry").version == 2
+        entry = registry.rollback("entry")
+        assert entry.version == 1
+        assert registry.lookup("entry").version == 1
+        # The rolled-back version stays published; explicit lookups work.
+        assert registry.lookup("entry", version=2).detector.predicate == P2
+
+    def test_latest_helpers_follow_the_pointer(self):
+        registry = make_registry()
+        registry.rollback("entry")
+        assert registry.latest_version("entry") == 1
+        assert {e.name: e.version for e in registry.latest()} == {
+            "entry": 1,
+            "exit": 1,
+        }
+
+    def test_rollback_without_prior_version_fails(self):
+        registry = make_registry()
+        with pytest.raises(RegistryError, match="no prior version"):
+            registry.rollback("exit")  # only v1 exists
+        registry.rollback("entry")  # v2 -> v1
+        with pytest.raises(RegistryError, match="no prior version"):
+            registry.rollback("entry")  # already at the floor
+
+    def test_rollback_unknown_name_fails(self):
+        with pytest.raises(RegistryError, match="unknown detector"):
+            make_registry().rollback("ghost")
+
+    def test_repeated_rollback_walks_versions_in_order(self):
+        registry = DetectorRegistry()
+        for threshold in (1.0, 2.0, 3.0):
+            registry.register(Detector(Comparison("v", ">", threshold), name="d"))
+        assert registry.rollback("d").version == 2
+        assert registry.rollback("d").version == 1
+
+    def test_fresh_publish_supersedes_rollback(self):
+        registry = make_registry()
+        registry.rollback("entry")
+        registry.register(Detector(P3, name="entry"), lint_policy="off")  # v3
+        assert registry.lookup("entry").version == 3
+
+    def test_action_recorded(self):
+        registry = make_registry()
+        registry.rollback("entry")
+        assert registry.actions == [
+            {
+                "action": "rollback",
+                "name": "entry",
+                "from_version": 2,
+                "to_version": 1,
+            }
+        ]
+
+    def test_rollback_survives_persistence(self, tmp_path):
+        registry = make_registry()
+        registry.rollback("entry")
+        loaded = DetectorRegistry.load(registry.save(tmp_path / "r.json"))
+        assert loaded.lookup("entry").version == 1
+        assert loaded.actions == registry.actions
+        # ... and the pointer is still live state, not just a record.
+        loaded.register(Detector(P3, name="entry"), lint_policy="off")
+        assert loaded.lookup("entry").version == 3
+
+    def test_snapshot_without_rollback_has_no_pointer_keys(self, tmp_path):
+        registry = make_registry()
+        payload = registry.to_dict()
+        assert "latest" not in payload
+        assert "actions" not in payload
+
+    def test_unregister_of_pointed_version_clears_pointer(self):
+        registry = make_registry()
+        registry.rollback("entry")  # pointer -> v1
+        registry.unregister("entry", version=1)
+        assert registry.lookup("entry").version == 2

@@ -1,0 +1,122 @@
+"""ServeConfig validation/roundtrip and SLO evaluation."""
+
+import json
+
+import pytest
+
+from repro.runtime.metrics import RuntimeMetrics
+from repro.serving.config import ServeConfig
+from repro.serving.slo import SLOPolicy, evaluate_slo
+
+
+class TestServeConfig:
+    def test_defaults_are_bounded(self):
+        config = ServeConfig()
+        assert config.bounded
+        assert config.shed_after_s > 0
+
+    def test_unbounded_is_explicit(self):
+        assert not ServeConfig(shed_after_s=None).bounded
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("workers", 0),
+            ("capacity", 0),
+            ("batch_size", 0),
+            ("shed_after_s", -1.0),
+            ("poll_interval_s", 0.0),
+            ("worker_cost_s", -0.1),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            ServeConfig(**{field: value})
+
+    def test_roundtrip(self):
+        config = ServeConfig(workers=4, capacity=256, key_field="id")
+        payload = json.loads(json.dumps(config.to_dict()))
+        assert payload["format"] == "repro.serving.config"
+        assert ServeConfig.from_dict(payload) == config
+
+    def test_from_dict_rejects_other_formats(self):
+        with pytest.raises(ValueError):
+            ServeConfig.from_dict({"format": "something-else"})
+
+
+def metrics_with(name: str, batches: int, seconds: float, faults: int = 0):
+    metrics = RuntimeMetrics()
+    stats = metrics.stats_for(name)
+    for _ in range(batches):
+        stats.record_batch(10, 1, seconds)
+    for _ in range(faults):
+        stats.record_fault()
+    return metrics
+
+
+class TestSLO:
+    def test_within_budget(self):
+        report = evaluate_slo(
+            metrics_with("d", 100, 0.001),
+            SLOPolicy(p99_s=0.01),
+            submitted=1000,
+            shed=0,
+        )
+        assert report.ok
+        assert report.violations == []
+        assert "d" in report.detectors
+
+    def test_latency_violation_names_the_detector(self):
+        report = evaluate_slo(
+            metrics_with("slow", 100, 0.5),
+            SLOPolicy(p99_s=0.01, max_fault_ratio=None),
+        )
+        assert not report.ok
+        assert report.violations[0].subject == "slow"
+        assert "p99" in report.violations[0].clause
+        assert report.violations[0].measured > 0.01
+
+    def test_fault_ratio_violation(self):
+        report = evaluate_slo(
+            metrics_with("flaky", 50, 0.001, faults=50),
+            SLOPolicy(max_fault_ratio=0.1),
+        )
+        assert [v.clause for v in report.violations] == ["fault ratio"]
+        assert report.violations[0].measured == pytest.approx(0.5)
+
+    def test_shed_ratio_is_topology_wide(self):
+        report = evaluate_slo(
+            metrics_with("d", 10, 0.001),
+            SLOPolicy(max_shed_ratio=0.01),
+            submitted=1000,
+            shed=100,
+        )
+        assert [v.subject for v in report.violations] == ["topology"]
+        assert report.shed_ratio == pytest.approx(0.1)
+
+    def test_zero_shed_budget_allows_zero_shed(self):
+        report = evaluate_slo(
+            metrics_with("d", 10, 0.001),
+            SLOPolicy(max_shed_ratio=0.0),
+            submitted=1000,
+            shed=0,
+        )
+        assert report.ok
+
+    def test_orchestration_bookkeeping_excluded(self):
+        metrics = metrics_with("orchestration.pool", 10, 99.0)
+        report = evaluate_slo(metrics, SLOPolicy(p99_s=0.001))
+        assert report.ok
+        assert report.detectors == {}
+
+    def test_report_is_json_exportable(self):
+        report = evaluate_slo(
+            metrics_with("d", 10, 0.5),
+            SLOPolicy(p50_s=0.001, max_fault_ratio=None),
+            submitted=10,
+            shed=1,
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is False
+        assert payload["violations"][0]["clause"] == "latency p50"
+        assert payload["shed_ratio"] == pytest.approx(0.1)

@@ -1,0 +1,173 @@
+"""Multi-process serving: real workers, real shared memory, real deploys.
+
+These run the production topology shape (forked evaluator processes)
+end to end.  They are kept small -- correctness of the evaluation
+plane is established by the inline differential tests, which execute
+the identical worker code; what only a real process tree can show is
+lifecycle: attach/detach, stop/join, summary hand-back, deploys
+observed across a process boundary, and spans journaled from workers.
+"""
+
+import json
+import pathlib
+
+from repro import observability as obs
+from repro.core.detector import Detector
+from repro.core.predicate import Comparison
+from repro.observability.journal import TraceJournal
+from repro.observability.names import (
+    SERVE_DEPLOY,
+    SERVE_FLUSH,
+    SERVE_PUBLISH,
+    SERVE_WORKER,
+    SERVE_WORKER_BATCH,
+)
+from repro.runtime.engine import StreamingEngine
+from repro.runtime.registry import DetectorRegistry
+from repro.serving import (
+    LoadProfile,
+    ServeConfig,
+    ServingTopology,
+    synthesize_states,
+)
+
+
+def make_registry() -> DetectorRegistry:
+    registry = DetectorRegistry(lint_policy="off")
+    registry.register(Detector(Comparison("v", ">", 5.0), name="hi"))
+    registry.register(Detector(Comparison("w", "<=", 0.0), name="lo"))
+    return registry
+
+
+def test_end_to_end_matches_single_engine(tmp_path):
+    registry = make_registry()
+    states = list(synthesize_states(registry, LoadProfile(events=300, seed=7)))
+    topology = ServingTopology.from_registry(
+        registry,
+        tmp_path / "snapshot.json",
+        ServeConfig(workers=2, capacity=64, batch_size=16, shed_after_s=None),
+    )
+    topology.start()
+    topology.submit_many(states)
+    report = topology.stop()
+    assert report.accounted and report.processed == 300 and report.shed == 0
+    engine = StreamingEngine.from_registry(registry, check=False)
+    result = engine.evaluate_batch(states)
+    got = report.flags_by_seq()
+    for i in range(300):
+        expected = sum(
+            int(result.flags[name][i]) << bit
+            for bit, name in enumerate(report.names)
+        )
+        assert got[i] == expected
+    # Both workers actually served, and their summaries merged.
+    assert sorted(w["shard"] for w in report.workers) == [0, 1]
+    assert all(w["processed"] > 0 for w in report.workers)
+    assert report.metrics.report()["totals"]["evaluations"] == 2 * 300
+
+
+def test_hot_deploy_under_load_with_spans(tmp_path):
+    """The acceptance demo: deploy + rollback under live load, traced."""
+    trace_path = tmp_path / "trace.jsonl"
+    registry = make_registry()
+    states = list(synthesize_states(registry, LoadProfile(events=300, seed=8)))
+    with obs.tracing_to(trace_path):
+        topology = ServingTopology.from_registry(
+            registry,
+            tmp_path / "snapshot.json",
+            ServeConfig(workers=2, capacity=64, batch_size=16,
+                        shed_after_s=None),
+        )
+        topology.start()
+        topology.submit_many(states[:100])
+        registry.register(
+            Detector(Comparison("v", ">", 0.0), name="hi"),
+            lint_policy="off",
+        )  # hi@v2
+        serial_v2 = topology.publish(registry)
+        topology.submit_many(states[100:200])
+        # Settle before the next deploy: an in-flight event is only
+        # guaranteed *at least* the serial live when it was submitted,
+        # so draining here pins the middle segment to serial_v2.
+        topology.drain()
+        serial_v1 = topology.rollback("hi")
+        topology.submit_many(states[200:])
+        report = topology.stop()
+    assert report.accounted and report.processed == 300
+    by_seq = {int(s): int(ser) for s, ser in zip(report.seqs, report.serials)}
+    assert all(by_seq[seq] == serial_v2 for seq in range(100, 200))
+    assert all(by_seq[seq] == serial_v1 for seq in range(200, 300))
+    for summary in report.workers:
+        # A worker that came up after the first publish folds it into
+        # its initial load, so it sees one hot deploy, not two; either
+        # way it must end rolled back on the final serial.
+        assert 1 <= summary["deploys"] <= 2
+        assert summary["versions"]["hi"] == 1  # rolled back
+        assert summary["serial"] == serial_v1
+    # Spans cover the whole swap: supervisor-side publishes and
+    # worker-side deploy/batch/lifecycle spans from both processes.
+    spans, _, _ = TraceJournal(trace_path).load()
+    names = [span.name for span in spans]
+    assert names.count(SERVE_PUBLISH) == 2
+    assert SERVE_FLUSH in names
+    deploy_spans = [s for s in spans if s.name == SERVE_DEPLOY]
+    assert {s.attributes["serial"] for s in deploy_spans} <= {
+        serial_v2, serial_v1
+    }
+    # Every shard swapped to the rollback serial under load, traced.
+    assert {
+        s.attributes["shard"]
+        for s in deploy_spans
+        if s.attributes["serial"] == serial_v1
+    } == {0, 1}
+    worker_pids = {s.pid for s in spans if s.name == SERVE_WORKER_BATCH}
+    assert len(worker_pids) == 2  # batches traced from both workers
+    assert {s.pid for s in spans if s.name == SERVE_WORKER} == worker_pids
+
+
+def test_externally_published_snapshot_is_picked_up(tmp_path):
+    """Deploys don't need the supervisor: the stat poll finds them."""
+    snapshot = tmp_path / "snapshot.json"
+    registry = make_registry()
+    topology = ServingTopology.from_registry(
+        registry,
+        snapshot,
+        ServeConfig(workers=1, capacity=64, batch_size=8,
+                    shed_after_s=None, deploy_poll_s=0.0),
+    )  # deploy_poll_s=0: stat the snapshot every step (deterministic)
+    topology.start()
+    topology.submit_many({"v": float(i)} for i in range(50))
+    topology.drain()  # worker is definitely up and serving serial 1
+    # An external deploy pipeline rewrites the snapshot file directly;
+    # no epoch bump, only mtime/inode change.
+    registry.register(
+        Detector(Comparison("v", ">", -1.0), name="hi"), lint_policy="off"
+    )
+    from repro.serving.supervisor import publish_snapshot
+
+    publish_snapshot(registry, snapshot)
+    topology.submit_many({"v": float(i)} for i in range(400))
+    report = topology.stop()
+    assert report.accounted
+    assert report.workers[0]["deploys"] == 1
+    assert report.workers[0]["versions"]["hi"] == 2
+    assert report.workers[0]["serial"] == 2
+    # Every post-publish event was evaluated by the external deploy.
+    by_seq = {int(s): int(ser) for s, ser in zip(report.seqs, report.serials)}
+    assert all(by_seq[seq] == 2 for seq in range(50, 450))
+
+
+def test_worker_summary_written_and_cleaned(tmp_path):
+    topology = ServingTopology.from_registry(
+        make_registry(),
+        tmp_path / "snapshot.json",
+        ServeConfig(workers=1, capacity=32, batch_size=8, shed_after_s=None),
+    )
+    topology.start()
+    summary_dir = pathlib.Path(topology._summary_dir.name)
+    topology.submit({"v": 9.0, "w": 1.0})
+    report = topology.stop()
+    payload = report.workers[0]
+    assert payload["processed"] == 1
+    assert json.dumps(payload)  # plain JSON through the file hand-back
+    assert not summary_dir.exists()  # temp dir cleaned on stop

@@ -1,0 +1,157 @@
+"""Router semantics: stable sharding, micro-batching, counted shedding."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.pack import build_index
+from repro.serving.config import ServeConfig
+from repro.serving.ring import SharedRing
+from repro.serving.router import ShardRouter, shard_of
+
+
+class TestShardOf:
+    def test_integers_shard_by_value(self):
+        assert [shard_of(i, 4) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+        assert shard_of(np.int64(7), 4) == 3
+
+    def test_strings_are_stable(self):
+        # CRC32 is seedless: the mapping must never change between
+        # runs (a new interpreter would re-salt builtin hash()).
+        assert shard_of("sensor-a", 4) == shard_of("sensor-a", 4)
+        mapping = {key: shard_of(key, 16) for key in ("a", "b", "c", "d")}
+        assert mapping == {
+            key: shard_of(key, 16) for key in ("a", "b", "c", "d")
+        }
+
+    def test_spreads_keys(self):
+        shards = {shard_of(f"key-{i}", 4) for i in range(64)}
+        assert shards == {0, 1, 2, 3}
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            shard_of(1, 0)
+
+
+def make_router(shards=2, capacity=32, batch_size=4, **kwargs):
+    config = ServeConfig(
+        workers=shards, capacity=capacity, batch_size=batch_size, **kwargs
+    )
+    rings = [
+        SharedRing.create(capacity, 2, 1) for _ in range(shards)
+    ]
+    index = build_index(["u", "v"])
+    return ShardRouter(rings, index, config), rings
+
+
+def drain(ring):
+    total = []
+    while True:
+        rows, meta = ring.peek(ring.capacity)
+        if not len(meta):
+            return total
+        total.extend(int(s) for s in meta[:, 0])
+        n = len(meta)
+        del rows, meta
+        ring.advance(n)
+
+
+class TestRouting:
+    def test_batches_flush_at_batch_size(self):
+        router, rings = make_router(shards=1, batch_size=4)
+        try:
+            for i in range(3):
+                router.submit({"v": float(i)})
+            assert rings[0].pending == 0  # below the batch threshold
+            router.submit({"v": 3.0})
+            assert rings[0].pending == 4
+            router.submit({"v": 4.0})
+            router.flush()
+            assert rings[0].pending == 5
+            assert drain(rings[0]) == [0, 1, 2, 3, 4]
+        finally:
+            for ring in rings:
+                ring.close()
+
+    def test_default_key_round_robins_sequences(self):
+        router, rings = make_router(shards=2, batch_size=2)
+        try:
+            for i in range(8):
+                router.submit({"v": float(i)})
+            router.flush()
+            assert drain(rings[0]) == [0, 2, 4, 6]
+            assert drain(rings[1]) == [1, 3, 5, 7]
+        finally:
+            for ring in rings:
+                ring.close()
+
+    def test_key_field_groups_events(self):
+        router, rings = make_router(shards=2, batch_size=1, key_field="id")
+        try:
+            for i in range(6):
+                router.submit({"id": "same-device", "v": float(i)})
+            router.flush()
+            shard = shard_of("same-device", 2)
+            assert drain(rings[shard]) == [0, 1, 2, 3, 4, 5]
+            assert drain(rings[1 - shard]) == []
+        finally:
+            for ring in rings:
+                ring.close()
+
+    def test_packed_rows_follow_index(self):
+        router, rings = make_router(shards=1, batch_size=1)
+        try:
+            router.submit({"u": 1.5, "v": 2.5})
+            router.submit({"v": 7.0})  # u missing -> NaN
+            view, meta_view = rings[0].peek(4)
+            rows = view.copy()
+            del view, meta_view  # borrowed views must not outlive close
+            iu, iv = router.index["u"], router.index["v"]
+            assert rows[0, iu] == 1.5 and rows[0, iv] == 2.5
+            assert np.isnan(rows[1, iu]) and rows[1, iv] == 7.0
+        finally:
+            for ring in rings:
+                ring.close()
+
+
+class TestBackpressure:
+    def test_full_ring_sheds_after_budget(self):
+        # No consumer: a full ring must shed the remainder, counted.
+        router, rings = make_router(
+            shards=1, capacity=8, batch_size=4,
+            shed_after_s=0.01, poll_interval_s=0.001,
+        )
+        try:
+            for i in range(16):
+                router.submit({"v": float(i)})
+            assert router.submitted == 16
+            assert router.pushed[0] == 8
+            assert router.shed[0] == 8
+            assert router.total_shed == 8
+            # Invariant the supervisor asserts: nothing silently lost.
+            assert router.pushed[0] + router.total_shed == router.submitted
+        finally:
+            for ring in rings:
+                ring.close()
+
+    def test_drain_hook_avoids_shedding(self):
+        config = ServeConfig(
+            workers=1, capacity=4, batch_size=4,
+            shed_after_s=0.05, poll_interval_s=0.001,
+        )
+        ring = SharedRing.create(4, 2, 1)
+        consumed = []
+
+        def hook():
+            consumed.extend(drain(ring))
+
+        router = ShardRouter([ring], build_index(["u", "v"]), config,
+                             drain_hook=hook)
+        try:
+            for i in range(32):
+                router.submit({"v": float(i)})
+            router.flush()
+            consumed.extend(drain(ring))
+            assert router.total_shed == 0
+            assert consumed == list(range(32))
+        finally:
+            ring.close()

@@ -1,0 +1,336 @@
+"""Inline-topology semantics: the deterministic core of the serving tier.
+
+The inline topology steps the *same* ring/router/worker code the
+multi-process tier runs, in one process with no scheduler -- which is
+what makes the differential hypothesis below airtight: for any worker
+count, batch size, ring capacity and event stream, the sharded
+topology's flags must be **bit-identical** to a single
+:class:`StreamingEngine` evaluating the same stream.
+"""
+
+import json
+import tempfile
+import pathlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.detector import Detector
+from repro.core.predicate import And, Comparison, Or
+from repro.runtime.engine import StreamingEngine
+from repro.runtime.registry import DetectorRegistry
+from repro.serving import (
+    LoadProfile,
+    ServeConfig,
+    ServingTopology,
+    SLOPolicy,
+    publish_snapshot,
+    synthesize_states,
+)
+
+P_HI = Comparison("v", ">", 5.0)
+P_LO = Or([Comparison("v", "<=", 1.0), Comparison("w", "==", 0.0)])
+P_MIX = And([Comparison("u", "!=", 3.0), Comparison("v", ">", 0.0)])
+
+
+def make_registry() -> DetectorRegistry:
+    registry = DetectorRegistry(lint_policy="off")
+    registry.register(Detector(P_HI, name="hi"))
+    registry.register(Detector(P_LO, name="lo"))
+    registry.register(Detector(P_MIX, name="mix"))
+    return registry
+
+
+def inline_topology(tmp, registry=None, **config_kwargs):
+    config_kwargs.setdefault("workers", 2)
+    config_kwargs.setdefault("capacity", 64)
+    config_kwargs.setdefault("batch_size", 8)
+    registry = registry if registry is not None else make_registry()
+    return ServingTopology.from_registry(
+        registry,
+        pathlib.Path(tmp) / "snapshot.json",
+        ServeConfig(**config_kwargs),
+        inline=True,
+    )
+
+
+def reference_masks(registry, states, names):
+    """Flag masks from a single-process StreamingEngine stream."""
+    engine = StreamingEngine.from_registry(registry, check=False)
+    bit_of = {name: bit for bit, name in enumerate(names)}
+    masks = []
+    for result in engine.evaluate_stream(states, batch_size=16):
+        batch_masks = np.zeros(result.size, dtype=np.int64)
+        for name, flagged in result.flags.items():
+            batch_masks |= flagged.astype(np.int64) << bit_of[name]
+        masks.extend(int(m) for m in batch_masks)
+    return masks
+
+
+class TestDifferential:
+    """The serving tier must never change what gets flagged."""
+
+    @given(
+        workers=st.integers(min_value=1, max_value=4),
+        batch_size=st.integers(min_value=1, max_value=16),
+        capacity=st.integers(min_value=4, max_value=64),
+        events=st.integers(min_value=0, max_value=120),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_sharded_flags_match_single_engine(
+        self, workers, batch_size, capacity, events, seed
+    ):
+        registry = make_registry()
+        states = list(
+            synthesize_states(registry, LoadProfile(events=events, seed=seed))
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            topology = inline_topology(
+                tmp,
+                workers=workers,
+                batch_size=batch_size,
+                capacity=capacity,
+                shed_after_s=None,  # differential run: nothing may shed
+            )
+            topology.start()
+            topology.submit_many(states)
+            report = topology.stop()
+        assert report.accounted and report.shed == 0
+        expected = reference_masks(registry, states, report.names)
+        got = report.flags_by_seq()
+        assert len(got) == len(states)
+        for seq, mask in enumerate(expected):
+            assert got[seq] == mask, f"event {seq} diverged"
+
+    def test_string_keyed_sharding_matches_too(self, tmp_path):
+        registry = make_registry()
+        states = [
+            {"id": f"device-{i % 7}", "u": float(i % 5), "v": float(i % 11) - 3}
+            for i in range(100)
+        ]
+        topology = inline_topology(
+            tmp_path, workers=3, key_field="id", shed_after_s=None
+        )
+        topology.start()
+        topology.submit_many(states)
+        report = topology.stop()
+        expected = reference_masks(registry, states, report.names)
+        assert [report.flags_by_seq()[i] for i in range(100)] == expected
+
+
+class TestDeploy:
+    def test_torn_deploy_loses_and_duplicates_nothing(self, tmp_path):
+        """Snapshot swapped mid-stream: every event evaluated exactly once,
+
+        and every event submitted after the publish is evaluated by the
+        new version (its result row carries the new deploy serial)."""
+        registry = make_registry()
+        states = list(
+            synthesize_states(registry, LoadProfile(events=200, seed=3))
+        )
+        topology = inline_topology(tmp_path, workers=2, shed_after_s=None)
+        topology.start()
+        topology.submit_many(states[:100])
+        registry.register(
+            Detector(Comparison("v", ">", 0.5), name="hi"),
+            lint_policy="off",
+        )  # hi@v2
+        serial = topology.publish(registry)
+        topology.submit_many(states[100:])
+        report = topology.stop()
+        assert report.accounted and report.processed == 200
+        seqs = sorted(int(s) for s in report.seqs)
+        assert seqs == list(range(200))  # no loss, no duplicates
+        by_seq = {int(s): int(ser) for s, ser in zip(report.seqs, report.serials)}
+        assert all(by_seq[seq] == serial for seq in range(100, 200))
+        # Post-publish flags follow the *new* predicate.
+        expected = reference_masks(registry, states[100:], report.names)
+        got = report.flags_by_seq()
+        assert [got[100 + i] for i in range(100)] == expected
+
+    def test_rollback_under_load(self, tmp_path):
+        registry = make_registry()
+        registry.register(
+            Detector(Comparison("v", ">", -100.0), name="hi"),
+            lint_policy="off",
+        )  # hi@v2 flags nearly everything
+        states = list(
+            synthesize_states(registry, LoadProfile(events=120, seed=4))
+        )
+        topology = inline_topology(tmp_path, registry=registry, workers=2,
+                                   shed_after_s=None)
+        topology.start()
+        topology.submit_many(states[:60])
+        topology.rollback("hi")
+        topology.submit_many(states[60:])
+        report = topology.stop()
+        assert report.accounted
+        # After rollback the workers serve hi@v1 again.
+        rolled = DetectorRegistry.load(topology.snapshot_path, check=False)
+        assert rolled.lookup("hi").version == 1
+        for summary in report.workers:
+            assert summary["versions"]["hi"] == 1
+        bit = report.names.index("hi")
+        engine = StreamingEngine.from_registry(rolled, check=False)
+        got = report.flags_by_seq()
+        for offset, result in enumerate(
+            engine.evaluate_stream(states[60:], batch_size=16)
+        ):
+            for i in range(result.size):
+                seq = 60 + offset * 16 + i
+                assert ((got[seq] >> bit) & 1) == int(result.flags["hi"][i])
+
+    def test_deploy_needing_unknown_variable_is_refused(self, tmp_path):
+        registry = make_registry()
+        topology = inline_topology(tmp_path, workers=1, shed_after_s=None)
+        topology.start()
+        registry.register(
+            Detector(Comparison("zz_new", ">", 0.0), name="hi"),
+            lint_policy="off",
+        )  # hi@v2 reads outside the topology's ring schema
+        topology.publish(registry)
+        topology.submit({"v": 10.0})
+        report = topology.stop()
+        summary = report.workers[0]
+        assert summary["versions"]["hi"] == 1  # old version kept serving
+        assert any("zz_new" in reason for reason in summary["deploy_skipped"])
+        bit = report.names.index("hi")
+        assert (report.masks[0] >> bit) & 1  # v1 still flags v > 5
+
+
+class TestAccounting:
+    def test_shedding_is_counted_never_silent(self, tmp_path):
+        # One worker with a modeled downstream cost and a tiny ring:
+        # the router's bounded wait expires and the overflow is shed.
+        topology = inline_topology(
+            tmp_path,
+            workers=1,
+            capacity=4,
+            batch_size=4,
+            shed_after_s=0.0,  # shed immediately on a full ring
+            worker_cost_s=0.0,
+        )
+        topology.start()
+        # Bypass the drain hook to fill the ring: submit without the
+        # inline pump by stuffing the ring directly via the router.
+        topology.router.drain_hook = None
+        for i in range(32):
+            topology.submit({"v": float(i)})
+        topology.router.flush()
+        topology.router.drain_hook = topology._pump
+        report = topology.stop()
+        assert report.shed > 0
+        assert report.processed + report.shed == report.submitted == 32
+        assert sum(report.shed_by_shard) == report.shed
+        # Shed events are absent from results, not flagged as anything.
+        assert len(report.seqs) == report.processed
+
+    def test_slo_shed_violation_surfaces(self, tmp_path):
+        registry = make_registry()
+        topology = ServingTopology.from_registry(
+            registry,
+            tmp_path / "snapshot.json",
+            ServeConfig(workers=1, capacity=4, batch_size=4,
+                        shed_after_s=0.0),
+            inline=True,
+            slo=SLOPolicy(max_shed_ratio=0.0),
+        )
+        topology.start()
+        topology.router.drain_hook = None
+        for i in range(32):
+            topology.submit({"v": float(i)})
+        topology.router.flush()
+        topology.router.drain_hook = topology._pump
+        report = topology.stop()
+        assert report.slo is not None and not report.slo.ok
+        assert any(v.clause == "shed ratio" for v in report.slo.violations)
+
+    def test_metrics_merge_across_workers(self, tmp_path):
+        topology = inline_topology(tmp_path, workers=4, shed_after_s=None)
+        topology.start()
+        registry = make_registry()
+        states = list(
+            synthesize_states(registry, LoadProfile(events=200, seed=5))
+        )
+        topology.submit_many(states)
+        report = topology.stop()
+        merged = report.metrics.report()
+        # Every evaluation by every worker lands in the aggregate:
+        # 3 detectors x 200 events.
+        assert merged["totals"]["evaluations"] == 3 * 200
+        per_worker = [
+            s["metrics"]["stats"] for s in report.workers if "metrics" in s
+        ]
+        batches = sum(
+            spec["batches"] for stats in per_worker for spec in stats
+        )
+        assert merged["totals"]["batches"] == batches
+        # Detections in the merged metrics equal detections in the masks.
+        for name, count in report.detections().items():
+            assert merged["detectors"][name]["detections"] == count
+
+
+class TestReport:
+    def test_report_to_dict_is_json(self, tmp_path):
+        topology = inline_topology(tmp_path, workers=2, shed_after_s=None)
+        topology.start()
+        topology.submit({"v": 10.0, "u": 1.0, "w": 1.0})
+        report = topology.stop()
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["accounted"] is True
+        assert payload["submitted"] == 1
+        assert set(payload["detections"]) == {"hi", "lo", "mix"}
+
+    def test_stop_is_idempotent(self, tmp_path):
+        topology = inline_topology(tmp_path, workers=1, shed_after_s=None)
+        topology.start()
+        topology.submit({"v": 1.0})
+        assert topology.stop() is topology.stop()
+
+    def test_too_many_detectors_refused(self, tmp_path):
+        registry = DetectorRegistry(lint_policy="off")
+        for i in range(64):
+            registry.register(
+                Detector(Comparison("v", ">", float(i)), name=f"d{i:03d}")
+            )
+        path = tmp_path / "snapshot.json"
+        publish_snapshot(registry, path)
+        with pytest.raises(ValueError, match="at most 63"):
+            ServingTopology(path, ServeConfig(workers=1))
+
+
+class TestLoadgen:
+    def test_stream_is_deterministic(self):
+        registry = make_registry()
+        profile = LoadProfile(events=50, seed=9)
+        first = list(synthesize_states(registry, profile))
+        second = list(synthesize_states(registry, profile))
+        assert first == second
+
+    def test_stream_exercises_both_branches(self):
+        registry = make_registry()
+        states = list(
+            synthesize_states(registry, LoadProfile(events=400, seed=0))
+        )
+        engine = StreamingEngine.from_registry(registry, check=False)
+        result = engine.evaluate_batch(states)
+        for name, flagged in result.flags.items():
+            assert 0 < int(flagged.sum()) < len(states), name
+
+    def test_missing_fraction_drops_variables(self):
+        registry = make_registry()
+        states = list(
+            synthesize_states(
+                registry,
+                LoadProfile(events=200, seed=1, missing_fraction=0.5),
+            )
+        )
+        assert any(len(s) < 3 for s in states)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            LoadProfile(events=-1)
+        with pytest.raises(ValueError):
+            LoadProfile(hot_fraction=1.5)
