@@ -1,0 +1,97 @@
+"""Bench R-7: static injection-space pruning (repro.analysis.prune).
+
+Times one seed-target campaign (7Z-B3: the LDecode exit/exit dataset,
+whose exit state is mostly write-only) exhaustively and under
+``prune="static"`` with the default 5% audit enabled.  The pruned run
+pays for the dataflow analysis, the per-bit channel signatures, the
+record synthesis and the audit re-injections -- the speedup measures
+the whole pipeline against the whole exhaustive loop, not just runs
+skipped.
+
+The assertions encode the subsystem's contract: the pruned outcome
+table is bit-identical to the exhaustive one (``to_dict()`` equality,
+canonical order included), the audit re-injects a real sample with
+zero contradictions, and the wall-clock speedup clears the >= 1.5x
+acceptance bar of EXPERIMENTS.md R-7 (measured ~4x at smoke scale).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.experiments.datasets import (
+    DATASET_SPECS,
+    build_target,
+    campaign_config,
+)
+from repro.injection.campaign import Campaign
+
+DATASET = "7Z-B3"
+
+
+def _campaign(scale):
+    spec = DATASET_SPECS[DATASET]
+    return Campaign(
+        build_target(spec.target, scale), campaign_config(spec, scale)
+    )
+
+
+def _timed(scale, **kwargs):
+    campaign = _campaign(scale)
+    started = time.perf_counter()
+    result = campaign.run(**kwargs)
+    return time.perf_counter() - started, result
+
+
+@pytest.mark.bench_smoke
+def test_bench_prune_speedup(benchmark, scale):
+    exhaustive_s, exhaustive = _timed(scale)
+
+    pruned_s, pruned = benchmark.pedantic(
+        lambda: _timed(scale, prune="static"), rounds=1, iterations=1
+    )
+    speedup = exhaustive_s / pruned_s
+    info = pruned.prune
+    audit = info["audit"]
+
+    print()
+    print(
+        f"prune {DATASET} @ {scale.name}: exhaustive {exhaustive_s:.2f}s, "
+        f"pruned {pruned_s:.2f}s ({speedup:.1f}x); "
+        f"{info['runs_pruned']}/{info['runs_planned']} runs pruned "
+        f"({info['pruned_fraction']:.0%}), {audit['audited']} audited"
+    )
+
+    artifact = os.environ.get("REPRO_BENCH_PRUNE_JSON")
+    if artifact:
+        with open(artifact, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "dataset": DATASET,
+                    "scale": scale.name,
+                    "exhaustive_s": exhaustive_s,
+                    "pruned_s": pruned_s,
+                    "speedup": speedup,
+                    "runs_planned": info["runs_planned"],
+                    "runs_executed": info["runs_executed"],
+                    "runs_pruned": info["runs_pruned"],
+                    "pruned_fraction": info["pruned_fraction"],
+                    "audited": audit["audited"],
+                    "contradictions": audit["contradictions"],
+                },
+                handle,
+                indent=2,
+            )
+
+    # Contract first: the pruned table is bit-identical to exhaustive.
+    assert [r.to_dict() for r in pruned.records] == [
+        r.to_dict() for r in exhaustive.records
+    ]
+    # The audit actually sampled pruned cells, and none contradicted.
+    assert audit["audited"] > 0
+    assert audit["contradictions"] == 0
+    assert info["runs_pruned"] > 0
+    # The R-7 acceptance bar: >= 1.5x end-to-end on the seed target.
+    assert speedup >= 1.5, f"speedup {speedup:.2f}x below the 1.5x bar"

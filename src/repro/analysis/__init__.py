@@ -28,8 +28,14 @@ without running them:
   vacuous clause verdicts, provably equivalent smaller predicates);
 * :mod:`repro.analysis.redundancy` -- cross-detector diffing
   (equivalence / implication proofs, battery-evidence overlap);
+* :mod:`repro.analysis.dataflow` -- intraprocedural CFG / reaching
+  definitions / observation-channel analysis of target module ASTs,
+  the evidence base for surface and prune verdicts;
 * :mod:`repro.analysis.surface` -- AST injection-surface analysis of
   target modules (instrumentable variables, def-use, dead injections);
+* :mod:`repro.analysis.prune` -- static injection-space pruning: per
+  ``(variable, bit)`` dead / equivalent / live verdicts with record
+  synthesis and a seeded re-injection audit;
 * :mod:`repro.analysis.lint` -- the pluggable lint framework tying the
   above together behind ``repro lint`` / ``repro analyze``.
 """
@@ -66,6 +72,20 @@ from repro.analysis.redundancy import (
     analyze_registry,
     compare_predicates,
 )
+from repro.analysis.dataflow import (
+    ModuleDataflow,
+    VariableFlow,
+    analyze_dataflow,
+    analyze_dataflow_module,
+    analyze_dataflow_package,
+)
+from repro.analysis.prune import (
+    PointPlan,
+    PruneContradiction,
+    PrunePlan,
+    plan_prune,
+    prune_campaign,
+)
 from repro.analysis.surface import (
     ProbeSite,
     SurfaceReport,
@@ -98,17 +118,25 @@ __all__ = [
     "LintContext",
     "LintRule",
     "Linter",
+    "ModuleDataflow",
+    "PointPlan",
     "PredicateRelation",
     "ProbeSite",
     "PropagationReport",
+    "PruneContradiction",
+    "PrunePlan",
     "RedundancyFinding",
     "Severity",
     "SimplificationResult",
     "SurfaceReport",
     "SurfaceVariable",
     "TTestResult",
+    "VariableFlow",
     "VariablePropagation",
     "analyse_propagation",
+    "analyze_dataflow",
+    "analyze_dataflow_module",
+    "analyze_dataflow_package",
     "analyze_module",
     "analyze_registry",
     "analyze_source",
@@ -125,6 +153,8 @@ __all__ = [
     "exit_code",
     "latency_statistics",
     "paired_t_test",
+    "plan_prune",
+    "prune_campaign",
     "register_rule",
     "render_json",
     "render_text",

@@ -1,0 +1,77 @@
+"""Intraprocedural dataflow analysis of instrumented target modules.
+
+The injection tier enumerates variable x bit x time x test-case
+exhaustively, yet a large fraction of those injections is provably
+uninteresting before a single fault is injected: the target overwrites
+the variable before reading it (masked by construction), or two
+injection points sit in the same propagation class and produce
+identical outcomes.  This package proves those facts *statically*,
+from the target module's AST:
+
+* :mod:`repro.analysis.dataflow.probes` -- the shared probe-site
+  walker (``harness.probe(module, location, {...})`` discovery), also
+  used by :mod:`repro.analysis.surface`;
+* :mod:`repro.analysis.dataflow.cfg` -- statement-level control-flow
+  graphs of target functions, conservative by construction (edges
+  over-approximate real flow; anything unsupported aborts the whole
+  function's analysis);
+* :mod:`repro.analysis.dataflow.reaching` -- reaching definitions,
+  def-use chains and live-variable analysis over those CFGs;
+* :mod:`repro.analysis.dataflow.lattice` -- the observation lattice: a
+  conservative bit-relevance abstraction describing *how* the module
+  observes each probed variable (pure observation channels, or TOP);
+* :mod:`repro.analysis.dataflow.analyzer` -- the per-variable verdicts
+  (``dead`` / ``observed`` / ``live``) with provenance, consumed by
+  :mod:`repro.analysis.prune` and :mod:`repro.analysis.surface`.
+
+The soundness direction is uniform: imprecision may only ever *lose*
+pruning opportunities (extra edges, extra uses, TOP verdicts), never
+invent them.  See ``docs/analysis.md`` for the lattice write-up and
+the audit contract that backs the static claims empirically.
+"""
+
+from repro.analysis.dataflow.analyzer import (
+    ModuleDataflow,
+    VariableFlow,
+    analyze_dataflow,
+    analyze_dataflow_module,
+    analyze_dataflow_package,
+)
+from repro.analysis.dataflow.cfg import CFG, CFGNode, UnsupportedConstruct, build_cfg
+from repro.analysis.dataflow.lattice import Channel, canonical_value
+from repro.analysis.dataflow.probes import (
+    FunctionProbe,
+    ProbeSite,
+    function_probes,
+    iter_target_sources,
+)
+from repro.analysis.dataflow.reaching import (
+    Definition,
+    def_use_chains,
+    definitions_of,
+    live_variables,
+    reaching_definitions,
+)
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "Channel",
+    "Definition",
+    "FunctionProbe",
+    "ModuleDataflow",
+    "ProbeSite",
+    "UnsupportedConstruct",
+    "VariableFlow",
+    "analyze_dataflow",
+    "analyze_dataflow_module",
+    "analyze_dataflow_package",
+    "build_cfg",
+    "canonical_value",
+    "def_use_chains",
+    "definitions_of",
+    "function_probes",
+    "iter_target_sources",
+    "live_variables",
+    "reaching_definitions",
+]

@@ -1,0 +1,259 @@
+"""Statement-level control-flow graphs of target functions.
+
+One CFG node per executable statement (branch and loop headers anchor
+their test/iterator expression only; body statements get their own
+nodes).  The graph is *conservative by construction*: edges
+over-approximate real control flow, so any path the program can take
+exists in the graph -- imprecision only ever adds paths.  Constructs
+whose flow this builder cannot over-approximate cheaply (``match``,
+``async for``/``async with``, ``try``/``finally``, ``global``/
+``nonlocal`` rebinding) raise :class:`UnsupportedConstruct`; callers
+treat the whole function as unanalyzable (TOP) rather than guess.
+
+Exception flow: while statements inside a ``try`` body are being
+built, every node gets an edge to each handler entry, so definitions
+made (or merely reached) inside the body reach uses in the handlers.
+Nodes with such edges -- and all nodes inside ``with`` bodies, whose
+context managers may suppress exceptions mid-body -- are flagged
+``weak``: the reaching-definitions pass must not apply strong kills
+there, because the node's own assignments may not have happened on the
+exceptional path.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+
+__all__ = ["CFG", "CFGNode", "UnsupportedConstruct", "build_cfg"]
+
+
+class UnsupportedConstruct(Exception):
+    """A construct whose control flow this builder does not model."""
+
+
+@dataclasses.dataclass
+class CFGNode:
+    """One CFG node: an anchoring statement plus what executes there."""
+
+    index: int
+    stmt: ast.AST | None  # anchoring statement (function for entry)
+    parts: tuple[ast.AST, ...]  # sub-trees evaluated at this node
+    kind: str  # entry | exit | stmt | branch | loop | except
+    succ: set[int] = dataclasses.field(default_factory=set)
+    pred: set[int] = dataclasses.field(default_factory=set)
+    #: Strong kills are unsound here (exception/suppression may skip
+    #: this node's assignments, or the assignment may not execute at
+    #: all, e.g. a ``for`` target over an empty iterable).
+    weak: bool = False
+
+
+@dataclasses.dataclass
+class CFG:
+    """Control-flow graph of one function."""
+
+    function: ast.FunctionDef | ast.AsyncFunctionDef
+    nodes: list[CFGNode]
+    entry: int
+    exit: int
+    _stmt_nodes: dict[int, int]  # id(stmt) -> node index
+
+    def node_of(self, stmt: ast.AST) -> int | None:
+        """CFG node anchored at ``stmt`` (by identity), if any."""
+        return self._stmt_nodes.get(id(stmt))
+
+
+_UNSUPPORTED = (
+    ast.AsyncFor,
+    ast.AsyncWith,
+    ast.Global,
+    ast.Nonlocal,
+    ast.Match,
+)
+
+_SIMPLE = (
+    ast.Assign,
+    ast.AugAssign,
+    ast.AnnAssign,
+    ast.Expr,
+    ast.Pass,
+    ast.Delete,
+    ast.Import,
+    ast.ImportFrom,
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+)
+
+
+class _Builder:
+    def __init__(self, function: ast.FunctionDef | ast.AsyncFunctionDef):
+        self.function = function
+        self.nodes: list[CFGNode] = []
+        self.stmt_nodes: dict[int, int] = {}
+        # Stack of handler-entry lists for enclosing try bodies.
+        self.handler_stack: list[list[int]] = []
+        # Stacks managed per enclosing loop.
+        self.break_stack: list[list[int]] = []
+        self.continue_stack: list[int] = []
+        self.with_depth = 0
+
+    def new(
+        self,
+        stmt: ast.AST | None,
+        parts: tuple[ast.AST, ...],
+        kind: str = "stmt",
+        reachable_by_raise: bool = True,
+    ) -> int:
+        node = CFGNode(index=len(self.nodes), stmt=stmt, parts=parts, kind=kind)
+        self.nodes.append(node)
+        if stmt is not None:
+            self.stmt_nodes[id(stmt)] = node.index
+        if reachable_by_raise and kind not in ("entry", "exit"):
+            for handlers in self.handler_stack:
+                for handler in handlers:
+                    self.edge(node.index, handler)
+                    node.weak = True
+            if self.with_depth:
+                node.weak = True
+        return node.index
+
+    def edge(self, src: int, dst: int) -> None:
+        self.nodes[src].succ.add(dst)
+        self.nodes[dst].pred.add(src)
+
+    def link(self, frontier: list[int], dst: int) -> None:
+        for src in frontier:
+            self.edge(src, dst)
+
+    def body(self, stmts: list[ast.stmt], frontier: list[int]) -> list[int]:
+        for stmt in stmts:
+            frontier = self.stmt(stmt, frontier)
+        return frontier
+
+    def stmt(self, stmt: ast.stmt, frontier: list[int]) -> list[int]:
+        if isinstance(stmt, _UNSUPPORTED):
+            raise UnsupportedConstruct(
+                f"{type(stmt).__name__} at line {stmt.lineno}"
+            )
+        if type(stmt).__name__ == "TryStar":
+            raise UnsupportedConstruct(f"try* at line {stmt.lineno}")
+        if isinstance(stmt, _SIMPLE):
+            node = self.new(stmt, (stmt,))
+            self.link(frontier, node)
+            return [node]
+        if isinstance(stmt, ast.Return):
+            parts = (stmt,) if stmt.value is not None else ()
+            node = self.new(stmt, parts)
+            self.link(frontier, node)
+            self.edge(node, self.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            parts = tuple(p for p in (stmt.exc, stmt.cause) if p is not None)
+            node = self.new(stmt, parts)
+            self.link(frontier, node)
+            self.edge(node, self.exit)
+            return []
+        if isinstance(stmt, ast.Assert):
+            parts = tuple(p for p in (stmt.test, stmt.msg) if p is not None)
+            node = self.new(stmt, parts)
+            self.link(frontier, node)
+            return [node]
+        if isinstance(stmt, ast.Break):
+            if not self.break_stack:
+                raise UnsupportedConstruct(f"break outside loop at {stmt.lineno}")
+            node = self.new(stmt, ())
+            self.link(frontier, node)
+            self.break_stack[-1].append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            if not self.continue_stack:
+                raise UnsupportedConstruct(
+                    f"continue outside loop at {stmt.lineno}"
+                )
+            node = self.new(stmt, ())
+            self.link(frontier, node)
+            self.edge(node, self.continue_stack[-1])
+            return []
+        if isinstance(stmt, ast.If):
+            node = self.new(stmt, (stmt.test,), kind="branch")
+            self.link(frontier, node)
+            then_frontier = self.body(stmt.body, [node])
+            else_frontier = self.body(stmt.orelse, [node]) if stmt.orelse else [node]
+            return then_frontier + else_frontier
+        if isinstance(stmt, ast.While):
+            node = self.new(stmt, (stmt.test,), kind="branch")
+            self.link(frontier, node)
+            self.break_stack.append([])
+            self.continue_stack.append(node)
+            body_frontier = self.body(stmt.body, [node])
+            self.link(body_frontier, node)
+            self.continue_stack.pop()
+            breaks = self.break_stack.pop()
+            else_frontier = self.body(stmt.orelse, [node]) if stmt.orelse else [node]
+            return else_frontier + breaks
+        if isinstance(stmt, ast.For):
+            # The loop header evaluates the iterator and (weakly, since
+            # the iterable may be empty) binds the target.
+            node = self.new(stmt, (stmt.iter,), kind="loop")
+            self.nodes[node].weak = True
+            self.link(frontier, node)
+            self.break_stack.append([])
+            self.continue_stack.append(node)
+            body_frontier = self.body(stmt.body, [node])
+            self.link(body_frontier, node)
+            self.continue_stack.pop()
+            breaks = self.break_stack.pop()
+            else_frontier = self.body(stmt.orelse, [node]) if stmt.orelse else [node]
+            return else_frontier + breaks
+        if isinstance(stmt, ast.With):
+            parts = tuple(item.context_expr for item in stmt.items)
+            node = self.new(stmt, parts)
+            self.link(frontier, node)
+            self.with_depth += 1
+            try:
+                return self.body(stmt.body, [node])
+            finally:
+                self.with_depth -= 1
+        if isinstance(stmt, ast.Try):
+            if stmt.finalbody:
+                raise UnsupportedConstruct(f"try/finally at line {stmt.lineno}")
+            handler_entries: list[int] = []
+            for handler in stmt.handlers:
+                parts = (handler.type,) if handler.type is not None else ()
+                entry = self.new(handler, parts, kind="except")
+                self.nodes[entry].weak = True
+                handler_entries.append(entry)
+            self.handler_stack.append(handler_entries)
+            try:
+                body_frontier = self.body(stmt.body, frontier)
+            finally:
+                self.handler_stack.pop()
+            else_frontier = (
+                self.body(stmt.orelse, body_frontier)
+                if stmt.orelse
+                else body_frontier
+            )
+            out = list(else_frontier)
+            for handler, entry in zip(stmt.handlers, handler_entries):
+                out.extend(self.body(handler.body, [entry]))
+            return out
+        raise UnsupportedConstruct(
+            f"{type(stmt).__name__} at line {getattr(stmt, 'lineno', 0)}"
+        )
+
+
+def build_cfg(function: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the CFG of one function, or raise UnsupportedConstruct."""
+    builder = _Builder(function)
+    entry = builder.new(function, (), kind="entry", reachable_by_raise=False)
+    builder.exit = builder.new(None, (), kind="exit", reachable_by_raise=False)
+    frontier = builder.body(function.body, [entry])
+    builder.link(frontier, builder.exit)
+    return CFG(
+        function=function,
+        nodes=builder.nodes,
+        entry=entry,
+        exit=builder.exit,
+        _stmt_nodes=builder.stmt_nodes,
+    )

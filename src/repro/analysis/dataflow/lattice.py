@@ -1,0 +1,175 @@
+"""The observation lattice: conservative bit-relevance for locals.
+
+The dataflow analyzer reduces every way a target observes an injected
+variable to an *observation channel*: a pure, closed expression over
+the single placeholder ``__v__`` (the injected value), built only
+from compositions the analyzer proved side-effect free -- arithmetic
+and comparisons against constants, boolean tests, and a whitelist of
+pure builtins.  The lattice ordering is by observational power:
+
+* **bottom** -- no channels: the module never observes the value, so
+  any injection into it is dead;
+* **channels** -- a finite set of pure expressions: the module's
+  behavior is a function of the channel outputs only, so two injected
+  values with equal outputs on every channel are indistinguishable;
+* **TOP** -- the raw value escapes (identity channel) or the analyzer
+  cannot bound the observation: every bit may matter.
+
+Channel *signatures* (the tuple of canonicalized channel outputs over
+all golden values) drive pruning: a flipped value whose signature
+equals the golden value's is observation-masked (dead); flips with
+equal signatures form an equivalence class.  Canonicalization is
+exact -- floats compare by IEEE-754 bit pattern, bools and ints by
+type and value -- so signature equality is never a rounding claim.
+Any evaluation error makes the caller bail to TOP (live).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import functools
+import math
+import struct
+
+__all__ = [
+    "Channel",
+    "IDENTITY",
+    "canonical_value",
+    "is_constant_expr",
+    "constant_value",
+    "pure_call_name",
+    "signature",
+]
+
+#: The placeholder name channels are expressed over.
+PLACEHOLDER = "__v__"
+
+#: Source text of the identity channel (the raw value escapes).
+IDENTITY = PLACEHOLDER
+
+#: Builtins that are pure for scalar arguments and may appear as the
+#: outermost call of a channel composition.
+_PURE_BUILTINS = {
+    "bool": bool,
+    "int": int,
+    "float": float,
+    "abs": abs,
+    "round": round,
+    "min": min,
+    "max": max,
+    "len": len,
+}
+
+#: Pure ``math.*`` predicates/functions allowed in channels.
+_PURE_MATH = {"isnan", "isinf", "isfinite", "floor", "ceil", "trunc", "sqrt"}
+
+_EVAL_GLOBALS = {"__builtins__": {}, "math": math, **_PURE_BUILTINS}
+
+
+@functools.lru_cache(maxsize=4096)
+def _compile(expr: str):
+    return compile(expr, "<channel>", "eval")
+
+
+@dataclasses.dataclass(frozen=True)
+class Channel:
+    """One pure observation of an injected value.
+
+    ``expr`` is a closed expression over ``__v__``; ``line`` is the
+    source line of the observation site (provenance only -- channels
+    compare and deduplicate by expression).
+    """
+
+    expr: str
+    line: int
+
+    @property
+    def is_identity(self) -> bool:
+        return self.expr == IDENTITY
+
+    def observe(self, value: float | int | bool):
+        """Evaluate the channel on one injected value.
+
+        May raise whatever the expression raises (division by zero,
+        domain errors); callers treat any exception as TOP.
+        """
+        return eval(  # noqa: S307 - expression built from whitelisted AST
+            _compile(self.expr), _EVAL_GLOBALS, {PLACEHOLDER: value}
+        )
+
+    def __str__(self) -> str:
+        return f"{self.expr} @L{self.line}"
+
+
+def canonical_value(value: object) -> tuple:
+    """Exact comparison token for a channel output.
+
+    Floats canonicalize to their IEEE-754 bit pattern (distinct NaN
+    payloads stay distinct -- conservative), bools before ints so
+    ``True`` and ``1`` never merge.  Anything outside the closed
+    bool/int/float/str/None/tuple universe raises ``TypeError`` and
+    the caller bails to TOP.
+    """
+    if isinstance(value, bool):
+        return ("b", value)
+    if isinstance(value, int):
+        return ("i", value)
+    if isinstance(value, float):
+        (bits,) = struct.unpack("<Q", struct.pack("<d", value))
+        return ("f", bits)
+    if isinstance(value, str):
+        return ("s", value)
+    if value is None:
+        return ("n",)
+    if isinstance(value, tuple):
+        return ("t", tuple(canonical_value(item) for item in value))
+    raise TypeError(f"unorderable channel output {type(value).__name__}")
+
+
+def signature(
+    channels: tuple[Channel, ...], value: float | int | bool
+) -> tuple | None:
+    """Canonical outputs of every channel on ``value``.
+
+    ``None`` means some channel could not be evaluated (raised, or
+    produced an output outside the canonical universe): the caller
+    must treat the variable as live.
+    """
+    tokens = []
+    for channel in channels:
+        try:
+            tokens.append(canonical_value(channel.observe(value)))
+        except Exception:
+            return None
+    return tuple(tokens)
+
+
+def constant_value(node: ast.expr) -> tuple[bool, object]:
+    """``(True, value)`` when ``node`` is a compile-time constant."""
+    try:
+        return True, ast.literal_eval(node)
+    except (ValueError, TypeError, SyntaxError, MemoryError, RecursionError):
+        return False, None
+
+
+def is_constant_expr(node: ast.expr) -> bool:
+    return constant_value(node)[0]
+
+
+def pure_call_name(func: ast.expr) -> str | None:
+    """Channel-safe callable name for a call's func expression.
+
+    Returns the source form (``"abs"``, ``"math.isnan"``) when the
+    callable is whitelisted pure, else ``None``.
+    """
+    if isinstance(func, ast.Name) and func.id in _PURE_BUILTINS:
+        return func.id
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "math"
+        and func.attr in _PURE_MATH
+    ):
+        return f"math.{func.attr}"
+    return None

@@ -1,0 +1,170 @@
+"""Shared probe-site discovery for surface and dataflow analysis.
+
+Both :mod:`repro.analysis.surface` and
+:mod:`repro.analysis.dataflow.analyzer` need the same AST walk: find
+every ``harness.probe("Module", Location.X, {...})`` call site inside
+a target function, recover the (module, location) key, the dict
+literal's variable names, and the local the returned state dict is
+bound to.  This module is that walk, extracted so the two analyses
+cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import importlib
+import inspect
+import pkgutil
+import types
+from collections.abc import Iterator
+
+__all__ = [
+    "ProbeSite",
+    "FunctionProbe",
+    "probe_parts",
+    "dict_keys",
+    "function_probes",
+    "module_functions",
+    "iter_target_sources",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbeSite:
+    """One ``harness.probe(module, location, {...})`` call site."""
+
+    module: str
+    location: str  # "entry" | "exit"
+    line: int
+    state_name: str | None  # name the returned dict is bound to
+    variables: tuple[str, ...]
+
+    @property
+    def result_discarded(self) -> bool:
+        """The returned (possibly corrupted) state is never bound, so
+        injections at this probe cannot reach the module."""
+        return self.state_name is None
+
+    def __str__(self) -> str:
+        return f"{self.module}@{self.location} (line {self.line})"
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionProbe:
+    """A probe site paired with the function AST that contains it.
+
+    ``assign`` is the ``ast.Assign`` statement binding the returned
+    state (``None`` when the result is discarded) -- the dataflow
+    analyzer uses it to identify the state dict's defining node in the
+    function's CFG.
+    """
+
+    site: ProbeSite
+    function: ast.FunctionDef | ast.AsyncFunctionDef
+    assign: ast.stmt | None
+
+
+def probe_parts(call: ast.Call) -> tuple[str, str, ast.expr] | None:
+    """Match ``<anything>.probe("Module", Location.X, state_expr)``."""
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "probe"):
+        return None
+    if len(call.args) != 3:
+        return None
+    module_arg, location_arg, state_arg = call.args
+    if not (isinstance(module_arg, ast.Constant) and isinstance(module_arg.value, str)):
+        return None
+    if isinstance(location_arg, ast.Attribute):
+        location = location_arg.attr.lower()
+    elif isinstance(location_arg, ast.Constant) and isinstance(location_arg.value, str):
+        location = location_arg.value.lower()
+    else:
+        return None
+    if location not in ("entry", "exit"):
+        return None
+    return module_arg.value, location, state_arg
+
+
+def dict_keys(expression: ast.expr) -> tuple[str, ...] | None:
+    """String keys of a dict literal, or ``None`` for any other shape."""
+    if not isinstance(expression, ast.Dict):
+        return None
+    keys: list[str] = []
+    for key in expression.keys:
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return None
+        keys.append(key.value)
+    return tuple(keys)
+
+
+def function_probes(
+    function: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[FunctionProbe]:
+    """Probe call sites directly inside one function body."""
+    probes: list[FunctionProbe] = []
+    for node in ast.walk(function):
+        call: ast.Call | None = None
+        state_name: str | None = None
+        assign: ast.stmt | None = None
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            call = node.value
+            if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+                state_name = node.targets[0].id
+                assign = node
+        elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            call = node.value
+        if call is None:
+            continue
+        parts = probe_parts(call)
+        if parts is None:
+            continue
+        module, location, state_arg = parts
+        variables = dict_keys(state_arg) or ()
+        probes.append(
+            FunctionProbe(
+                ProbeSite(
+                    module=module,
+                    location=location,
+                    line=call.lineno,
+                    state_name=state_name,
+                    variables=variables,
+                ),
+                function,
+                assign,
+            )
+        )
+    return probes
+
+
+def module_functions(
+    tree: ast.AST,
+) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function definition in a parsed module, outer-first."""
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def iter_target_sources(
+    package: str | types.ModuleType,
+) -> Iterator[tuple[str, str]]:
+    """Yield ``(module_name, source)`` for a target package or module.
+
+    ``package`` is a dotted name (``"repro.targets.flightgear"``, or
+    the shorthand ``"flightgear"``) or an imported module object;
+    packages yield each submodule in sorted order.
+    """
+    if isinstance(package, str):
+        name = package if "." in package else f"repro.targets.{package}"
+        package = importlib.import_module(name)
+    if hasattr(package, "__path__"):
+        for info in sorted(
+            pkgutil.iter_modules(package.__path__), key=lambda i: i.name
+        ):
+            submodule = importlib.import_module(f"{package.__name__}.{info.name}")
+            yield submodule.__name__, inspect.getsource(submodule)
+    else:
+        yield package.__name__, inspect.getsource(package)

@@ -1,0 +1,241 @@
+"""Reaching definitions, def-use chains and liveness over a CFG.
+
+Classic forward/backward worklist fixpoints, tuned for soundness in
+the pruning direction: kills are applied *strongly* only where the
+CFG guarantees the assignment executes whenever the node is passed
+(``CFGNode.weak`` is clear); everywhere else definitions merely
+accumulate.  Over-approximated reaching sets attribute extra uses to
+a definition, which can only ever make the downstream analysis
+*refuse* to prune -- never prune wrongly.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+
+from repro.analysis.dataflow.cfg import CFG
+
+__all__ = [
+    "Definition",
+    "definitions_of",
+    "uses_of",
+    "reaching_definitions",
+    "def_use_chains",
+    "live_variables",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Definition:
+    """One binding of a local name at one CFG node.
+
+    ``value`` is the bound expression when the binding is a simple
+    single-target assignment (``name = expr`` / walrus), else ``None``
+    (AST nodes hash and compare by identity, which is exactly right:
+    each definition is created once per analysis).
+    """
+
+    name: str
+    node: int
+    line: int
+    value: ast.expr | None = None
+
+
+def _target_names(target: ast.expr) -> list[ast.Name]:
+    """Plain-name binding targets within an assignment target."""
+    names: list[ast.Name] = []
+    if isinstance(target, ast.Name):
+        names.append(target)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            names.extend(_target_names(element))
+    elif isinstance(target, ast.Starred):
+        names.extend(_target_names(target.value))
+    # Attribute/Subscript stores bind no local.
+    return names
+
+
+def definitions_of(cfg: CFG) -> dict[int, tuple[Definition, ...]]:
+    """Definitions generated at each CFG node."""
+    out: dict[int, tuple[Definition, ...]] = {}
+    for node in cfg.nodes:
+        defs: list[Definition] = []
+        if node.kind == "entry":
+            args = cfg.function.args
+            for arg in (
+                *args.posonlyargs,
+                *args.args,
+                *([args.vararg] if args.vararg else []),
+                *args.kwonlyargs,
+                *([args.kwarg] if args.kwarg else []),
+            ):
+                defs.append(Definition(arg.arg, node.index, arg.lineno))
+        stmt = node.stmt
+        if isinstance(stmt, ast.Assign):
+            simple = len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name)
+            for target in stmt.targets:
+                for name in _target_names(target):
+                    defs.append(
+                        Definition(
+                            name.id,
+                            node.index,
+                            name.lineno,
+                            stmt.value if simple else None,
+                        )
+                    )
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None and isinstance(stmt.target, ast.Name):
+                defs.append(
+                    Definition(
+                        stmt.target.id, node.index, stmt.target.lineno, stmt.value
+                    )
+                )
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                defs.append(
+                    Definition(stmt.target.id, node.index, stmt.target.lineno)
+                )
+        elif isinstance(stmt, ast.For):
+            for name in _target_names(stmt.target):
+                defs.append(Definition(name.id, node.index, name.lineno))
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    for name in _target_names(item.optional_vars):
+                        defs.append(Definition(name.id, node.index, name.lineno))
+        elif isinstance(stmt, ast.ExceptHandler):
+            if stmt.name:
+                defs.append(Definition(stmt.name, node.index, stmt.lineno))
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defs.append(Definition(stmt.name, node.index, stmt.lineno))
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                defs.append(Definition(bound, node.index, stmt.lineno))
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                for name in _target_names(target):
+                    defs.append(Definition(name.id, node.index, name.lineno))
+        # Walrus bindings anywhere in the node's evaluated parts.
+        for part in node.parts:
+            for sub in ast.walk(part):
+                if isinstance(sub, ast.NamedExpr) and isinstance(
+                    sub.target, ast.Name
+                ):
+                    defs.append(
+                        Definition(
+                            sub.target.id, node.index, sub.target.lineno, sub.value
+                        )
+                    )
+        out[node.index] = tuple(defs)
+    return out
+
+
+def uses_of(cfg: CFG) -> dict[int, tuple[ast.Name, ...]]:
+    """Name loads evaluated at each CFG node.
+
+    Augmented-assignment targets read their old value, so they count
+    as uses even though their AST context is ``Store``.
+    """
+    out: dict[int, tuple[ast.Name, ...]] = {}
+    for node in cfg.nodes:
+        loads: list[ast.Name] = []
+        for part in node.parts:
+            for sub in ast.walk(part):
+                if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                    loads.append(sub)
+        stmt = node.stmt
+        if isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+            loads.append(stmt.target)
+        out[node.index] = tuple(loads)
+    return out
+
+
+def reaching_definitions(
+    cfg: CFG, defs: dict[int, tuple[Definition, ...]] | None = None
+) -> dict[int, frozenset[Definition]]:
+    """IN set of each node: definitions that may reach its evaluation."""
+    if defs is None:
+        defs = definitions_of(cfg)
+    strong_kills: dict[int, frozenset[str]] = {}
+    for node in cfg.nodes:
+        if node.weak or node.kind in ("loop", "except"):
+            strong_kills[node.index] = frozenset()
+        else:
+            strong_kills[node.index] = frozenset(d.name for d in defs[node.index])
+    ins: dict[int, set[Definition]] = {n.index: set() for n in cfg.nodes}
+    outs: dict[int, set[Definition]] = {n.index: set() for n in cfg.nodes}
+    worklist = [n.index for n in cfg.nodes]
+    while worklist:
+        index = worklist.pop()
+        node = cfg.nodes[index]
+        new_in: set[Definition] = set()
+        for pred in node.pred:
+            new_in |= outs[pred]
+        ins[index] = new_in
+        killed = strong_kills[index]
+        new_out = {d for d in new_in if d.name not in killed}
+        new_out.update(defs[index])
+        if new_out != outs[index]:
+            outs[index] = new_out
+            worklist.extend(node.succ)
+    return {index: frozenset(values) for index, values in ins.items()}
+
+
+def def_use_chains(
+    cfg: CFG,
+    defs: dict[int, tuple[Definition, ...]] | None = None,
+    reaching: dict[int, frozenset[Definition]] | None = None,
+) -> dict[Definition, tuple[tuple[int, ast.Name], ...]]:
+    """Uses attributed to each definition.
+
+    A use is attributed to every same-named definition in the node's
+    IN set *and* to same-named definitions generated at the node
+    itself (walrus/self-referencing statements evaluate their loads in
+    the same node).  Over-attribution is the sound direction: it adds
+    observations, never hides them.
+    """
+    if defs is None:
+        defs = definitions_of(cfg)
+    if reaching is None:
+        reaching = reaching_definitions(cfg, defs)
+    uses = uses_of(cfg)
+    chains: dict[Definition, list[tuple[int, ast.Name]]] = {
+        d: [] for per_node in defs.values() for d in per_node
+    }
+    for node in cfg.nodes:
+        candidates = reaching[node.index] | set(defs[node.index])
+        by_name: dict[str, list[Definition]] = {}
+        for definition in candidates:
+            by_name.setdefault(definition.name, []).append(definition)
+        for name_node in uses[node.index]:
+            for definition in by_name.get(name_node.id, ()):
+                chains[definition].append((node.index, name_node))
+    return {d: tuple(items) for d, items in chains.items()}
+
+
+def live_variables(cfg: CFG) -> dict[int, frozenset[str]]:
+    """Live-in set of each node (names whose value may still be read)."""
+    defs = definitions_of(cfg)
+    uses = uses_of(cfg)
+    live_in: dict[int, set[str]] = {n.index: set() for n in cfg.nodes}
+    live_out: dict[int, set[str]] = {n.index: set() for n in cfg.nodes}
+    worklist = [n.index for n in cfg.nodes]
+    while worklist:
+        index = worklist.pop()
+        node = cfg.nodes[index]
+        out = set()
+        for succ in node.succ:
+            out |= live_in[succ]
+        live_out[index] = out
+        strong = (
+            frozenset()
+            if node.weak or node.kind in ("loop", "except")
+            else {d.name for d in defs[index]}
+        )
+        new_in = {u.id for u in uses[index]} | (out - strong)
+        if new_in != live_in[index]:
+            live_in[index] = new_in
+            worklist.extend(node.pred)
+    return {index: frozenset(values) for index, values in live_in.items()}

@@ -37,6 +37,11 @@ unbounded-serving-ring    WARNING   a serving topology's ingest ring has no
                                     shed policy (``shed_after_s`` null)
 unjournaled-campaign      WARNING   a campaign estimated above the run budget
                                     has no checkpoint journal configured
+unpruned-exhaustive-      WARNING   a campaign estimated above the prune budget
+campaign                            runs exhaustively (``prune`` unset) though
+                                    static pruning could skip proven-dead points
+prune-without-audit       WARNING   a statically pruned campaign disables the
+                                    re-injection audit (``audit_fraction`` 0)
 ========================  ========  =============================================
 """
 
@@ -376,6 +381,66 @@ class UnjournaledCampaignRule(LintRule):
                     f"campaign estimates {runs} runs (budget {self.budget}) "
                     "with no checkpoint journal; a crash re-runs everything "
                     "-- configure a journal (repro.orchestration.Journal)",
+                )
+
+
+@register_rule
+class UnprunedExhaustiveCampaignRule(LintRule):
+    """Large campaign configurations that run exhaustively although
+    :mod:`repro.analysis.prune` could prove part of the injection space
+    dead or equivalent before any run executes.  Fires only above a
+    run budget -- small campaigns finish before the analysis pays for
+    itself."""
+
+    name = "unpruned-exhaustive-campaign"
+    budget = 10_000
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        from repro.orchestration.tasks import estimate_runs
+
+        for subject, config in context.campaigns.items():
+            prune = getattr(config, "prune", None)
+            if prune not in (None, "none"):
+                continue
+            surface = context.surface
+            n_variables = None
+            if surface is not None and hasattr(config, "injection_probe"):
+                probe = config.injection_probe
+                n_variables = len(
+                    surface.variables_at(probe.module, probe.location)
+                )
+            runs = estimate_runs(config, n_variables=n_variables)
+            if runs is not None and runs > self.budget:
+                yield Finding(
+                    self.name, Severity.WARNING, subject,
+                    f"campaign estimates {runs} exhaustive runs (budget "
+                    f"{self.budget}) with prune unset; static pruning "
+                    "(prune=\"static\") skips points the dataflow analysis "
+                    "proves dead or equivalent, with an audit guarding the "
+                    "verdicts",
+                )
+
+
+@register_rule
+class PruneWithoutAuditRule(LintRule):
+    """Statically pruned campaigns running with the audit disabled:
+    the audit's seeded re-injection of pruned points is the empirical
+    check on the analyzer's soundness, and ``audit_fraction=0`` trades
+    it away for a marginal saving."""
+
+    name = "prune-without-audit"
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        for subject, config in context.campaigns.items():
+            if getattr(config, "prune", None) != "static":
+                continue
+            if getattr(config, "audit_fraction", 0.0) <= 0.0:
+                yield Finding(
+                    self.name, Severity.WARNING, subject,
+                    "campaign prunes statically with audit_fraction=0: no "
+                    "pruned point is ever re-injected, so an unsound "
+                    "verdict would go undetected -- keep the default 5% "
+                    "audit sample",
                 )
 
 

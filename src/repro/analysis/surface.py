@@ -5,15 +5,19 @@ flipping a bit in a variable the target never reads back cannot change
 the execution, so every run against it is wasted compute and every
 sampled instance a guaranteed non-failure (FastFlip's observation that
 static analysis of the injection surface makes campaigns cheaper).
-This module walks the *AST* of a target module -- no execution -- to
-recover the instrumentation surface:
+This module reads the instrumentation surface off the *AST* of a
+target module -- no execution:
 
 * every ``harness.probe("Module", Location.ENTRY, {...})`` call site,
   with the dict-literal keys as the instrumentable variables at that
-  (module, location) probe;
-* the *def-use* trail of each probe: which keys of the returned state
-  dict the module actually reads afterwards (``state["x"]`` /
-  ``state.get("x")``), at which lines;
+  (module, location) probe (discovery shared with
+  :mod:`repro.analysis.dataflow.probes`);
+* the *def-use* trail of each probe, computed by the reaching
+  definitions pass of :mod:`repro.analysis.dataflow`: which keys of
+  the returned state dict the module actually reads afterwards
+  (``state["x"]`` / ``state.get("x")``), at which lines -- including
+  flow-sensitive cases the old single-pass heuristic missed, such as
+  a state binding overwritten before any use;
 * **dead** variables -- exposed at a probe but never read back -- and
   probes whose returned state is discarded entirely.
 
@@ -23,17 +27,23 @@ injecting into dead variables.
 
 The analysis is conservative: a read through a non-literal key (or any
 shape it does not recognise) marks *every* variable of that probe as
-read, so "dead" is only ever reported with an explicit witness.
+read, so "dead" is only ever reported with an explicit witness.  For
+the stronger per-bit verdicts (observation channels, equivalence
+classes) see :mod:`repro.analysis.prune`.
 """
 
 from __future__ import annotations
 
-import ast
 import dataclasses
-import importlib
 import inspect
-import pkgutil
 import types
+
+from repro.analysis.dataflow.analyzer import (
+    VariableFlow,
+    analyze_dataflow,
+    analyze_dataflow_package,
+)
+from repro.analysis.dataflow.probes import ProbeSite
 
 __all__ = [
     "ProbeSite",
@@ -47,26 +57,6 @@ __all__ = [
 
 
 @dataclasses.dataclass(frozen=True)
-class ProbeSite:
-    """One ``harness.probe(module, location, {...})`` call site."""
-
-    module: str
-    location: str  # "entry" | "exit"
-    line: int
-    state_name: str | None  # name the returned dict is bound to
-    variables: tuple[str, ...]
-
-    @property
-    def result_discarded(self) -> bool:
-        """The returned (possibly corrupted) state is never bound, so
-        injections at this probe cannot reach the module."""
-        return self.state_name is None
-
-    def __str__(self) -> str:
-        return f"{self.module}@{self.location} (line {self.line})"
-
-
-@dataclasses.dataclass(frozen=True)
 class SurfaceVariable:
     """One instrumentable variable with its def-use sites."""
 
@@ -75,6 +65,7 @@ class SurfaceVariable:
     name: str
     defined_line: int
     reads: tuple[int, ...]  # line numbers of state reads after the probe
+    reason: str = ""  # dataflow provenance for the verdict
 
     @property
     def is_dead(self) -> bool:
@@ -124,168 +115,38 @@ class SurfaceReport:
         return None
 
 
-def _probe_parts(call: ast.Call) -> tuple[str, str, ast.expr] | None:
-    """Match ``<anything>.probe("Module", Location.X, state_expr)``."""
-    func = call.func
-    if not (isinstance(func, ast.Attribute) and func.attr == "probe"):
-        return None
-    if len(call.args) != 3:
-        return None
-    module_arg, location_arg, state_arg = call.args
-    if not (isinstance(module_arg, ast.Constant) and isinstance(module_arg.value, str)):
-        return None
-    if isinstance(location_arg, ast.Attribute):
-        location = location_arg.attr.lower()
-    elif isinstance(location_arg, ast.Constant) and isinstance(location_arg.value, str):
-        location = location_arg.value.lower()
+def _surface_variable(flow: VariableFlow) -> SurfaceVariable:
+    """Project a dataflow verdict onto the surface's read-line view.
+
+    Dead variables have no observable reads; live verdicts without a
+    concrete read line (state escapes, dynamic keys, unsupported
+    constructs) keep the ``-1`` "assume read" sentinel of the original
+    heuristic so downstream consumers need not change.
+    """
+    if flow.status == "dead":
+        reads: tuple[int, ...] = ()
+    elif flow.read_lines:
+        reads = flow.read_lines
     else:
-        return None
-    if location not in ("entry", "exit"):
-        return None
-    return module_arg.value, location, state_arg
-
-
-def _dict_keys(expression: ast.expr) -> tuple[str, ...] | None:
-    if not isinstance(expression, ast.Dict):
-        return None
-    keys: list[str] = []
-    for key in expression.keys:
-        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
-            return None
-        keys.append(key.value)
-    return tuple(keys)
-
-
-@dataclasses.dataclass
-class _Probe:
-    site: ProbeSite
-    function: ast.AST
-
-
-def _function_probes(function: ast.AST) -> list[_Probe]:
-    """Probe call sites directly inside one function body."""
-    probes: list[_Probe] = []
-    for node in ast.walk(function):
-        call: ast.Call | None = None
-        state_name: str | None = None
-        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
-            call = node.value
-            if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
-                state_name = node.targets[0].id
-        elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
-            call = node.value
-        if call is None:
-            continue
-        parts = _probe_parts(call)
-        if parts is None:
-            continue
-        module, location, state_arg = parts
-        variables = _dict_keys(state_arg) or ()
-        probes.append(
-            _Probe(
-                ProbeSite(
-                    module=module,
-                    location=location,
-                    line=call.lineno,
-                    state_name=state_name,
-                    variables=variables,
-                ),
-                function,
-            )
-        )
-    return probes
-
-
-def _state_reads(
-    function: ast.AST, state_name: str, after_line: int
-) -> dict[str, list[int]] | None:
-    """Lines where ``state_name[<key>]`` / ``state_name.get(<key>)`` is
-    read after ``after_line``.  ``None`` means an unrecognised access
-    shape was seen -- the caller must assume every key is read."""
-    reads: dict[str, list[int]] = {}
-    for node in ast.walk(function):
-        if getattr(node, "lineno", 0) <= after_line:
-            continue
-        key_node: ast.expr | None = None
-        if (
-            isinstance(node, ast.Subscript)
-            and isinstance(node.value, ast.Name)
-            and node.value.id == state_name
-        ):
-            key_node = node.slice
-        elif (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr == "get"
-            and isinstance(node.func.value, ast.Name)
-            and node.func.value.id == state_name
-            and node.args
-        ):
-            key_node = node.args[0]
-        elif isinstance(node, ast.Name) and node.id == state_name:
-            # A bare reference (e.g. passed to a helper, iterated,
-            # returned): conservatively, everything may be read.  The
-            # subscript/get parents also contain a Name node, but those
-            # are matched above before their child is reached... walk
-            # order does not guarantee that, so bare names are handled
-            # by the caller via the sentinel below only when no other
-            # shape claimed the same location.
-            continue
-        if key_node is None:
-            continue
-        if isinstance(key_node, ast.Constant) and isinstance(key_node.value, str):
-            reads.setdefault(key_node.value, []).append(node.lineno)
-        else:
-            return None  # dynamic key: give up, assume all read
-    # Second pass: bare Name references outside subscript/get shapes.
-    claimed_lines = {
-        line for lines in reads.values() for line in lines
-    }
-    for node in ast.walk(function):
-        if (
-            isinstance(node, ast.Name)
-            and node.id == state_name
-            and getattr(node, "lineno", 0) > after_line
-            and node.lineno not in claimed_lines
-            and isinstance(node.ctx, ast.Load)
-        ):
-            return None  # escapes the recognised shapes: assume all read
-    return reads
+        reads = (-1,)
+    return SurfaceVariable(
+        module=flow.module,
+        location=flow.location,
+        name=flow.name,
+        defined_line=flow.defined_line,
+        reads=reads,
+        reason=flow.reason,
+    )
 
 
 def analyze_source(source: str, name: str = "<module>") -> SurfaceReport:
     """Analyse one module's source text."""
-    tree = ast.parse(source, filename=name)
-    probes: list[ProbeSite] = []
-    variables: list[SurfaceVariable] = []
-    functions = [
-        node
-        for node in ast.walk(tree)
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-    ]
-    for function in functions:
-        for probe in _function_probes(function):
-            site = probe.site
-            probes.append(site)
-            if site.state_name is None:
-                reads: dict[str, list[int]] | None = {}
-            else:
-                reads = _state_reads(function, site.state_name, site.line)
-            for variable in site.variables:
-                if reads is None:
-                    lines: tuple[int, ...] = (-1,)  # unknown reads: assume read
-                else:
-                    lines = tuple(reads.get(variable, ()))
-                variables.append(
-                    SurfaceVariable(
-                        module=site.module,
-                        location=site.location,
-                        name=variable,
-                        defined_line=site.line,
-                        reads=lines,
-                    )
-                )
-    return SurfaceReport(source=name, probes=probes, variables=variables)
+    dataflow = analyze_dataflow(source, name)
+    return SurfaceReport(
+        source=name,
+        probes=list(dataflow.probes),
+        variables=[_surface_variable(flow) for flow in dataflow.site_flows],
+    )
 
 
 def analyze_module(module: types.ModuleType) -> SurfaceReport:
@@ -299,18 +160,13 @@ def analyze_target_package(package: str | types.ModuleType) -> SurfaceReport:
     ``package`` is a dotted name (``"repro.targets.flightgear"``, or
     the shorthand ``"flightgear"``) or an imported package object.
     """
-    if isinstance(package, str):
-        name = package if "." in package else f"repro.targets.{package}"
-        package = importlib.import_module(name)
-    report = SurfaceReport(source=package.__name__, probes=[], variables=[])
-    if hasattr(package, "__path__"):
-        for info in sorted(pkgutil.iter_modules(package.__path__), key=lambda i: i.name):
-            submodule = importlib.import_module(f"{package.__name__}.{info.name}")
-            report = report.merged_with(analyze_module(submodule))
-        report.source = package.__name__
-    else:
-        report = analyze_module(package)
-    return report
+    dataflow = analyze_dataflow_package(package)
+    source_name = package if isinstance(package, str) else package.__name__
+    return SurfaceReport(
+        source=str(source_name),
+        probes=list(dataflow.probes),
+        variables=[_surface_variable(flow) for flow in dataflow.site_flows],
+    )
 
 
 def check_campaign(config, report: SurfaceReport) -> list[str]:

@@ -7,6 +7,7 @@ Static analysis from the shell, over published artefacts::
     repro analyze registry.json              # full report, exit 0
     repro simplify detector.json             # canonical predicate form
     repro surface flightgear                 # injection surface of targets
+    repro prune 7Z-A2 --scale smoke          # static injection-space prune plan
 
 ``lint``/``analyze`` accept any mix of registry documents
 (``DetectorRegistry.save`` output), single-detector documents
@@ -24,6 +25,7 @@ The serving tier runs (and load-tests itself) with ``serve``::
 The expensive half of the pipeline runs through the orchestrator::
 
     repro orchestrate 7Z-A1 --scale smoke --jobs 4 --journal run.jsonl
+    repro orchestrate 7Z-A2 --prune static --audit-fraction 0.1
 
 Traces are recorded, summarized and exported with ``trace``::
 
@@ -255,6 +257,56 @@ def _cmd_surface(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_prune(args: argparse.Namespace) -> int:
+    """Plan (without executing) the static prune of one dataset's
+    campaign: per-point verdicts with dataflow provenance."""
+    from repro.analysis.prune import plan_prune
+    from repro.experiments.datasets import (
+        DATASET_SPECS,
+        build_target,
+        campaign_config,
+    )
+    from repro.experiments.scale import get_scale
+    from repro.injection.campaign import Campaign
+
+    spec = DATASET_SPECS.get(args.dataset)
+    if spec is None:
+        print(
+            f"error: unknown dataset {args.dataset!r}; available: "
+            f"{', '.join(sorted(DATASET_SPECS))}",
+            file=sys.stderr,
+        )
+        return 2
+    scale_obj = get_scale(args.scale)
+    target = build_target(spec.target, scale_obj)
+    config = campaign_config(spec, scale_obj)
+    plan = plan_prune(Campaign(target, config))
+    if args.format == "json":
+        print(json.dumps(plan.to_dict(), indent=2))
+        return 0
+    counts = plan.counts
+    print(
+        f"{args.dataset} @ {scale_obj.name}: {len(plan.points)} points, "
+        f"{plan.runs_planned} runs planned -> {plan.runs_executed} to "
+        f"execute, {plan.runs_pruned} pruned "
+        f"({plan.pruned_fraction:.0%})"
+    )
+    print(
+        "  verdicts: "
+        + ", ".join(f"{counts.get(v, 0)} {v}" for v in sorted(counts))
+    )
+    for variable, reason in sorted(plan.variable_reasons.items()):
+        print(f"  {variable}: {reason}")
+    if args.verbose:
+        for point in plan.points:
+            print(
+                f"    {point.variable} bit {point.bit}: {point.verdict}"
+                + (f" [{point.class_id}]" if point.class_id else "")
+                + f" -- {point.reason}"
+            )
+    return 0
+
+
 def _cmd_orchestrate(args: argparse.Namespace) -> int:
     from repro.orchestration.orchestrate import run_dataset
 
@@ -264,6 +316,8 @@ def _cmd_orchestrate(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         journal_path=args.journal,
         learner=args.learner,
+        prune=args.prune,
+        audit_fraction=args.audit_fraction,
     )
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2))
@@ -280,6 +334,16 @@ def _cmd_orchestrate(args: argparse.Namespace) -> int:
         f"{campaign.get('cached', 0)} cached, "
         f"{len(campaign.get('quarantined', ()))} quarantined"
     )
+    prune_info = campaign.get("prune")
+    if prune_info:
+        audit = prune_info.get("audit") or {}
+        print(
+            f"  prune: {prune_info['runs_pruned']} of "
+            f"{prune_info['runs_planned']} runs pruned "
+            f"({prune_info['pruned_fraction']:.0%}); "
+            f"{audit.get('audited', 0)} audited, "
+            f"{audit.get('contradictions', 0)} contradiction(s)"
+        )
     for label, row in (("baseline", report.baseline), ("refined", report.refined)):
         print(
             f"  {label}: auc={row['auc']:.3f} tpr={row['tpr']:.3f} "
@@ -496,6 +560,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     surface.set_defaults(func=_cmd_surface)
 
+    prune = commands.add_parser(
+        "prune",
+        help="static injection-space prune plan for a dataset's campaign",
+    )
+    prune.add_argument(
+        "dataset", help='Table II dataset name (e.g. "7Z-A2")'
+    )
+    prune.add_argument(
+        "--scale", choices=("smoke", "bench", "paper"), default="smoke",
+        help="experiment scale (default: smoke)",
+    )
+    prune.add_argument(
+        "--verbose", action="store_true",
+        help="print every per-point verdict with its provenance",
+    )
+    prune.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    prune.set_defaults(func=_cmd_prune)
+
     orchestrate = commands.add_parser(
         "orchestrate",
         help="run campaign + refinement for a dataset, parallel and resumable",
@@ -517,6 +602,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     orchestrate.add_argument(
         "--learner", default="c45", help="learner name (default: c45)"
+    )
+    orchestrate.add_argument(
+        "--prune", choices=("none", "static"), default=None,
+        help="skip statically proven-dead/equivalent injections "
+        "(default: config setting, else none)",
+    )
+    orchestrate.add_argument(
+        "--audit-fraction", type=float, default=None, metavar="FRACTION",
+        help="fraction of pruned cells to re-inject as a soundness "
+        "audit (default: 0.05)",
     )
     orchestrate.add_argument(
         "--format", choices=("text", "json"), default="text",

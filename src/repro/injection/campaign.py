@@ -92,6 +92,16 @@ class CampaignConfig:
         cover integer words densely and float mantissas sparsely.
         Default: every bit of each variable's representation, as in the
         paper.
+    prune:
+        ``"static"`` classifies every injection point with
+        :mod:`repro.analysis.prune` before running and synthesizes
+        records for provably dead/equivalent points instead of
+        executing them (bit-identical to the exhaustive campaign);
+        ``None`` (default) enumerates exhaustively.
+    audit_fraction / audit_seed:
+        When pruning, the seeded fraction of pruned cells re-injected
+        for real to validate the static verdicts (a contradiction
+        raises :class:`repro.analysis.prune.PruneContradiction`).
     """
 
     module: str
@@ -101,6 +111,9 @@ class CampaignConfig:
     injection_times: tuple[int, ...]
     variables: tuple[str, ...] | None = None
     bits: tuple[int, ...] | Mapping[str, tuple[int, ...]] | None = None
+    prune: str | None = None
+    audit_fraction: float = 0.05
+    audit_seed: int = 0
 
     @property
     def injection_probe(self) -> Probe:
@@ -119,7 +132,7 @@ class CampaignConfig:
             bits = list(self.bits)
         else:
             bits = None
-        return {
+        payload = {
             "module": self.module,
             "injection_location": self.injection_location.value,
             "sample_location": self.sample_location.value,
@@ -128,6 +141,14 @@ class CampaignConfig:
             "variables": None if self.variables is None else list(self.variables),
             "bits": bits,
         }
+        # Prune settings are serialized only when enabled, so configs
+        # (and the shard fingerprints derived from them) predating the
+        # prune field round-trip unchanged.
+        if self.prune is not None:
+            payload["prune"] = self.prune
+            payload["audit_fraction"] = self.audit_fraction
+            payload["audit_seed"] = self.audit_seed
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "CampaignConfig":
@@ -145,6 +166,9 @@ class CampaignConfig:
             injection_times=tuple(payload["injection_times"]),
             variables=None if variables is None else tuple(variables),
             bits=bits,
+            prune=payload.get("prune"),
+            audit_fraction=float(payload.get("audit_fraction", 0.05)),
+            audit_seed=int(payload.get("audit_seed", 0)),
         )
 
 
@@ -337,7 +361,15 @@ class Campaign:
             sample_probe=self.config.sample_probe,
         )
 
-    def run(self, pool=None, journal=None, shard_size: int = 1) -> CampaignResult:
+    def run(
+        self,
+        pool=None,
+        journal=None,
+        shard_size: int = 1,
+        prune: str | None = None,
+        audit_fraction: float | None = None,
+        audit_seed: int | None = None,
+    ) -> CampaignResult:
         """Execute the full campaign and return its records.
 
         With no arguments the campaign runs serially in-process, as the
@@ -352,11 +384,49 @@ class Campaign:
         configured via :func:`repro.orchestration.configure` (the
         experiments CLI's ``--jobs``) is picked up automatically.
 
+        ``prune="static"`` (or ``config.prune``) runs the statically
+        pruned campaign: provably dead or class-equivalent injection
+        points synthesize their records from golden runs and class
+        representatives instead of executing, then a seeded
+        ``audit_fraction`` of the pruned cells is re-injected for real
+        and checked against the synthesized records (see
+        :mod:`repro.analysis.prune`).  The record list stays
+        bit-identical to the exhaustive campaign's.
+
         Campaign subclasses that observe per-run harness state through
         :meth:`_after_run` (e.g. the validation campaign) are forced
         onto in-process execution, since a worker process's harness
-        observations would be lost with the worker.
+        observations would be lost with the worker.  For the same
+        reason they refuse pruning: a synthesized run never executes,
+        so the hook would silently miss it.
         """
+        mode = prune if prune is not None else (self.config.prune or "none")
+        if mode not in ("none", "static"):
+            raise ValueError(f"unknown prune mode {mode!r}")
+        if mode == "static":
+            if type(self)._after_run is not Campaign._after_run:
+                raise ValueError(
+                    "campaigns observing per-run harness state via "
+                    "_after_run cannot prune: synthesized runs never "
+                    "execute"
+                )
+            fraction = (
+                self.config.audit_fraction
+                if audit_fraction is None
+                else audit_fraction
+            )
+            seed = self.config.audit_seed if audit_seed is None else audit_seed
+            owns_pool = False
+            if pool is None:
+                from repro.orchestration.pool import default_pool
+
+                pool = default_pool()
+                owns_pool = pool is not None
+            try:
+                return self._run_pruned(pool, journal, shard_size, fraction, seed)
+            finally:
+                if owns_pool:
+                    pool.close()
         if pool is None:
             from repro.orchestration.pool import default_pool
 
@@ -417,6 +487,110 @@ class Campaign:
         return run_campaign(
             self, pool=pool, journal=journal, shard_size=shard_size
         )
+
+    def _run_pruned(
+        self,
+        pool,
+        journal,
+        shard_size: int,
+        audit_fraction: float,
+        audit_seed: int,
+    ) -> CampaignResult:
+        """The statically pruned campaign: plan, execute the remainder,
+        synthesize the rest, audit.  Bit-identical to `_run_serial`."""
+        from repro.analysis import prune as prune_mod
+        from repro.observability import names
+
+        with obs.span(names.PRUNE_PLAN, target=self.target.name) as plan_span:
+            golden_runs = {
+                tc: capture_golden_run(self.target, tc)
+                for tc in self.config.test_cases
+            }
+            plan = prune_mod.plan_prune(self, golden_runs=golden_runs)
+            counts = plan.counts
+            plan_span.count("points", len(plan.points))
+            plan_span.count(names.COUNTER_PRUNED, counts["dead"] + counts["member"])
+
+        pairs = plan.executed_pairs()
+        orchestration = None
+        if pool is None and journal is None:
+            executed = self._execute_pairs(pairs, golden_runs)
+        else:
+            from repro.orchestration.campaigns import run_campaign
+
+            partial = run_campaign(
+                self,
+                pool=pool,
+                journal=journal,
+                shard_size=shard_size,
+                pairs=pairs,
+                golden_runs=golden_runs,
+            )
+            orchestration = getattr(partial, "orchestration", None)
+            runs_per_pair = len(self.config.injection_times) * len(
+                self.config.test_cases
+            )
+            executed = {
+                (name, bit): partial.records[
+                    index * runs_per_pair : (index + 1) * runs_per_pair
+                ]
+                for index, (name, _kind, bit) in enumerate(pairs)
+            }
+
+        with obs.span(
+            names.PRUNE_SYNTHESIZE, target=self.target.name
+        ) as synth_span:
+            records = prune_mod.assemble_records(self, plan, executed)
+            synth_span.count(
+                "synthesized", len(records) - len(pairs) * plan.runs_per_point
+            )
+
+        with obs.span(names.PRUNE_AUDIT, target=self.target.name) as audit_span:
+            audit = prune_mod.audit_records(
+                self, plan, records, audit_fraction, audit_seed
+            )
+            audit_span.count(names.COUNTER_AUDITED, audit["audited"])
+            audit_span.count(
+                names.COUNTER_CONTRADICTIONS, audit["contradictions"]
+            )
+
+        result = CampaignResult(
+            self.target.name,
+            self.config,
+            records,
+            golden_runs,
+            self.variable_specs,
+        )
+        result.prune = {  # type: ignore[attr-defined]
+            "mode": "static",
+            **counts,
+            "runs_planned": plan.runs_planned,
+            "runs_executed": plan.runs_executed,
+            "runs_pruned": plan.runs_pruned,
+            "pruned_fraction": plan.pruned_fraction,
+            "audit": audit,
+        }
+        if orchestration is not None:
+            result.orchestration = orchestration  # type: ignore[attr-defined]
+        return result
+
+    def _execute_pairs(
+        self,
+        pairs,
+        golden_runs: dict[int, GoldenRun],
+    ) -> dict[tuple[str, int], list[ExperimentRecord]]:
+        """Serial inner loops for an explicit (variable, kind, bit) list."""
+        executed: dict[tuple[str, int], list[ExperimentRecord]] = {}
+        for name, kind, bit in pairs:
+            flip = BitFlip(name, kind, bit)
+            records: list[ExperimentRecord] = []
+            for injection_time in self.config.injection_times:
+                for tc in self.config.test_cases:
+                    records.append(
+                        self._run_one(flip, injection_time, tc, golden_runs[tc])
+                    )
+            executed[(name, bit)] = records
+        return executed
 
     def _run_one(
         self,

@@ -31,9 +31,15 @@ __all__ = [
     "SERVE_WORKER",
     "SERVE_WORKER_BATCH",
     "SERVE_DEPLOY",
+    "PRUNE_PLAN",
+    "PRUNE_SYNTHESIZE",
+    "PRUNE_AUDIT",
     "COUNTER_SHED",
     "COUNTER_DETECTIONS",
     "COUNTER_FAULTS",
+    "COUNTER_PRUNED",
+    "COUNTER_AUDITED",
+    "COUNTER_CONTRADICTIONS",
 ]
 
 # -- pipeline phases (orchestrate.run, serve lifecycles) ---------------
@@ -64,7 +70,24 @@ SERVE_WORKER_BATCH = "serve.worker.batch"
 #: A worker swapping detector versions between micro-batches.
 SERVE_DEPLOY = "serve.deploy"
 
+# -- static injection-space pruning (repro.analysis.prune) -------------
+#: Dataflow analysis + golden capture + per-point classification
+#: (carries ``target``; counts ``points`` and ``pruned``).
+PRUNE_PLAN = "prune.plan"
+#: Merging executed records with synthesized dead/member records
+#: (counts ``synthesized``).
+PRUNE_SYNTHESIZE = "prune.synthesize"
+#: Seeded re-injection of pruned cells against synthesized records
+#: (counts ``audited`` and ``contradictions``).
+PRUNE_AUDIT = "prune.audit"
+
 # -- counter names -----------------------------------------------------
 COUNTER_SHED = "shed"
 COUNTER_DETECTIONS = "detections"
 COUNTER_FAULTS = "faults"
+#: Injection points (variable x bit) skipped by a prune plan.
+COUNTER_PRUNED = "pruned"
+#: Pruned cells re-injected for real by the audit pass.
+COUNTER_AUDITED = "audited"
+#: Audited cells whose real outcome contradicted the synthesized one.
+COUNTER_CONTRADICTIONS = "contradictions"

@@ -15,6 +15,15 @@ keeps shard boundaries -- and therefore journal fingerprints --
 independent of the worker count, so a campaign journaled at
 ``jobs=8`` resumes correctly at ``jobs=2``.
 
+Shard granularity also respects static pruning classes for free:
+:mod:`repro.analysis.prune` verdicts are uniform across injection
+times and test cases, so a pruned point is a whole ``(variable, bit)``
+pair -- exactly the planner's unit.  A pruned campaign passes its
+surviving pairs via ``pairs=``; no shard ever straddles an
+equivalence class, and because per-pair fingerprints ignore the
+config's prune settings, shards journaled by an exhaustive campaign
+are reused verbatim by a pruned one (and vice versa).
+
 A shard whose injected faults keep killing the worker process is
 quarantined by the pool after its retries; the campaign then
 synthesises one crash record per planned run in the shard
@@ -48,9 +57,17 @@ def plan_pairs(campaign: Campaign) -> list[Pair]:
     ]
 
 
-def plan_shards(campaign: Campaign, shard_size: int = 1) -> list[tuple[Pair, ...]]:
-    """Cut the pair enumeration into consecutive run-batches."""
-    return _chunk(plan_pairs(campaign), shard_size)
+def plan_shards(
+    campaign: Campaign,
+    shard_size: int = 1,
+    pairs: list[Pair] | None = None,
+) -> list[tuple[Pair, ...]]:
+    """Cut the pair enumeration into consecutive run-batches.
+
+    ``pairs`` restricts the plan to an explicit subset (a prune plan's
+    surviving pairs) while keeping the canonical order.
+    """
+    return _chunk(plan_pairs(campaign) if pairs is None else list(pairs), shard_size)
 
 
 def _execute_shard(
@@ -102,6 +119,8 @@ def run_campaign(
     pool: WorkerPool | None = None,
     journal: Journal | None = None,
     shard_size: int = 1,
+    pairs: list[Pair] | None = None,
+    golden_runs: dict[int, GoldenRun] | None = None,
 ) -> CampaignResult:
     """Execute a campaign through a worker pool, optionally journaled.
 
@@ -109,25 +128,40 @@ def run_campaign(
     ``campaign.run()`` serial execution (absent quarantined shards).
     The result additionally carries an ``orchestration`` attribute
     summarising the schedule: total/executed/cached task counts and
-    the ids of quarantined shards.
+    the ids of quarantined shards.  ``pairs`` restricts execution to
+    an explicit pair subset (pruned campaigns); ``golden_runs`` reuses
+    already-captured golden runs.
     """
     if pool is None:
         pool = SerialPool()
     config = campaign.config
     with obs.span("campaign.plan", target=campaign.target.name):
-        golden_runs = {
-            tc: capture_golden_run(campaign.target, tc)
-            for tc in config.test_cases
-        }
-        shards = plan_shards(campaign, shard_size)
+        if golden_runs is None:
+            golden_runs = {
+                tc: capture_golden_run(campaign.target, tc)
+                for tc in config.test_cases
+            }
+        shards = plan_shards(campaign, shard_size, pairs)
+    # Per-pair records do not depend on the prune settings (a pair that
+    # executes computes the same records either way), so fingerprints
+    # drop them: journal shards stay shareable between exhaustive and
+    # pruned campaigns.
+    fingerprint_config = config.to_dict()
+    for key in ("prune", "audit_fraction", "audit_seed"):
+        fingerprint_config.pop(key, None)
     base = {
         "schema": 1,
         "target": campaign.target.name,
-        "config": config.to_dict(),
+        "config": fingerprint_config,
     }
+    # Shard ids anchor to the full enumeration (first pair's position),
+    # not the shard's position in this run's possibly-restricted pair
+    # list: a pruned campaign then hits the same journal entries an
+    # exhaustive one wrote, and vice versa.
+    position = {pair: i for i, pair in enumerate(plan_pairs(campaign))}
     tasks = [
         Task(
-            task_id=f"campaign:{index:05d}",
+            task_id=f"campaign:{position.get(pairs[0], index):05d}",
             fingerprint=fingerprint_of(
                 {**base, "pairs": [list(pair) for pair in pairs]}
             ),

@@ -62,8 +62,17 @@ def run_dataset(
     learner: str = "c45",
     pool: WorkerPool | None = None,
     metrics: RuntimeMetrics | None = None,
+    prune: str | None = None,
+    audit_fraction: float | None = None,
 ) -> OrchestrationReport:
-    """Campaign -> dataset -> baseline CV -> refined grid, orchestrated."""
+    """Campaign -> dataset -> baseline CV -> refined grid, orchestrated.
+
+    ``prune="static"`` runs the campaign through the static
+    injection-space pruner (:mod:`repro.analysis.prune`): proven-dead
+    and equivalent points are synthesized instead of executed, and
+    ``audit_fraction`` of the pruned cells are re-injected for real as
+    a soundness check.  The mined dataset is bit-identical either way.
+    """
     # Heavy experiment modules are imported lazily; orchestration is a
     # lower layer than the experiment drivers that also call into it.
     from repro.core.preprocess import (
@@ -99,7 +108,12 @@ def run_dataset(
             with obs.span("phase.campaign", target=spec.target):
                 target = build_target(spec.target, scale_obj)
                 config = campaign_config(spec, scale_obj)
-                result = Campaign(target, config).run(pool=pool, journal=journal)
+                result = Campaign(target, config).run(
+                    pool=pool,
+                    journal=journal,
+                    prune=prune,
+                    audit_fraction=audit_fraction,
+                )
                 dataset = result.to_dataset(name)
 
             factory = LearnerFactory(learner)
@@ -139,6 +153,11 @@ def run_dataset(
             "crashes": result.n_crashes,
             "failure_rate": result.failure_rate,
             **getattr(result, "orchestration", {}),
+            **(
+                {"prune": result.prune}
+                if getattr(result, "prune", None) is not None
+                else {}
+            ),
         },
         baseline=baseline.summary(),
         refined=refined.best.evaluation.summary(),

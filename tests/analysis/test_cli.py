@@ -152,11 +152,26 @@ class TestCampaignDocuments:
         assert main(["lint", path, "--fail-on", "warning"]) == 1
         assert "unjournaled-campaign" in capsys.readouterr().out
 
-    def test_journal_key_silences_rule(self, write_doc):
+    def test_journal_key_silences_rule(self, write_doc, capsys):
+        # prune + audit quiet the (orthogonal) exhaustive-campaign rule
+        # so this pins the journal opt-out alone.
+        path = write_doc(
+            "camp.json",
+            self._campaign_doc(
+                journal="runs/camp.jsonl",
+                prune="static",
+                audit_fraction=0.05,
+            ),
+        )
+        assert main(["lint", path, "--fail-on", "warning"]) == 0
+        assert "unjournaled-campaign" not in capsys.readouterr().out
+
+    def test_unpruned_campaign_warns_despite_journal(self, write_doc, capsys):
         path = write_doc(
             "camp.json", self._campaign_doc(journal="runs/camp.jsonl")
         )
-        assert main(["lint", path, "--fail-on", "warning"]) == 0
+        assert main(["lint", path, "--fail-on", "warning"]) == 1
+        assert "unpruned-exhaustive-campaign" in capsys.readouterr().out
 
     def test_invalid_campaign_document(self, write_doc, capsys):
         path = write_doc(

@@ -1,0 +1,327 @@
+"""Dataflow analyzer: CFG shape, reaching definitions, channels.
+
+The analyzer's contract is *soundness in one direction*: it may call a
+live variable live (imprecision costs pruning, never correctness), but
+every "dead" and every channel verdict must hold on the real execution.
+These tests pin the structural passes and the verdict logic on small
+sources; the empirical half of the contract (dead implies masked) is
+exercised by the property tests in ``test_prune.py``.
+"""
+
+import ast
+
+import pytest
+
+from repro.analysis.dataflow import (
+    ModuleDataflow,
+    UnsupportedConstruct,
+    analyze_dataflow,
+    build_cfg,
+    def_use_chains,
+    definitions_of,
+    live_variables,
+    reaching_definitions,
+)
+from repro.analysis.dataflow.lattice import canonical_value
+from repro.analysis.dataflow.probes import function_probes, module_functions
+
+
+def fn(source: str) -> ast.FunctionDef:
+    (function,) = module_functions(ast.parse(source))
+    return function
+
+
+def flows(source: str) -> ModuleDataflow:
+    return analyze_dataflow(source, "test")
+
+
+def flow_of(source: str, name: str, module: str = "M", location: str = "entry"):
+    return flows(source).flow(module, location, name)
+
+
+class TestCFG:
+    def test_linear_chain(self):
+        cfg = build_cfg(fn("def f():\n    a = 1\n    b = a\n    return b\n"))
+        kinds = [node.kind for node in cfg.nodes]
+        assert kinds.count("entry") == 1
+        assert kinds.count("exit") == 1
+        # entry -> a -> b -> return -> exit
+        node = cfg.nodes[cfg.entry]
+        seen = []
+        while node.succ:
+            node = cfg.nodes[sorted(node.succ)[0]]
+            seen.append(node.kind)
+        assert seen == ["stmt", "stmt", "stmt", "exit"]
+
+    def test_if_joins_both_arms(self):
+        cfg = build_cfg(
+            fn(
+                "def f(c):\n"
+                "    if c:\n"
+                "        a = 1\n"
+                "    else:\n"
+                "        a = 2\n"
+                "    return a\n"
+            )
+        )
+        branch = next(n for n in cfg.nodes if n.kind == "branch")
+        assert len(branch.succ) == 2
+        ret = next(
+            n for n in cfg.nodes if isinstance(n.stmt, ast.Return)
+        )
+        # Both assignments flow into the return.
+        assert len(ret.pred) == 2
+
+    def test_while_has_back_edge(self):
+        cfg = build_cfg(
+            fn("def f(n):\n    while n:\n        n = n - 1\n    return n\n")
+        )
+        header = next(
+            n for n in cfg.nodes if isinstance(n.stmt, ast.While)
+        )
+        body = next(
+            n for n in cfg.nodes if isinstance(n.stmt, ast.Assign)
+        )
+        assert header.index in body.succ
+
+    def test_for_header_is_weak(self):
+        cfg = build_cfg(
+            fn("def f(xs):\n    for x in xs:\n        pass\n    return 0\n")
+        )
+        loop = next(n for n in cfg.nodes if n.kind == "loop")
+        assert loop.weak  # target may not bind on an empty iterable
+
+    def test_try_body_nodes_are_weak_with_handler_edges(self):
+        cfg = build_cfg(
+            fn(
+                "def f():\n"
+                "    try:\n"
+                "        a = 1\n"
+                "    except ValueError:\n"
+                "        a = 2\n"
+                "    return a\n"
+            )
+        )
+        body = next(
+            n
+            for n in cfg.nodes
+            if isinstance(n.stmt, ast.Assign) and n.weak
+        )
+        handler = next(n for n in cfg.nodes if n.kind == "except")
+        assert handler.index in body.succ
+
+    def test_unsupported_constructs_raise(self):
+        for body in ("match x:\n        case _:\n            pass", "global g"):
+            with pytest.raises(UnsupportedConstruct):
+                build_cfg(fn(f"def f(x):\n    {body}\n"))
+
+
+class TestReachingDefinitions:
+    def chains_for(self, source: str):
+        cfg = build_cfg(fn(source))
+        defs = definitions_of(cfg)
+        reaching = reaching_definitions(cfg, defs)
+        return cfg, defs, def_use_chains(cfg, defs, reaching)
+
+    def test_dead_store_overwritten_before_use(self):
+        cfg, defs, chains = self.chains_for(
+            "def f():\n    a = 1\n    a = 2\n    return a\n"
+        )
+        first, second = sorted(
+            (d for node in defs.values() for d in node if d.name == "a"),
+            key=lambda d: d.line,
+        )
+        assert chains[first] == ()
+        assert len(chains[second]) == 1
+
+    def test_both_branch_defs_reach_the_join(self):
+        cfg, defs, chains = self.chains_for(
+            "def f(c):\n"
+            "    if c:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        for definition in (
+            d for node in defs.values() for d in node if d.name == "a"
+        ):
+            assert len(chains[definition]) == 1
+
+    def test_loop_body_def_reaches_itself(self):
+        cfg, defs, chains = self.chains_for(
+            "def f(n):\n    while n > 0:\n        n = n - 1\n    return n\n"
+        )
+        body_def = next(
+            d
+            for node in defs.values()
+            for d in node
+            if d.name == "n" and d.line == 3
+        )
+        # n - 1 reads the previous iteration's def: the back edge.
+        use_lines = {name.lineno for _, name in chains[body_def]}
+        assert 3 in use_lines and 4 in use_lines
+
+    def test_augassign_target_counts_as_use(self):
+        cfg, defs, chains = self.chains_for(
+            "def f():\n    a = 1\n    a += 2\n    return a\n"
+        )
+        first = next(
+            d
+            for node in defs.values()
+            for d in node
+            if d.name == "a" and d.line == 2
+        )
+        assert len(chains[first]) == 1
+
+    def test_liveness_kills_redefined_variable(self):
+        cfg = build_cfg(fn("def f(a):\n    a = 2\n    return a\n"))
+        live = live_variables(cfg)
+        # The parameter's value is dead at entry: overwritten first.
+        assert "a" not in live[cfg.entry]
+
+
+SOURCE_TEMPLATE = """
+from repro.injection.instrument import Location
+
+
+def work(harness, tc):
+{body}
+"""
+
+
+def probe_source(*after_probe: str) -> str:
+    lines = [
+        "    u = tc + 1",
+        "    v = tc * 2",
+        '    s = harness.probe("M", Location.ENTRY, {"u": u, "v": v})',
+        *(f"    {line}" for line in after_probe),
+    ]
+    return SOURCE_TEMPLATE.format(body="\n".join(lines))
+
+
+class TestChannels:
+    def test_unread_key_is_dead(self):
+        flow = flow_of(probe_source("return s['u']"), "v")
+        assert flow.status == "dead"
+        assert "never read" in flow.reason
+
+    def test_raw_escape_is_live(self):
+        flow = flow_of(probe_source("return helper(s['u'])"), "u")
+        assert flow.status == "live"
+        assert any(c.is_identity for c in flow.channels)
+
+    def test_pure_composition_is_observed(self):
+        flow = flow_of(probe_source("return int(s['u']) + 1"), "u")
+        assert flow.status == "observed"
+        (channel,) = flow.channels
+        assert channel.observe(3.7) == channel.observe(3.2)
+
+    def test_bool_test_position_observes_truthiness(self):
+        flow = flow_of(
+            probe_source("if s['u']:", "    return 1", "return 0"), "u"
+        )
+        assert flow.status == "observed"
+        (channel,) = flow.channels
+        assert channel.observe(5) == channel.observe(7)
+        assert channel.observe(5) != channel.observe(0)
+
+    def test_discarded_expression_is_dead(self):
+        flow = flow_of(probe_source("s['u']", "return 0"), "u")
+        assert flow.status == "dead"
+        assert "discard" in flow.reason
+
+    def test_flow_through_local_keeps_climbing(self):
+        flow = flow_of(
+            probe_source("x = s['u']", "return min(x, 8)"), "u"
+        )
+        assert flow.status == "observed"
+
+    def test_shadowed_builtin_breaks_purity(self):
+        flow = flow_of(
+            probe_source("int = helper", "return int(s['u'])"), "u"
+        )
+        # int() is no longer the builtin: the read must escape.
+        assert flow.status == "live"
+
+    def test_state_escape_marks_all_live(self):
+        flow = flow_of(probe_source("return helper(s)"), "v")
+        assert flow.status == "live"
+        assert "escapes" in flow.reason
+
+    def test_dynamic_key_marks_all_live(self):
+        flow = flow_of(probe_source("k = 'u'", "return s[k]"), "u")
+        assert flow.status == "live"
+
+    def test_get_with_constant_default_is_a_read(self):
+        flow = flow_of(probe_source("return abs(s.get('u', 0))"), "u")
+        assert flow.status == "observed"
+        (channel,) = flow.channels
+        assert channel.observe(-3) == channel.observe(3)
+
+    def test_overwritten_state_binding_is_dead(self):
+        flow = flow_of(
+            probe_source("s = {'u': 9}", "return s['u']"), "u"
+        )
+        assert flow.status == "dead"
+        assert "overwritten" in flow.reason
+
+    def test_unsupported_construct_degrades_to_live(self):
+        source = probe_source(
+            "match tc:", "    case _:", "        return s['u']"
+        )
+        flow = flow_of(source, "u")
+        assert flow.status == "live"
+        assert "unsupported" in flow.reason
+
+    def test_discarded_probe_result_is_dead(self):
+        source = SOURCE_TEMPLATE.format(
+            body=(
+                '    harness.probe("M", Location.EXIT, {"w": tc})\n'
+                "    return tc"
+            )
+        )
+        flow = flow_of(source, "w", location="exit")
+        assert flow.status == "dead"
+        assert "discarded" in flow.reason
+
+    def test_two_sites_join_to_the_weaker_verdict(self):
+        # Same (module, location) probed in two functions: one site
+        # reads u raw, the other never reads it -- the join is live.
+        source = SOURCE_TEMPLATE.format(
+            body="    s = harness.probe(\"M\", Location.ENTRY, {\"u\": tc})\n"
+            "    return s['u']\n"
+            "\n\n"
+            "def other(harness, tc):\n"
+            "    s = harness.probe(\"M\", Location.ENTRY, {\"u\": tc})\n"
+            "    return 0"
+        )
+        flow = flow_of(source, "u")
+        assert flow.status == "live"
+
+
+class TestCanonicalValue:
+    def test_floats_compare_by_bit_pattern(self):
+        assert canonical_value(0.0) != canonical_value(-0.0)
+        assert canonical_value(float("nan")) == canonical_value(float("nan"))
+
+    def test_bool_and_int_stay_distinct(self):
+        assert canonical_value(True) != canonical_value(1)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            canonical_value(object())
+
+
+class TestProbeDiscovery:
+    def test_methods_are_scanned(self):
+        source = (
+            "class T:\n"
+            "    def run(self, harness):\n"
+            '        s = harness.probe("M", "entry", {"x": 1})\n'
+            "        return s['x']\n"
+        )
+        (function,) = module_functions(ast.parse(source))
+        (probe,) = function_probes(function)
+        assert probe.site.variables == ("x",)
+        assert probe.site.state_name == "s"

@@ -158,6 +158,76 @@ class TestUnjournaledCampaignRule:
         assert "19200" in finding.message
 
 
+class TestUnprunedExhaustiveCampaignRule:
+    def _campaign(self, **overrides):
+        base = dict(
+            module="M",
+            injection_location=Location.ENTRY,
+            sample_location=Location.ENTRY,
+            test_cases=tuple(range(50)),
+            injection_times=(0, 1, 2, 3),
+            variables=("a", "b"),
+            bits=tuple(range(32)),
+        )
+        base.update(overrides)
+        return CampaignConfig(**base)
+
+    def test_flags_large_unpruned_campaign(self):
+        # 50 x 4 x 2 x 32 = 12800 estimated runs, over the 10000 budget.
+        context = LintContext(campaigns={"big": self._campaign()})
+        findings = Linter(select=["unpruned-exhaustive-campaign"]).run(context)
+        (finding,) = findings
+        assert finding.severity == Severity.WARNING
+        assert "12800" in finding.message
+        assert "prune" in finding.message
+
+    def test_pruned_campaign_is_fine(self):
+        pruned = self._campaign(prune="static")
+        context = LintContext(campaigns={"big": pruned})
+        assert (
+            Linter(select=["unpruned-exhaustive-campaign"]).run(context) == []
+        )
+
+    def test_small_campaign_is_fine(self):
+        small = self._campaign(test_cases=(0, 1), bits=(0, 1))
+        context = LintContext(campaigns={"small": small})
+        assert (
+            Linter(select=["unpruned-exhaustive-campaign"]).run(context) == []
+        )
+
+
+class TestPruneWithoutAuditRule:
+    def _campaign(self, **overrides):
+        base = dict(
+            module="M",
+            injection_location=Location.ENTRY,
+            sample_location=Location.ENTRY,
+            test_cases=(0, 1),
+            injection_times=(0,),
+            variables=("a",),
+            bits=(0, 1),
+        )
+        base.update(overrides)
+        return CampaignConfig(**base)
+
+    def test_flags_disabled_audit(self):
+        config = self._campaign(prune="static", audit_fraction=0.0)
+        context = LintContext(campaigns={"c": config})
+        findings = Linter(select=["prune-without-audit"]).run(context)
+        (finding,) = findings
+        assert finding.severity == Severity.WARNING
+        assert "audit" in finding.message
+
+    def test_default_audit_is_fine(self):
+        config = self._campaign(prune="static")
+        context = LintContext(campaigns={"c": config})
+        assert Linter(select=["prune-without-audit"]).run(context) == []
+
+    def test_exhaustive_campaign_is_fine(self):
+        context = LintContext(campaigns={"c": self._campaign()})
+        assert Linter(select=["prune-without-audit"]).run(context) == []
+
+
 class TestLinter:
     def test_findings_sorted_most_severe_first(self):
         findings = Linter().run(
@@ -214,6 +284,8 @@ class TestLinter:
             "excessive-complexity",
             "duplicate-detector",
             "dead-injection",
+            "unpruned-exhaustive-campaign",
+            "prune-without-audit",
         } <= names
 
 

@@ -147,3 +147,37 @@ class TestCheckCampaign:
             config(location=Location.EXIT, variables=("out",)), report
         )
         assert any("discards its returned state" in p for p in problems)
+
+
+class TestFlowSensitiveDeadStores:
+    """Cases the old single-pass heuristic could not see: the dataflow
+    engine proves them dead via reaching definitions."""
+
+    def test_state_binding_overwritten_before_use(self):
+        source = '''
+def run(harness, x):
+    state = harness.probe("M", Location.ENTRY, {"x": x})
+    state = {"x": 0}
+    return state["x"]
+'''
+        report = analyze_source(source)
+        variable = report.lookup("M", "entry", "x")
+        assert variable.is_dead
+        assert "overwritten" in variable.reason
+
+    def test_read_only_on_one_branch_stays_live(self):
+        source = '''
+def run(harness, x, cond):
+    state = harness.probe("M", Location.ENTRY, {"x": x})
+    if cond:
+        return helper(state["x"])
+    return 0
+'''
+        report = analyze_source(source)
+        variable = report.lookup("M", "entry", "x")
+        assert not variable.is_dead
+
+    def test_verdicts_carry_provenance(self):
+        report = analyze_source(SOURCE)
+        dead = report.lookup("M", "entry", "y")
+        assert "never read" in dead.reason
