@@ -1,0 +1,110 @@
+"""Bench R-8: detector-portfolio solve time (repro.portfolio).
+
+Times one full greedy sweep (solve + Pareto front) over a synthetic
+100-candidate instance with structured overlap -- far past the exact
+solver's 20-candidate ceiling, so the timing exercises the path real
+deployments take.  Before timing anything it re-asserts the
+correctness contract on a 12-candidate slice: greedy (with its
+best-single safeguard) must match the branch-and-bound optimum
+exactly, as it does on every tractable instance in the test suite.
+
+The acceptance bar is deliberately generous -- the greedy sweep is
+O(n^2) coverage evaluations and must stay interactive (< 5 s for 100
+candidates at ~20 budgets) so `repro portfolio pareto` remains a
+sub-second CLI call at the 18-dataset scale used in EXPERIMENTS R-8.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.portfolio.candidates import CandidateSet, DetectorCandidate
+from repro.portfolio.optimize import exact_select, greedy_select
+from repro.portfolio.pareto import pareto_front
+
+N_CANDIDATES = 100
+UNIVERSE = 400
+TIME_BAR_S = 5.0
+
+
+def _instance(n=N_CANDIDATES, universe=UNIVERSE):
+    """Deterministic overlapping-coverage instance, no RNG needed.
+
+    Candidate ``i`` detects a contiguous arithmetic stripe of the
+    universe whose width and stride vary with ``i``, so detection sets
+    overlap heavily (the interesting case for marginal coverage) and
+    costs span two orders of magnitude.
+    """
+    candidates = []
+    for i in range(n):
+        width = 5 + (i * 7) % 40
+        start = (i * 13) % universe
+        stride = 1 + i % 3
+        ids = frozenset(
+            (start + k * stride) % universe for k in range(width)
+        )
+        candidates.append(
+            DetectorCandidate(
+                name=f"d{i:03d}",
+                coverage=len(ids) / universe,
+                cost_s=(1 + (i * 11) % 100) * 1e-7,
+                detected=ids,
+            )
+        )
+    return CandidateSet(candidates, activated=universe)
+
+
+@pytest.mark.bench_smoke
+def test_bench_portfolio_solve(benchmark):
+    # Contract first: on a tractable slice, safeguarded greedy matches
+    # the exact optimum before we trust its timings at scale.
+    small = CandidateSet(list(_instance())[:12], activated=UNIVERSE)
+    for budget in (5e-6, 2e-5, 1e-4):
+        greedy = greedy_select(small, budget)
+        exact = exact_select(small, budget)
+        assert greedy.coverage == pytest.approx(exact.coverage), budget
+
+    candidates = _instance()
+    budgets = [k * 5e-6 for k in range(1, 21)]
+
+    def sweep():
+        started = time.perf_counter()
+        front = pareto_front(candidates, budgets, solver="greedy")
+        return time.perf_counter() - started, front
+
+    elapsed_s, front = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    best = front[-1]
+
+    print()
+    print(
+        f"portfolio solve: {N_CANDIDATES} candidates x {len(budgets)} "
+        f"budgets in {elapsed_s:.2f}s; front {len(front)} points, "
+        f"best coverage {best.coverage:.3f} at {best.cost_s * 1e6:.1f}us"
+    )
+
+    artifact = os.environ.get("REPRO_BENCH_PORTFOLIO_JSON")
+    if artifact:
+        with open(artifact, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "candidates": N_CANDIDATES,
+                    "universe": UNIVERSE,
+                    "budgets": len(budgets),
+                    "sweep_s": elapsed_s,
+                    "front_points": len(front),
+                    "best_coverage": best.coverage,
+                    "best_cost_s": best.cost_s,
+                    "time_bar_s": TIME_BAR_S,
+                },
+                handle,
+                indent=2,
+            )
+
+    # The front must be usable, not just fast.
+    assert len(front) >= 3
+    assert best.coverage > 0.9
+    assert elapsed_s < TIME_BAR_S, (
+        f"sweep took {elapsed_s:.2f}s, over the {TIME_BAR_S:.0f}s bar"
+    )

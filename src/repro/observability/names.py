@@ -34,12 +34,18 @@ __all__ = [
     "PRUNE_PLAN",
     "PRUNE_SYNTHESIZE",
     "PRUNE_AUDIT",
+    "PORTFOLIO_CANDIDATES",
+    "PORTFOLIO_SOLVE",
+    "PORTFOLIO_PARETO",
+    "PORTFOLIO_APPLY",
     "COUNTER_SHED",
     "COUNTER_DETECTIONS",
     "COUNTER_FAULTS",
     "COUNTER_PRUNED",
     "COUNTER_AUDITED",
     "COUNTER_CONTRADICTIONS",
+    "COUNTER_EXPLORED",
+    "COUNTER_SELECTED",
 ]
 
 # -- pipeline phases (orchestrate.run, serve lifecycles) ---------------
@@ -81,6 +87,18 @@ PRUNE_SYNTHESIZE = "prune.synthesize"
 #: (counts ``audited`` and ``contradictions``).
 PRUNE_AUDIT = "prune.audit"
 
+# -- detector portfolio optimizer (repro.portfolio) --------------------
+#: Pooled candidate assembly across datasets (carries ``datasets``,
+#: ``scale``).
+PORTFOLIO_CANDIDATES = "portfolio.candidates"
+#: One knapsack solve (carries ``solver``, ``candidates``; sets
+#: ``selected``; the exact solver counts ``explored`` subtrees).
+PORTFOLIO_SOLVE = "portfolio.solve"
+#: One budget-axis sweep producing the coverage-vs-overhead front.
+PORTFOLIO_PARETO = "portfolio.pareto"
+#: Applying a deployment plan through the serving topology.
+PORTFOLIO_APPLY = "portfolio.apply"
+
 # -- counter names -----------------------------------------------------
 COUNTER_SHED = "shed"
 COUNTER_DETECTIONS = "detections"
@@ -91,3 +109,7 @@ COUNTER_PRUNED = "pruned"
 COUNTER_AUDITED = "audited"
 #: Audited cells whose real outcome contradicted the synthesized one.
 COUNTER_CONTRADICTIONS = "contradictions"
+#: Branch-and-bound subtrees visited by the exact portfolio solver.
+COUNTER_EXPLORED = "explored"
+#: Detectors chosen by a portfolio solve.
+COUNTER_SELECTED = "selected"

@@ -1,0 +1,66 @@
+"""Detector portfolio optimization: best coverage per unit of overhead.
+
+The paper picks the single best detector per dataset; DETOx
+(PAPERS.md) asks the production question this package answers -- given
+many candidate detectors and a runtime-overhead budget, **which subset
+do you deploy**?  The pipeline already measures every input:
+
+* coverage / false-positive rate from campaign evaluation;
+* calibrated per-event compiled cost from
+  :func:`repro.runtime.metrics.calibrate_detector_cost`;
+* pairwise redundancy/implication proofs from
+  :mod:`repro.analysis.redundancy` -- a detector implied by a selected
+  one contributes zero *marginal* coverage.
+
+Four modules turn those into a deployment decision:
+
+* :mod:`~repro.portfolio.candidates` -- assemble
+  :class:`DetectorCandidate` records into a :class:`CandidateSet`
+  (proof graph included), from a registry or pooled across the Table
+  II datasets;
+* :mod:`~repro.portfolio.optimize` -- the placement knapsack:
+  safeguarded greedy and exact branch-and-bound, deterministic and
+  cross-checked;
+* :mod:`~repro.portfolio.pareto` -- the budget sweep: the
+  coverage-vs-overhead Pareto front with per-point provenance;
+* :mod:`~repro.portfolio.plan` -- the executable
+  :class:`DeploymentPlan`: versioned JSON, registry validation and
+  gating, atomic publish through the serving topology, plan-vs-actual
+  drift checks.
+
+``repro portfolio`` (see :mod:`repro.cli`) is the command-line shell:
+``candidates`` / ``solve`` / ``pareto`` / ``apply``.
+"""
+
+from repro.portfolio.candidates import (
+    CandidateSet,
+    DetectorCandidate,
+    candidates_from_datasets,
+    candidates_from_registry,
+    evaluate_dataset_candidate,
+)
+from repro.portfolio.optimize import (
+    Selection,
+    exact_select,
+    greedy_select,
+    solve,
+)
+from repro.portfolio.pareto import ParetoPoint, default_budgets, pareto_front
+from repro.portfolio.plan import DeploymentPlan, PlannedDetector
+
+__all__ = [
+    "CandidateSet",
+    "DetectorCandidate",
+    "candidates_from_datasets",
+    "candidates_from_registry",
+    "evaluate_dataset_candidate",
+    "Selection",
+    "greedy_select",
+    "exact_select",
+    "solve",
+    "ParetoPoint",
+    "default_budgets",
+    "pareto_front",
+    "DeploymentPlan",
+    "PlannedDetector",
+]

@@ -1,0 +1,524 @@
+"""Candidate assembly: everything the placement knapsack needs to know.
+
+One :class:`DetectorCandidate` is a deployable detector reduced to the
+three numbers the optimizer trades off -- **coverage** (what fraction
+of failure-inducing states it flags), **false positive rate** (what it
+costs in spurious alarms) and **cost** (calibrated per-event seconds of
+the compiled predicate, see
+:func:`repro.runtime.metrics.calibrate_detector_cost`) -- plus the
+evidence behind them:
+
+* an optional explicit **detection set** (ids of the failure runs the
+  detector flagged in campaign evaluation), which makes set-union
+  coverage exact;
+* the **redundancy proofs** of :mod:`repro.analysis.redundancy`: a
+  candidate proven to imply an already-selected one contributes zero
+  marginal coverage, whatever its standalone number says.
+
+:class:`CandidateSet` owns the proof graph (transitively closed) and
+answers the optimizer's one question -- ``union_coverage(names)`` --
+in two modes:
+
+* **exact** (every selected candidate carries a detection set): the
+  size of the union of detection sets over the universe of activated
+  failure runs; monotone and submodular by construction;
+* **proof-graph** (aggregate coverages only): candidates absorbed by a
+  selected implier are dropped, the survivors combine under the
+  complement-product rule ``1 - prod(1 - c_i)`` -- the proofs are
+  exact, the independence across unproven pairs is an assumption and
+  is reported as such in the provenance.
+
+:func:`candidates_from_datasets` builds the production instance: one
+candidate per Table II dataset (the paper's best-model-per-dataset,
+made comparable), evaluated through the orchestration pool so the 18
+campaigns and fits run in parallel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Iterable, Mapping
+
+from repro import observability as obs
+from repro.observability.names import PORTFOLIO_CANDIDATES
+
+__all__ = [
+    "DetectorCandidate",
+    "CandidateSet",
+    "candidates_from_registry",
+    "candidates_from_datasets",
+    "evaluate_dataset_candidate",
+]
+
+_FORMAT = "repro.portfolio.candidates"
+_FORMAT_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class DetectorCandidate:
+    """One deployable detector's utility record.
+
+    ``cost_s`` is the calibrated per-event evaluation cost in seconds;
+    ``detected`` (optional) the ids of the activated failure runs the
+    detector flagged, over the owning set's universe.  ``provenance``
+    records where each number came from (campaign, calibration run,
+    registry version) and never affects optimization.
+    """
+
+    name: str
+    coverage: float
+    cost_s: float
+    fpr: float = 0.0
+    version: int = 1
+    detected: frozenset[int] | None = None
+    provenance: dict = dataclasses.field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ValueError(
+                f"{self.name}: coverage must be in [0, 1], got {self.coverage}"
+            )
+        if not 0.0 <= self.fpr <= 1.0:
+            raise ValueError(
+                f"{self.name}: fpr must be in [0, 1], got {self.fpr}"
+            )
+        if not math.isfinite(self.cost_s) or self.cost_s <= 0.0:
+            raise ValueError(
+                f"{self.name}: cost_s must be finite and > 0, got {self.cost_s}"
+            )
+        if self.version < 1:
+            raise ValueError(
+                f"{self.name}: version must be >= 1, got {self.version}"
+            )
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "name": self.name,
+            "coverage": self.coverage,
+            "cost_s": self.cost_s,
+            "fpr": self.fpr,
+            "version": self.version,
+        }
+        if self.detected is not None:
+            payload["detected"] = sorted(self.detected)
+        if self.provenance:
+            payload["provenance"] = dict(self.provenance)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "DetectorCandidate":
+        detected = payload.get("detected")
+        return cls(
+            name=str(payload["name"]),
+            coverage=float(payload["coverage"]),
+            cost_s=float(payload["cost_s"]),
+            fpr=float(payload.get("fpr", 0.0)),
+            version=int(payload.get("version", 1)),
+            detected=(
+                frozenset(int(i) for i in detected)
+                if detected is not None
+                else None
+            ),
+            provenance=dict(payload.get("provenance", {})),
+        )
+
+
+class CandidateSet:
+    """Candidates plus the proof graph, ready for the solvers.
+
+    ``implications`` maps a candidate name to the names whose detection
+    sets provably contain its own (``a -> {b}`` reads "a implies b": a
+    never fires without b, so next to b, a adds nothing).  The
+    constructor closes the relation transitively.  ``activated`` is the
+    universe size for detection-set coverage; it defaults to the size
+    of the union of all detection sets (and must be >= it when given).
+    """
+
+    def __init__(
+        self,
+        candidates: Iterable[DetectorCandidate],
+        *,
+        implications: Mapping[str, Iterable[str]] | None = None,
+        activated: int | None = None,
+    ) -> None:
+        ordered = sorted(candidates, key=lambda c: c.name)
+        names = [c.name for c in ordered]
+        if len(set(names)) != len(names):
+            raise ValueError("candidate names must be unique")
+        self._by_name: dict[str, DetectorCandidate] = {
+            c.name: c for c in ordered
+        }
+        known = set(names)
+        graph: dict[str, set[str]] = {name: set() for name in names}
+        for left, rights in (implications or {}).items():
+            if left not in known:
+                raise ValueError(f"implication source {left!r} is not a candidate")
+            for right in rights:
+                if right not in known:
+                    raise ValueError(
+                        f"implication target {right!r} is not a candidate"
+                    )
+                if right != left:
+                    graph[left].add(right)
+        self.implications: dict[str, frozenset[str]] = {
+            name: frozenset(targets)
+            for name, targets in _transitive_closure(graph).items()
+        }
+        union_all: set[int] = set()
+        for candidate in ordered:
+            if candidate.detected is not None:
+                union_all |= candidate.detected
+        if activated is None:
+            activated = len(union_all) if union_all else 0
+        if union_all and activated < len(union_all):
+            raise ValueError(
+                f"activated={activated} is smaller than the union of "
+                f"detection sets ({len(union_all)})"
+            )
+        self.activated = int(activated)
+        #: exact set-union coverage only when *every* candidate carries
+        #: a detection set; a mixed bag falls back to the proof-graph
+        #: model for all of them, so one mode governs the whole solve.
+        self.exact = bool(ordered) and all(
+            c.detected is not None for c in ordered
+        )
+
+    # -- access --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self):
+        for name in self.names():
+            yield self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def names(self) -> list[str]:
+        return sorted(self._by_name)
+
+    def get(self, name: str) -> DetectorCandidate:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown candidate {name!r}") from None
+
+    def total_cost(self, names: Iterable[str]) -> float:
+        """Summed per-event cost, in canonical (sorted-name) order so
+        the float is identical however the selection was built."""
+        return sum(self.get(name).cost_s for name in sorted(set(names)))
+
+    # -- coverage ------------------------------------------------------
+    def union_coverage(self, names: Iterable[str]) -> float:
+        """Coverage of deploying ``names`` together.
+
+        Exact set union when detection sets are available; otherwise
+        the proof-graph model (implied candidates absorbed, survivors
+        combined by complement product).  Deterministic: iteration is
+        in sorted-name order in both modes.
+        """
+        selected = sorted(set(names))
+        if not selected:
+            return 0.0
+        if self.exact:
+            if self.activated == 0:
+                return 0.0
+            union: set[int] = set()
+            for name in selected:
+                union |= self.get(name).detected  # type: ignore[arg-type]
+            return len(union) / self.activated
+        survivors = self._maximal(selected)
+        complement = 1.0
+        for name in survivors:
+            complement *= 1.0 - self.get(name).coverage
+        return 1.0 - complement
+
+    def marginal_coverage(self, name: str, selected: Iterable[str]) -> float:
+        """Coverage ``name`` adds on top of ``selected`` (never < 0)."""
+        base = list(selected)
+        gain = self.union_coverage([*base, name]) - self.union_coverage(base)
+        return max(gain, 0.0)
+
+    def _maximal(self, selected: list[str]) -> list[str]:
+        """Selected names not absorbed by another selected name.
+
+        ``a`` is absorbed when it implies some selected ``b`` (its
+        detection set is contained in b's).  Equivalent pairs absorb
+        each other; the lexicographically smallest survives so the
+        result is deterministic.
+        """
+        chosen = set(selected)
+        survivors = []
+        for name in selected:
+            absorbers = self.implications.get(name, frozenset()) & chosen
+            mutual_only = all(
+                name in self.implications.get(other, frozenset())
+                and name < other
+                for other in absorbers
+            )
+            if not absorbers or mutual_only:
+                survivors.append(name)
+        return survivors
+
+    def redundant_pairs(
+        self, names: Iterable[str]
+    ) -> list[tuple[str, str]]:
+        """Pairs within ``names`` where the first implies the second."""
+        chosen = sorted(set(names))
+        pairs = []
+        for name in chosen:
+            for other in sorted(self.implications.get(name, frozenset())):
+                if other in chosen and other != name:
+                    pairs.append((name, other))
+        return pairs
+
+    # -- persistence ---------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format": _FORMAT,
+            "version": _FORMAT_VERSION,
+            "activated": self.activated,
+            "candidates": [c.to_dict() for c in self],
+            "implications": {
+                name: sorted(targets)
+                for name, targets in sorted(self.implications.items())
+                if targets
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CandidateSet":
+        if payload.get("format") != _FORMAT:
+            raise ValueError(f"not a {_FORMAT} document")
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported {_FORMAT} version {payload.get('version')!r}"
+            )
+        return cls(
+            (
+                DetectorCandidate.from_dict(spec)
+                for spec in payload.get("candidates", ())
+            ),
+            implications=payload.get("implications", {}),
+            activated=payload.get("activated"),
+        )
+
+
+def _transitive_closure(
+    graph: Mapping[str, set[str]]
+) -> dict[str, set[str]]:
+    closed = {name: set(targets) for name, targets in graph.items()}
+    changed = True
+    while changed:
+        changed = False
+        for name in closed:
+            reachable = set(closed[name])
+            for target in list(closed[name]):
+                reachable |= closed.get(target, set())
+            reachable.discard(name)
+            if reachable != closed[name]:
+                closed[name] = reachable
+                changed = True
+    return closed
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def candidates_from_registry(
+    registry,
+    *,
+    coverage: Mapping[str, float],
+    costs: Mapping[str, float],
+    fpr: Mapping[str, float] | None = None,
+    detected: Mapping[str, Iterable[int]] | None = None,
+    activated: int | None = None,
+) -> CandidateSet:
+    """Assemble candidates from a registry's newest versions.
+
+    ``coverage``/``costs`` (and optionally ``fpr``/``detected``) are
+    keyed by detector name; every published name must be measured.
+    Pairwise redundancy proofs over the registry populate the
+    implication graph (battery evidence is ignored -- only proofs may
+    zero a marginal).
+    """
+    from repro.analysis.redundancy import compare_predicates
+
+    entries = registry.latest()
+    missing = [e.name for e in entries if e.name not in coverage]
+    if missing:
+        raise ValueError(f"no coverage measurement for: {', '.join(missing)}")
+    missing = [e.name for e in entries if e.name not in costs]
+    if missing:
+        raise ValueError(f"no cost measurement for: {', '.join(missing)}")
+    candidates = []
+    for entry in entries:
+        spec_detected = None
+        if detected is not None and entry.name in detected:
+            spec_detected = frozenset(int(i) for i in detected[entry.name])
+        candidates.append(
+            DetectorCandidate(
+                name=entry.name,
+                version=entry.version,
+                coverage=float(coverage[entry.name]),
+                cost_s=float(costs[entry.name]),
+                fpr=float((fpr or {}).get(entry.name, 0.0)),
+                detected=spec_detected,
+                provenance={"source": "registry", "mode": entry.compiled.mode},
+            )
+        )
+    implications: dict[str, set[str]] = {}
+    for i, left in enumerate(entries):
+        for right in entries[i + 1:]:
+            relation = compare_predicates(
+                left.detector.predicate, right.detector.predicate
+            )
+            if not relation.proven:
+                continue
+            if relation.relation in ("equivalent", "implies"):
+                implications.setdefault(left.name, set()).add(right.name)
+            if relation.relation in ("equivalent", "implied_by"):
+                implications.setdefault(right.name, set()).add(left.name)
+    return CandidateSet(
+        candidates, implications=implications, activated=activated
+    )
+
+
+def evaluate_dataset_candidate(
+    dataset_name: str,
+    scale_name: str,
+    *,
+    repeats: int = 9,
+    warmup: int = 2,
+) -> dict:
+    """One pooled task: mine, evaluate and calibrate one dataset.
+
+    Module-level (picklable) so the orchestration pool can fan the 18
+    datasets out across worker processes.  Returns a JSON-compatible
+    candidate payload: coverage is the detector's true-positive rate
+    over the dataset's failure rows, the detection set the indices of
+    the failure rows it flags (local ids; the assembling caller offsets
+    them into the shared universe), and cost the calibrated per-event
+    seconds of the *compiled* predicate over the dataset's states.
+    """
+    import numpy as np
+
+    from repro.core.extraction import tree_to_predicate
+    from repro.core.preprocess import default_plan_for, make_learner
+    from repro.experiments.datasets import generate_dataset
+    from repro.runtime.compile import compile_predicate
+    from repro.runtime.metrics import calibrate_detector_cost
+
+    dataset = generate_dataset(dataset_name, scale_name)
+    plan = default_plan_for("c45")
+    rng = np.random.default_rng((0, 0xF1A7))
+    prepared = plan.apply(dataset, rng)
+    model = make_learner("c45").fit(prepared)
+    predicate = tree_to_predicate(
+        model.root, dataset.class_attribute.values, 1
+    )
+    compiled = compile_predicate(predicate)
+    index = {a.name: i for i, a in enumerate(dataset.attributes)}
+    x = np.asarray(dataset.x, dtype=np.float64)
+    flags = compiled.evaluate_rows(x, index)
+    y = np.asarray(dataset.y)
+    failed = y == 1
+    n_failed = int(failed.sum())
+    detected_rows = sorted(int(i) for i in np.flatnonzero(flags & failed))
+    fp = int((flags & ~failed).sum())
+    benign = int((~failed).sum())
+    states = [
+        {a.name: float(value) for a, value in zip(dataset.attributes, row)}
+        for row in x[: min(len(x), 256)]
+    ]
+    calibration = calibrate_detector_cost(
+        compiled, states, repeats=repeats, warmup=warmup, name=dataset_name
+    )
+    return {
+        "name": dataset_name,
+        "coverage": (len(detected_rows) / n_failed) if n_failed else 0.0,
+        "fpr": (fp / benign) if benign else 0.0,
+        "cost_s": calibration.per_event_s,
+        "detected": detected_rows,
+        "activated": n_failed,
+        "provenance": {
+            "source": "dataset",
+            "scale": scale_name,
+            "instances": int(len(y)),
+            "failures": n_failed,
+            "calibration": calibration.to_dict(),
+        },
+    }
+
+
+def candidates_from_datasets(
+    names: Iterable[str],
+    scale: str = "smoke",
+    *,
+    pool=None,
+    jobs: int | None = None,
+    repeats: int = 9,
+    warmup: int = 2,
+) -> CandidateSet:
+    """Build one candidate per Table II dataset, pooled.
+
+    Each dataset contributes one mined detector guarding its own
+    (module, location); their failure universes are disjoint, so the
+    shared universe is the concatenation (per-dataset run ids offset by
+    the failures seen so far) and marginal coverage across datasets is
+    exact set union.  ``pool``/``jobs`` run the per-dataset work
+    through :mod:`repro.orchestration` -- campaign logs are cached, so
+    repeated builds only pay for mining and calibration.
+    """
+    from repro.orchestration.pool import make_pool
+    from repro.orchestration.tasks import Task, fingerprint_of
+
+    ordered = sorted(set(names))
+    with obs.span(PORTFOLIO_CANDIDATES, datasets=len(ordered), scale=scale):
+        owns_pool = pool is None
+        if owns_pool:
+            pool = make_pool(jobs)
+        tasks = [
+            Task(
+                task_id=f"candidate:{name}",
+                fingerprint=fingerprint_of(
+                    {"dataset": name, "scale": scale, "repeats": repeats}
+                ),
+                fn=evaluate_dataset_candidate,
+                args=(name, scale),
+            )
+            for name in ordered
+        ]
+        try:
+            outcomes = pool.run(tasks)
+        finally:
+            if owns_pool:
+                pool.close()
+        payloads = []
+        for task in tasks:
+            outcome = outcomes[task.task_id]
+            if not outcome.ok:
+                raise RuntimeError(
+                    f"candidate evaluation failed for {task.task_id}: "
+                    f"{outcome.error}"
+                )
+            payloads.append(outcome.result)
+        # Offset each dataset's local failure-row ids into one shared,
+        # disjoint universe (assembly order = sorted dataset names).
+        offset = 0
+        candidates = []
+        for payload in payloads:
+            detected = frozenset(offset + int(i) for i in payload["detected"])
+            candidates.append(
+                DetectorCandidate(
+                    name=payload["name"],
+                    coverage=float(payload["coverage"]),
+                    fpr=float(payload["fpr"]),
+                    cost_s=float(payload["cost_s"]),
+                    detected=detected,
+                    provenance=dict(payload["provenance"]),
+                )
+            )
+            offset += int(payload["activated"])
+        return CandidateSet(candidates, activated=offset)

@@ -1,0 +1,250 @@
+"""The placement knapsack: which detectors to deploy under a budget.
+
+Given a :class:`~repro.portfolio.candidates.CandidateSet` and a
+per-event cost budget (seconds), pick the subset maximising union
+coverage with total cost within budget.  Two solvers, both
+deterministic and seed-free:
+
+* :func:`greedy_select` -- cost-benefit greedy (largest marginal
+  coverage per unit cost among affordable candidates), safeguarded by
+  the best single affordable candidate (Khuller-Moss-Naor): for
+  uniform costs the classic ``1 - 1/e`` bound of submodular greedy
+  applies, for general costs the safeguarded greedy is within
+  ``(1 - 1/e) / 2`` of optimal -- the property suite checks both
+  against the exact solver on random instances;
+* :func:`exact_select` -- depth-first branch and bound over subsets in
+  canonical candidate order, admissibly bounded by the union coverage
+  of the current selection plus every remaining affordable candidate;
+  exact but exponential, so it is capped (default 20 candidates).
+
+:func:`solve` picks exact when the instance is small enough and greedy
+otherwise.  Ties break identically everywhere -- higher coverage, then
+lower cost, then lexicographically smallest name tuple -- so repeated
+solves (and solves on round-tripped candidate documents) return
+byte-identical selections.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import observability as obs
+from repro.observability.names import COUNTER_EXPLORED, PORTFOLIO_SOLVE
+from repro.portfolio.candidates import CandidateSet
+
+__all__ = ["Selection", "greedy_select", "exact_select", "solve"]
+
+#: Largest instance the exact solver accepts (2^n subsets, bounded).
+EXACT_LIMIT = 20
+
+
+@dataclasses.dataclass(frozen=True)
+class Selection:
+    """One solved deployment: the chosen names and their predictions.
+
+    ``names`` is canonical (sorted); ``order`` preserves greedy pick
+    order (equals ``names`` for the exact solver).  ``trace`` carries
+    per-pick provenance -- marginal gain, cost ratio, and for the
+    exact solver the number of subtrees explored.
+    """
+
+    names: tuple[str, ...]
+    order: tuple[str, ...]
+    coverage: float
+    cost_s: float
+    budget_s: float
+    solver: str
+    trace: tuple[dict, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "names": list(self.names),
+            "order": list(self.order),
+            "coverage": self.coverage,
+            "cost_s": self.cost_s,
+            "budget_s": self.budget_s,
+            "solver": self.solver,
+            "trace": [dict(step) for step in self.trace],
+        }
+
+
+def _better(
+    coverage: float, cost: float, names: tuple[str, ...],
+    than: tuple[float, float, tuple[str, ...]],
+) -> bool:
+    """The one tie-break everywhere: coverage up, cost down, names."""
+    best_coverage, best_cost, best_names = than
+    if coverage != best_coverage:
+        return coverage > best_coverage
+    if cost != best_cost:
+        return cost < best_cost
+    return names < best_names
+
+
+def _check_budget(budget_s: float) -> None:
+    if not budget_s > 0.0:
+        raise ValueError(f"budget_s must be > 0, got {budget_s}")
+
+
+def greedy_select(candidates: CandidateSet, budget_s: float) -> Selection:
+    """Safeguarded cost-benefit greedy selection."""
+    _check_budget(budget_s)
+    with obs.span(
+        PORTFOLIO_SOLVE, solver="greedy", candidates=len(candidates)
+    ) as span:
+        chosen: list[str] = []
+        spent = 0.0
+        trace: list[dict] = []
+        remaining = candidates.names()
+        while True:
+            best_name = None
+            best_key: tuple[float, float, str] | None = None
+            for name in remaining:
+                cost = candidates.get(name).cost_s
+                if candidates.total_cost([*chosen, name]) > budget_s:
+                    continue
+                gain = candidates.marginal_coverage(name, chosen)
+                if gain <= 0.0:
+                    continue
+                key = (gain / cost, -cost, name)
+                # Highest density wins; at equal density the cheaper
+                # candidate, then the lexicographically smaller name.
+                if best_key is None or (
+                    key[0] > best_key[0]
+                    or (key[0] == best_key[0] and key[1] > best_key[1])
+                    or (key[:2] == best_key[:2] and name < best_key[2])
+                ):
+                    best_key = key
+                    best_name = name
+            if best_name is None:
+                break
+            gain = candidates.marginal_coverage(best_name, chosen)
+            chosen.append(best_name)
+            spent = candidates.total_cost(chosen)
+            remaining.remove(best_name)
+            trace.append(
+                {
+                    "pick": best_name,
+                    "marginal_coverage": gain,
+                    "cost_s": candidates.get(best_name).cost_s,
+                    "density": gain / candidates.get(best_name).cost_s,
+                    "spent_s": spent,
+                }
+            )
+        coverage = candidates.union_coverage(chosen)
+        # Khuller-Moss-Naor safeguard: the single best affordable
+        # candidate can beat ratio-greedy on knapsack instances.
+        single_best: tuple[float, float, tuple[str, ...]] | None = None
+        for name in candidates.names():
+            cost = candidates.get(name).cost_s
+            if cost > budget_s:
+                continue
+            single = (candidates.union_coverage([name]), cost, (name,))
+            if single_best is None or _better(*single, than=single_best):
+                single_best = single
+        if single_best is not None and _better(
+            *single_best, than=(coverage, spent, tuple(chosen))
+        ):
+            coverage, spent, names = single_best
+            chosen = list(names)
+            trace = [
+                {
+                    "pick": names[0],
+                    "marginal_coverage": coverage,
+                    "cost_s": spent,
+                    "density": coverage / spent,
+                    "spent_s": spent,
+                    "safeguard": "best-single",
+                }
+            ]
+        span.set("selected", len(chosen))
+        return Selection(
+            names=tuple(sorted(chosen)),
+            order=tuple(chosen),
+            coverage=coverage,
+            cost_s=candidates.total_cost(chosen),
+            budget_s=budget_s,
+            solver="greedy",
+            trace=tuple(trace),
+        )
+
+
+def exact_select(
+    candidates: CandidateSet,
+    budget_s: float,
+    *,
+    limit: int = EXACT_LIMIT,
+) -> Selection:
+    """Optimal selection by branch and bound (small instances only)."""
+    _check_budget(budget_s)
+    if len(candidates) > limit:
+        raise ValueError(
+            f"exact solver capped at {limit} candidates, got "
+            f"{len(candidates)}; use greedy_select (or solve())"
+        )
+    names = candidates.names()
+    with obs.span(
+        PORTFOLIO_SOLVE, solver="exact", candidates=len(names)
+    ) as span:
+        best: tuple[float, float, tuple[str, ...]] = (0.0, 0.0, ())
+        explored = 0
+
+        def descend(i: int, chosen: tuple[str, ...]) -> None:
+            nonlocal best, explored
+            explored += 1
+            coverage = candidates.union_coverage(chosen)
+            cost = candidates.total_cost(chosen)
+            if _better(coverage, cost, chosen, than=best):
+                best = (coverage, cost, chosen)
+            if i == len(names):
+                return
+            # Admissible bound: adding every remaining individually
+            # affordable candidate can only overstate what any feasible
+            # completion achieves (coverage is monotone in the set).
+            optimistic = [
+                name
+                for name in names[i:]
+                if candidates.total_cost([*chosen, name]) <= budget_s
+            ]
+            if not optimistic:
+                return
+            bound = candidates.union_coverage([*chosen, *optimistic])
+            if bound < best[0]:
+                return
+            name = names[i]
+            if candidates.total_cost([*chosen, name]) <= budget_s:
+                descend(i + 1, (*chosen, name))
+            descend(i + 1, chosen)
+
+        descend(0, ())
+        span.count(COUNTER_EXPLORED, explored)
+        span.set("selected", len(best[2]))
+        coverage, cost, chosen = best
+        return Selection(
+            names=tuple(sorted(chosen)),
+            order=tuple(sorted(chosen)),
+            coverage=coverage,
+            cost_s=cost,
+            budget_s=budget_s,
+            solver="exact",
+            trace=({"explored": explored},),
+        )
+
+
+def solve(
+    candidates: CandidateSet,
+    budget_s: float,
+    *,
+    solver: str = "auto",
+    exact_limit: int = EXACT_LIMIT,
+) -> Selection:
+    """Exact when the instance allows it, safeguarded greedy otherwise."""
+    if solver not in ("auto", "greedy", "exact"):
+        raise ValueError(
+            f"solver must be auto, greedy or exact, got {solver!r}"
+        )
+    if solver == "exact" or (
+        solver == "auto" and len(candidates) <= exact_limit
+    ):
+        return exact_select(candidates, budget_s, limit=exact_limit)
+    return greedy_select(candidates, budget_s)

@@ -1,0 +1,135 @@
+"""Budget-axis sweep: the coverage-vs-overhead Pareto front.
+
+One knapsack solve answers "what do I deploy under *this* budget";
+the deployment decision usually starts one step earlier -- what does
+the trade-off curve look like?  :func:`pareto_front` sweeps the budget
+axis and returns the non-dominated (cost, coverage) points, each with
+full provenance: the budget that produced it, the selected names, the
+solver used and its trace.
+
+The sweep is deterministic and needs no grid tuning: the candidate
+costs themselves define the interesting budgets.  Every subset's total
+cost is a sum of candidate costs, so the front can only change at
+those sums; we sweep the prefix sums of the sorted cost vector plus
+every single-candidate cost (and any explicit ``budgets`` the caller
+adds), dedupe, and solve each.  Points that select the same detector
+set as a cheaper budget collapse; dominated points (another point has
+both cost <= and coverage >=) are dropped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable
+
+from repro import observability as obs
+from repro.observability.names import PORTFOLIO_PARETO
+from repro.portfolio.candidates import CandidateSet
+from repro.portfolio.optimize import EXACT_LIMIT, Selection, solve
+
+__all__ = ["ParetoPoint", "pareto_front", "default_budgets"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated deployment on the coverage-vs-overhead front."""
+
+    budget_s: float
+    cost_s: float
+    coverage: float
+    names: tuple[str, ...]
+    solver: str
+
+    def to_dict(self) -> dict:
+        return {
+            "budget_s": self.budget_s,
+            "cost_s": self.cost_s,
+            "coverage": self.coverage,
+            "names": list(self.names),
+            "solver": self.solver,
+        }
+
+    @property
+    def selection(self) -> Selection:
+        return Selection(
+            names=self.names,
+            order=self.names,
+            coverage=self.coverage,
+            cost_s=self.cost_s,
+            budget_s=self.budget_s,
+            solver=self.solver,
+        )
+
+
+def default_budgets(candidates: CandidateSet) -> list[float]:
+    """Every budget where the optimum can change: subset-cost landmarks.
+
+    Exact breakpoints are the subset sums (exponential); the prefix
+    sums of the ascending cost vector plus each single cost cover the
+    sweep well in practice: they include the cheapest way to afford k
+    detectors for every k, and every single-candidate entry point.
+    """
+    costs = sorted(candidates.get(name).cost_s for name in candidates.names())
+    budgets: set[float] = set(costs)
+    prefix = 0.0
+    for cost in costs:
+        prefix += cost
+        budgets.add(prefix)
+    return sorted(budgets)
+
+
+def pareto_front(
+    candidates: CandidateSet,
+    budgets: Iterable[float] | None = None,
+    *,
+    solver: str = "auto",
+    exact_limit: int = EXACT_LIMIT,
+) -> list[ParetoPoint]:
+    """Solve along the budget axis and keep the non-dominated points.
+
+    Returns points sorted by (cost, coverage) ascending.  With the
+    default budgets the front is a complete summary of the trade-off
+    curve up to the all-candidates deployment; callers wanting specific
+    operating points pass ``budgets`` explicitly (extra points only
+    refine the front, never distort it, since dominated solves are
+    dropped).
+    """
+    swept = (
+        sorted({float(b) for b in budgets})
+        if budgets is not None
+        else default_budgets(candidates)
+    )
+    if any(b <= 0.0 for b in swept):
+        raise ValueError("budgets must all be > 0")
+    with obs.span(
+        PORTFOLIO_PARETO, candidates=len(candidates), budgets=len(swept)
+    ) as span:
+        raw: list[ParetoPoint] = []
+        seen: set[tuple[str, ...]] = set()
+        for budget in swept:
+            selection = solve(
+                candidates, budget, solver=solver, exact_limit=exact_limit
+            )
+            if not selection.names or selection.names in seen:
+                continue
+            seen.add(selection.names)
+            raw.append(
+                ParetoPoint(
+                    budget_s=budget,
+                    cost_s=selection.cost_s,
+                    coverage=selection.coverage,
+                    names=selection.names,
+                    solver=selection.solver,
+                )
+            )
+        front: list[ParetoPoint] = []
+        for point in sorted(raw, key=lambda p: (p.cost_s, -p.coverage)):
+            dominated = any(
+                kept.cost_s <= point.cost_s
+                and kept.coverage >= point.coverage
+                for kept in front
+            )
+            if not dominated:
+                front.append(point)
+        span.set("points", len(front))
+        return front

@@ -1,0 +1,300 @@
+"""Deployment plans: a solved portfolio made executable.
+
+A :class:`DeploymentPlan` is the bridge from the optimizer's answer to
+the serving tier: the selected detector names **pinned to registry
+versions**, the budget the solve ran under, and the predicted coverage
+and per-event cost -- versioned, JSON-round-trippable (format
+``repro.portfolio.plan`` v1, byte-identical through
+``to_json``/``from_dict``), and auditable after the fact:
+
+* :meth:`validate_against` checks every pinned ``name@version`` is
+  published in a registry;
+* :meth:`build_registry` materializes the plan as a pinned subset
+  registry -- the artefact :meth:`ServingTopology.apply_plan
+  <repro.serving.supervisor.ServingTopology.apply_plan>` publishes
+  atomically (workers drop unselected detectors at the epoch bump);
+* :meth:`drift_report` compares the plan's predictions against merged
+  serving metrics: the calibrated per-event cost against the measured
+  per-state latency, per detector, with a relative tolerance.
+
+A registry with a plan **attached**
+(:meth:`~repro.runtime.registry.DetectorRegistry.attach_plan`) gates
+publishes through the plan lint rules (``overbudget-deployment``,
+``redundant-deployment``) under its usual lint policy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import pathlib
+from collections.abc import Mapping
+
+from repro.portfolio.candidates import CandidateSet
+from repro.portfolio.optimize import Selection
+
+__all__ = ["PlannedDetector", "DeploymentPlan"]
+
+_FORMAT = "repro.portfolio.plan"
+_FORMAT_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class PlannedDetector:
+    """One selected detector, pinned: name, registry version, and the
+    per-detector numbers the plan was solved with."""
+
+    name: str
+    version: int
+    coverage: float
+    cost_s: float
+
+    def __post_init__(self) -> None:
+        if self.version < 1:
+            raise ValueError(
+                f"{self.name}: version must be >= 1, got {self.version}"
+            )
+        if not math.isfinite(self.cost_s) or self.cost_s <= 0.0:
+            raise ValueError(
+                f"{self.name}: cost_s must be finite and > 0, got {self.cost_s}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "version": self.version,
+            "coverage": self.coverage,
+            "cost_s": self.cost_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "PlannedDetector":
+        return cls(
+            name=str(payload["name"]),
+            version=int(payload["version"]),
+            coverage=float(payload["coverage"]),
+            cost_s=float(payload["cost_s"]),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class DeploymentPlan:
+    """A versioned, executable deployment decision."""
+
+    name: str
+    budget_s: float
+    coverage: float
+    cost_s: float
+    solver: str
+    detectors: tuple[PlannedDetector, ...]
+    #: serial of the registry snapshot the plan was solved against
+    #: (``None`` when the plan was built straight from candidates).
+    serial: int | None = None
+    provenance: dict = dataclasses.field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        names = [d.name for d in self.detectors]
+        if names != sorted(names) or len(set(names)) != len(names):
+            raise ValueError(
+                "planned detectors must be unique and sorted by name"
+            )
+        if not self.budget_s > 0.0:
+            raise ValueError(f"budget_s must be > 0, got {self.budget_s}")
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_selection(
+        cls,
+        selection: Selection,
+        candidates: CandidateSet,
+        *,
+        name: str = "portfolio",
+        registry=None,
+        serial: int | None = None,
+    ) -> "DeploymentPlan":
+        """Pin a solver :class:`Selection` into an executable plan.
+
+        Versions come from ``registry`` (its rollback-aware latest
+        version per name) when given, else from the candidates'
+        ``version`` fields.
+        """
+        planned = []
+        for selected in selection.names:
+            candidate = candidates.get(selected)
+            version = (
+                registry.latest_version(selected)
+                if registry is not None
+                else candidate.version
+            )
+            planned.append(
+                PlannedDetector(
+                    name=selected,
+                    version=version,
+                    coverage=candidate.coverage,
+                    cost_s=candidate.cost_s,
+                )
+            )
+        return cls(
+            name=name,
+            budget_s=selection.budget_s,
+            coverage=selection.coverage,
+            cost_s=selection.cost_s,
+            solver=selection.solver,
+            detectors=tuple(planned),
+            serial=serial,
+            provenance={"trace": [dict(step) for step in selection.trace]},
+        )
+
+    # -- access --------------------------------------------------------
+    def names(self) -> list[str]:
+        return [d.name for d in self.detectors]
+
+    def predicted_cost(self) -> float:
+        """Total per-event cost recomputed from the pinned detectors
+        (sorted-name order, same float the solvers produce)."""
+        return sum(d.cost_s for d in self.detectors)
+
+    # -- persistence ---------------------------------------------------
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "format": _FORMAT,
+            "version": _FORMAT_VERSION,
+            "name": self.name,
+            "budget_s": self.budget_s,
+            "coverage": self.coverage,
+            "cost_s": self.cost_s,
+            "solver": self.solver,
+            "detectors": [d.to_dict() for d in self.detectors],
+        }
+        if self.serial is not None:
+            payload["serial"] = self.serial
+        if self.provenance:
+            payload["provenance"] = dict(self.provenance)
+        return payload
+
+    def to_json(self) -> str:
+        """Canonical serialization: same plan, same bytes."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "DeploymentPlan":
+        if payload.get("format") != _FORMAT:
+            raise ValueError(f"not a {_FORMAT} document")
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported {_FORMAT} version {payload.get('version')!r}"
+            )
+        serial = payload.get("serial")
+        return cls(
+            name=str(payload.get("name", "portfolio")),
+            budget_s=float(payload["budget_s"]),
+            coverage=float(payload["coverage"]),
+            cost_s=float(payload["cost_s"]),
+            solver=str(payload.get("solver", "unknown")),
+            detectors=tuple(
+                PlannedDetector.from_dict(spec)
+                for spec in payload.get("detectors", ())
+            ),
+            serial=int(serial) if serial is not None else None,
+            provenance=dict(payload.get("provenance", {})),
+        )
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "DeploymentPlan":
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
+
+    # -- registry / serving --------------------------------------------
+    def validate_against(self, registry) -> list[str]:
+        """Problems that make the plan unexecutable on ``registry``."""
+        problems = []
+        for planned in self.detectors:
+            if planned.name not in registry:
+                problems.append(
+                    f"{planned.name}@v{planned.version} is not published"
+                )
+                continue
+            if planned.version not in registry.versions(planned.name):
+                problems.append(
+                    f"{planned.name}@v{planned.version} is not published "
+                    f"(have v{', v'.join(map(str, registry.versions(planned.name)))})"
+                )
+        return problems
+
+    def build_registry(self, registry):
+        """The plan as a pinned subset registry, plan attached.
+
+        Copies each planned ``name@version`` out of ``registry`` into a
+        fresh registry (same lint policy) and attaches this plan, so
+        the result is gated by the plan lint rules and serializes with
+        the plan embedded.  Raises ``ValueError`` when the plan does
+        not validate against ``registry``.
+        """
+        problems = self.validate_against(registry)
+        if problems:
+            raise ValueError(
+                f"plan {self.name!r} does not validate: "
+                + "; ".join(problems)
+            )
+        subset = type(registry)(lint_policy=registry.lint_policy)
+        for planned in self.detectors:
+            entry = registry.lookup(planned.name, planned.version)
+            # Gating off for the copies: the pair was already gated at
+            # its original publish, and the plan check follows.
+            subset.register(
+                entry.detector,
+                name=entry.name,
+                version=entry.version,
+                lint_policy="off",
+            )
+        subset.attach_plan(self)
+        return subset
+
+    def drift_report(
+        self, metrics, *, cost_tolerance: float = 0.5
+    ) -> dict:
+        """Plan-vs-actual check against merged serving metrics.
+
+        For every planned detector with serving traffic, compares the
+        calibrated per-event cost against the measured per-state
+        latency (``latency.total / evaluations``); a detector drifts
+        when the relative error exceeds ``cost_tolerance``.  Planned
+        detectors the metrics never saw are reported as ``missing``
+        (the plan was not actually serving).
+        """
+        detectors: dict[str, dict] = {}
+        drifted: list[str] = []
+        missing: list[str] = []
+        for planned in self.detectors:
+            if planned.name not in metrics:
+                missing.append(planned.name)
+                continue
+            stats = metrics.stats_for(planned.name)
+            if not stats.evaluations:
+                missing.append(planned.name)
+                continue
+            actual = stats.latency.total / stats.evaluations
+            drift = (actual - planned.cost_s) / planned.cost_s
+            detectors[planned.name] = {
+                "predicted_cost_s": planned.cost_s,
+                "actual_cost_s": actual,
+                "drift": drift,
+                "evaluations": stats.evaluations,
+                "detections": stats.detections,
+                "predicted_coverage": planned.coverage,
+            }
+            if abs(drift) > cost_tolerance:
+                drifted.append(planned.name)
+        return {
+            "plan": self.name,
+            "cost_tolerance": cost_tolerance,
+            "detectors": detectors,
+            "drifted": drifted,
+            "missing": missing,
+            "ok": not drifted and not missing,
+        }

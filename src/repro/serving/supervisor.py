@@ -42,7 +42,11 @@ import time
 import numpy as np
 
 from repro import observability as obs
-from repro.observability.names import SERVE_DRAIN, SERVE_PUBLISH
+from repro.observability.names import (
+    PORTFOLIO_APPLY,
+    SERVE_DRAIN,
+    SERVE_PUBLISH,
+)
 from repro.runtime.metrics import RuntimeMetrics
 from repro.runtime.registry import DetectorRegistry
 from repro.runtime.pack import build_index
@@ -316,6 +320,40 @@ class ServingTopology:
         registry = DetectorRegistry.load(self.snapshot_path, check=False)
         registry.rollback(name)
         return self.publish(registry)
+
+    def apply_plan(self, plan, registry: DetectorRegistry | None = None) -> int:
+        """Atomically deploy a portfolio plan; returns the new serial.
+
+        ``plan`` is a :class:`repro.portfolio.DeploymentPlan`;
+        ``registry`` the registry it was solved against (the current
+        snapshot by default).  The plan is materialized as a pinned
+        subset registry (plan attached, so the published snapshot is
+        gated by and carries the plan) and hot-deployed through
+        :meth:`publish` -- workers drop unselected detectors and pin
+        the selected versions at the epoch bump, between micro-batches.
+        Raises ``ValueError`` when the plan does not validate.
+        """
+        with obs.span(PORTFOLIO_APPLY, plan=plan.name,
+                      detectors=len(plan.detectors)) as span:
+            if registry is None:
+                registry = DetectorRegistry.load(
+                    self.snapshot_path, check=False
+                )
+            unknown = [
+                planned.name
+                for planned in plan.detectors
+                if planned.name not in self.bit_of
+            ]
+            if unknown:
+                raise ValueError(
+                    f"plan {plan.name!r} selects detectors outside this "
+                    f"topology: {', '.join(unknown)} (the flag-mask bit "
+                    "layout is fixed at topology construction)"
+                )
+            subset = plan.build_registry(registry)
+            serial = self.publish(subset)
+            span.set("serial", serial)
+            return serial
 
     # -- results -------------------------------------------------------
     def _drain_results(self) -> int:

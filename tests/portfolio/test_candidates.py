@@ -1,0 +1,190 @@
+"""Candidate assembly: coverage modes, proof graph, builders."""
+
+import pytest
+
+from repro.core.detector import Detector
+from repro.core.predicate import And, Comparison
+from repro.portfolio.candidates import (
+    CandidateSet,
+    DetectorCandidate,
+    candidates_from_registry,
+)
+from repro.runtime.registry import DetectorRegistry
+
+
+def exact_set(activated=6, **detected):
+    return CandidateSet(
+        [
+            DetectorCandidate(
+                name=name,
+                coverage=len(ids) / activated,
+                cost_s=1e-6,
+                detected=frozenset(ids),
+            )
+            for name, ids in detected.items()
+        ],
+        activated=activated,
+    )
+
+
+class TestDetectorCandidate:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DetectorCandidate(name="a", coverage=1.5, cost_s=1e-6)
+        with pytest.raises(ValueError):
+            DetectorCandidate(name="a", coverage=0.5, cost_s=0.0)
+        with pytest.raises(ValueError):
+            DetectorCandidate(name="a", coverage=0.5, cost_s=1e-6, fpr=-0.1)
+        with pytest.raises(ValueError):
+            DetectorCandidate(name="a", coverage=0.5, cost_s=1e-6, version=0)
+
+    def test_roundtrip(self):
+        candidate = DetectorCandidate(
+            name="a",
+            coverage=0.5,
+            cost_s=1e-6,
+            fpr=0.01,
+            version=3,
+            detected=frozenset({4, 1}),
+            provenance={"source": "test"},
+        )
+        payload = candidate.to_dict()
+        assert payload["detected"] == [1, 4]
+        assert DetectorCandidate.from_dict(payload) == candidate
+
+
+class TestExactCoverage:
+    def test_union_is_set_union(self):
+        cs = exact_set(a={0, 1, 2}, b={2, 3}, c={5})
+        assert cs.exact
+        assert cs.union_coverage(["a"]) == pytest.approx(3 / 6)
+        assert cs.union_coverage(["a", "b"]) == pytest.approx(4 / 6)
+        assert cs.union_coverage(["a", "b", "c"]) == pytest.approx(5 / 6)
+        assert cs.union_coverage([]) == 0.0
+
+    def test_marginal_coverage(self):
+        cs = exact_set(a={0, 1, 2}, b={2, 3})
+        assert cs.marginal_coverage("b", ["a"]) == pytest.approx(1 / 6)
+        assert cs.marginal_coverage("b", []) == pytest.approx(2 / 6)
+
+    def test_subset_contributes_zero_marginal(self):
+        cs = exact_set(big={0, 1, 2, 3}, small={1, 2})
+        assert cs.marginal_coverage("small", ["big"]) == 0.0
+
+    def test_activated_floor(self):
+        with pytest.raises(ValueError):
+            exact_set(activated=2, a={0, 1, 2})
+
+
+class TestProofGraphCoverage:
+    def test_implied_candidate_is_absorbed(self):
+        cs = CandidateSet(
+            [
+                DetectorCandidate(name="strong", coverage=0.8, cost_s=1e-6),
+                DetectorCandidate(name="weak", coverage=0.5, cost_s=1e-6),
+            ],
+            implications={"weak": ["strong"]},
+        )
+        assert not cs.exact
+        # Absorbed: next to "strong", "weak" adds nothing.
+        assert cs.union_coverage(["strong", "weak"]) == pytest.approx(0.8)
+        assert cs.marginal_coverage("weak", ["strong"]) == 0.0
+        # Alone it still counts.
+        assert cs.union_coverage(["weak"]) == pytest.approx(0.5)
+
+    def test_unproven_pairs_use_complement_product(self):
+        cs = CandidateSet(
+            [
+                DetectorCandidate(name="a", coverage=0.5, cost_s=1e-6),
+                DetectorCandidate(name="b", coverage=0.5, cost_s=1e-6),
+            ]
+        )
+        assert cs.union_coverage(["a", "b"]) == pytest.approx(0.75)
+
+    def test_transitive_closure(self):
+        cs = CandidateSet(
+            [
+                DetectorCandidate(name="a", coverage=0.3, cost_s=1e-6),
+                DetectorCandidate(name="b", coverage=0.5, cost_s=1e-6),
+                DetectorCandidate(name="c", coverage=0.7, cost_s=1e-6),
+            ],
+            implications={"a": ["b"], "b": ["c"]},
+        )
+        assert cs.implications["a"] == frozenset({"b", "c"})
+        assert cs.marginal_coverage("a", ["c"]) == 0.0
+
+    def test_equivalent_pair_keeps_one(self):
+        cs = CandidateSet(
+            [
+                DetectorCandidate(name="a", coverage=0.4, cost_s=1e-6),
+                DetectorCandidate(name="b", coverage=0.4, cost_s=1e-6),
+            ],
+            implications={"a": ["b"], "b": ["a"]},
+        )
+        assert cs.union_coverage(["a", "b"]) == pytest.approx(0.4)
+
+    def test_redundant_pairs(self):
+        cs = CandidateSet(
+            [
+                DetectorCandidate(name="a", coverage=0.3, cost_s=1e-6),
+                DetectorCandidate(name="b", coverage=0.5, cost_s=1e-6),
+            ],
+            implications={"a": ["b"]},
+        )
+        assert cs.redundant_pairs(["a", "b"]) == [("a", "b")]
+        assert cs.redundant_pairs(["a"]) == []
+
+    def test_unknown_implication_name_rejected(self):
+        with pytest.raises(ValueError):
+            CandidateSet(
+                [DetectorCandidate(name="a", coverage=0.3, cost_s=1e-6)],
+                implications={"a": ["ghost"]},
+            )
+
+
+class TestPersistence:
+    def test_roundtrip(self):
+        cs = CandidateSet(
+            [
+                DetectorCandidate(name="a", coverage=0.3, cost_s=1e-6),
+                DetectorCandidate(name="b", coverage=0.5, cost_s=2e-6),
+            ],
+            implications={"a": ["b"]},
+        )
+        loaded = CandidateSet.from_dict(cs.to_dict())
+        assert loaded.names() == ["a", "b"]
+        assert loaded.implications == cs.implications
+        assert loaded.to_dict() == cs.to_dict()
+
+    def test_rejects_other_formats(self):
+        with pytest.raises(ValueError):
+            CandidateSet.from_dict({"format": "something.else"})
+
+
+class TestFromRegistry:
+    def test_proofs_populate_implications(self):
+        registry = DetectorRegistry(lint_policy="off")
+        narrow = And([Comparison("v", ">", 5.0), Comparison("w", ">", 0.0)])
+        wide = Comparison("v", ">", 5.0)
+        registry.register(Detector(narrow, name="narrow"))
+        registry.register(Detector(wide, name="wide"))
+        registry.register(
+            Detector(Comparison("u", "<=", 0.0), name="other")
+        )
+        cs = candidates_from_registry(
+            registry,
+            coverage={"narrow": 0.4, "wide": 0.6, "other": 0.2},
+            costs={"narrow": 2e-6, "wide": 1e-6, "other": 1e-6},
+        )
+        # narrow => wide is provable, so narrow adds nothing next to it.
+        assert "wide" in cs.implications["narrow"]
+        assert cs.marginal_coverage("narrow", ["wide"]) == 0.0
+        assert cs.marginal_coverage("other", ["wide"]) > 0.0
+
+    def test_missing_measurement_rejected(self):
+        registry = DetectorRegistry(lint_policy="off")
+        registry.register(Detector(Comparison("v", ">", 0.0), name="only"))
+        with pytest.raises(ValueError, match="coverage"):
+            candidates_from_registry(registry, coverage={}, costs={"only": 1e-6})
+        with pytest.raises(ValueError, match="cost"):
+            candidates_from_registry(registry, coverage={"only": 0.5}, costs={})

@@ -1,0 +1,197 @@
+"""`repro portfolio` shell: solve, pareto, apply, drift."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.detector import Detector
+from repro.core.predicate import Comparison, Or
+from repro.portfolio.candidates import CandidateSet, DetectorCandidate
+from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.registry import DetectorRegistry
+
+
+@pytest.fixture
+def candidates_path(tmp_path):
+    candidates = CandidateSet(
+        [
+            DetectorCandidate(
+                name="hi", coverage=0.5, cost_s=1e-6,
+                detected=frozenset({0, 1}),
+            ),
+            DetectorCandidate(
+                name="lo", coverage=0.5, cost_s=2e-6,
+                detected=frozenset({2, 3}),
+            ),
+        ],
+        activated=4,
+    )
+    path = tmp_path / "candidates.json"
+    path.write_text(json.dumps(candidates.to_dict()))
+    return path
+
+
+@pytest.fixture
+def registry_path(tmp_path):
+    registry = DetectorRegistry(lint_policy="off")
+    registry.register(Detector(Comparison("v", ">", 5.0), name="hi"))
+    registry.register(
+        Detector(
+            Or([Comparison("v", "<=", 1.0), Comparison("w", "==", 0.0)]),
+            name="lo",
+        )
+    )
+    registry.save(tmp_path / "registry.json")
+    return tmp_path / "registry.json"
+
+
+class TestSolve:
+    def test_solve_writes_plan(self, tmp_path, candidates_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        code = main(
+            [
+                "portfolio", "solve", str(candidates_path),
+                "--budget", "3.5e-6", "--plan", str(plan_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 detector(s)" in out and "coverage 1.000" in out
+        payload = json.loads(plan_path.read_text())
+        assert payload["format"] == "repro.portfolio.plan"
+        assert [d["name"] for d in payload["detectors"]] == ["hi", "lo"]
+
+    def test_solve_json(self, candidates_path, capsys):
+        code = main(
+            [
+                "portfolio", "solve", str(candidates_path),
+                "--budget", "1.5e-6", "--format", "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["names"] == ["hi"]
+        assert payload["solver"] == "exact"
+
+
+class TestPareto:
+    def test_pareto_is_deterministic(self, candidates_path, capsys):
+        assert main(
+            ["portfolio", "pareto", str(candidates_path), "--format", "json"]
+        ) == 0
+        first = capsys.readouterr().out
+        assert main(
+            ["portfolio", "pareto", str(candidates_path), "--format", "json"]
+        ) == 0
+        assert capsys.readouterr().out == first
+        points = json.loads(first)["points"]
+        assert [p["names"] for p in points] == [["hi"], ["hi", "lo"]]
+
+    def test_explicit_budgets(self, candidates_path, capsys):
+        code = main(
+            [
+                "portfolio", "pareto", str(candidates_path),
+                "--budgets", "1e-6,3e-6", "--format", "json",
+            ]
+        )
+        assert code == 0
+        points = json.loads(capsys.readouterr().out)["points"]
+        assert points[0]["budget_s"] == 1e-6
+
+
+class TestApplyAndDrift:
+    def test_apply_publishes_snapshot(
+        self, tmp_path, candidates_path, registry_path, capsys
+    ):
+        plan_path = tmp_path / "plan.json"
+        assert main(
+            [
+                "portfolio", "solve", str(candidates_path),
+                "--budget", "1.5e-6", "--plan", str(plan_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        snapshot = tmp_path / "snapshot.json"
+        code = main(
+            [
+                "portfolio", "apply", str(plan_path), str(registry_path),
+                "--snapshot", str(snapshot),
+            ]
+        )
+        assert code == 0
+        assert "serial 1" in capsys.readouterr().out
+        published = DetectorRegistry.load(snapshot, check=False)
+        assert published.names() == ["hi"]
+        assert published.plan is not None
+
+    def test_drift_exit_codes(self, tmp_path, candidates_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        assert main(
+            [
+                "portfolio", "solve", str(candidates_path),
+                "--budget", "1.5e-6", "--plan", str(plan_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        metrics = RuntimeMetrics()
+        metrics.stats_for("hi").record_batch(100, 10, 100 * 1e-6)
+        metrics_path = tmp_path / "metrics.json"
+        metrics_path.write_text(json.dumps(metrics.to_dict()))
+        assert main(
+            ["portfolio", "drift", str(plan_path), str(metrics_path)]
+        ) == 0
+        drifted = RuntimeMetrics()
+        drifted.stats_for("hi").record_batch(100, 10, 100 * 1e-4)
+        metrics_path.write_text(json.dumps(drifted.to_dict()))
+        assert main(
+            ["portfolio", "drift", str(plan_path), str(metrics_path)]
+        ) == 1
+
+    def test_drift_accepts_serve_report_form(
+        self, tmp_path, candidates_path, capsys
+    ):
+        plan_path = tmp_path / "plan.json"
+        assert main(
+            [
+                "portfolio", "solve", str(candidates_path),
+                "--budget", "1.5e-6", "--plan", str(plan_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        # What `repro serve --format json` emits: report() snapshots
+        # nested under a "metrics" key.
+        metrics = RuntimeMetrics()
+        metrics.stats_for("hi").record_batch(100, 10, 100 * 1e-6)
+        report_path = tmp_path / "serve.json"
+        report_path.write_text(json.dumps({"metrics": metrics.report()}))
+        assert main(
+            ["portfolio", "drift", str(plan_path), str(report_path)]
+        ) == 0
+        assert "[ok]" in capsys.readouterr().out
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"something": "else"}))
+        assert main(
+            ["portfolio", "drift", str(plan_path), str(bogus)]
+        ) != 0
+        assert "neither" in capsys.readouterr().err
+
+
+class TestLintPlanDocuments:
+    def test_lint_sniffs_plan_documents(self, tmp_path, candidates_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        assert main(
+            [
+                "portfolio", "solve", str(candidates_path),
+                "--budget", "1.5e-6", "--plan", str(plan_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        # A healthy plan lints clean...
+        assert main(["lint", str(plan_path)]) == 0
+        # ...an edited, overbudget one fails the gate.
+        payload = json.loads(plan_path.read_text())
+        payload["budget_s"] = 1e-9
+        plan_path.write_text(json.dumps(payload))
+        assert main(["lint", str(plan_path)]) == 1
+        assert "overbudget-deployment" in capsys.readouterr().out

@@ -1,0 +1,184 @@
+"""Solver guarantees: greedy vs exact, bounds, determinism."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.portfolio.candidates import CandidateSet, DetectorCandidate
+from repro.portfolio.optimize import exact_select, greedy_select, solve
+from repro.portfolio.plan import DeploymentPlan
+
+APPROX_UP = 1e-12  # float-noise headroom when comparing coverages
+
+
+def instance(detected_sets, costs, universe):
+    """CandidateSet over explicit detection sets (exact mode)."""
+    candidates = []
+    for i, (ids, cost) in enumerate(zip(detected_sets, costs)):
+        candidates.append(
+            DetectorCandidate(
+                name=f"d{i:02d}",
+                coverage=len(ids) / universe if universe else 0.0,
+                cost_s=cost,
+                detected=frozenset(ids),
+            )
+        )
+    return CandidateSet(candidates, activated=universe)
+
+
+@st.composite
+def knapsack_instances(draw):
+    universe = draw(st.integers(min_value=1, max_value=10))
+    n = draw(st.integers(min_value=1, max_value=7))
+    detected = [
+        draw(
+            st.frozensets(
+                st.integers(min_value=0, max_value=universe - 1), max_size=universe
+            )
+        )
+        for _ in range(n)
+    ]
+    costs = [
+        draw(st.sampled_from([1e-6, 2e-6, 3e-6, 5e-6, 8e-6])) for _ in range(n)
+    ]
+    budget = draw(st.sampled_from([1e-6, 3e-6, 6e-6, 1e-5, 3e-5]))
+    return instance(detected, costs, universe), budget
+
+
+@st.composite
+def unit_cost_instances(draw):
+    universe = draw(st.integers(min_value=1, max_value=10))
+    n = draw(st.integers(min_value=1, max_value=7))
+    detected = [
+        draw(
+            st.frozensets(
+                st.integers(min_value=0, max_value=universe - 1), max_size=universe
+            )
+        )
+        for _ in range(n)
+    ]
+    k = draw(st.integers(min_value=1, max_value=n))
+    return instance(detected, [1e-6] * n, universe), k
+
+
+class TestProperties:
+    @given(knapsack_instances())
+    @settings(deadline=None, max_examples=60)
+    def test_greedy_never_beats_exact(self, case):
+        candidates, budget = case
+        greedy = greedy_select(candidates, budget)
+        exact = exact_select(candidates, budget)
+        assert greedy.coverage <= exact.coverage + APPROX_UP
+        assert greedy.cost_s <= budget
+        assert exact.cost_s <= budget
+
+    @given(unit_cost_instances())
+    @settings(deadline=None, max_examples=60)
+    def test_greedy_within_1_minus_1_over_e_on_unit_costs(self, case):
+        """With unit costs the budget is a cardinality constraint, and
+        submodular greedy carries the classic 1 - 1/e guarantee."""
+        candidates, k = case
+        budget = k * 1e-6 + 1e-12
+        greedy = greedy_select(candidates, budget)
+        exact = exact_select(candidates, budget)
+        assert greedy.coverage >= (1 - 1 / 2.718281828459045) * exact.coverage - APPROX_UP
+
+    @given(knapsack_instances())
+    @settings(deadline=None, max_examples=40)
+    def test_selections_are_deterministic(self, case):
+        candidates, budget = case
+        roundtripped = CandidateSet.from_dict(
+            json.loads(json.dumps(candidates.to_dict()))
+        )
+        for solver in (greedy_select, exact_select):
+            first = solver(candidates, budget)
+            again = solver(roundtripped, budget)
+            assert first.names == again.names
+            assert first.coverage == again.coverage
+            assert first.cost_s == again.cost_s
+
+    @given(knapsack_instances())
+    @settings(deadline=None, max_examples=40)
+    def test_plan_json_is_byte_identical(self, case):
+        candidates, budget = case
+        roundtripped = CandidateSet.from_dict(
+            json.loads(json.dumps(candidates.to_dict()))
+        )
+        first = DeploymentPlan.from_selection(
+            solve(candidates, budget), candidates
+        )
+        again = DeploymentPlan.from_selection(
+            solve(roundtripped, budget), roundtripped
+        )
+        assert first.to_json() == again.to_json()
+
+
+class TestGreedy:
+    def test_prefers_density_then_safeguards_with_best_single(self):
+        # Ratio greedy grabs the cheap low-coverage item first and has
+        # no budget left for the big one; the safeguard catches it.
+        cs = instance(
+            [{0}, {1, 2, 3, 4, 5, 6, 7, 8}],
+            [1e-7, 1e-6],
+            universe=9,
+        )
+        selection = greedy_select(cs, 1.05e-6)
+        assert selection.names == ("d01",)
+        assert selection.trace[0].get("safeguard") == "best-single"
+        assert selection.coverage == pytest.approx(8 / 9)
+
+    def test_skips_zero_marginal_candidates(self):
+        cs = instance([{0, 1}, {0, 1}], [1e-6, 1e-6], universe=2)
+        selection = greedy_select(cs, 1e-5)
+        assert len(selection.names) == 1
+        assert selection.coverage == pytest.approx(1.0)
+
+    def test_budget_rejected(self):
+        cs = instance([{0}], [1e-6], universe=1)
+        with pytest.raises(ValueError):
+            greedy_select(cs, 0.0)
+
+
+class TestExact:
+    def test_finds_optimum_greedy_misses(self):
+        # Classic knapsack trap: greedy's first pick blocks the optimum.
+        cs = instance(
+            [{0, 1, 2}, {3, 4}, {5, 6}],
+            [3e-6, 2e-6, 2e-6],
+            universe=7,
+        )
+        exact = exact_select(cs, 4e-6)
+        assert exact.names == ("d01", "d02")
+        assert exact.coverage == pytest.approx(4 / 7)
+
+    def test_tie_breaks_prefer_cheaper_then_lexicographic(self):
+        cs = instance([{0}, {0}], [1e-6, 2e-6], universe=1)
+        assert exact_select(cs, 1e-5).names == ("d00",)
+        tied = instance([{0}, {0}], [1e-6, 1e-6], universe=1)
+        assert exact_select(tied, 1e-5).names == ("d00",)
+
+    def test_limit_enforced(self):
+        cs = instance([{0}] * 5, [1e-6] * 5, universe=1)
+        with pytest.raises(ValueError, match="capped"):
+            exact_select(cs, 1e-5, limit=4)
+
+    def test_explored_trace(self):
+        cs = instance([{0}, {1}], [1e-6, 1e-6], universe=2)
+        selection = exact_select(cs, 1e-5)
+        assert selection.trace[0]["explored"] >= 1
+
+
+class TestSolve:
+    def test_auto_dispatch(self):
+        small = instance([{0}], [1e-6], universe=1)
+        assert solve(small, 1e-5).solver == "exact"
+        big = instance(
+            [{i} for i in range(6)], [1e-6] * 6, universe=6
+        )
+        assert solve(big, 1e-5, exact_limit=4).solver == "greedy"
+
+    def test_unknown_solver_rejected(self):
+        cs = instance([{0}], [1e-6], universe=1)
+        with pytest.raises(ValueError):
+            solve(cs, 1e-5, solver="annealing")

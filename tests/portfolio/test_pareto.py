@@ -1,0 +1,88 @@
+"""Budget sweep: non-dominated, monotone, deterministic."""
+
+import json
+
+import pytest
+
+from repro.portfolio.candidates import CandidateSet, DetectorCandidate
+from repro.portfolio.pareto import default_budgets, pareto_front
+
+
+def make_candidates():
+    return CandidateSet(
+        [
+            DetectorCandidate(
+                name="a", coverage=3 / 8, cost_s=1e-6,
+                detected=frozenset({0, 1, 2}),
+            ),
+            DetectorCandidate(
+                name="b", coverage=3 / 8, cost_s=2e-6,
+                detected=frozenset({2, 3, 4}),
+            ),
+            DetectorCandidate(
+                name="c", coverage=3 / 8, cost_s=4e-6,
+                detected=frozenset({5, 6, 7}),
+            ),
+        ],
+        activated=8,
+    )
+
+
+class TestDefaultBudgets:
+    def test_landmarks_cover_singles_and_prefixes(self):
+        budgets = default_budgets(make_candidates())
+        for landmark in (1e-6, 2e-6, 4e-6, 3e-6, 7e-6):
+            assert any(b == pytest.approx(landmark) for b in budgets)
+        assert budgets == sorted(budgets)
+
+
+class TestParetoFront:
+    def test_non_dominated_and_monotone(self):
+        front = pareto_front(make_candidates())
+        costs = [p.cost_s for p in front]
+        coverages = [p.coverage for p in front]
+        assert costs == sorted(costs)
+        assert coverages == sorted(coverages)
+        for i, left in enumerate(front):
+            for right in front[i + 1:]:
+                assert right.coverage > left.coverage
+                assert right.cost_s > left.cost_s
+
+    def test_reaches_full_deployment(self):
+        front = pareto_front(make_candidates())
+        best = front[-1]
+        assert best.names == ("a", "b", "c")
+        assert best.coverage == pytest.approx(1.0)
+
+    def test_deterministic_json(self):
+        candidates = make_candidates()
+        first = json.dumps(
+            [p.to_dict() for p in pareto_front(candidates)], sort_keys=True
+        )
+        roundtripped = CandidateSet.from_dict(
+            json.loads(json.dumps(candidates.to_dict()))
+        )
+        again = json.dumps(
+            [p.to_dict() for p in pareto_front(roundtripped)], sort_keys=True
+        )
+        assert first == again
+
+    def test_explicit_budgets_only_refine(self):
+        candidates = make_candidates()
+        base = pareto_front(candidates)
+        refined = pareto_front(
+            candidates, [p.budget_s for p in base] + [1.5e-6, 2.5e-6]
+        )
+        base_points = {(p.cost_s, p.coverage) for p in base}
+        assert base_points <= {(p.cost_s, p.coverage) for p in refined}
+
+    def test_provenance_carried(self):
+        front = pareto_front(make_candidates())
+        for point in front:
+            assert point.solver in ("greedy", "exact")
+            assert point.budget_s >= point.cost_s
+            assert point.selection.names == point.names
+
+    def test_bad_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_front(make_candidates(), [0.0])

@@ -1,0 +1,239 @@
+"""Deployment plans: round-trip, registry gating, serving apply, drift."""
+
+import json
+import pathlib
+import warnings
+
+import pytest
+
+from repro.core.detector import Detector
+from repro.core.predicate import And, Comparison, Or
+from repro.portfolio.candidates import candidates_from_registry
+from repro.portfolio.optimize import solve
+from repro.portfolio.plan import DeploymentPlan, PlannedDetector
+from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.registry import (
+    DetectorRegistry,
+    RegistryError,
+    RegistryWarning,
+)
+from repro.serving import (
+    LoadProfile,
+    ServeConfig,
+    ServingTopology,
+    synthesize_states,
+)
+
+P_HI = Comparison("v", ">", 5.0)
+P_LO = Or([Comparison("v", "<=", 1.0), Comparison("w", "==", 0.0)])
+P_MIX = And([Comparison("u", "!=", 3.0), Comparison("v", ">", 0.0)])
+
+
+def make_registry():
+    registry = DetectorRegistry(lint_policy="off")
+    registry.register(Detector(P_HI, name="hi"))
+    registry.register(Detector(P_LO, name="lo"))
+    registry.register(Detector(P_MIX, name="mix"))
+    return registry
+
+
+def solved_plan(registry, budget=3.5e-6, **kwargs):
+    candidates = candidates_from_registry(
+        registry,
+        coverage={"hi": 0.6, "lo": 0.5, "mix": 0.4},
+        costs={"hi": 1e-6, "lo": 2e-6, "mix": 3e-6},
+    )
+    selection = solve(candidates, budget)
+    return DeploymentPlan.from_selection(
+        selection, candidates, registry=registry, **kwargs
+    )
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_byte_identical(self, tmp_path):
+        plan = solved_plan(make_registry(), name="prod")
+        path = plan.save(tmp_path / "plan.json")
+        loaded = DeploymentPlan.load(path)
+        assert loaded == plan
+        assert loaded.to_json() == plan.to_json()
+        assert path.read_text() == plan.to_json()
+
+    def test_rejects_other_formats(self):
+        with pytest.raises(ValueError):
+            DeploymentPlan.from_dict({"format": "something.else"})
+
+    def test_detectors_must_be_sorted_unique(self):
+        planned = (
+            PlannedDetector(name="b", version=1, coverage=0.5, cost_s=1e-6),
+            PlannedDetector(name="a", version=1, coverage=0.5, cost_s=1e-6),
+        )
+        with pytest.raises(ValueError):
+            DeploymentPlan(
+                name="p", budget_s=1e-5, coverage=0.7, cost_s=2e-6,
+                solver="exact", detectors=planned,
+            )
+
+
+class TestRegistryIntegration:
+    def test_validate_against(self):
+        registry = make_registry()
+        plan = solved_plan(registry)
+        assert plan.validate_against(registry) == []
+        registry.unregister(plan.detectors[0].name)
+        problems = plan.validate_against(registry)
+        assert problems and "not published" in problems[0]
+
+    def test_attach_requires_published_versions(self):
+        registry = make_registry()
+        plan = solved_plan(registry)
+        other = DetectorRegistry()
+        with pytest.raises(RegistryError):
+            other.attach_plan(plan)
+
+    def test_plan_persists_through_registry_roundtrip(self):
+        registry = make_registry()
+        plan = solved_plan(registry, name="persisted")
+        registry.attach_plan(plan)
+        reloaded = DetectorRegistry.from_dict(registry.to_dict(), check=False)
+        assert reloaded.plan is not None
+        assert reloaded.plan.to_json() == plan.to_json()
+        assert reloaded.detach_plan() is not None
+        assert reloaded.plan is None
+
+    def test_overbudget_plan_gates_publish(self):
+        registry = make_registry()
+        plan = solved_plan(registry)
+        overbudget = DeploymentPlan.from_dict(
+            {**plan.to_dict(), "budget_s": plan.cost_s / 10.0}
+        )
+        with pytest.raises(RegistryError, match="overbudget-deployment"):
+            registry.attach_plan(overbudget, lint_policy="reject")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            registry.attach_plan(overbudget, lint_policy="warn")
+        assert any(
+            issubclass(w.category, RegistryWarning)
+            and "overbudget-deployment" in str(w.message)
+            for w in caught
+        )
+        # ...and with the bad plan attached, further publishes are
+        # gated by the same finding.
+        with pytest.raises(RegistryError, match="overbudget-deployment"):
+            registry.register(
+                Detector(Comparison("z", ">", 0.0), name="late"),
+                lint_policy="reject",
+            )
+
+    def test_redundant_plan_warns(self):
+        registry = DetectorRegistry(lint_policy="off")
+        narrow = And([Comparison("v", ">", 5.0), Comparison("w", ">", 0.0)])
+        registry.register(Detector(narrow, name="narrow"))
+        registry.register(Detector(Comparison("v", ">", 5.0), name="wide"))
+        planned = tuple(
+            PlannedDetector(name=name, version=1, coverage=0.5, cost_s=1e-6)
+            for name in ("narrow", "wide")
+        )
+        plan = DeploymentPlan(
+            name="redundant", budget_s=1e-5, coverage=0.5, cost_s=2e-6,
+            solver="manual", detectors=planned,
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            registry.attach_plan(plan, lint_policy="warn")
+        assert any(
+            issubclass(w.category, RegistryWarning)
+            and "redundant-deployment" in str(w.message)
+            for w in caught
+        )
+
+    def test_build_registry_pins_versions(self):
+        registry = make_registry()
+        # Publish a v2 of "hi" after solving against v1.
+        plan = solved_plan(registry)
+        registry.register(Detector(Comparison("v", ">", 9.0), name="hi"))
+        subset = plan.build_registry(registry)
+        assert subset.names() == sorted(plan.names())
+        for planned in plan.detectors:
+            assert subset.latest_version(planned.name) == planned.version
+        assert subset.plan is not None
+
+
+class TestServingApply:
+    def test_apply_plan_publishes_atomically(self, tmp_path):
+        registry = make_registry()
+        plan = solved_plan(registry)
+        assert set(plan.names()) < set(registry.names())
+        config = ServeConfig(workers=2, capacity=64, batch_size=8)
+        topology = ServingTopology.from_registry(
+            registry, tmp_path / "snapshot.json", config, inline=True
+        )
+        topology.start()
+        states = list(
+            synthesize_states(registry, LoadProfile(events=60, seed=3))
+        )
+        for state in states[:30]:
+            topology.submit(state)
+        serial = topology.apply_plan(plan, registry)
+        assert serial == 2
+        for state in states[30:]:
+            topology.submit(state)
+        report = topology.stop()
+        # The ledger still closes across the mid-stream deploy.
+        assert report.accounted
+        assert report.processed == 60
+        # The published snapshot is the pinned subset, plan embedded.
+        published = DetectorRegistry.load(
+            tmp_path / "snapshot.json", check=False
+        )
+        assert published.names() == sorted(plan.names())
+        assert published.plan is not None
+        # Post-deploy events carry the new serial and only planned
+        # detectors can flag them.
+        unplanned = set(registry.names()) - set(plan.names())
+        post = {int(s) for s, ser in zip(report.seqs, report.serials) if ser == 2}
+        flags = report.flags_by_seq()
+        for name in unplanned:
+            bit = topology.bit_of[name]
+            assert all(not (flags[seq] >> bit) & 1 for seq in post)
+
+    def test_apply_rejects_unknown_detectors(self, tmp_path):
+        registry = make_registry()
+        plan = solved_plan(registry)
+        small = DetectorRegistry(lint_policy="off")
+        small.register(Detector(P_HI, name="hi"))
+        topology = ServingTopology.from_registry(
+            small, tmp_path / "snapshot.json",
+            ServeConfig(workers=1, capacity=16, batch_size=4), inline=True,
+        )
+        topology.start()
+        with pytest.raises(ValueError, match="outside this topology"):
+            topology.apply_plan(plan, registry)
+        topology.stop()
+
+
+class TestDrift:
+    def test_drift_report_flags_and_missing(self):
+        plan = solved_plan(make_registry())
+        metrics = RuntimeMetrics()
+        first = plan.detectors[0]
+        # Serve the first planned detector at ~10x its predicted cost.
+        metrics.stats_for(first.name).record_batch(
+            100, 5, 100 * first.cost_s * 10.0
+        )
+        report = plan.drift_report(metrics, cost_tolerance=0.5)
+        assert first.name in report["drifted"]
+        assert set(report["missing"]) == {
+            d.name for d in plan.detectors[1:]
+        }
+        assert not report["ok"]
+
+    def test_drift_ok_within_tolerance(self):
+        plan = solved_plan(make_registry())
+        metrics = RuntimeMetrics()
+        for planned in plan.detectors:
+            metrics.stats_for(planned.name).record_batch(
+                50, 1, 50 * planned.cost_s * 1.2
+            )
+        report = plan.drift_report(metrics, cost_tolerance=0.5)
+        assert report["ok"]
+        assert report["drifted"] == [] and report["missing"] == []

@@ -4,7 +4,12 @@ import json
 
 import pytest
 
-from repro.runtime.metrics import DetectorStats, LatencyHistogram, RuntimeMetrics
+from repro.runtime.metrics import (
+    DetectorStats,
+    LatencyHistogram,
+    RuntimeMetrics,
+    calibrate_detector_cost,
+)
 
 
 class TestLatencyHistogram:
@@ -151,8 +156,13 @@ class TestMerge:
         assert filled.snapshot() == before
 
     def test_merge_rejects_different_bounds(self):
+        # Only two *populated* histograms with mismatched bounds are
+        # irreconcilable; empty sides adopt or no-op (TestOneSidedMerge).
+        left = self._filled((0.001,))
+        right = LatencyHistogram(bounds=(0.1, 1.0))
+        right.observe(0.2)
         with pytest.raises(ValueError):
-            LatencyHistogram().merge(LatencyHistogram(bounds=(0.1, 1.0)))
+            left.merge(right)
 
     def test_pooled_p99_is_not_an_average_of_p99s(self):
         # The classic failure mode bucket-exact merging avoids: one
@@ -224,3 +234,118 @@ class TestMerge:
         assert forward.report() == backward.report()
         assert forward.report()["totals"]["evaluations"] == 60
         assert forward.report()["detectors"]["d"]["detections"] == 3
+
+
+class TestOneSidedMerge:
+    """Per-detector counts must survive merging into a fresh aggregate,
+    even when the populated side uses non-default bucket bounds."""
+
+    @staticmethod
+    def _custom(samples):
+        histogram = LatencyHistogram(bounds=(0.001, 0.01, 0.1))
+        for value in samples:
+            histogram.observe(value)
+        return histogram
+
+    def test_empty_property(self):
+        assert LatencyHistogram().empty
+        filled = LatencyHistogram()
+        filled.observe(0.002)
+        assert not filled.empty
+
+    def test_empty_self_adopts_other_bounds(self):
+        aggregate = LatencyHistogram()  # default bounds
+        worker = self._custom((0.002, 0.02, 0.2))
+        aggregate.merge(worker)
+        assert aggregate.count == 3
+        assert aggregate.bounds == worker.bounds
+        assert aggregate.counts == worker.counts
+        assert aggregate.minimum == 0.002
+        assert aggregate.maximum == 0.2
+
+    def test_empty_other_is_noop_despite_bounds(self):
+        filled = self._custom((0.002, 0.02))
+        before = filled.snapshot()
+        filled.merge(LatencyHistogram())  # default bounds, but empty
+        assert filled.snapshot() == before
+        assert filled.bounds == (0.001, 0.01, 0.1)
+
+    def test_two_nonempty_different_bounds_still_rejected(self):
+        filled = self._custom((0.002,))
+        other = LatencyHistogram()
+        other.observe(0.002)
+        with pytest.raises(ValueError):
+            filled.merge(other)
+
+    def test_detector_stats_survive_one_sided_merge(self):
+        # The supervisor path that used to zero worker counts: a fresh
+        # aggregate folding in a worker with custom-bounds histograms.
+        aggregate = DetectorStats("d")
+        worker = DetectorStats("d", latency=self._custom(()))
+        worker.record_batch(100, 7, 0.004)
+        aggregate.merge(worker)
+        assert aggregate.evaluations == 100
+        assert aggregate.detections == 7
+        assert aggregate.latency.count == 1
+        assert aggregate.latency.bounds == (0.001, 0.01, 0.1)
+
+    def test_one_sided_merge_is_commutative(self):
+        worker = self._custom((0.002, 0.02, 0.2))
+        a = LatencyHistogram()
+        a.merge(worker)
+        b = self._custom((0.002, 0.02, 0.2))
+        b.merge(LatencyHistogram())
+        assert a.snapshot() == b.snapshot()
+        assert a.counts == b.counts
+
+
+class TestCalibrateDetectorCost:
+    @staticmethod
+    def _compiled():
+        from repro.core.predicate import Comparison
+        from repro.runtime.compile import compile_predicate
+
+        return compile_predicate(Comparison("v", ">", 5.0))
+
+    @staticmethod
+    def _states(n=64):
+        return [{"v": float(i % 10), "w": 1.0} for i in range(n)]
+
+    def test_measures_positive_cost(self):
+        calibration = calibrate_detector_cost(
+            self._compiled(), self._states(), repeats=5, warmup=1, name="hi"
+        )
+        assert calibration.per_event_s > 0.0
+        assert calibration.batch_s == pytest.approx(
+            calibration.per_event_s * calibration.events
+        )
+        assert calibration.spread_s >= 0.0
+        assert (calibration.events, calibration.repeats, calibration.warmup) == (
+            64, 5, 1
+        )
+        payload = calibration.to_dict()
+        assert payload["name"] == "hi"
+        assert json.dumps(payload)  # JSON-exportable
+
+    def test_records_into_metrics(self):
+        metrics = RuntimeMetrics()
+        calibrate_detector_cost(
+            self._compiled(), self._states(), repeats=3, warmup=0,
+            name="hi", metrics=metrics,
+        )
+        stats = metrics.stats_for("hi")
+        assert stats.batches == 3
+        assert stats.evaluations == 3 * 64
+        # 24 of the 64 states satisfy v > 5 (values 6..9 in each full
+        # cycle of 10).
+        assert stats.detections == 3 * 24
+        assert stats.latency.count == 3
+
+    def test_validates_arguments(self):
+        compiled = self._compiled()
+        with pytest.raises(ValueError, match="at least one state"):
+            calibrate_detector_cost(compiled, [])
+        with pytest.raises(ValueError, match="repeats"):
+            calibrate_detector_cost(compiled, self._states(), repeats=0)
+        with pytest.raises(ValueError, match="warmup"):
+            calibrate_detector_cost(compiled, self._states(), warmup=-1)
