@@ -46,6 +46,11 @@ campaign                            runs exhaustively (``prune`` unset) though
                                     static pruning could skip proven-dead points
 prune-without-audit       WARNING   a statically pruned campaign disables the
                                     re-injection audit (``audit_fraction`` 0)
+low-sample-stratum        WARNING   a sampled campaign's stratum stopped under
+                          /ERROR    the sample floor or wider than its target
+                                    half-width (WARNING); ERROR when a mining
+                                    step consumed an estimate whose interval
+                                    straddles the outcome-class boundary
 ========================  ========  =============================================
 """
 
@@ -136,6 +141,10 @@ class LintContext:
     #: deployment plans (duck-typed repro.portfolio.DeploymentPlan),
     #: by subject
     plans: dict[str, object] = dataclasses.field(default_factory=dict)
+    #: sampling reports of sampled campaigns (duck-typed
+    #: repro.injection.sampling.SamplingReport, or its dict payload),
+    #: by subject
+    sampling: dict[str, object] = dataclasses.field(default_factory=dict)
     _simplified: dict[str, SimplificationResult] = dataclasses.field(
         default_factory=dict, repr=False
     )
@@ -449,6 +458,73 @@ class PruneWithoutAuditRule(LintRule):
                     "verdict would go undetected -- keep the default 5% "
                     "audit sample",
                 )
+
+
+@register_rule
+class LowSampleStratumRule(LintRule):
+    """Sampled campaigns whose per-stratum estimates are too weak to
+    trust.  A stratum that stopped under the sample floor, or whose
+    widest class interval never reached the configured stop target,
+    only narrows with more draws (WARNING).  When a detector-mining
+    step consumed the campaign's dataset (``mined``) and a class
+    interval straddles the outcome-class decision boundary, the mined
+    labels could flip inside the interval: ERROR."""
+
+    name = "low-sample-stratum"
+
+    @staticmethod
+    def _report(document):
+        if isinstance(document, dict):
+            from repro.injection.sampling import SamplingReport
+
+            return SamplingReport.from_dict(document)
+        return document
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        for subject in sorted(context.sampling):
+            report = self._report(context.sampling[subject])
+            spec = report.spec
+            for stratum in report.strata:
+                exhausted = (
+                    stratum.population == 0
+                    or stratum.sampled >= stratum.population
+                )
+                if exhausted:
+                    # The whole frame executed: the estimate is exact,
+                    # no interval can improve it.
+                    continue
+                prefix = f"stratum {stratum.stratum!r}"
+                if stratum.sampled < spec.min_cells:
+                    yield Finding(
+                        self.name, Severity.WARNING, subject,
+                        f"{prefix} stopped at {stratum.sampled} sampled "
+                        f"cell(s), under the {spec.min_cells}-cell floor "
+                        f"({stratum.stopped}); its intervals are too wide "
+                        "to act on -- raise max_cells or the budget",
+                    )
+                elif stratum.halfwidth > stratum.target_halfwidth:
+                    yield Finding(
+                        self.name, Severity.WARNING, subject,
+                        f"{prefix} stopped ({stratum.stopped}) with "
+                        f"interval half-width {stratum.halfwidth:.3f} above "
+                        f"the {stratum.target_halfwidth:.3f} target; the "
+                        "estimate did not converge -- sample more cells or "
+                        "relax the target",
+                    )
+                if not report.mined:
+                    continue
+                for class_name in stratum.straddles(spec.boundary):
+                    estimate = stratum.classes[class_name]
+                    yield Finding(
+                        self.name, Severity.ERROR, subject,
+                        f"{prefix} class {class_name!r} interval "
+                        f"[{estimate.low:.3f}, {estimate.high:.3f}] "
+                        f"straddles the {spec.boundary:.2f} decision "
+                        "boundary and the campaign's dataset was mined: "
+                        "the dominant outcome of the stratum is "
+                        "statistically undecided -- sample it tighter or "
+                        "run it exhaustively before mining",
+                    )
 
 
 @register_rule

@@ -39,9 +39,9 @@ from collections.abc import Mapping
 from repro.analysis.dataflow import ModuleDataflow, analyze_dataflow
 from repro.analysis.dataflow.analyzer import analyze_dataflow_package
 from repro.analysis.dataflow.lattice import signature
-from repro.injection.bitflip import BitFlip, flip_bit
+from repro.injection.bitflip import BitFlip, flip_bits_batch
 from repro.injection.campaign import Campaign, CampaignConfig, ExperimentRecord
-from repro.injection.golden import GoldenRun, capture_golden_run
+from repro.injection.golden import GoldenRun, golden_runs_for
 from repro.injection.instrument import Probe, StateSample
 
 __all__ = [
@@ -177,11 +177,9 @@ def _golden_value(
     golden: GoldenRun, probe: Probe, occurrence: int, name: str
 ):
     """``(found, value)`` of one variable at one golden probe occurrence."""
-    for sample in golden.samples_at(probe):
-        if sample.occurrence == occurrence:
-            if name in sample.variables:
-                return True, sample.variables[name]
-            return False, None
+    sample = golden.sample_at(probe, occurrence)
+    if sample is not None and name in sample.variables:
+        return True, sample.variables[name]
     return False, None
 
 
@@ -242,8 +240,9 @@ def _classify_variable(
         if base is None:
             return all_live("channel evaluation failed on golden value")
         golden_sig.append(base)
-        for bit in bits:
-            flipped = flip_bit(value, spec.kind, bit)
+        # One packed XOR flips the value across every bit position at
+        # once (bit-identical to per-bit flip_bit; see bitflip.py).
+        for bit, flipped in zip(bits, flip_bits_batch(value, spec.kind, bits)):
             sig = signature(channels, flipped)
             if sig is None:
                 return all_live(
@@ -337,10 +336,7 @@ def plan_prune(
         else:
             dataflow = _dataflow_for_target(campaign.target)
     if golden_runs is None:
-        golden_runs = {
-            tc: capture_golden_run(campaign.target, tc)
-            for tc in config.test_cases
-        }
+        golden_runs = golden_runs_for(campaign.target, config.test_cases)
     points: list[PointPlan] = []
     variable_reasons: dict[str, str] = {}
     for spec in campaign._targeted_specs():

@@ -98,6 +98,28 @@ def _load_documents(paths: list[str]) -> LintContext:
                 )
         elif (
             isinstance(payload, dict)
+            and payload.get("format") == "repro.injection.campaign"
+        ):
+            # A full campaign document (repro sample/orchestrate
+            # output): lint its config, and its sampling report when
+            # the campaign was sampled.
+            from repro.injection.campaign import CampaignConfig
+
+            subject = path.stem
+            try:
+                context.campaigns[subject] = CampaignConfig.from_dict(
+                    payload["config"]
+                )
+            except (KeyError, ValueError) as exc:
+                raise SerializationError(
+                    f"{path}: invalid campaign document: {exc}"
+                ) from exc
+            if payload.get("journal"):
+                context.journaled.add(subject)
+            if payload.get("sampling") is not None:
+                context.sampling[subject] = payload["sampling"]
+        elif (
+            isinstance(payload, dict)
             and "module" in payload
             and "injection_location" in payload
         ):
@@ -325,6 +347,99 @@ def _cmd_prune(args: argparse.Namespace) -> int:
                 + (f" [{point.class_id}]" if point.class_id else "")
                 + f" -- {point.reason}"
             )
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    """Run one dataset's campaign in statistical sampling mode and
+    report the per-stratum outcome-class estimates."""
+    import time
+
+    from repro.experiments.datasets import (
+        DATASET_SPECS,
+        build_target,
+        campaign_config,
+    )
+    from repro.experiments.scale import get_scale
+    from repro.injection.campaign import Campaign
+    from repro.injection.sampling import SamplingSpec
+
+    spec = DATASET_SPECS.get(args.dataset)
+    if spec is None:
+        print(
+            f"error: unknown dataset {args.dataset!r}; available: "
+            f"{', '.join(sorted(DATASET_SPECS))}",
+            file=sys.stderr,
+        )
+        return 2
+    scale_obj = get_scale(args.scale)
+    target = build_target(spec.target, scale_obj)
+    config = campaign_config(spec, scale_obj)
+    try:
+        sampling = SamplingSpec(
+            ci=args.ci,
+            confidence=args.confidence,
+            target_halfwidth=args.target_halfwidth,
+            min_cells=args.min_cells,
+            round_cells=args.round_cells,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    pool = None
+    journal = None
+    if args.jobs > 1:
+        from repro.orchestration.pool import ProcessPool
+
+        pool = ProcessPool(jobs=args.jobs)
+    if args.journal:
+        from repro.orchestration.journal import Journal
+
+        journal = Journal(args.journal)
+    start = time.perf_counter()
+    try:
+        result = Campaign(target, config).run(
+            pool=pool,
+            journal=journal,
+            mode="sample",
+            sampling=sampling,
+            prune=args.prune,
+        )
+    finally:
+        if pool is not None:
+            pool.close()
+    seconds = time.perf_counter() - start
+    if args.out:
+        payload = result.to_dict()
+        if args.journal:
+            payload["journal"] = args.journal
+        pathlib.Path(args.out).write_text(json.dumps(payload, indent=2))
+    report = result.sampling
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+    print(
+        f"{args.dataset} @ {scale_obj.name}: sampled "
+        f"{report.cells_sampled} of {report.cells_total} cells "
+        f"({report.sampled_fraction:.1%}) in {report.rounds} round(s), "
+        f"{seconds:.2f}s [{report.spec.ci}, "
+        f"{report.spec.confidence:.0%} CI, target half-width "
+        f"{report.spec.target_halfwidth}]"
+    )
+    for stratum in report.strata:
+        rates = ", ".join(
+            f"{name}={estimate.rate:.3f} "
+            f"[{estimate.low:.3f}, {estimate.high:.3f}]"
+            for name, estimate in sorted(stratum.classes.items())
+        )
+        exact = (
+            f" + {stratum.exact_cells} exact" if stratum.exact_cells else ""
+        )
+        print(
+            f"  {stratum.stratum}: n={stratum.sampled}/{stratum.population}"
+            f"{exact} ({stratum.stopped}): {rates}"
+        )
     return 0
 
 
@@ -810,6 +925,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
     prune.set_defaults(func=_cmd_prune)
+
+    sample = commands.add_parser(
+        "sample",
+        help="statistical sampling campaign with per-stratum interval "
+        "estimates",
+    )
+    sample.add_argument(
+        "dataset", help='Table II dataset name (e.g. "7Z-A1")'
+    )
+    sample.add_argument(
+        "--scale", choices=("smoke", "bench", "paper"), default="smoke",
+        help="experiment scale (default: smoke)",
+    )
+    sample.add_argument(
+        "--ci", choices=("wilson", "clopper-pearson"), default="wilson",
+        help="interval estimator (default: wilson)",
+    )
+    sample.add_argument(
+        "--target-halfwidth", type=float, default=0.05, metavar="W",
+        help="early-stop interval half-width target (default: 0.05)",
+    )
+    sample.add_argument(
+        "--confidence", type=float, default=0.95,
+        help="two-sided confidence level (default: 0.95)",
+    )
+    sample.add_argument(
+        "--min-cells", type=int, default=32, metavar="N",
+        help="per-stratum cell floor before early stop (default: 32)",
+    )
+    sample.add_argument(
+        "--round-cells", type=int, default=256, metavar="N",
+        help="cells per stratum per round (default: 256)",
+    )
+    sample.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed of the stratified draw order (default: 0)",
+    )
+    sample.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (default: serial)",
+    )
+    sample.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="checkpoint journal; shards interoperate with exhaustive "
+        "campaigns of the same config",
+    )
+    sample.add_argument(
+        "--prune", choices=("none", "static"), default=None,
+        help="restrict draws to statically live classes and synthesize "
+        "the rest exactly (default: config setting, else none)",
+    )
+    sample.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the full campaign document (records + sampling "
+        "report, lintable) to PATH",
+    )
+    sample.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    sample.set_defaults(func=_cmd_sample)
 
     orchestrate = commands.add_parser(
         "orchestrate",

@@ -27,6 +27,7 @@ from repro.experiments import (
     mining_bench,
     propagation,
     runtime_bench,
+    sampling_campaign,
     significance,
     simplify_bench,
     table1,
@@ -63,6 +64,7 @@ EXPERIMENTS = {
     "ablation-cost": ablation_cost.main,
     "ablation-labels": ablation_labels.main,
     "propagation": propagation.main,
+    "sampling-campaign": sampling_campaign.main,
     "significance": significance.main,
     "latency": lambda scale, datasets: latency.main(scale, datasets),
     "mining": lambda scale, datasets: mining_bench.main(scale),

@@ -33,9 +33,21 @@ from repro.injection.instrument import (
     StateSample,
     VariableSpec,
 )
-from repro.injection.bitflip import BitFlip, bit_width, flip_bit
-from repro.injection.golden import GoldenRun
+from repro.injection.bitflip import (
+    BitFlip,
+    bit_width,
+    flip_bit,
+    flip_bits_batch,
+    flip_values_batch,
+)
+from repro.injection.golden import GoldenRun, golden_runs_for
 from repro.injection.campaign import Campaign, CampaignConfig, ExperimentRecord
+from repro.injection.sampling import (
+    SamplingReport,
+    SamplingSpec,
+    StratumEstimate,
+    run_sampled_campaign,
+)
 
 __all__ = [
     "BitFlip",
@@ -48,8 +60,15 @@ __all__ = [
     "InjectionHarness",
     "Location",
     "Probe",
+    "SamplingReport",
+    "SamplingSpec",
     "StateSample",
+    "StratumEstimate",
     "VariableSpec",
     "bit_width",
     "flip_bit",
+    "flip_bits_batch",
+    "flip_values_batch",
+    "golden_runs_for",
+    "run_sampled_campaign",
 ]

@@ -22,7 +22,16 @@ from __future__ import annotations
 import dataclasses
 import struct
 
-__all__ = ["BitFlip", "FaultModelError", "bit_width", "flip_bit"]
+import numpy as np
+
+__all__ = [
+    "BitFlip",
+    "FaultModelError",
+    "bit_width",
+    "flip_bit",
+    "flip_bits_batch",
+    "flip_values_batch",
+]
 
 
 class FaultModelError(ValueError):
@@ -63,6 +72,74 @@ def flip_bit(value: float | int | bool, kind: str, bit: int) -> float | int | bo
     if bits >= 1 << (width - 1):
         bits -= 1 << width
     return bits
+
+
+def _pack(values, kind: str) -> np.ndarray:
+    """Unsigned bit-pattern view of ``values`` for XOR flipping."""
+    if kind == "float64":
+        return np.asarray(values, dtype=np.float64).view(np.uint64).copy()
+    width = bit_width(kind)
+    mask = (1 << width) - 1
+    # Python ints are unbounded, so wrap into the declared width before
+    # entering the fixed-width array (object dtype keeps exact values).
+    packed = [int(v) & mask for v in np.asarray(values, dtype=object).ravel()]
+    return np.asarray(packed, dtype=np.uint64)
+
+
+def _unpack(bits: np.ndarray, kind: str) -> list:
+    """Inverse of :func:`_pack`: Python values with exact semantics."""
+    if kind == "float64":
+        return [float(v) for v in bits.view(np.float64)]
+    width = bit_width(kind)
+    sign = 1 << (width - 1)
+    out = []
+    for raw in bits.tolist():
+        out.append(raw - (1 << width) if raw >= sign else raw)
+    return out
+
+
+def flip_bits_batch(value: float | int | bool, kind: str, bits) -> list:
+    """``[flip_bit(value, kind, b) for b in bits]`` as one packed XOR.
+
+    The whole-shard data plane: instead of one struct pack/unpack per
+    cell, the value's bit pattern is packed once and every requested
+    position is flipped by a single vectorized XOR over a uint64 view.
+    Bit-identical to :func:`flip_bit` for every kind, including NaN
+    payloads, signed zeros and two's-complement wrap.
+    """
+    positions = np.asarray(list(bits), dtype=np.int64)
+    if positions.size == 0:
+        return []
+    width = bit_width(kind)
+    if int(positions.min()) < 0 or int(positions.max()) >= width:
+        bad = next(b for b in positions.tolist() if not 0 <= b < width)
+        raise FaultModelError(
+            f"bit {bad} out of range for {kind} (width {width})"
+        )
+    if kind == "bool":
+        return [not bool(value)] * len(positions)
+    packed = _pack([value], kind)[0]
+    flipped = packed ^ (np.uint64(1) << positions.astype(np.uint64))
+    return _unpack(flipped, kind)
+
+
+def flip_values_batch(values, kind: str, bit: int) -> list:
+    """``[flip_bit(v, kind, bit) for v in values]`` as one packed XOR.
+
+    The companion shape: one bit position applied to a whole vector of
+    golden values (a (variable, bit) pair across every test case and
+    injection time at once).
+    """
+    width = bit_width(kind)
+    if not 0 <= bit < width:
+        raise FaultModelError(f"bit {bit} out of range for {kind} (width {width})")
+    values = list(values)
+    if not values:
+        return []
+    if kind == "bool":
+        return [not bool(v) for v in values]
+    flipped = _pack(values, kind) ^ np.uint64(1 << bit)
+    return _unpack(flipped, kind)
 
 
 @dataclasses.dataclass(frozen=True)

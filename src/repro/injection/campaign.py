@@ -31,7 +31,7 @@ from collections.abc import Mapping
 
 from repro import observability as obs
 from repro.injection.bitflip import BitFlip, bit_width
-from repro.injection.golden import GoldenRun, capture_golden_run
+from repro.injection.golden import GoldenRun, golden_runs_for
 from repro.injection.instrument import (
     InjectionHarness,
     Location,
@@ -237,13 +237,21 @@ class ExperimentRecord:
 
 @dataclasses.dataclass
 class CampaignResult:
-    """All records of a campaign plus its configuration and statistics."""
+    """All records of a campaign plus its configuration and statistics.
+
+    ``sampling`` is set by sampled campaigns
+    (:mod:`repro.injection.sampling`): the per-stratum interval
+    estimates and the spec that produced them.  When present,
+    ``records`` holds only the sampled (plus prune-synthesized) subset
+    of the enumeration, in canonical order.
+    """
 
     target_name: str
     config: CampaignConfig
     records: list[ExperimentRecord]
     golden_runs: dict[int, GoldenRun]
     variable_specs: tuple[VariableSpec, ...]
+    sampling: object | None = None  # repro.injection.sampling.SamplingReport
 
     @property
     def n_runs(self) -> int:
@@ -282,7 +290,7 @@ class CampaignResult:
         analysis consumes -- config, variable specs, records -- round
         trips exactly.
         """
-        return {
+        payload = {
             "format": "repro.injection.campaign",
             "target": self.target_name,
             "config": self.config.to_dict(),
@@ -292,9 +300,19 @@ class CampaignResult:
             ],
             "records": [record.to_dict() for record in self.records],
         }
+        # Sampling reports are serialized only when present, so
+        # exhaustive campaign documents round-trip unchanged.
+        if self.sampling is not None:
+            payload["sampling"] = self.sampling.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "CampaignResult":
+        sampling = None
+        if payload.get("sampling") is not None:
+            from repro.injection.sampling import SamplingReport
+
+            sampling = SamplingReport.from_dict(payload["sampling"])
         return cls(
             target_name=payload["target"],
             config=CampaignConfig.from_dict(payload["config"]),
@@ -306,6 +324,7 @@ class CampaignResult:
                 VariableSpec(spec["name"], spec["kind"])
                 for spec in payload["variable_specs"]
             ),
+            sampling=sampling,
         )
 
 
@@ -369,6 +388,12 @@ class Campaign:
         prune: str | None = None,
         audit_fraction: float | None = None,
         audit_seed: int | None = None,
+        mode: str = "exhaustive",
+        ci: str = "wilson",
+        target_halfwidth: float = 0.05,
+        confidence: float = 0.95,
+        sample_seed: int = 0,
+        sampling=None,
     ) -> CampaignResult:
         """Execute the full campaign and return its records.
 
@@ -393,17 +418,53 @@ class Campaign:
         :mod:`repro.analysis.prune`).  The record list stays
         bit-identical to the exhaustive campaign's.
 
+        ``mode="sample"`` runs a statistical sampling campaign instead
+        of the exhaustive enumeration (see
+        :mod:`repro.injection.sampling`): stratified seeded draws over
+        the same cell space, with online ``ci`` intervals
+        (``"wilson"`` or ``"clopper-pearson"``) at ``confidence`` and
+        an early-stop once every stratum's class intervals are within
+        ``target_halfwidth``.  The result's ``sampling`` field carries
+        the per-stratum estimates; its records are the sampled subset
+        in canonical order, each bit-identical to the exhaustive
+        campaign's record for the same cell.  ``sampling`` (a
+        :class:`~repro.injection.sampling.SamplingSpec`) overrides the
+        individual knobs for full control.  Sampling composes with
+        ``prune="static"``: draws are restricted to the statically
+        live classes, dead and member cells are synthesized exactly
+        (the prune audit does not run in sample mode -- pruned cells
+        are already a separate exactness tier).
+
         Campaign subclasses that observe per-run harness state through
         :meth:`_after_run` (e.g. the validation campaign) are forced
         onto in-process execution, since a worker process's harness
         observations would be lost with the worker.  For the same
-        reason they refuse pruning: a synthesized run never executes,
-        so the hook would silently miss it.
+        reason they refuse pruning and sampling: a synthesized or
+        undrawn run never executes, so the hook would silently miss
+        it.
         """
-        mode = prune if prune is not None else (self.config.prune or "none")
-        if mode not in ("none", "static"):
-            raise ValueError(f"unknown prune mode {mode!r}")
-        if mode == "static":
+        if mode not in ("exhaustive", "sample"):
+            raise ValueError(f"unknown campaign mode {mode!r}")
+        prune_mode = prune if prune is not None else (self.config.prune or "none")
+        if prune_mode not in ("none", "static"):
+            raise ValueError(f"unknown prune mode {prune_mode!r}")
+        if mode == "sample":
+            if type(self)._after_run is not Campaign._after_run:
+                raise ValueError(
+                    "campaigns observing per-run harness state via "
+                    "_after_run cannot sample: undrawn runs never execute"
+                )
+            if sampling is None:
+                from repro.injection.sampling import SamplingSpec
+
+                sampling = SamplingSpec(
+                    ci=ci,
+                    confidence=confidence,
+                    target_halfwidth=target_halfwidth,
+                    seed=sample_seed,
+                )
+            return self._run_sampled(pool, journal, sampling, prune_mode)
+        if prune_mode == "static":
             if type(self)._after_run is not Campaign._after_run:
                 raise ValueError(
                     "campaigns observing per-run harness state via "
@@ -441,15 +502,46 @@ class Campaign:
                 pool.close()
         return self._run_orchestrated(pool, journal, shard_size)
 
+    def _run_sampled(self, pool, journal, spec, prune_mode: str) -> CampaignResult:
+        """The statistical sampling campaign (optionally prune-composed)."""
+        from repro.injection.sampling import run_sampled_campaign
+
+        golden_runs = golden_runs_for(self.target, self.config.test_cases)
+        prune_plan = None
+        if prune_mode == "static":
+            from repro.analysis import prune as prune_mod
+            from repro.observability import names
+
+            with obs.span(names.PRUNE_PLAN, target=self.target.name) as span:
+                prune_plan = prune_mod.plan_prune(self, golden_runs=golden_runs)
+                counts = prune_plan.counts
+                span.count("points", len(prune_plan.points))
+                span.count(names.COUNTER_PRUNED, counts["dead"] + counts["member"])
+        owns_pool = False
+        if pool is None:
+            from repro.orchestration.pool import default_pool
+
+            pool = default_pool()
+            owns_pool = pool is not None
+        try:
+            return run_sampled_campaign(
+                self,
+                spec,
+                pool=pool,
+                journal=journal,
+                prune_plan=prune_plan,
+                golden_runs=golden_runs,
+            )
+        finally:
+            if owns_pool:
+                pool.close()
+
     def _run_serial(self) -> CampaignResult:
         """The paper's strictly serial experiment loop."""
         with obs.span(
             "campaign.serial", target=self.target.name
         ) as campaign_span:
-            golden_runs = {
-                tc: capture_golden_run(self.target, tc)
-                for tc in self.config.test_cases
-            }
+            golden_runs = golden_runs_for(self.target, self.config.test_cases)
             records: list[ExperimentRecord] = []
             for spec in self._targeted_specs():
                 for bit in self._bits_for(spec):
@@ -502,10 +594,7 @@ class Campaign:
         from repro.observability import names
 
         with obs.span(names.PRUNE_PLAN, target=self.target.name) as plan_span:
-            golden_runs = {
-                tc: capture_golden_run(self.target, tc)
-                for tc in self.config.test_cases
-            }
+            golden_runs = golden_runs_for(self.target, self.config.test_cases)
             plan = prune_mod.plan_prune(self, golden_runs=golden_runs)
             counts = plan.counts
             plan_span.count("points", len(plan.points))
@@ -598,8 +687,17 @@ class Campaign:
         injection_time: int,
         test_case: int,
         golden: GoldenRun,
+        injected_hint: tuple | None = None,
     ) -> ExperimentRecord:
         harness = self._make_harness(flip, injection_time)
+        if injected_hint is not None and getattr(
+            harness, "injected_hint", None
+        ) is None:
+            # Precomputed (golden value, flipped value) from the shard
+            # data plane's vectorized XOR; the harness verifies the
+            # live value matches before using it, so the hint can only
+            # skip work, never change a record.
+            harness.injected_hint = injected_hint
         crashed = False
         try:
             output = self.target.run(test_case, harness)
@@ -630,10 +728,10 @@ class Campaign:
         """Golden-diff of the sampled state itself (Discussion §VIII)."""
         if sample is None:
             return True  # never reached the probe: maximal deviation
-        for reference in golden.samples_at(self.config.sample_probe):
-            if reference.occurrence == sample.occurrence:
-                return not _states_equal(reference.variables, sample.variables)
-        return True  # golden run has no matching occurrence
+        reference = golden.sample_at(self.config.sample_probe, sample.occurrence)
+        if reference is None:
+            return True  # golden run has no matching occurrence
+        return not _states_equal(reference.variables, sample.variables)
 
     def _after_run(self, harness: InjectionHarness, record: ExperimentRecord) -> None:
         """Hook for subclasses that observe each run's harness (e.g. the

@@ -7,6 +7,14 @@ capturing information about the state of the system during execution"
 (for failure specifications of the golden-diff kind) and the full
 sequence of probe samples (so sampling locations can be chosen after
 the fact, and so deviation-based analyses remain possible).
+
+Golden capture is pure in (target, test case): targets are
+deterministic per test case, so two captures of the same pair are
+bit-identical.  :func:`golden_runs_for` therefore memoises captures in
+a content-addressed :class:`~repro.mining.cache.ContentCache` keyed by
+the target's configuration fingerprint -- a campaign re-run (exhaustive
+after sampled, pruned after exhaustive, a benchmark's before/after
+pair) reuses the fault-free executions instead of re-deriving them.
 """
 
 from __future__ import annotations
@@ -14,8 +22,9 @@ from __future__ import annotations
 import dataclasses
 
 from repro.injection.instrument import GoldenHarness, Probe, StateSample
+from repro.mining.cache import ContentCache
 
-__all__ = ["GoldenRun", "capture_golden_run"]
+__all__ = ["GoldenRun", "capture_golden_run", "golden_runs_for", "GOLDEN_CACHE"]
 
 
 @dataclasses.dataclass
@@ -26,8 +35,43 @@ class GoldenRun:
     output: object
     samples: list[StateSample]
 
+    def __post_init__(self) -> None:
+        self._by_probe: dict[tuple, list[StateSample]] = {}
+        self._by_occurrence: dict[tuple, dict[int, StateSample]] = {}
+
+    def __getstate__(self) -> dict:
+        # Probe indexes are derived data; rebuild them lazily on the
+        # other side of a pickle instead of shipping them to workers.
+        state = dict(self.__dict__)
+        state.pop("_by_probe", None)
+        state.pop("_by_occurrence", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._by_probe = {}
+        self._by_occurrence = {}
+
     def samples_at(self, probe: Probe) -> list[StateSample]:
-        return [s for s in self.samples if s.probe == probe]
+        """Samples of one probe, indexed once per (run, probe).
+
+        A FlightGear golden run crosses its probes ~10,000 times and a
+        shard consults it once per injected run, so the linear scan is
+        cached -- the batch golden-state reuse of the shard data plane.
+        """
+        cached = self._by_probe.get(probe.key)
+        if cached is None:
+            cached = [s for s in self.samples if s.probe == probe]
+            self._by_probe[probe.key] = cached
+        return cached
+
+    def sample_at(self, probe: Probe, occurrence: int) -> StateSample | None:
+        """The sample of ``probe`` at one occurrence, O(1) after warmup."""
+        index = self._by_occurrence.get(probe.key)
+        if index is None:
+            index = {s.occurrence: s for s in self.samples_at(probe)}
+            self._by_occurrence[probe.key] = index
+        return index.get(occurrence)
 
 
 def capture_golden_run(target, test_case: int) -> GoldenRun:
@@ -40,3 +84,36 @@ def capture_golden_run(target, test_case: int) -> GoldenRun:
     harness = GoldenHarness()
     output = target.run(test_case, harness)
     return GoldenRun(test_case, output, harness.samples)
+
+
+#: Process-local memo of golden captures, keyed by
+#: ``(target.fingerprint(), test_case)``.  Registered with the global
+#: cache registry, so :func:`repro.mining.cache.clear_reuse_caches`
+#: and ``reuse_caches_disabled()`` govern it like every reuse cache.
+GOLDEN_CACHE = ContentCache(maxsize=64, name="golden")
+
+
+def golden_runs_for(target, test_cases) -> dict[int, GoldenRun]:
+    """Golden runs for every test case, through the content cache.
+
+    The cache key is the target's configuration fingerprint plus the
+    test case number -- where the golden run came from (which campaign,
+    which mode, which process first needed it) never matters, only what
+    it is.  A hit returns the exact object a fresh capture would
+    produce, so cached and uncached campaigns stay bit-identical.
+    """
+    fingerprinter = getattr(target, "fingerprint", None)
+    fingerprint = fingerprinter() if fingerprinter is not None else None
+    if fingerprint is None:
+        # Duck-typed target without the protocol, or one whose state
+        # is not content-addressable: capture directly, never cache.
+        return {tc: capture_golden_run(target, tc) for tc in test_cases}
+    runs: dict[int, GoldenRun] = {}
+    for tc in test_cases:
+        key = (fingerprint, tc)
+        golden = GOLDEN_CACHE.get(key)
+        if golden is None:
+            golden = capture_golden_run(target, tc)
+            GOLDEN_CACHE.put(key, golden)
+        runs[tc] = golden
+    return runs

@@ -1,0 +1,622 @@
+"""Statistical sampling campaigns: estimate instead of exhaust.
+
+The paper's Step 1 enumerates the injection space -- every (variable,
+bit, injection time, test case) cell -- exhaustively, which caps how
+large a campaign can be.  ZOFI-style statistical fault injection shows
+the quantities the methodology actually consumes (per-variable outcome
+-class rates, failure skew, crash fractions) can be estimated to tight
+confidence intervals from a randomized sample at a fraction of the
+cost.  This module adds that mode:
+
+* **stratified draws** over the full cell enumeration, strata keyed by
+  injection variable (the paper's natural outcome-class axis: Table
+  III's skew is per-variable).  Draws are made at ``(variable, bit)``
+  pair granularity -- one pair is exactly one orchestration shard, so
+  sampled and exhaustive campaigns write and reuse the *same* journal
+  entries (the shard ids stay anchored to the full enumeration, like
+  the pruned campaign's);
+* **online confidence intervals** per (stratum, outcome class):
+  Wilson score by default, exact Clopper-Pearson on request, both via
+  :func:`repro.analysis.coverage.coverage_estimate`;
+* an **early-stop rule**: a stratum stops drawing once every outcome
+  class's interval half-width is at or below the configured target
+  (or its population is exhausted, or an explicit cell cap is hit).
+  The draw order is derived from the seed and the stratum *identity*
+  -- never from worker count or schedule -- so a resumed campaign
+  replays the identical sequence of draws and decisions, with journal
+  shards answering instantly.
+
+Every sampled cell's record is produced by the ordinary shard
+executor, so it is bit-identical to the record the exhaustive campaign
+would have produced for that cell.  The assembled record list keeps
+the canonical enumeration order restricted to the sampled subset.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from collections.abc import Mapping
+
+from repro import observability as obs
+from repro.injection.campaign import ExperimentRecord
+from repro.injection.golden import GoldenRun, golden_runs_for
+from repro.observability import names
+
+__all__ = [
+    "OUTCOME_CLASSES",
+    "SamplingSpec",
+    "ClassEstimate",
+    "StratumEstimate",
+    "SamplingReport",
+    "outcome_class",
+    "proportion_interval",
+    "plan_strata",
+    "run_sampled_campaign",
+]
+
+#: Canonical outcome classes of one injected run, the estimands of a
+#: sampled campaign.  ``fail`` means the failure specification was
+#: violated without the run crashing; a crash is its own class (it is
+#: also a failure by the campaign's definition, so the spec-violation
+#: rate of a stratum is ``fail + crash``).
+OUTCOME_CLASSES = ("ok", "fail", "crash")
+
+
+def outcome_class(record: ExperimentRecord) -> str:
+    if record.crashed:
+        return "crash"
+    return "fail" if record.failed else "ok"
+
+
+def proportion_interval(
+    count: int, n: int, method: str, confidence: float
+) -> tuple[float, float]:
+    """Two-sided binomial interval for ``count`` successes out of ``n``."""
+    from repro.analysis.coverage import coverage_estimate
+
+    estimate = coverage_estimate(count, n, confidence)
+    if method == "wilson":
+        return estimate.wilson_low, estimate.wilson_high
+    if method == "clopper-pearson":
+        return estimate.exact_low, estimate.exact_high
+    raise ValueError(
+        f"unknown interval method {method!r}; "
+        "expected 'wilson' or 'clopper-pearson'"
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class SamplingSpec:
+    """Parameters of one sampling campaign.
+
+    Parameters
+    ----------
+    ci:
+        Interval estimator: ``"wilson"`` (default) or the exact
+        ``"clopper-pearson"``.
+    confidence:
+        Two-sided confidence level of every reported interval.
+    target_halfwidth:
+        The early-stop rule: a stratum stops drawing once every
+        outcome class's interval half-width is <= this target.
+    min_cells:
+        Per-stratum floor of sampled cells before the stop rule may
+        fire (guards against a lucky tiny sample stopping a stratum).
+    round_cells:
+        Cells requested per stratum per round, rounded up to whole
+        ``(variable, bit)`` pairs -- the draw (and journal-shard)
+        granularity.
+    max_cells:
+        Optional per-stratum cap; a stratum that hits it reports
+        ``stopped="capped"`` with whatever width it reached.
+    seed:
+        Root of every stratum's draw order (via
+        :func:`repro.orchestration.tasks.derive_seed` on the stratum
+        identity, so the order is schedule- and worker-independent).
+    boundary:
+        The outcome-class decision boundary consumed by the
+        ``low-sample-stratum`` lint rule: an estimate whose interval
+        straddles it cannot say which side the true rate is on.
+    """
+
+    ci: str = "wilson"
+    confidence: float = 0.95
+    target_halfwidth: float = 0.05
+    min_cells: int = 32
+    round_cells: int = 256
+    max_cells: int | None = None
+    seed: int = 0
+    boundary: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.ci not in ("wilson", "clopper-pearson"):
+            raise ValueError(f"unknown interval method {self.ci!r}")
+        if not 0 < self.confidence < 1:
+            raise ValueError("confidence must be in (0, 1)")
+        if not 0 < self.target_halfwidth < 0.5:
+            raise ValueError("target_halfwidth must be in (0, 0.5)")
+        if self.min_cells < 1 or self.round_cells < 1:
+            raise ValueError("min_cells and round_cells must be >= 1")
+        if self.max_cells is not None and self.max_cells < self.min_cells:
+            raise ValueError("max_cells must be >= min_cells")
+
+    def to_dict(self) -> dict:
+        payload = {
+            "ci": self.ci,
+            "confidence": self.confidence,
+            "target_halfwidth": self.target_halfwidth,
+            "min_cells": self.min_cells,
+            "round_cells": self.round_cells,
+            "seed": self.seed,
+            "boundary": self.boundary,
+        }
+        if self.max_cells is not None:
+            payload["max_cells"] = self.max_cells
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SamplingSpec":
+        return cls(
+            ci=payload.get("ci", "wilson"),
+            confidence=float(payload.get("confidence", 0.95)),
+            target_halfwidth=float(payload.get("target_halfwidth", 0.05)),
+            min_cells=int(payload.get("min_cells", 32)),
+            round_cells=int(payload.get("round_cells", 256)),
+            max_cells=(
+                None
+                if payload.get("max_cells") is None
+                else int(payload["max_cells"])
+            ),
+            seed=int(payload.get("seed", 0)),
+            boundary=float(payload.get("boundary", 0.5)),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassEstimate:
+    """One outcome class's estimated rate within one stratum."""
+
+    count: int
+    rate: float
+    low: float
+    high: float
+
+    @property
+    def halfwidth(self) -> float:
+        return (self.high - self.low) / 2.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "rate": self.rate,
+            "low": self.low,
+            "high": self.high,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ClassEstimate":
+        return cls(
+            count=int(payload["count"]),
+            rate=float(payload["rate"]),
+            low=float(payload["low"]),
+            high=float(payload["high"]),
+        )
+
+
+@dataclasses.dataclass
+class StratumEstimate:
+    """Per-stratum coverage estimate with full interval provenance."""
+
+    stratum: str                      # injection variable name
+    population: int                   # cells in the stratum's space
+    sampled: int                      # cells actually executed
+    classes: dict[str, ClassEstimate]
+    method: str
+    confidence: float
+    target_halfwidth: float
+    stopped: str                      # "converged" | "exhausted" | "capped"
+    exact_cells: int = 0              # synthesized (prune) cells, exact
+    exact_counts: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def halfwidth(self) -> float:
+        """Widest class interval: the stratum's effective precision."""
+        return max(e.halfwidth for e in self.classes.values())
+
+    def straddles(self, boundary: float) -> list[str]:
+        """Outcome classes whose interval contains ``boundary``."""
+        return [
+            cls_name
+            for cls_name, e in sorted(self.classes.items())
+            if e.low < boundary < e.high
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "stratum": self.stratum,
+            "population": self.population,
+            "sampled": self.sampled,
+            "classes": {
+                name: e.to_dict() for name, e in sorted(self.classes.items())
+            },
+            "method": self.method,
+            "confidence": self.confidence,
+            "target_halfwidth": self.target_halfwidth,
+            "stopped": self.stopped,
+            "exact_cells": self.exact_cells,
+            "exact_counts": dict(sorted(self.exact_counts.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "StratumEstimate":
+        return cls(
+            stratum=payload["stratum"],
+            population=int(payload["population"]),
+            sampled=int(payload["sampled"]),
+            classes={
+                name: ClassEstimate.from_dict(entry)
+                for name, entry in payload["classes"].items()
+            },
+            method=payload["method"],
+            confidence=float(payload["confidence"]),
+            target_halfwidth=float(payload["target_halfwidth"]),
+            stopped=payload["stopped"],
+            exact_cells=int(payload.get("exact_cells", 0)),
+            exact_counts={
+                k: int(v) for k, v in payload.get("exact_counts", {}).items()
+            },
+        )
+
+
+@dataclasses.dataclass
+class SamplingReport:
+    """What a sampled campaign measured, and how hard it had to work."""
+
+    spec: SamplingSpec
+    strata: list[StratumEstimate]
+    cells_total: int          # full enumeration size (the space sampled)
+    cells_sampled: int        # cells executed for real
+    rounds: int
+    mined: bool = False       # set when a mining dataset consumed this
+
+    @property
+    def sampled_fraction(self) -> float:
+        return self.cells_sampled / self.cells_total if self.cells_total else 0.0
+
+    def stratum(self, name: str) -> StratumEstimate | None:
+        for estimate in self.strata:
+            if estimate.stratum == name:
+                return estimate
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "strata": [s.to_dict() for s in self.strata],
+            "cells_total": self.cells_total,
+            "cells_sampled": self.cells_sampled,
+            "rounds": self.rounds,
+            "mined": self.mined,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SamplingReport":
+        return cls(
+            spec=SamplingSpec.from_dict(payload.get("spec", {})),
+            strata=[
+                StratumEstimate.from_dict(s) for s in payload.get("strata", ())
+            ],
+            cells_total=int(payload["cells_total"]),
+            cells_sampled=int(payload["cells_sampled"]),
+            rounds=int(payload.get("rounds", 0)),
+            mined=bool(payload.get("mined", False)),
+        )
+
+
+def plan_strata(
+    campaign, spec: SamplingSpec, pairs=None
+) -> dict[str, list[tuple[str, str, int]]]:
+    """The per-stratum draw order over the (restricted) pair space.
+
+    Returns ``{variable: [(variable, kind, bit), ...]}`` where each
+    list is the stratum's full pair population in its seeded draw
+    order.  The order depends only on ``spec.seed`` and the stratum's
+    identity (target, module, variable), so it is identical for any
+    pool, worker count, shard schedule, or resume point.
+    """
+    # Deferred: repro.orchestration reaches repro.core.detector, which
+    # imports repro.injection -- a top-level import here would close
+    # that cycle while repro.injection.__init__ is still initializing.
+    from repro.orchestration.campaigns import plan_pairs
+    from repro.orchestration.tasks import derive_seed
+
+    population = plan_pairs(campaign) if pairs is None else list(pairs)
+    strata: dict[str, list] = {}
+    for pair in population:
+        strata.setdefault(pair[0], []).append(pair)
+    config = campaign.config
+    for variable, stratum_pairs in strata.items():
+        identity = (
+            f"sample:{campaign.target.name}:{config.module}"
+            f"@{config.injection_location}:{variable}"
+        )
+        rng = random.Random(derive_seed(spec.seed, identity))
+        rng.shuffle(stratum_pairs)
+    return strata
+
+
+def _estimate_stratum(
+    variable: str,
+    population: int,
+    records: list[ExperimentRecord],
+    spec: SamplingSpec,
+    stopped: str,
+    exact_records: list[ExperimentRecord] | None = None,
+) -> StratumEstimate:
+    n = len(records)
+    classes: dict[str, ClassEstimate] = {}
+    counts = {name: 0 for name in OUTCOME_CLASSES}
+    for record in records:
+        counts[outcome_class(record)] += 1
+    for name in OUTCOME_CLASSES:
+        count = counts[name]
+        if n:
+            low, high = proportion_interval(count, n, spec.ci, spec.confidence)
+            rate = count / n
+        else:
+            low, high, rate = 0.0, 1.0, 0.0
+        classes[name] = ClassEstimate(count, rate, low, high)
+    exact_counts: dict[str, int] = {}
+    for record in exact_records or ():
+        name = outcome_class(record)
+        exact_counts[name] = exact_counts.get(name, 0) + 1
+    return StratumEstimate(
+        stratum=variable,
+        population=population,
+        sampled=n,
+        classes=classes,
+        method=spec.ci,
+        confidence=spec.confidence,
+        target_halfwidth=spec.target_halfwidth,
+        stopped=stopped,
+        exact_cells=len(exact_records or ()),
+        exact_counts=exact_counts,
+    )
+
+
+def _converged(records: list[ExperimentRecord], spec: SamplingSpec) -> bool:
+    """The early-stop rule over one stratum's sampled cells so far."""
+    n = len(records)
+    if n < spec.min_cells:
+        return False
+    counts = {name: 0 for name in OUTCOME_CLASSES}
+    for record in records:
+        counts[outcome_class(record)] += 1
+    for count in counts.values():
+        low, high = proportion_interval(count, n, spec.ci, spec.confidence)
+        if (high - low) / 2.0 > spec.target_halfwidth:
+            return False
+    return True
+
+
+def run_sampled_campaign(
+    campaign,
+    spec: SamplingSpec,
+    pool=None,
+    journal=None,
+    prune_plan=None,
+    golden_runs: dict[int, GoldenRun] | None = None,
+):
+    """Execute a stratified sampling campaign and return its result.
+
+    ``prune_plan`` (a :class:`repro.analysis.prune.PrunePlan`)
+    restricts draws to the statically live classes: dead points are
+    synthesized outright, equivalence-class members are synthesized
+    whenever their representative was drawn, and only live +
+    representative pairs consume sampling budget.  Synthesized cells
+    are *exact* (the prune contract), so they are reported separately
+    from the sampled estimates.
+
+    The returned :class:`~repro.injection.campaign.CampaignResult`
+    carries the records of every sampled (and synthesized) cell in
+    canonical enumeration order, plus a :class:`SamplingReport` in its
+    ``sampling`` field.
+    """
+    from repro.injection.campaign import CampaignResult
+    from repro.orchestration.campaigns import plan_pairs, run_campaign
+    from repro.orchestration.pool import SerialPool
+
+    config = campaign.config
+    if golden_runs is None:
+        golden_runs = golden_runs_for(campaign.target, config.test_cases)
+    full_pairs = plan_pairs(campaign)
+    runs_per_pair = len(config.injection_times) * len(config.test_cases)
+    if runs_per_pair == 0:
+        raise ValueError("campaign has no injection times or test cases")
+
+    with obs.span(
+        names.SAMPLE_PLAN, target=campaign.target.name, ci=spec.ci
+    ) as plan_span:
+        if prune_plan is not None:
+            executable = prune_plan.executed_pairs()
+        else:
+            executable = list(full_pairs)
+        strata = plan_strata(campaign, spec, pairs=executable)
+        plan_span.count("strata", len(strata))
+        plan_span.count("cells", len(executable) * runs_per_pair)
+
+    pairs_per_round = max(1, math.ceil(spec.round_cells / runs_per_pair))
+    taken = {variable: 0 for variable in strata}
+    stopped: dict[str, str] = {}
+    stratum_records: dict[str, list[ExperimentRecord]] = {
+        variable: [] for variable in strata
+    }
+    executed: dict[tuple[str, int], list[ExperimentRecord]] = {}
+    if pool is None:
+        pool = SerialPool()
+
+    rounds = 0
+    while len(stopped) < len(strata):
+        batch: list[tuple[str, str, int]] = []
+        drawn_by_stratum: dict[str, list] = {}
+        for variable in sorted(strata):
+            if variable in stopped:
+                continue
+            order = strata[variable]
+            start = taken[variable]
+            draw = order[start:start + pairs_per_round]
+            if spec.max_cells is not None:
+                room = spec.max_cells - start * runs_per_pair
+                draw = draw[: max(0, math.ceil(room / runs_per_pair))]
+            drawn_by_stratum[variable] = draw
+            batch.extend(draw)
+        if not batch:
+            # Every open stratum is out of budget or population.
+            for variable in sorted(strata):
+                if variable not in stopped:
+                    stopped[variable] = (
+                        "exhausted"
+                        if taken[variable] >= len(strata[variable])
+                        else "capped"
+                    )
+            break
+        rounds += 1
+        with obs.span(
+            names.SAMPLE_ROUND, round=rounds, pairs=len(batch)
+        ) as round_span:
+            partial = run_campaign(
+                campaign,
+                pool=pool,
+                journal=journal,
+                shard_size=1,  # one pair per shard: the anchored unit
+                pairs=batch,
+                golden_runs=golden_runs,
+            )
+            for index, (name, _kind, bit) in enumerate(batch):
+                records = partial.records[
+                    index * runs_per_pair:(index + 1) * runs_per_pair
+                ]
+                executed[(name, bit)] = records
+                stratum_records[name].extend(records)
+            round_span.count(
+                names.COUNTER_SAMPLED_CELLS, len(batch) * runs_per_pair
+            )
+        for variable, draw in drawn_by_stratum.items():
+            taken[variable] += len(draw)
+            sampled_cells = len(stratum_records[variable])
+            if _converged(stratum_records[variable], spec):
+                stopped[variable] = "converged"
+            elif taken[variable] >= len(strata[variable]):
+                stopped[variable] = "exhausted"
+            elif (
+                spec.max_cells is not None
+                and sampled_cells >= spec.max_cells
+            ):
+                stopped[variable] = "capped"
+
+    with obs.span(
+        names.SAMPLE_ESTIMATE, target=campaign.target.name
+    ) as estimate_span:
+        records, exact_by_stratum = _assemble(
+            campaign, full_pairs, executed, prune_plan, golden_runs
+        )
+        # Report every variable of the full enumeration, including
+        # fully-pruned ones whose stratum has an empty sampling frame
+        # (population 0) and only exact synthesized cells.
+        strata_estimates = [
+            _estimate_stratum(
+                variable,
+                len(strata.get(variable, ())) * runs_per_pair,
+                stratum_records.get(variable, []),
+                spec,
+                stopped.get(variable, "exhausted"),
+                exact_by_stratum.get(variable),
+            )
+            for variable in sorted({pair[0] for pair in full_pairs})
+        ]
+        cells_sampled = sum(len(r) for r in stratum_records.values())
+        report = SamplingReport(
+            spec=spec,
+            strata=strata_estimates,
+            cells_total=len(full_pairs) * runs_per_pair,
+            cells_sampled=cells_sampled,
+            rounds=rounds,
+        )
+        estimate_span.count(names.COUNTER_SAMPLED_CELLS, cells_sampled)
+        estimate_span.count(
+            names.COUNTER_CONVERGED_STRATA,
+            sum(1 for s in strata_estimates if s.stopped == "converged"),
+        )
+
+    result = CampaignResult(
+        campaign.target.name,
+        config,
+        records,
+        golden_runs,
+        campaign.variable_specs,
+        sampling=report,
+    )
+    return result
+
+
+def _assemble(
+    campaign,
+    full_pairs,
+    executed: dict[tuple[str, int], list[ExperimentRecord]],
+    prune_plan,
+    golden_runs: dict[int, GoldenRun],
+):
+    """Record list in canonical enumeration order, restricted to the
+    sampled subset (plus synthesized prune cells), and the synthesized
+    records grouped by stratum."""
+    config = campaign.config
+    records: list[ExperimentRecord] = []
+    exact_by_stratum: dict[str, list[ExperimentRecord]] = {}
+    if prune_plan is None:
+        for name, _kind, bit in full_pairs:
+            chunk = executed.get((name, bit))
+            if chunk is not None:
+                records.extend(chunk)
+        return records, exact_by_stratum
+
+    from repro.analysis.prune import _synthesize_dead, _synthesize_member
+    from repro.injection.bitflip import BitFlip
+
+    for point in prune_plan.points:
+        if point.verdict in ("live", "representative"):
+            chunk = executed.get((point.variable, point.bit))
+            if chunk is not None:
+                records.extend(chunk)
+            continue
+        flip = BitFlip(point.variable, point.kind, point.bit)
+        synthesized: list[ExperimentRecord] = []
+        if point.verdict == "dead":
+            for injection_time in config.injection_times:
+                for tc in config.test_cases:
+                    synthesized.append(
+                        _synthesize_dead(
+                            campaign, flip, injection_time, tc, golden_runs[tc]
+                        )
+                    )
+        else:  # member: exact only when its representative was drawn
+            rep = executed.get((point.variable, point.representative_bit))
+            if rep is None:
+                continue
+            index = 0
+            for injection_time in config.injection_times:
+                for tc in config.test_cases:
+                    synthesized.append(
+                        _synthesize_member(
+                            campaign,
+                            flip,
+                            injection_time,
+                            golden_runs[tc],
+                            rep[index],
+                        )
+                    )
+                    index += 1
+        records.extend(synthesized)
+        exact_by_stratum.setdefault(point.variable, []).extend(synthesized)
+    return records, exact_by_stratum

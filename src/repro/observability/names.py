@@ -34,6 +34,9 @@ __all__ = [
     "PRUNE_PLAN",
     "PRUNE_SYNTHESIZE",
     "PRUNE_AUDIT",
+    "SAMPLE_PLAN",
+    "SAMPLE_ROUND",
+    "SAMPLE_ESTIMATE",
     "PORTFOLIO_CANDIDATES",
     "PORTFOLIO_SOLVE",
     "PORTFOLIO_PARETO",
@@ -46,6 +49,8 @@ __all__ = [
     "COUNTER_CONTRADICTIONS",
     "COUNTER_EXPLORED",
     "COUNTER_SELECTED",
+    "COUNTER_SAMPLED_CELLS",
+    "COUNTER_CONVERGED_STRATA",
 ]
 
 # -- pipeline phases (orchestrate.run, serve lifecycles) ---------------
@@ -87,6 +92,17 @@ PRUNE_SYNTHESIZE = "prune.synthesize"
 #: (counts ``audited`` and ``contradictions``).
 PRUNE_AUDIT = "prune.audit"
 
+# -- statistical sampling campaigns (repro.injection.sampling) ---------
+#: Stratification of the (restricted) pair space into seeded draw
+#: orders (carries ``target``, ``ci``; counts ``strata``, ``cells``).
+SAMPLE_PLAN = "campaign.sample.plan"
+#: One synchronized sampling round across every open stratum (carries
+#: ``round``, ``pairs``; counts ``sampled_cells``).
+SAMPLE_ROUND = "campaign.sample.round"
+#: Final per-stratum interval estimation and record assembly (counts
+#: ``sampled_cells`` and ``converged_strata``).
+SAMPLE_ESTIMATE = "campaign.sample.estimate"
+
 # -- detector portfolio optimizer (repro.portfolio) --------------------
 #: Pooled candidate assembly across datasets (carries ``datasets``,
 #: ``scale``).
@@ -113,3 +129,9 @@ COUNTER_CONTRADICTIONS = "contradictions"
 COUNTER_EXPLORED = "explored"
 #: Detectors chosen by a portfolio solve.
 COUNTER_SELECTED = "selected"
+#: Cells (variable x bit x time x test case) executed by a sampling
+#: campaign.
+COUNTER_SAMPLED_CELLS = "sampled_cells"
+#: Strata whose early-stop rule fired (every class interval at or
+#: below the target half-width).
+COUNTER_CONVERGED_STRATA = "converged_strata"

@@ -69,6 +69,41 @@ class TargetSystem(abc.ABC):
     def is_failure(self, golden_output: object, run_output: object) -> bool:
         """The failure specification: did the run violate the spec?"""
 
+    def fingerprint(self) -> str | None:
+        """Content fingerprint of this target's configuration.
+
+        Two targets with equal fingerprints run their test cases
+        identically (same class, same constructor-derived state), so
+        anything deterministically derived from one -- golden runs in
+        particular -- can be reused for the other.
+
+        Every instance attribute participates (private ones included:
+        they shape behaviour just the same), via ``repr``.  An
+        attribute whose repr is identity-based (``<function work at
+        0x...>``) proves nothing about content, so such targets return
+        ``None`` -- *not fingerprintable* -- and callers must skip
+        content-addressed reuse rather than risk a false hit.  Targets
+        carrying such state can override this with a content-true
+        fingerprint of their own.
+        """
+        import re
+
+        from repro.orchestration.tasks import fingerprint_of
+
+        state = {}
+        for attr, value in sorted(vars(self).items()):
+            encoded = repr(value)
+            if re.search(r"0x[0-9a-fA-F]{4,}", encoded):
+                return None
+            state[attr] = encoded
+        return fingerprint_of(
+            {
+                "class": f"{type(self).__module__}.{type(self).__qualname__}",
+                "name": self.name,
+                "state": state,
+            }
+        )
+
     def check_module(self, module: str) -> None:
         if module not in self.modules:
             raise TargetError(
