@@ -1,0 +1,210 @@
+"""Bench R-10: the compositional campaign store (repro.injection.store).
+
+Times a full multi-module injection sweep -- 8 source-built modules x
+6 bits x 2 variables x 2 test cases -- twice after a single-module
+edit: once cold (fresh exhaustive re-run of every module) and once
+warm against a store populated before the edit (only the edited
+module's shards execute; the other 7 modules load bit-identically).
+
+The assertions encode the subsystem's contract *before* the speedup
+bar is judged: the warm delta run's record tables equal the cold
+exhaustive run's for every module -- ``to_dict()`` equality, canonical
+order included -- and the store counters prove that no shard of an
+unedited module executed.  Only then does the wall-clock ratio get
+compared against the >= 5x acceptance bar of EXPERIMENTS.md R-10.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.injection.campaign import Campaign, CampaignConfig
+from repro.injection.instrument import Harness, Location, VariableSpec
+from repro.injection.store import CampaignStore
+from repro.mining.cache import clear_reuse_caches
+from repro.orchestration.tasks import fingerprint_of
+from repro.targets.base import TargetSystem
+
+MODULES = tuple(f"m{i}" for i in range(8))
+
+#: Iterations of the per-run LCG busy loop: sized so one run costs
+#: milliseconds, the regime where injection runs (not fingerprinting
+#: or store IO) dominate both sides of the ratio -- as they do for the
+#: real targets, whose runs are full application executions.
+ITERATIONS = 60_000
+
+
+def source_for(module: str, generation: int = 0) -> str:
+    """Module source: a keyed LCG reduction over the probed inputs.
+
+    ``generation`` perturbs the increment, modelling an edit that
+    changes both the source text and the computed component.
+    """
+    seed = sum(ord(c) for c in module) * 977 + generation
+    return (
+        "def compute(a, b):\n"
+        f"    acc = (a * 48271 + b * 16807 + {seed}) % 2147483647\n"
+        f"    for _ in range({ITERATIONS}):\n"
+        "        acc = (acc * 48271 + 11) % 2147483647\n"
+        "    return acc\n"
+    )
+
+
+class StoreBenchTarget(TargetSystem):
+    """Multi-module source-built target (the test-suite SourcedTarget
+    shape, with a busy-loop per module so runs dominate wall-clock)."""
+
+    name = "SB"
+
+    def __init__(self, sources: dict) -> None:
+        self._sources = dict(sources)
+        self._fns = {}
+        for module, source in self._sources.items():
+            namespace: dict = {}
+            exec(compile(source, f"<{module}>", "exec"), namespace)
+            self._fns[module] = namespace["compute"]
+
+    @property
+    def modules(self):
+        return tuple(sorted(self._sources))
+
+    def variables_of(self, module, location=None):
+        self.check_module(module)
+        return (VariableSpec("a", "int32"), VariableSpec("b", "int32"))
+
+    def run(self, test_case, harness: Harness):
+        out = []
+        for module in self.modules:
+            state = harness.probe(
+                module,
+                Location.ENTRY,
+                {"a": test_case + 1, "b": 2 * test_case + 3},
+            )
+            out.append(self._fns[module](int(state["a"]), int(state["b"])))
+        return tuple(out)
+
+    def is_failure(self, golden_output, run_output):
+        return golden_output != run_output
+
+    def fingerprint(self):
+        return fingerprint_of(
+            {
+                "class": type(self).__qualname__,
+                "sources": sorted(self._sources.items()),
+            }
+        )
+
+    def shared_state_fingerprint(self):
+        return fingerprint_of(
+            {
+                "class": type(self).__qualname__,
+                "modules": sorted(self._sources),
+            }
+        )
+
+    def module_sources(self, module):
+        self.check_module(module)
+        return (self._sources[module],)
+
+
+def config_for(module: str) -> CampaignConfig:
+    return CampaignConfig(
+        module=module,
+        injection_location=Location.ENTRY,
+        sample_location=Location.ENTRY,
+        test_cases=(0, 1),
+        injection_times=(0,),
+        bits=(0, 1, 2),
+    )
+
+
+def sweep(target, store=None):
+    """One campaign per module; returns ({module: result}, seconds)."""
+    clear_reuse_caches()  # each sweep captures its own golden runs
+    started = time.perf_counter()
+    results = {
+        module: Campaign(target, config_for(module)).run(store=store)
+        for module in target.modules
+    }
+    return results, time.perf_counter() - started
+
+
+def tables(results):
+    return {
+        module: [record.to_dict() for record in result.records]
+        for module, result in results.items()
+    }
+
+
+@pytest.mark.bench_smoke
+def test_bench_store_delta_speedup(benchmark, tmp_path):
+    original = {m: source_for(m) for m in MODULES}
+    edited = dict(original, m3=source_for("m3", generation=1))
+
+    # Populate the store at generation 0, then edit module m3.
+    store = CampaignStore(tmp_path / "store")
+    sweep(StoreBenchTarget(original), store=store)
+
+    cold_results, cold_s = sweep(StoreBenchTarget(edited))
+    warm_results, warm_s = benchmark.pedantic(
+        lambda: sweep(StoreBenchTarget(edited), store=store),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Contract first: the warm delta is bit-identical to the fresh
+    # exhaustive sweep, module by module, and the counters prove that
+    # only the edited module's shards executed.
+    assert tables(warm_results) == tables(cold_results)
+    shards_per_module = warm_results["m3"].orchestration["tasks"]
+    for module, result in warm_results.items():
+        delta = result.orchestration["store"]
+        if module == "m3":
+            assert result.orchestration["executed"] == (
+                result.orchestration["tasks"]
+            )
+            assert delta["invalidated"] == result.orchestration["tasks"]
+            assert delta["writes"] == result.orchestration["tasks"]
+        else:
+            assert result.orchestration["executed"] == 0
+            assert result.orchestration["stored"] == (
+                result.orchestration["tasks"]
+            )
+            assert delta["hits"] == result.orchestration["tasks"]
+            assert delta["misses"] == 0 and delta["invalidated"] == 0
+
+    reused = sum(r.orchestration["stored"] for r in warm_results.values())
+    total = sum(r.orchestration["tasks"] for r in warm_results.values())
+    speedup = cold_s / warm_s
+    print()
+    print(
+        f"store {StoreBenchTarget.name} @ {len(MODULES)} modules, "
+        f"{total} shards: cold {cold_s:.2f}s, warm delta {warm_s:.2f}s "
+        f"({speedup:.1f}x); {reused}/{total} shards reused after editing m3"
+    )
+
+    artifact = os.environ.get("REPRO_BENCH_STORE_JSON")
+    if artifact:
+        with open(artifact, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "target": StoreBenchTarget.name,
+                    "modules": len(MODULES),
+                    "edited_module": "m3",
+                    "shards_total": total,
+                    "shards_reused": reused,
+                    "reused_fraction": reused / total,
+                    "shards_per_module": shards_per_module,
+                    "cold_s": cold_s,
+                    "warm_s": warm_s,
+                    "speedup": speedup,
+                    "divergences": 0,
+                },
+                handle,
+                indent=2,
+            )
+
+    # The R-10 acceptance bar: >= 5x warm delta after a 1/8-module edit.
+    assert speedup >= 5.0, f"speedup {speedup:.2f}x below the 5x bar"

@@ -51,6 +51,11 @@ low-sample-stratum        WARNING   a sampled campaign's stratum stopped under
                                     half-width (WARNING); ERROR when a mining
                                     step consumed an estimate whose interval
                                     straddles the outcome-class boundary
+stale-campaign-store      WARNING   a campaign document references a campaign
+                                    store that is missing on disk, or one
+                                    holding shard generations superseded by
+                                    module edits (``repro store gc`` reclaims
+                                    them)
 ========================  ========  =============================================
 """
 
@@ -145,6 +150,10 @@ class LintContext:
     #: repro.injection.sampling.SamplingReport, or its dict payload),
     #: by subject
     sampling: dict[str, object] = dataclasses.field(default_factory=dict)
+    #: campaign-store roots referenced by campaign documents (path
+    #: strings, or duck-typed repro.injection.store.CampaignStore),
+    #: by subject
+    stores: dict[str, object] = dataclasses.field(default_factory=dict)
     _simplified: dict[str, SimplificationResult] = dataclasses.field(
         default_factory=dict, repr=False
     )
@@ -525,6 +534,46 @@ class LowSampleStratumRule(LintRule):
                         "statistically undecided -- sample it tighter or "
                         "run it exhaustively before mining",
                     )
+
+
+@register_rule
+class StaleCampaignStoreRule(LintRule):
+    """Campaign documents referencing a store that has drifted: the
+    store directory is gone (delta re-runs silently degrade to full
+    re-execution), or it carries shard generations superseded by
+    module edits (dead disk that ``repro store gc`` reclaims)."""
+
+    name = "stale-campaign-store"
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        import pathlib
+
+        from repro.injection.store import CampaignStore
+
+        for subject in sorted(context.stores):
+            ref = context.stores[subject]
+            store = (
+                ref
+                if hasattr(ref, "stale_entries")
+                else CampaignStore(str(ref))
+            )
+            if not pathlib.Path(store.root).is_dir():
+                yield Finding(
+                    self.name, Severity.WARNING, subject,
+                    f"campaign references store {str(store.root)!r} which "
+                    "does not exist: the next run(store=...) re-executes "
+                    "every shard instead of loading them",
+                )
+                continue
+            stale = store.stale_entries()
+            if stale:
+                records = sum(entry.records for entry in stale)
+                yield Finding(
+                    self.name, Severity.WARNING, subject,
+                    f"store {str(store.root)!r} holds {len(stale)} stale "
+                    f"shard generation(s) ({records} record(s)) superseded "
+                    "by module edits; run `repro store gc` to reclaim them",
+                )
 
 
 @register_rule

@@ -27,6 +27,14 @@ The expensive half of the pipeline runs through the orchestrator::
     repro orchestrate 7Z-A1 --scale smoke --jobs 4 --journal run.jsonl
     repro orchestrate 7Z-A2 --prune static --audit-fraction 0.1
 
+Campaigns compose across runs through the content-addressed store
+(only shards of edited modules re-execute; see
+:mod:`repro.injection.store`)::
+
+    repro campaign 7Z-A1 --store store/ --scale smoke
+    repro store inspect store/
+    repro store gc store/ --dry-run
+
 The detector-placement knapsack (see :mod:`repro.portfolio`) is solved
 with ``portfolio``::
 
@@ -118,6 +126,8 @@ def _load_documents(paths: list[str]) -> LintContext:
                 context.journaled.add(subject)
             if payload.get("sampling") is not None:
                 context.sampling[subject] = payload["sampling"]
+            if payload.get("store"):
+                context.stores[subject] = payload["store"]
         elif (
             isinstance(payload, dict)
             and "module" in payload
@@ -486,6 +496,137 @@ def _cmd_orchestrate(args: argparse.Namespace) -> int:
             f"fpr={row['fpr']:.3f} comp={row['comp']:.1f}"
         )
     print(f"  best plan: {report.best_plan}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """Run one dataset's campaign against a persistent store: shards
+    whose content address is already stored load instead of executing,
+    so re-runs after a module edit only pay for the edited module."""
+    import time
+
+    from repro.experiments.datasets import (
+        DATASET_SPECS,
+        build_target,
+        campaign_config,
+    )
+    from repro.experiments.scale import get_scale
+    from repro.injection.campaign import Campaign
+    from repro.injection.store import CampaignStore
+
+    spec = DATASET_SPECS.get(args.dataset)
+    if spec is None:
+        print(
+            f"error: unknown dataset {args.dataset!r}; available: "
+            f"{', '.join(sorted(DATASET_SPECS))}",
+            file=sys.stderr,
+        )
+        return 2
+    scale_obj = get_scale(args.scale)
+    target = build_target(spec.target, scale_obj)
+    config = campaign_config(spec, scale_obj)
+    store = CampaignStore(args.store)
+    pool = None
+    journal = None
+    if args.jobs > 1:
+        from repro.orchestration.pool import ProcessPool
+
+        pool = ProcessPool(jobs=args.jobs)
+    if args.journal:
+        from repro.orchestration.journal import Journal
+
+        journal = Journal(args.journal)
+    start = time.perf_counter()
+    try:
+        result = Campaign(target, config).run(
+            pool=pool,
+            journal=journal,
+            prune=args.prune,
+            mode=args.mode,
+            store=store,
+        )
+    finally:
+        if pool is not None:
+            pool.close()
+    seconds = time.perf_counter() - start
+    if args.out:
+        payload = result.to_dict()
+        payload["store"] = args.store
+        if args.journal:
+            payload["journal"] = args.journal
+        pathlib.Path(args.out).write_text(json.dumps(payload, indent=2))
+    orchestration = getattr(result, "orchestration", None) or {}
+    counters = orchestration.get("store") or {}
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "dataset": args.dataset,
+                    "scale": scale_obj.name,
+                    "seconds": seconds,
+                    "runs": result.n_runs,
+                    "failures": result.n_failures,
+                    "crashes": result.n_crashes,
+                    "orchestration": orchestration,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"{args.dataset} @ {scale_obj.name}: {result.n_runs} runs, "
+        f"{result.n_failures} failures ({result.n_crashes} crashes), "
+        f"{seconds:.2f}s"
+    )
+    print(
+        f"  shards: {orchestration.get('executed', '?')} executed, "
+        f"{orchestration.get('stored', 0)} from store, "
+        f"{orchestration.get('cached', 0)} from journal, "
+        f"{len(orchestration.get('quarantined', ()))} quarantined"
+    )
+    if counters:
+        print(
+            f"  store: {counters.get('hits', 0)} hit(s), "
+            f"{counters.get('misses', 0)} cold miss(es), "
+            f"{counters.get('invalidated', 0)} invalidated, "
+            f"{counters.get('writes', 0)} write(s) -> {args.store}"
+        )
+    else:
+        print(
+            "  store: target not eligible (no module_sources); ran "
+            "storeless"
+        )
+    return 0
+
+
+def _cmd_store_inspect(args: argparse.Namespace) -> int:
+    from repro.injection.store import CampaignStore
+
+    summary = CampaignStore(args.store).summary()
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{summary['root']}: {summary['shards']} shard(s), "
+        f"{summary['records']} record(s), {summary['stale']} stale"
+    )
+    for row in summary["slices"]:
+        marker = " [stale]" if row["stale"] else ""
+        print(
+            f"  {row['target']}/{row['module']}: {row['shards']} shard(s), "
+            f"{row['records']} record(s){marker}"
+        )
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    from repro.injection.store import CampaignStore
+
+    removed = CampaignStore(args.store).gc(dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"{args.store}: {verb} {len(removed)} stale shard(s)")
+    for fingerprint in removed:
+        print(f"  {fingerprint}")
     return 0
 
 
@@ -986,6 +1127,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
     sample.set_defaults(func=_cmd_sample)
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="run a dataset's campaign against a persistent "
+        "content-addressed store (delta re-runs after module edits)",
+    )
+    campaign.add_argument(
+        "dataset", help='Table II dataset name (e.g. "7Z-A1")'
+    )
+    campaign.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="campaign store directory (created on first run)",
+    )
+    campaign.add_argument(
+        "--scale", choices=("smoke", "bench", "paper"), default="smoke",
+        help="experiment scale (default: smoke)",
+    )
+    campaign.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (default: serial)",
+    )
+    campaign.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="checkpoint journal; composes with the store (each "
+        "backfills the other)",
+    )
+    campaign.add_argument(
+        "--prune", choices=("none", "static"), default=None,
+        help="skip statically proven-dead/equivalent injections "
+        "(default: config setting, else none)",
+    )
+    campaign.add_argument(
+        "--mode", choices=("exhaustive", "sample"), default="exhaustive",
+        help="enumeration mode (default: exhaustive)",
+    )
+    campaign.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the full campaign document (lintable; records the "
+        "store path) to PATH",
+    )
+    campaign.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    campaign.set_defaults(func=_cmd_campaign)
+
+    store = commands.add_parser(
+        "store", help="inspect and garbage-collect campaign stores"
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+
+    s_inspect = store_commands.add_parser(
+        "inspect", help="per-slice shard/record counts and staleness"
+    )
+    s_inspect.add_argument("store", help="campaign store directory")
+    s_inspect.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    s_inspect.set_defaults(func=_cmd_store_inspect)
+
+    s_gc = store_commands.add_parser(
+        "gc", help="remove shard generations superseded by module edits"
+    )
+    s_gc.add_argument("store", help="campaign store directory")
+    s_gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report stale shards without deleting them",
+    )
+    s_gc.set_defaults(func=_cmd_store_gc)
 
     orchestrate = commands.add_parser(
         "orchestrate",

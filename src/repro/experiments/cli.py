@@ -30,6 +30,7 @@ from repro.experiments import (
     sampling_campaign,
     significance,
     simplify_bench,
+    store_sweep,
     table1,
     table2,
     table3,
@@ -66,6 +67,7 @@ EXPERIMENTS = {
     "propagation": propagation.main,
     "sampling-campaign": sampling_campaign.main,
     "significance": significance.main,
+    "store-sweep": store_sweep.main,
     "latency": lambda scale, datasets: latency.main(scale, datasets),
     "mining": lambda scale, datasets: mining_bench.main(scale),
     "runtime": runtime_bench.main,

@@ -21,7 +21,10 @@ systems of :mod:`repro.targets`:
   :class:`repro.mining.dataset.Dataset` instances (the paper's
   PROPANE-to-ARFF conversion step);
 * :mod:`repro.injection.failure` -- golden-run-diff failure
-  specifications.
+  specifications;
+* :mod:`repro.injection.store` -- the persistent content-addressed
+  campaign store that makes ``Campaign.run(store=...)`` a delta
+  operation over module edits.
 """
 
 from repro.injection.instrument import (
@@ -48,11 +51,13 @@ from repro.injection.sampling import (
     StratumEstimate,
     run_sampled_campaign,
 )
+from repro.injection.store import CampaignStore, StoreEligibilityWarning
 
 __all__ = [
     "BitFlip",
     "Campaign",
     "CampaignConfig",
+    "CampaignStore",
     "ExperimentRecord",
     "GoldenHarness",
     "GoldenRun",
@@ -63,6 +68,7 @@ __all__ = [
     "SamplingReport",
     "SamplingSpec",
     "StateSample",
+    "StoreEligibilityWarning",
     "StratumEstimate",
     "VariableSpec",
     "bit_width",

@@ -359,6 +359,76 @@ class Campaign:
         wanted = set(self.config.variables)
         return tuple(s for s in self.injectable_specs if s.name in wanted)
 
+    def store_key_base(self) -> dict | None:
+        """The store key shared by every shard of this campaign.
+
+        Everything that determines a shard's records except the
+        shard's own pairs: the injected module's source-closure
+        fingerprint, the failure-spec fingerprint, both probe sets,
+        and the config slice.  The variable/bit selection (and the
+        prune/audit settings, which never change an executed record)
+        is deliberately absent -- a shard's pairs carry it, so
+        campaigns slicing the same space differently share store
+        entries.  ``None`` when the target is not store-eligible
+        (see :meth:`repro.targets.base.TargetSystem.module_sources`).
+        """
+        module_fp = self.target.module_fingerprint(self.config.module)
+        failure_fp = self.target.failure_fingerprint()
+        if module_fp is None or failure_fp is None:
+            return None
+        config = self.config.to_dict()
+        for key in ("prune", "audit_fraction", "audit_seed", "variables", "bits"):
+            config.pop(key, None)
+        return {
+            "schema": 1,
+            "target": self.target.name,
+            "module_fingerprint": module_fp,
+            "failure_fingerprint": failure_fp,
+            "probes": {
+                "injection": [
+                    [spec.name, spec.kind] for spec in self.injectable_specs
+                ],
+                "sample": [
+                    [spec.name, spec.kind] for spec in self.variable_specs
+                ],
+            },
+            "config": config,
+        }
+
+    def plan_delta(self, store, shard_size: int = 1) -> dict:
+        """Classify this campaign's shards against a store, running
+        nothing: how much of the campaign a ``run(store=...)`` would
+        load versus execute.  ``stored``/``invalidated``/``missing``
+        partition the shard count (``invalidated`` shards have a
+        superseded generation in the store -- the module was edited;
+        ``missing`` shards are cold)."""
+        from repro.injection.store import logical_id_of
+        from repro.orchestration.campaigns import plan_shards
+        from repro.orchestration.tasks import fingerprint_of
+
+        base = self.store_key_base()
+        plan = {
+            "eligible": base is not None,
+            "shards": 0,
+            "stored": 0,
+            "invalidated": 0,
+            "missing": 0,
+        }
+        if base is None:
+            return plan
+        index = store._load_index()["logical"]
+        for shard in plan_shards(self, shard_size):
+            key = {**base, "pairs": [list(pair) for pair in shard]}
+            fingerprint = fingerprint_of(key)
+            plan["shards"] += 1
+            if store.contains(fingerprint):
+                plan["stored"] += 1
+            elif index.get(logical_id_of(key)) is not None:
+                plan["invalidated"] += 1
+            else:
+                plan["missing"] += 1
+        return plan
+
     def _bits_for(self, spec: VariableSpec) -> tuple[int, ...]:
         width = bit_width(spec.kind)
         bits = self.config.bits
@@ -394,6 +464,7 @@ class Campaign:
         confidence: float = 0.95,
         sample_seed: int = 0,
         sampling=None,
+        store=None,
     ) -> CampaignResult:
         """Execute the full campaign and return its records.
 
@@ -435,6 +506,19 @@ class Campaign:
         (the prune audit does not run in sample mode -- pruned cells
         are already a separate exactness tier).
 
+        ``store`` (a :class:`repro.injection.store.CampaignStore`)
+        makes the run *compositional*: every shard's records are
+        addressed by the injected module's source-closure fingerprint
+        (plus failure spec, probes, config slice and pairs), so after
+        editing one target module only that module's shards re-execute
+        -- everything else loads from the store and merges in canonical
+        order, bit-identical to a fresh exhaustive run.  Targets opt in
+        by declaring per-module source closures
+        (:meth:`~repro.targets.base.TargetSystem.module_sources`);
+        ineligible targets warn and run storeless.  The store composes
+        with journals, pools, ``prune="static"`` and ``mode="sample"``
+        in both directions.
+
         Campaign subclasses that observe per-run harness state through
         :meth:`_after_run` (e.g. the validation campaign) are forced
         onto in-process execution, since a worker process's harness
@@ -463,7 +547,7 @@ class Campaign:
                     target_halfwidth=target_halfwidth,
                     seed=sample_seed,
                 )
-            return self._run_sampled(pool, journal, sampling, prune_mode)
+            return self._run_sampled(pool, journal, sampling, prune_mode, store)
         if prune_mode == "static":
             if type(self)._after_run is not Campaign._after_run:
                 raise ValueError(
@@ -484,7 +568,9 @@ class Campaign:
                 pool = default_pool()
                 owns_pool = pool is not None
             try:
-                return self._run_pruned(pool, journal, shard_size, fraction, seed)
+                return self._run_pruned(
+                    pool, journal, shard_size, fraction, seed, store
+                )
             finally:
                 if owns_pool:
                     pool.close()
@@ -493,16 +579,18 @@ class Campaign:
 
             pool = default_pool()
             if pool is None:
-                if journal is None:
+                if journal is None and store is None:
                     return self._run_serial()
-                return self._run_orchestrated(None, journal, shard_size)
+                return self._run_orchestrated(None, journal, shard_size, store)
             try:
-                return self._run_orchestrated(pool, journal, shard_size)
+                return self._run_orchestrated(pool, journal, shard_size, store)
             finally:
                 pool.close()
-        return self._run_orchestrated(pool, journal, shard_size)
+        return self._run_orchestrated(pool, journal, shard_size, store)
 
-    def _run_sampled(self, pool, journal, spec, prune_mode: str) -> CampaignResult:
+    def _run_sampled(
+        self, pool, journal, spec, prune_mode: str, store=None
+    ) -> CampaignResult:
         """The statistical sampling campaign (optionally prune-composed)."""
         from repro.injection.sampling import run_sampled_campaign
 
@@ -531,6 +619,7 @@ class Campaign:
                 journal=journal,
                 prune_plan=prune_plan,
                 golden_runs=golden_runs,
+                store=store,
             )
         finally:
             if owns_pool:
@@ -565,7 +654,9 @@ class Campaign:
             self.variable_specs,
         )
 
-    def _run_orchestrated(self, pool, journal, shard_size: int) -> CampaignResult:
+    def _run_orchestrated(
+        self, pool, journal, shard_size: int, store=None
+    ) -> CampaignResult:
         from repro.orchestration.campaigns import run_campaign
         from repro.orchestration.pool import SerialPool
 
@@ -577,7 +668,7 @@ class Campaign:
             # Observation hooks need the runs in this process.
             pool = SerialPool(metrics=getattr(pool, "metrics", None))
         return run_campaign(
-            self, pool=pool, journal=journal, shard_size=shard_size
+            self, pool=pool, journal=journal, shard_size=shard_size, store=store
         )
 
     def _run_pruned(
@@ -587,6 +678,7 @@ class Campaign:
         shard_size: int,
         audit_fraction: float,
         audit_seed: int,
+        store=None,
     ) -> CampaignResult:
         """The statically pruned campaign: plan, execute the remainder,
         synthesize the rest, audit.  Bit-identical to `_run_serial`."""
@@ -602,7 +694,7 @@ class Campaign:
 
         pairs = plan.executed_pairs()
         orchestration = None
-        if pool is None and journal is None:
+        if pool is None and journal is None and store is None:
             executed = self._execute_pairs(pairs, golden_runs)
         else:
             from repro.orchestration.campaigns import run_campaign
@@ -614,6 +706,7 @@ class Campaign:
                 shard_size=shard_size,
                 pairs=pairs,
                 golden_runs=golden_runs,
+                store=store,
             )
             orchestration = getattr(partial, "orchestration", None)
             runs_per_pair = len(self.config.injection_times) * len(

@@ -408,8 +408,17 @@ def run_sampled_campaign(
     journal=None,
     prune_plan=None,
     golden_runs: dict[int, GoldenRun] | None = None,
+    store=None,
 ):
     """Execute a stratified sampling campaign and return its result.
+
+    ``store`` (a :class:`repro.injection.store.CampaignStore`) is
+    threaded through every per-round :func:`run_campaign` call: drawn
+    pairs whose shards an earlier campaign -- exhaustive, pruned or
+    sampled -- already stored load instead of executing, and freshly
+    executed draws are stored for later campaigns.  Store addresses
+    are pair-anchored, so the seeded draw order composes with the
+    store without affecting which records a cell produces.
 
     ``prune_plan`` (a :class:`repro.analysis.prune.PrunePlan`)
     restricts draws to the statically live classes: dead points are
@@ -458,6 +467,7 @@ def run_sampled_campaign(
         pool = SerialPool()
 
     rounds = 0
+    round_orchestrations: list[dict] = []
     while len(stopped) < len(strata):
         batch: list[tuple[str, str, int]] = []
         drawn_by_stratum: dict[str, list] = {}
@@ -493,6 +503,10 @@ def run_sampled_campaign(
                 shard_size=1,  # one pair per shard: the anchored unit
                 pairs=batch,
                 golden_runs=golden_runs,
+                store=store,
+            )
+            round_orchestrations.append(
+                getattr(partial, "orchestration", None) or {}
             )
             for index, (name, _kind, bit) in enumerate(batch):
                 records = partial.records[
@@ -558,7 +572,33 @@ def run_sampled_campaign(
         campaign.variable_specs,
         sampling=report,
     )
+    orchestration = _merge_orchestrations(round_orchestrations)
+    if orchestration is not None:
+        result.orchestration = orchestration  # type: ignore[attr-defined]
     return result
+
+
+def _merge_orchestrations(rounds: list[dict]) -> dict | None:
+    """Round-by-round orchestration summaries folded into one (counts
+    summed, quarantined ids concatenated, store deltas summed)."""
+    rounds = [entry for entry in rounds if entry]
+    if not rounds:
+        return None
+    merged: dict = {
+        key: sum(entry.get(key, 0) for entry in rounds)
+        for key in ("tasks", "executed", "cached", "stored")
+    }
+    merged["quarantined"] = [
+        task_id for entry in rounds for task_id in entry.get("quarantined", ())
+    ]
+    merged["jobs"] = max(entry.get("jobs", 1) for entry in rounds)
+    deltas = [entry["store"] for entry in rounds if "store" in entry]
+    if deltas:
+        merged["store"] = {
+            key: sum(delta.get(key, 0) for delta in deltas)
+            for key in ("hits", "misses", "invalidated", "writes")
+        }
+    return merged
 
 
 def _assemble(

@@ -1,0 +1,350 @@
+"""Persistent content-addressed campaign-result store.
+
+FastFlip (PAPERS.md) composes per-section error analysis incrementally:
+after a program edit, only the modified section re-analyzes.  This
+module is that idea applied to Step 1 of the methodology.  A
+:class:`CampaignStore` persists campaign shard results keyed by a
+*store key* that names everything determining the shard's records:
+
+* the target module's **source closure fingerprint**
+  (:meth:`repro.targets.base.TargetSystem.module_fingerprint`:
+  AST-normalized sources of the code the module executes, plus the
+  instance state shared across modules),
+* the **failure specification fingerprint**
+  (:meth:`~repro.targets.base.TargetSystem.failure_fingerprint`),
+* the **probe sets** visible at the injection and sampling locations,
+* the campaign **config slice** (module, locations, injection times,
+  test cases -- but *not* the variable/bit selection: the shard's
+  ``pairs`` carry those, so campaigns slicing the same space
+  differently share shards),
+* the shard's ``pairs`` (its cut of the canonical enumeration).
+
+The fingerprint of that key is the shard's content address.  Editing
+one target module changes only that module's source-closure
+fingerprint, so every other module's shards keep their addresses and
+load from the store -- ``Campaign.run(store=...)`` becomes a delta
+operation, bit-identical to a fresh exhaustive run (the differential
+contract proved by ``tests/injection/test_store.py``).
+
+Invalidation bookkeeping: the key fields above split into *content*
+fields (module/failure fingerprints, probes -- the parts an edit
+changes) and *identity* fields (everything else).  The fingerprint of
+the identity fields is the shard's **logical id**: the slice of
+injection space it covers, stable across edits.  ``index.json`` maps
+each logical id to its latest generation, so the store can tell a
+*cold* miss (slice never ran) from an *invalidated* one (a superseded
+generation exists) and ``gc()`` can drop stale generations.
+
+Layout (all writes atomic: temp file + ``os.replace``)::
+
+    <root>/index.json            logical id -> latest fingerprint
+    <root>/shards/<fp>.json      one shard's records + its full key
+
+The store assumes a single writer at a time (the campaign process);
+readers are safe concurrently because shard files are immutable once
+written and the index is replaced atomically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import tempfile
+
+__all__ = [
+    "CampaignStore",
+    "StoreEligibilityWarning",
+    "StoreEntry",
+    "logical_id_of",
+]
+
+STORE_FORMAT = "repro.injection.store"
+SHARD_FORMAT = "repro.injection.store.shard"
+VERSION = 1
+
+#: Key fields that change when a target module (or its failure spec)
+#: is edited.  The remaining fields identify the injection-space slice
+#: itself -- its logical id -- stable across edits.
+CONTENT_FIELDS = ("module_fingerprint", "failure_fingerprint", "probes")
+
+
+class StoreEligibilityWarning(RuntimeWarning):
+    """A store was requested for a target that cannot fingerprint its
+    module sources; the campaign proceeds without the store."""
+
+
+def logical_id_of(key: dict) -> str:
+    """Identity of the injection-space slice a key covers.
+
+    Drops the content fields, so two generations of the same slice
+    (before and after a module edit) share a logical id while their
+    content addresses differ.
+    """
+    # Deferred: importing repro.orchestration at module scope would
+    # close the cycle core.detector -> injection -> orchestration ->
+    # runtime -> core.detector.
+    from repro.orchestration.tasks import fingerprint_of
+
+    return fingerprint_of(
+        {k: v for k, v in key.items() if k not in CONTENT_FIELDS}
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreEntry:
+    """Metadata of one stored shard (no records)."""
+
+    fingerprint: str
+    logical_id: str
+    sequence: int
+    target: str
+    module: str
+    pairs: int
+    records: int
+    stale: bool
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class CampaignStore:
+    """Content-addressed persistence for campaign shard results.
+
+    ``counters`` tallies this instance's traffic: ``hits`` (shard
+    loaded), ``misses`` (cold: no generation of the slice exists),
+    ``invalidated`` (a *different* generation exists -- the slice's
+    module was edited since it was stored) and ``writes`` (new shard
+    files).  The three read counters are disjoint, so
+    ``hits + misses + invalidated`` is the number of lookups.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = pathlib.Path(root)
+        self.counters = {"hits": 0, "misses": 0, "invalidated": 0, "writes": 0}
+
+    # -- paths ---------------------------------------------------------
+    @property
+    def _shards_dir(self) -> pathlib.Path:
+        return self.root / "shards"
+
+    @property
+    def _index_path(self) -> pathlib.Path:
+        return self.root / "index.json"
+
+    def shard_path(self, fingerprint: str) -> pathlib.Path:
+        return self._shards_dir / f"{fingerprint}.json"
+
+    # -- index ---------------------------------------------------------
+    def _load_index(self) -> dict:
+        try:
+            payload = json.loads(self._index_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return self._rebuild_index()
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != STORE_FORMAT
+            or not isinstance(payload.get("logical"), dict)
+        ):
+            return self._rebuild_index()
+        return payload
+
+    def _rebuild_index(self) -> dict:
+        """Recover the index by scanning shard files (latest = highest
+        write sequence); an empty or missing store yields an empty
+        index rather than an error."""
+        logical: dict[str, dict] = {}
+        sequence = 0
+        for payload in self._iter_shards():
+            sequence = max(sequence, int(payload.get("sequence", 0)))
+            lid = payload.get("logical")
+            current = logical.get(lid)
+            if current is None or payload.get("sequence", 0) > current["sequence"]:
+                logical[lid] = {
+                    "fingerprint": payload["fingerprint"],
+                    "sequence": int(payload.get("sequence", 0)),
+                }
+        index = {
+            "format": STORE_FORMAT,
+            "version": VERSION,
+            "sequence": sequence,
+            "logical": logical,
+        }
+        if self.root.exists():
+            self._write_json(self._index_path, index)
+        return index
+
+    def _iter_shards(self):
+        try:
+            paths = sorted(self._shards_dir.glob("*.json"))
+        except OSError:
+            return
+        for path in paths:
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if (
+                isinstance(payload, dict)
+                and payload.get("format") == SHARD_FORMAT
+                and payload.get("fingerprint") == path.stem
+            ):
+                yield payload
+
+    def _write_json(self, path: pathlib.Path, payload: dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- read/write ----------------------------------------------------
+    def contains(self, fingerprint: str) -> bool:
+        """Whether a shard with this content address exists (does not
+        touch the counters -- it is the planner's peek, not a lookup)."""
+        return self.shard_path(fingerprint).is_file()
+
+    def fetch(self, fingerprint: str, key: dict) -> list | None:
+        """Records of the shard at ``fingerprint``, or ``None``.
+
+        A miss consults the index to classify itself: ``invalidated``
+        when another generation of the same slice is stored (the
+        module was edited), ``misses`` when the slice is cold.
+        """
+        path = self.shard_path(fingerprint)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            payload = None
+        if (
+            isinstance(payload, dict)
+            and payload.get("format") == SHARD_FORMAT
+            and payload.get("fingerprint") == fingerprint
+        ):
+            self.counters["hits"] += 1
+            return payload["records"]
+        lid = logical_id_of(key)
+        latest = self._load_index()["logical"].get(lid)
+        if latest is not None and latest.get("fingerprint") != fingerprint:
+            self.counters["invalidated"] += 1
+        else:
+            self.counters["misses"] += 1
+        return None
+
+    def put(self, fingerprint: str, key: dict, records: list) -> bool:
+        """Store one shard's records under its content address.
+
+        Idempotent: an existing shard is left untouched (content
+        addressing makes overwrites meaningless).  Returns whether a
+        new shard file was written.
+        """
+        if self.contains(fingerprint):
+            return False
+        index = self._load_index()
+        sequence = int(index.get("sequence", 0)) + 1
+        lid = logical_id_of(key)
+        self._write_json(
+            self.shard_path(fingerprint),
+            {
+                "format": SHARD_FORMAT,
+                "version": VERSION,
+                "fingerprint": fingerprint,
+                "logical": lid,
+                "sequence": sequence,
+                "key": key,
+                "records": records,
+            },
+        )
+        index["sequence"] = sequence
+        index["logical"][lid] = {
+            "fingerprint": fingerprint,
+            "sequence": sequence,
+        }
+        self._write_json(self._index_path, index)
+        self.counters["writes"] += 1
+        return True
+
+    # -- inspection / maintenance --------------------------------------
+    def entries(self) -> list[StoreEntry]:
+        """Metadata of every stored shard, stale generations included."""
+        index = self._load_index()["logical"]
+        entries = []
+        for payload in self._iter_shards():
+            key = payload.get("key") or {}
+            lid = payload.get("logical")
+            latest = index.get(lid, {}).get("fingerprint")
+            entries.append(
+                StoreEntry(
+                    fingerprint=payload["fingerprint"],
+                    logical_id=lid,
+                    sequence=int(payload.get("sequence", 0)),
+                    target=str(key.get("target", "?")),
+                    module=str(key.get("config", {}).get("module", "?")),
+                    pairs=len(payload.get("key", {}).get("pairs", ())),
+                    records=len(payload.get("records", ())),
+                    stale=latest != payload["fingerprint"],
+                )
+            )
+        return entries
+
+    def stale_entries(self) -> list[StoreEntry]:
+        """Shards superseded by a newer generation of their slice."""
+        return [entry for entry in self.entries() if entry.stale]
+
+    def gc(self, dry_run: bool = False) -> list[str]:
+        """Remove stale shard generations; returns their fingerprints.
+
+        Live shards (each slice's latest generation) are never
+        touched, so a delta run after ``gc()`` behaves identically.
+        """
+        from repro import observability as obs
+        from repro.observability import names
+
+        with obs.span(names.STORE_GC, root=str(self.root)) as span:
+            stale = self.stale_entries()
+            if not dry_run:
+                for entry in stale:
+                    try:
+                        self.shard_path(entry.fingerprint).unlink()
+                    except OSError:
+                        pass
+            span.count(names.COUNTER_STORE_STALE, len(stale))
+        return [entry.fingerprint for entry in stale]
+
+    def summary(self) -> dict:
+        """One-shot inspection payload for ``repro store inspect``."""
+        entries = self.entries()
+        slices: dict[tuple[str, str], dict] = {}
+        for entry in entries:
+            row = slices.setdefault(
+                (entry.target, entry.module),
+                {
+                    "target": entry.target,
+                    "module": entry.module,
+                    "shards": 0,
+                    "records": 0,
+                    "stale": 0,
+                },
+            )
+            row["shards"] += 1
+            row["records"] += entry.records
+            row["stale"] += int(entry.stale)
+        return {
+            "format": STORE_FORMAT,
+            "version": VERSION,
+            "root": str(self.root),
+            "shards": len(entries),
+            "stale": sum(1 for e in entries if e.stale),
+            "records": sum(e.records for e in entries),
+            "slices": [slices[label] for label in sorted(slices)],
+        }

@@ -37,6 +37,9 @@ __all__ = [
     "SAMPLE_PLAN",
     "SAMPLE_ROUND",
     "SAMPLE_ESTIMATE",
+    "STORE_RESOLVE",
+    "STORE_SYNC",
+    "STORE_GC",
     "PORTFOLIO_CANDIDATES",
     "PORTFOLIO_SOLVE",
     "PORTFOLIO_PARETO",
@@ -51,6 +54,11 @@ __all__ = [
     "COUNTER_SELECTED",
     "COUNTER_SAMPLED_CELLS",
     "COUNTER_CONVERGED_STRATA",
+    "COUNTER_STORE_HITS",
+    "COUNTER_STORE_MISSES",
+    "COUNTER_STORE_INVALIDATED",
+    "COUNTER_STORE_WRITES",
+    "COUNTER_STORE_STALE",
 ]
 
 # -- pipeline phases (orchestrate.run, serve lifecycles) ---------------
@@ -103,6 +111,18 @@ SAMPLE_ROUND = "campaign.sample.round"
 #: ``sampled_cells`` and ``converged_strata``).
 SAMPLE_ESTIMATE = "campaign.sample.estimate"
 
+# -- compositional campaign store (repro.injection.store) --------------
+#: Deriving the per-shard store keys and peeking containment during
+#: campaign planning (carries ``target``; counts ``shards`` and
+#: ``store_hits`` for the fully-stored fast path decision).
+STORE_RESOLVE = "campaign.store.resolve"
+#: Post-run reconciliation of one campaign against its store (carries
+#: ``target``, ``root``; counts ``store_hits``/``store_misses``/
+#: ``store_invalidated``/``store_writes`` deltas of the run).
+STORE_SYNC = "campaign.store.sync"
+#: Removing stale shard generations (counts ``store_stale``).
+STORE_GC = "campaign.store.gc"
+
 # -- detector portfolio optimizer (repro.portfolio) --------------------
 #: Pooled candidate assembly across datasets (carries ``datasets``,
 #: ``scale``).
@@ -135,3 +155,14 @@ COUNTER_SAMPLED_CELLS = "sampled_cells"
 #: Strata whose early-stop rule fired (every class interval at or
 #: below the target half-width).
 COUNTER_CONVERGED_STRATA = "converged_strata"
+#: Campaign shards answered by the content-addressed store.
+COUNTER_STORE_HITS = "store_hits"
+#: Store lookups for slices no generation of which is stored (cold).
+COUNTER_STORE_MISSES = "store_misses"
+#: Store lookups for slices whose stored generation was superseded by
+#: a module/failure-spec edit (the delta a compositional run re-runs).
+COUNTER_STORE_INVALIDATED = "store_invalidated"
+#: New shard files written to the store this run.
+COUNTER_STORE_WRITES = "store_writes"
+#: Stale (superseded) shard generations seen by gc/lint.
+COUNTER_STORE_STALE = "store_stale"

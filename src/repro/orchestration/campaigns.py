@@ -34,10 +34,13 @@ fault.
 
 from __future__ import annotations
 
+import warnings
+
 from repro import observability as obs
 from repro.injection.bitflip import BitFlip, flip_values_batch
 from repro.injection.campaign import Campaign, CampaignResult, ExperimentRecord
 from repro.injection.golden import GoldenRun, golden_runs_for
+from repro.observability import names
 from repro.orchestration.journal import Journal
 from repro.orchestration.pool import SerialPool, WorkerPool
 from repro.orchestration.tasks import Task, TaskGraph, _chunk, fingerprint_of
@@ -163,24 +166,83 @@ def run_campaign(
     shard_size: int = 1,
     pairs: list[Pair] | None = None,
     golden_runs: dict[int, GoldenRun] | None = None,
+    store=None,
 ) -> CampaignResult:
     """Execute a campaign through a worker pool, optionally journaled.
 
     Returns a :class:`CampaignResult` bit-identical to
     ``campaign.run()`` serial execution (absent quarantined shards).
     The result additionally carries an ``orchestration`` attribute
-    summarising the schedule: total/executed/cached task counts and
-    the ids of quarantined shards.  ``pairs`` restricts execution to
-    an explicit pair subset (pruned campaigns); ``golden_runs`` reuses
-    already-captured golden runs.
+    summarising the schedule: total/executed/cached/stored task counts
+    and the ids of quarantined shards.  ``pairs`` restricts execution
+    to an explicit pair subset (pruned campaigns); ``golden_runs``
+    reuses already-captured golden runs.
+
+    ``store`` (a :class:`repro.injection.store.CampaignStore`) makes
+    the run a delta operation: each shard's records are looked up
+    under its content address -- module source-closure fingerprint +
+    failure-spec fingerprint + probes + config slice + pairs -- and
+    only shards whose address misses execute.  Because the address
+    drops the config's variable/bit selection (the shard's pairs carry
+    those) and shards are pair-anchored, exhaustive, pruned and
+    sampled campaigns of the same slice all share store entries.  A
+    target without declared module source closures
+    (:meth:`~repro.targets.base.TargetSystem.module_sources`) is not
+    store-eligible; the run warns and proceeds storeless.  When every
+    shard is already stored, golden-run capture is skipped entirely --
+    the warm-path fast lane the delta bench measures.
     """
     if pool is None:
         pool = SerialPool()
     config = campaign.config
+    store_base = None
+    if store is not None:
+        store_base = campaign.store_key_base()
+        if store_base is None:
+            from repro.injection.store import StoreEligibilityWarning
+
+            warnings.warn(
+                f"target {campaign.target.name!r} declares no module "
+                "source closures (module_sources) or is otherwise not "
+                "fingerprintable; running without the campaign store",
+                StoreEligibilityWarning,
+                stacklevel=2,
+            )
+            store = None
+    counters_before = dict(store.counters) if store is not None else None
     with obs.span("campaign.plan", target=campaign.target.name):
-        if golden_runs is None:
-            golden_runs = golden_runs_for(campaign.target, config.test_cases)
         shards = plan_shards(campaign, shard_size, pairs)
+        store_fingerprints: list[str | None] = [None] * len(shards)
+        store_keys: list[dict | None] = [None] * len(shards)
+        fully_stored = False
+        if store is not None:
+            with obs.span(
+                names.STORE_RESOLVE, target=campaign.target.name
+            ) as resolve_span:
+                store_keys = [
+                    {**store_base, "pairs": [list(pair) for pair in shard]}
+                    for shard in shards
+                ]
+                store_fingerprints = [
+                    fingerprint_of(key) for key in store_keys
+                ]
+                contained = sum(
+                    1 for fp in store_fingerprints if store.contains(fp)
+                )
+                fully_stored = bool(shards) and contained == len(shards)
+                resolve_span.count("shards", len(shards))
+                resolve_span.count(names.COUNTER_STORE_HITS, contained)
+        if golden_runs is None:
+            if fully_stored:
+                # Every shard loads from the store: no run will execute,
+                # so the golden runs would never be consulted.  Skipping
+                # their capture is what makes a warm delta run pay only
+                # for the edited module.
+                golden_runs = {}
+            else:
+                golden_runs = golden_runs_for(
+                    campaign.target, config.test_cases
+                )
     # Per-pair records do not depend on the prune settings (a pair that
     # executes computes the same records either way), so fingerprints
     # drop them: journal shards stay shareable between exhaustive and
@@ -209,6 +271,8 @@ def run_campaign(
             weight=len(pairs)
             * len(config.injection_times)
             * len(config.test_cases),
+            store_fingerprint=store_fingerprints[index],
+            store_key=store_keys[index],
         )
         for index, pairs in enumerate(shards)
     ]
@@ -219,11 +283,12 @@ def run_campaign(
             ExperimentRecord.from_dict(entry) for entry in payload
         ],
     )
-    outcomes = graph.run(pool, journal)
+    outcomes = graph.run(pool, journal, store=store)
 
     records: list[ExperimentRecord] = []
     quarantined: list[str] = []
     cached = 0
+    stored = 0
     with obs.span("campaign.merge", shards=len(shards)) as merge_span:
         for task, pairs in zip(tasks, shards):
             outcome = outcomes[task.task_id]
@@ -233,9 +298,12 @@ def run_campaign(
             else:
                 if outcome.status == "cached":
                     cached += 1
+                elif outcome.status == "stored":
+                    stored += 1
                 records.extend(outcome.result)
         merge_span.count("records", len(records))
         merge_span.count("cached_shards", cached)
+        merge_span.count("stored_shards", stored)
         merge_span.count("quarantined_shards", len(quarantined))
     result = CampaignResult(
         campaign.target.name,
@@ -246,9 +314,27 @@ def run_campaign(
     )
     result.orchestration = {  # type: ignore[attr-defined]
         "tasks": len(tasks),
-        "executed": len(tasks) - cached - len(quarantined),
+        "executed": len(tasks) - cached - stored - len(quarantined),
         "cached": cached,
+        "stored": stored,
         "quarantined": quarantined,
         "jobs": pool.jobs,
     }
+    if store is not None:
+        with obs.span(
+            names.STORE_SYNC,
+            target=campaign.target.name,
+            root=str(store.root),
+        ) as sync_span:
+            delta = {
+                key: store.counters[key] - counters_before[key]
+                for key in store.counters
+            }
+            sync_span.count(names.COUNTER_STORE_HITS, delta["hits"])
+            sync_span.count(names.COUNTER_STORE_MISSES, delta["misses"])
+            sync_span.count(
+                names.COUNTER_STORE_INVALIDATED, delta["invalidated"]
+            )
+            sync_span.count(names.COUNTER_STORE_WRITES, delta["writes"])
+        result.orchestration["store"] = delta  # type: ignore[attr-defined]
     return result

@@ -63,9 +63,10 @@ class TaskOutcome:
     """Terminal state of one task.
 
     ``status`` is ``"done"`` (result valid), ``"cached"`` (result
-    restored from a journal without executing) or ``"quarantined"``
-    (the task exhausted its retries; ``error`` holds the last
-    failure).
+    restored from a journal without executing), ``"stored"`` (result
+    loaded from a content-addressed campaign store,
+    :mod:`repro.injection.store`) or ``"quarantined"`` (the task
+    exhausted its retries; ``error`` holds the last failure).
     """
 
     task_id: str
@@ -77,7 +78,7 @@ class TaskOutcome:
 
     @property
     def ok(self) -> bool:
-        return self.status in ("done", "cached")
+        return self.status in ("done", "cached", "stored")
 
 
 def _invoke(

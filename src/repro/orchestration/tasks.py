@@ -77,6 +77,16 @@ class Task:
     fn: Callable
     args: tuple = ()
     weight: int = 1
+    #: Content address in a :class:`repro.injection.store.CampaignStore`
+    #: (the fingerprint of ``store_key``); ``None`` opts the task out of
+    #: store resolution.  Unlike ``fingerprint`` (journal validity,
+    #: config-scoped), the store address is keyed by module *source*
+    #: fingerprints, so it survives across processes and editions.
+    store_fingerprint: str | None = None
+    #: The full store key (kept alongside the fingerprint so the store
+    #: can classify a miss as cold vs invalidated and persist audit
+    #: provenance with the records).
+    store_key: object = None
 
     @property
     def kind(self) -> str:
@@ -110,40 +120,71 @@ class TaskGraph:
     def __len__(self) -> int:
         return len(self.tasks)
 
-    def run(self, pool, journal=None) -> dict[str, "TaskOutcome"]:
+    def run(self, pool, journal=None, store=None) -> dict[str, "TaskOutcome"]:
         """Execute every task, returning outcomes keyed by task id.
 
-        Tasks whose (id, fingerprint) the journal already holds are
-        returned as ``"cached"`` outcomes without executing; each fresh
-        completion is appended to the journal *as it finishes*, so a
-        run killed mid-flight checkpoints everything completed so far.
-        The returned mapping is ordered by task order.
+        Resolution order per task: the content-addressed ``store``
+        (tasks carrying a ``store_fingerprint``) answers first with a
+        ``"stored"`` outcome; then the journal's (id, fingerprint)
+        entries answer ``"cached"``; everything else executes.  The
+        two caches backfill each other -- a store hit is appended to
+        the journal (so a later journal-only run resumes instantly)
+        and a journal hit is written to the store (so a later store
+        run hits) -- and each fresh completion checkpoints to both *as
+        it finishes*, so a run killed mid-flight loses nothing
+        completed.  The returned mapping is ordered by task order.
         """
         from repro.orchestration.pool import TaskOutcome
 
-        cached: dict[str, TaskOutcome] = {}
-        if journal is not None:
-            entries = journal.load()
-            for task in self.tasks:
+        entries: dict = journal.load() if journal is not None else {}
+        resolved: dict[str, TaskOutcome] = {}
+        for task in self.tasks:
+            payload = None
+            status = ""
+            if store is not None and task.store_fingerprint is not None:
+                payload = store.fetch(task.store_fingerprint, task.store_key)
+                if payload is not None:
+                    status = "stored"
+                    if journal is not None:
+                        entry = entries.get(task.task_id)
+                        if (
+                            entry is None
+                            or entry.get("fingerprint") != task.fingerprint
+                        ):
+                            journal.append(
+                                task.task_id, task.fingerprint, payload
+                            )
+            if payload is None:
                 entry = entries.get(task.task_id)
                 if entry is not None and entry.get("fingerprint") == task.fingerprint:
-                    cached[task.task_id] = TaskOutcome(
-                        task_id=task.task_id,
-                        status="cached",
-                        result=self._decode(entry.get("result")),
-                    )
-        to_run = [t for t in self.tasks if t.task_id not in cached]
+                    payload = entry.get("result")
+                    status = "cached"
+                    if store is not None and task.store_fingerprint is not None:
+                        store.put(task.store_fingerprint, task.store_key, payload)
+            if payload is not None:
+                resolved[task.task_id] = TaskOutcome(
+                    task_id=task.task_id,
+                    status=status,
+                    result=self._decode(payload),
+                )
+        to_run = [t for t in self.tasks if t.task_id not in resolved]
 
         def checkpoint(task: Task, outcome: TaskOutcome) -> None:
-            if journal is not None and outcome.status == "done":
-                journal.append(
-                    task.task_id, task.fingerprint, self._encode(outcome.result)
-                )
+            if outcome.status != "done":
+                return
+            wants_store = store is not None and task.store_fingerprint is not None
+            if journal is None and not wants_store:
+                return
+            payload = self._encode(outcome.result)
+            if journal is not None:
+                journal.append(task.task_id, task.fingerprint, payload)
+            if wants_store:
+                store.put(task.store_fingerprint, task.store_key, payload)
 
         fresh = pool.run(to_run, on_result=checkpoint)
         ordered: dict[str, TaskOutcome] = {}
         for task in self.tasks:
-            outcome = cached.get(task.task_id)
+            outcome = resolved.get(task.task_id)
             ordered[task.task_id] = outcome if outcome is not None else fresh[task.task_id]
         return ordered
 

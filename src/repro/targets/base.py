@@ -22,10 +22,103 @@ names and values, not the target's semantics.
 from __future__ import annotations
 
 import abc
+import ast
+import inspect
+import re
+import textwrap
 
 from repro.injection.instrument import Harness, Location, VariableSpec
 
-__all__ = ["TargetSystem", "TargetError"]
+__all__ = ["TargetSystem", "TargetError", "normalized_source"]
+
+#: Memory-address tokens in a repr (``<function f at 0x7f...>``):
+#: evidence the repr is identity-based and proves nothing about content.
+_IDENTITY_REPR = re.compile(r"0x[0-9a-fA-F]{4,}")
+
+
+def normalized_source(unit: object) -> str | None:
+    """AST-normalized Python source of a code unit, or ``None``.
+
+    ``unit`` may be a Python module, class, or function (resolved via
+    :func:`inspect.getsource`) or a plain source string.  The text is
+    parsed and unparsed, so comments, blank lines and formatting drop
+    out: two sources normalize equal iff they are the same program.
+    This is what makes a comment-only edit a store *hit* while a
+    one-character semantic edit is a store *invalidation*.
+
+    ``None`` means the source is unavailable (built-ins, ``exec``'d
+    code) or unparsable -- callers must treat the unit as not
+    fingerprintable.
+    """
+    if isinstance(unit, str):
+        text = unit
+    else:
+        try:
+            text = inspect.getsource(unit)
+        except (OSError, TypeError):
+            return None
+    try:
+        tree = ast.parse(textwrap.dedent(text))
+    except (SyntaxError, ValueError):
+        return None
+    return ast.unparse(tree)
+
+
+def _encode_state(value: object) -> object | None:
+    """Content-true encoding of one attribute value, or ``None``.
+
+    Scalars and anything else with a content repr encode as that repr;
+    containers recurse elementwise (sets sorted, so iteration order
+    cannot leak in).  An object whose repr is identity-based but that
+    carries a ``__dict__`` (a plain or dataclass-like instance without
+    a custom ``__repr__``) encodes as its class plus the recursive
+    encoding of its attributes -- equal field values fingerprint
+    equal, whatever addresses the instances live at.  Functions,
+    methods, modules and classes stay opaque: their identity repr
+    really does prove nothing, so the fingerprint bails.
+    """
+    if isinstance(value, (list, tuple)):
+        encoded = [_encode_state(item) for item in value]
+        if any(item is None for item in encoded):
+            return None
+        return [type(value).__name__, encoded]
+    if isinstance(value, dict):
+        items = []
+        for key in sorted(value, key=repr):
+            ek = _encode_state(key)
+            ev = _encode_state(value[key])
+            if ek is None or ev is None:
+                return None
+            items.append([ek, ev])
+        return ["dict", items]
+    if isinstance(value, (set, frozenset)):
+        encoded = [_encode_state(item) for item in value]
+        if any(item is None for item in encoded):
+            return None
+        return [type(value).__name__, sorted(encoded, key=repr)]
+    text = repr(value)
+    if not _IDENTITY_REPR.search(text):
+        return text
+    if (
+        isinstance(value, type)
+        or inspect.isroutine(value)
+        or inspect.ismodule(value)
+    ):
+        return None
+    attrs = getattr(value, "__dict__", None)
+    if not isinstance(attrs, dict):
+        return None
+    fields: dict[str, object] = {}
+    for name in sorted(attrs):
+        encoded = _encode_state(attrs[name])
+        if encoded is None:
+            return None
+        fields[name] = encoded
+    return [
+        "object",
+        f"{type(value).__module__}.{type(value).__qualname__}",
+        fields,
+    ]
 
 
 class TargetError(RuntimeError):
@@ -78,22 +171,23 @@ class TargetSystem(abc.ABC):
         particular -- can be reused for the other.
 
         Every instance attribute participates (private ones included:
-        they shape behaviour just the same), via ``repr``.  An
-        attribute whose repr is identity-based (``<function work at
-        0x...>``) proves nothing about content, so such targets return
-        ``None`` -- *not fingerprintable* -- and callers must skip
-        content-addressed reuse rather than risk a false hit.  Targets
-        carrying such state can override this with a content-true
-        fingerprint of their own.
+        they shape behaviour just the same), via :func:`_encode_state`:
+        content reprs pass through, containers recurse, and a
+        dataclass-like attribute whose repr is identity-based
+        (``<Config object at 0x...>``) is hashed through its
+        ``__dict__`` instead of bailing.  Attributes that stay opaque
+        even then -- functions, lambdas, modules, classes -- make the
+        target return ``None``: *not fingerprintable*, and callers
+        must skip content-addressed reuse rather than risk a false
+        hit.  Targets carrying such state can override this with a
+        content-true fingerprint of their own.
         """
-        import re
-
         from repro.orchestration.tasks import fingerprint_of
 
         state = {}
         for attr, value in sorted(vars(self).items()):
-            encoded = repr(value)
-            if re.search(r"0x[0-9a-fA-F]{4,}", encoded):
+            encoded = _encode_state(value)
+            if encoded is None:
                 return None
             state[attr] = encoded
         return fingerprint_of(
@@ -103,6 +197,80 @@ class TargetSystem(abc.ABC):
                 "state": state,
             }
         )
+
+    def module_sources(self, module: str) -> tuple[object, ...] | None:
+        """Source closure of one instrumented module, or ``None``.
+
+        The units (Python modules, classes, functions, or plain source
+        strings) whose code -- together with the instance state --
+        fully determines the records of a campaign injecting into
+        ``module``.  This is the compositional-store eligibility hook:
+        a target that declares closures gets module-granular
+        invalidation (editing one module re-runs only its shards,
+        :mod:`repro.injection.store`); the default ``None`` means the
+        closure is unknown and the target is not store-eligible.
+        Declaring a closure that misses code the module executes
+        breaks the store's bit-identity contract, so when in doubt
+        return the whole package (coarse but sound -- any edit
+        invalidates every module).
+        """
+        return None
+
+    def shared_state_fingerprint(self) -> str | None:
+        """Fingerprint of the instance state shared across modules.
+
+        Store keys combine this with the per-module source closure.
+        Defaults to :meth:`fingerprint`; targets whose instance state
+        *embeds* per-module sources (so editing one module would churn
+        the whole-instance fingerprint and defeat the delta) override
+        it to cover only the genuinely shared state.
+        """
+        return self.fingerprint()
+
+    def module_fingerprint(self, module: str) -> str | None:
+        """Content fingerprint of everything (except the failure spec)
+        that determines a campaign's records for ``module``.
+
+        Built from the module's declared source closure
+        (:meth:`module_sources`, AST-normalized so comment and
+        formatting edits do not invalidate) plus
+        :meth:`shared_state_fingerprint`.  ``None`` -- not
+        store-eligible -- when the target declares no closure, any
+        closure unit has no retrievable source, or the shared state is
+        not fingerprintable.
+        """
+        self.check_module(module)
+        sources = self.module_sources(module)
+        if sources is None:
+            return None
+        state = self.shared_state_fingerprint()
+        if state is None:
+            return None
+        normalized = [normalized_source(unit) for unit in sources]
+        if any(text is None for text in normalized):
+            return None
+        from repro.orchestration.tasks import fingerprint_of
+
+        return fingerprint_of(
+            {"module": module, "state": state, "sources": normalized}
+        )
+
+    def failure_fingerprint(self) -> str | None:
+        """Fingerprint of the failure specification's source.
+
+        The store key carries it separately from the module closures
+        so an edit to :meth:`is_failure` invalidates every module's
+        shards (the spec relabels *all* records).  Helpers the spec
+        calls must live in the module closures; this only covers the
+        method body itself.  ``None`` when the source is unavailable
+        (``exec``'d classes), which makes the target store-ineligible.
+        """
+        source = normalized_source(type(self).is_failure)
+        if source is None:
+            return None
+        from repro.orchestration.tasks import fingerprint_of
+
+        return fingerprint_of({"failure": source})
 
     def check_module(self, module: str) -> None:
         if module not in self.modules:

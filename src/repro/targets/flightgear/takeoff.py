@@ -127,6 +127,23 @@ class FlightGearTarget(TargetSystem):
             seen.setdefault(spec.name, spec)
         return tuple(seen.values())
 
+    def module_sources(self, module: str) -> tuple | None:
+        # Gear and Mass state feed the same integrated simulation step,
+        # so the closure is conservatively the whole package: any edit
+        # invalidates both modules' stored shards rather than risking a
+        # stale hit.
+        self.check_module(module)
+        from repro.targets.flightgear import (
+            aero,
+            aircraft,
+            gear,
+            massbalance,
+            spec,
+        )
+        import repro.targets.flightgear.takeoff as takeoff
+
+        return (takeoff, aircraft, aero, gear, massbalance, spec)
+
     def run(self, test_case: int, harness: Harness) -> FailureReport:
         scenario = scenario_for(test_case)
         aircraft = self.aircraft

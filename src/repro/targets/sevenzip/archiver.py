@@ -137,6 +137,17 @@ class SevenZipTarget(TargetSystem):
             return entry
         return entry + exit_only
 
+    def module_sources(self, module: str) -> tuple | None:
+        # Both instrumented modules execute the whole pipeline
+        # (compress feeds decode through the archive), so the closure
+        # is conservatively the entire package: any edit invalidates
+        # both modules' stored shards rather than risking a stale hit.
+        self.check_module(module)
+        from repro.targets.sevenzip import huffman, lz77, xtea
+        import repro.targets.sevenzip.archiver as archiver
+
+        return (archiver, lz77, huffman, xtea)
+
     def run(self, test_case: int, harness: Harness) -> object:
         files = self._make_files(test_case)
         key = self._key_for(test_case) if self.encrypt else None

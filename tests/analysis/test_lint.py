@@ -228,6 +228,53 @@ class TestPruneWithoutAuditRule:
         assert Linter(select=["prune-without-audit"]).run(context) == []
 
 
+class TestStaleCampaignStoreRule:
+    def _key(self, generation=0):
+        return {
+            "schema": 1,
+            "target": "T",
+            "module_fingerprint": f"mod{generation}",
+            "failure_fingerprint": "fail0",
+            "probes": {"injection": [["a", "int32"]], "sample": []},
+            "config": {"module": "M"},
+            "pairs": [["a", "int32", 0]],
+        }
+
+    def _store(self, tmp_path):
+        from repro.injection.store import CampaignStore
+
+        return CampaignStore(tmp_path / "store")
+
+    def test_flags_store_with_stale_generations(self, tmp_path):
+        store = self._store(tmp_path)
+        store.put("aaaa", self._key(0), [])
+        store.put("bbbb", self._key(1), [])  # supersedes generation 0
+        context = LintContext(stores={"c": store})
+        (finding,) = Linter(select=["stale-campaign-store"]).run(context)
+        assert finding.severity == Severity.WARNING
+        assert "stale" in finding.message
+        assert "gc" in finding.message
+
+    def test_accepts_store_path_reference(self, tmp_path):
+        store = self._store(tmp_path)
+        store.put("aaaa", self._key(0), [])
+        store.put("bbbb", self._key(1), [])
+        context = LintContext(stores={"c": str(store.root)})
+        (finding,) = Linter(select=["stale-campaign-store"]).run(context)
+        assert finding.severity == Severity.WARNING
+
+    def test_fresh_store_is_clean(self, tmp_path):
+        store = self._store(tmp_path)
+        store.put("aaaa", self._key(0), [])
+        context = LintContext(stores={"c": store})
+        assert Linter(select=["stale-campaign-store"]).run(context) == []
+
+    def test_missing_store_warns(self, tmp_path):
+        context = LintContext(stores={"c": str(tmp_path / "absent")})
+        (finding,) = Linter(select=["stale-campaign-store"]).run(context)
+        assert finding.severity == Severity.WARNING
+
+
 class TestDeploymentRules:
     def _plan(self, budget_s=1e-5, names=("narrow", "wide")):
         from repro.portfolio.plan import DeploymentPlan, PlannedDetector
@@ -348,6 +395,7 @@ class TestLinter:
             "prune-without-audit",
             "overbudget-deployment",
             "redundant-deployment",
+            "stale-campaign-store",
         } <= names
 
 

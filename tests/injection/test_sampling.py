@@ -87,6 +87,11 @@ class MixTarget(TargetSystem):
             return True
         return golden_output != run_output
 
+    def module_sources(self, module):
+        # Store-eligible: the whole behaviour lives in run/is_failure.
+        self.check_module(module)
+        return (type(self).run, type(self).is_failure)
+
 
 #: Pseudo-random but fixed subset of int64 bit positions whose flip
 #: the Bernoulli target counts as a failure (true rate 20/64).
@@ -448,6 +453,68 @@ class TestJournalInterop:
         )
         resumed = Campaign(MixTarget(), config).run(
             mode="sample", sampling=self.SPEC, journal=Journal(path)
+        )
+        assert table(resumed) == table(first)
+        assert resumed.sampling.to_dict() == first.sampling.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Campaign-store interop: sampled and exhaustive campaigns of the same
+# slice share store shards in both directions (the store key drops the
+# variable/bit selection; shard ``pairs`` carry it).
+# ----------------------------------------------------------------------
+class TestStoreInterop:
+    SPEC = SamplingSpec(target_halfwidth=0.12, min_cells=8, round_cells=8, seed=9)
+
+    def test_exhaustive_reuses_sampled_store_shards(self, tmp_path):
+        from repro.injection.store import CampaignStore
+
+        config = mix_config()
+        store = CampaignStore(tmp_path / "store")
+        sampled = Campaign(MixTarget(), config).run(
+            mode="sample", sampling=self.SPEC, store=store
+        )
+        runs_per_pair = len(config.injection_times) * len(config.test_cases)
+        exhaustive = Campaign(MixTarget(), config).run(store=store)
+        # Every sampled pair's shard loads from the store; only the
+        # un-drawn remainder of the enumeration executes.
+        assert exhaustive.orchestration["stored"] == (
+            len(sampled.records) // runs_per_pair
+        )
+        # ... and the merged exhaustive run is still canonical.
+        assert table(exhaustive) == table(Campaign(MixTarget(), config).run())
+
+    def test_sampled_reuses_exhaustive_store_fully(self, tmp_path):
+        from repro.injection.store import CampaignStore
+
+        config = mix_config()
+        store = CampaignStore(tmp_path / "store")
+        Campaign(MixTarget(), config).run(store=store)
+        writes_before = store.counters["writes"]
+        hits_before = store.counters["hits"]
+        sampled = Campaign(MixTarget(), config).run(
+            mode="sample", sampling=self.SPEC, store=store
+        )
+        # Every draw was answered from the store: no new shards.
+        assert store.counters["writes"] == writes_before
+        assert store.counters["hits"] > hits_before
+        exhaustive = {
+            record_key(r): r.to_dict()
+            for r in Campaign(MixTarget(), config).run().records
+        }
+        for record in sampled.records:
+            assert record.to_dict() == exhaustive[record_key(record)]
+
+    def test_store_resume_replays_identical_draws(self, tmp_path):
+        from repro.injection.store import CampaignStore
+
+        config = mix_config()
+        store = CampaignStore(tmp_path / "store")
+        first = Campaign(MixTarget(), config).run(
+            mode="sample", sampling=self.SPEC, store=store
+        )
+        resumed = Campaign(MixTarget(), config).run(
+            mode="sample", sampling=self.SPEC, store=store
         )
         assert table(resumed) == table(first)
         assert resumed.sampling.to_dict() == first.sampling.to_dict()

@@ -1,0 +1,474 @@
+"""Differential test harness for the compositional campaign store.
+
+The store's contract is *bit-identity under composition*: a
+``Campaign.run(store=...)`` that loads any mix of stored shards must
+produce a result whose ``to_dict()`` equals a fresh exhaustive run's,
+and after editing one target module only that module's shards may
+re-execute.  :class:`SourcedTarget` makes the contract provable: each
+of its modules is built from an explicit source string with an
+independent output component, so a single-module edit demonstrably
+cannot change any other module's records.
+"""
+
+import json
+import pathlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.injection.campaign import Campaign, CampaignConfig
+from repro.injection.instrument import Harness, Location, VariableSpec
+from repro.injection.store import (
+    CampaignStore,
+    StoreEligibilityWarning,
+    logical_id_of,
+)
+from repro.orchestration.campaigns import plan_shards
+from repro.orchestration.tasks import fingerprint_of
+from repro.targets.base import TargetSystem, normalized_source
+
+DATA_DIR = pathlib.Path(__file__).parent / "data"
+
+
+class SourcedTarget(TargetSystem):
+    """A multi-module target whose modules are explicit source strings.
+
+    Each module's source defines ``compute(a, b)``; the target's output
+    is the tuple of every module's compute over probed inputs, so the
+    modules' output components are provably independent: editing module
+    B shifts component B of golden and injected runs identically and
+    cannot change any record of module A's campaign.
+    """
+
+    name = "SRC"
+
+    def __init__(self, sources: dict) -> None:
+        self._sources = dict(sources)
+        self._fns = {}
+        for module, source in self._sources.items():
+            namespace: dict = {}
+            exec(compile(source, f"<{module}>", "exec"), namespace)
+            self._fns[module] = namespace["compute"]
+
+    @property
+    def modules(self):
+        return tuple(sorted(self._sources))
+
+    def variables_of(self, module, location=None):
+        self.check_module(module)
+        return (VariableSpec("a", "int32"), VariableSpec("b", "int32"))
+
+    def run(self, test_case, harness: Harness):
+        out = []
+        for module in self.modules:
+            state = harness.probe(
+                module,
+                Location.ENTRY,
+                {"a": test_case + 1, "b": 2 * test_case + 3},
+            )
+            out.append(self._fns[module](int(state["a"]), int(state["b"])))
+        return tuple(out)
+
+    def is_failure(self, golden_output, run_output):
+        return golden_output != run_output
+
+    def fingerprint(self):
+        # The exec'd functions have identity reprs; key the golden
+        # cache by the raw sources instead.
+        return fingerprint_of(
+            {
+                "class": type(self).__qualname__,
+                "sources": sorted(self._sources.items()),
+            }
+        )
+
+    def shared_state_fingerprint(self):
+        # Per-module sources are *not* shared state: editing module B
+        # must not invalidate module A's shards.
+        return fingerprint_of(
+            {
+                "class": type(self).__qualname__,
+                "modules": sorted(self._sources),
+            }
+        )
+
+    def module_sources(self, module):
+        self.check_module(module)
+        return (self._sources[module],)
+
+
+def source_for(k1: int, k2: int, k3: int) -> str:
+    return f"def compute(a, b):\n    return a * {k1} + b * {k2} - {k3}\n"
+
+
+def config_for(module: str) -> CampaignConfig:
+    return CampaignConfig(
+        module=module,
+        injection_location=Location.ENTRY,
+        sample_location=Location.ENTRY,
+        test_cases=(0, 1),
+        injection_times=(0,),
+        bits=(0, 1),
+    )
+
+
+def run_all(target, store=None):
+    """One campaign per module; returns {module: CampaignResult}."""
+    return {
+        module: Campaign(target, config_for(module)).run(store=store)
+        for module in target.modules
+    }
+
+
+coeffs = st.tuples(
+    st.integers(0, 9), st.integers(0, 9), st.integers(0, 9)
+)
+
+
+# ----------------------------------------------------------------------
+# The differential property (tentpole)
+# ----------------------------------------------------------------------
+@settings(max_examples=12, deadline=None)
+@given(
+    data=st.data(),
+    n_modules=st.integers(2, 3),
+)
+def test_single_module_edit_is_bit_identical_delta(tmp_path_factory, data, n_modules):
+    """After editing one module, ``run(store=...)`` is bit-identical to
+    a fresh exhaustive run and only the edited module's shards
+    re-execute (proved by the store hit/invalidation counters)."""
+    root = tmp_path_factory.mktemp("store")
+    modules = [f"m{i}" for i in range(n_modules)]
+    original = {
+        m: data.draw(coeffs, label=f"coeffs[{m}]") for m in modules
+    }
+    edited_module = data.draw(st.sampled_from(modules), label="edited")
+    edit = data.draw(
+        coeffs.filter(lambda ks: ks != original[edited_module]),
+        label="edit",
+    )
+
+    target = SourcedTarget(
+        {m: source_for(*ks) for m, ks in original.items()}
+    )
+    store = CampaignStore(root)
+    cold = run_all(target, store)
+    for module, result in cold.items():
+        assert result.to_dict() == run_all(target)[module].to_dict()
+        counters = result.orchestration["store"]
+        assert counters["hits"] == 0
+        assert counters["writes"] == result.orchestration["tasks"]
+
+    sources = {m: source_for(*ks) for m, ks in original.items()}
+    sources[edited_module] = source_for(*edit)
+    edited = SourcedTarget(sources)
+    fresh = run_all(edited)
+    warm = run_all(edited, CampaignStore(root))
+    for module in modules:
+        # The differential contract: delta run == fresh run, bitwise.
+        assert warm[module].to_dict() == fresh[module].to_dict()
+        counters = warm[module].orchestration["store"]
+        shards = warm[module].orchestration["tasks"]
+        if module == edited_module:
+            assert warm[module].orchestration["stored"] == 0
+            assert counters["hits"] == 0
+            assert counters["invalidated"] == shards
+            assert counters["writes"] == shards
+        else:
+            assert warm[module].orchestration["stored"] == shards
+            assert warm[module].orchestration["executed"] == 0
+            assert counters == {
+                "hits": shards, "misses": 0, "invalidated": 0, "writes": 0,
+            }
+
+
+def test_noop_edit_reuses_every_shard(tmp_path):
+    """Comment/whitespace edits normalize away: 100% store reuse."""
+    original = {
+        "alpha": source_for(3, 1, 0),
+        "beta": source_for(1, 5, 2),
+    }
+    target = SourcedTarget(original)
+    store = CampaignStore(tmp_path / "store")
+    cold = run_all(target, store)
+
+    noop = dict(original)
+    noop["alpha"] = (
+        "# a comment the AST never sees\n\n"
+        "def compute(a, b):\n\n    return (a * 3) + (b * 1) - 0\n\n"
+    )
+    edited = SourcedTarget(noop)
+    assert normalized_source(noop["alpha"]) == normalized_source(
+        original["alpha"]
+    )
+    warm = run_all(edited, CampaignStore(tmp_path / "store"))
+    for module in target.modules:
+        assert warm[module].to_dict() == cold[module].to_dict()
+        counters = warm[module].orchestration["store"]
+        assert counters["hits"] == warm[module].orchestration["tasks"]
+        assert warm[module].orchestration["executed"] == 0
+
+
+def test_failure_spec_edit_invalidates_everything(tmp_path):
+    """Editing ``is_failure`` relabels every record: no shard survives."""
+
+    class Inverted(SourcedTarget):
+        def is_failure(self, golden_output, run_output):
+            return not (golden_output != run_output)
+
+    sources = {"alpha": source_for(2, 1, 0), "beta": source_for(1, 1, 1)}
+    store_root = tmp_path / "store"
+    run_all(SourcedTarget(sources), CampaignStore(store_root))
+    warm = run_all(Inverted(sources), CampaignStore(store_root))
+    for result in warm.values():
+        counters = result.orchestration["store"]
+        assert counters["hits"] == 0
+        assert counters["invalidated"] == result.orchestration["tasks"]
+
+
+def test_ineligible_target_warns_and_runs_storeless(tmp_path):
+    class Opaque(SourcedTarget):
+        def module_sources(self, module):
+            return None
+
+    target = Opaque({"alpha": source_for(1, 2, 3)})
+    store = CampaignStore(tmp_path / "store")
+    with pytest.warns(StoreEligibilityWarning):
+        result = Campaign(target, config_for("alpha")).run(store=store)
+    assert "store" not in result.orchestration
+    assert store.counters["writes"] == 0
+    baseline = Campaign(target, config_for("alpha")).run()
+    assert result.to_dict() == baseline.to_dict()
+
+
+def test_plan_delta_classifies_without_running(tmp_path):
+    sources = {"alpha": source_for(2, 3, 1), "beta": source_for(4, 0, 2)}
+    target = SourcedTarget(sources)
+    store = CampaignStore(tmp_path / "store")
+    campaign = Campaign(target, config_for("alpha"))
+    assert campaign.plan_delta(store) == {
+        "eligible": True, "shards": 4, "stored": 0,
+        "invalidated": 0, "missing": 4,
+    }
+    campaign.run(store=store)
+    assert campaign.plan_delta(store)["stored"] == 4
+    edited = SourcedTarget({**sources, "alpha": source_for(5, 5, 5)})
+    plan = Campaign(edited, config_for("alpha")).plan_delta(store)
+    assert plan == {
+        "eligible": True, "shards": 4, "stored": 0,
+        "invalidated": 4, "missing": 0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Golden fingerprints: the store key schema, pinned
+# ----------------------------------------------------------------------
+GOLDEN_SOURCES = {
+    "alpha": "def compute(a, b):\n    return a * 3 + b\n",
+    "beta": "def compute(a, b):\n    return a - 2 * b\n",
+}
+
+
+def golden_fingerprints() -> dict:
+    target = SourcedTarget(GOLDEN_SOURCES)
+    payload = {}
+    for module in target.modules:
+        campaign = Campaign(target, config_for(module))
+        base = campaign.store_key_base()
+        keys = [
+            {**base, "pairs": [list(pair) for pair in shard]}
+            for shard in plan_shards(campaign, 1)
+        ]
+        payload[module] = {
+            "base": fingerprint_of(base),
+            "shards": [fingerprint_of(key) for key in keys],
+            "logical": [logical_id_of(key) for key in keys],
+        }
+    return payload
+
+
+def test_store_fingerprints_match_fixture():
+    """Store keys are a persistence schema: any drift (key composition,
+    source normalization, fingerprint algorithm) orphans every existing
+    store.  If a change is intentional, regenerate the fixture with
+    ``python -m tests.injection.test_store`` and say so in the commit.
+    """
+    fixture = json.loads((DATA_DIR / "store_fingerprints.json").read_text())
+    assert golden_fingerprints() == fixture
+
+
+def test_logical_id_stable_across_edits():
+    base = Campaign(
+        SourcedTarget(GOLDEN_SOURCES), config_for("alpha")
+    ).store_key_base()
+    edited_sources = dict(GOLDEN_SOURCES, alpha=source_for(9, 9, 9))
+    edited = Campaign(
+        SourcedTarget(edited_sources), config_for("alpha")
+    ).store_key_base()
+    assert base != edited
+    key = {**base, "pairs": [["a", "int32", 0]]}
+    edited_key = {**edited, "pairs": [["a", "int32", 0]]}
+    assert fingerprint_of(key) != fingerprint_of(edited_key)
+    assert logical_id_of(key) == logical_id_of(edited_key)
+
+
+# ----------------------------------------------------------------------
+# Store unit behaviour
+# ----------------------------------------------------------------------
+def _key(n: int = 0, generation: int = 0) -> dict:
+    return {
+        "schema": 1,
+        "target": "T",
+        "module_fingerprint": f"mfp{generation}",
+        "failure_fingerprint": "ffp",
+        "probes": {"injection": [["a", "int32"]], "sample": [["a", "int32"]]},
+        "config": {"module": "M"},
+        "pairs": [["a", "int32", n]],
+    }
+
+
+class TestCampaignStore:
+    def test_put_fetch_roundtrip(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        key = _key()
+        fp = fingerprint_of(key)
+        records = [{"r": 1}, {"r": 2}]
+        assert store.put(fp, key, records)
+        assert store.fetch(fp, key) == records
+        assert store.counters == {
+            "hits": 1, "misses": 0, "invalidated": 0, "writes": 1,
+        }
+
+    def test_put_is_idempotent(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        key = _key()
+        fp = fingerprint_of(key)
+        assert store.put(fp, key, [{"r": 1}])
+        assert not store.put(fp, key, [{"r": 1}])
+        assert store.counters["writes"] == 1
+
+    def test_cold_miss_vs_invalidated(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        old_key = _key(generation=0)
+        store.put(fingerprint_of(old_key), old_key, [{"r": 1}])
+        new_key = _key(generation=1)
+        assert store.fetch(fingerprint_of(new_key), new_key) is None
+        assert store.counters["invalidated"] == 1
+        unrelated = _key(n=7, generation=1)
+        assert store.fetch(fingerprint_of(unrelated), unrelated) is None
+        assert store.counters["misses"] == 1
+
+    def test_index_rebuilds_from_shards(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        key = _key()
+        fp = fingerprint_of(key)
+        store.put(fp, key, [{"r": 1}])
+        (tmp_path / "index.json").unlink()
+        rebuilt = CampaignStore(tmp_path)
+        assert rebuilt.fetch(fp, key) == [{"r": 1}]
+        # A miss on a superseded slice still classifies correctly: the
+        # rebuilt index recovered the logical mapping from shard files.
+        new_key = _key(generation=1)
+        assert rebuilt.fetch(fingerprint_of(new_key), new_key) is None
+        assert rebuilt.counters["invalidated"] == 1
+        assert (tmp_path / "index.json").is_file()
+
+    def test_corrupt_shard_is_a_miss_not_an_error(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        key = _key()
+        fp = fingerprint_of(key)
+        store.put(fp, key, [{"r": 1}])
+        store.shard_path(fp).write_text("{ not json")
+        assert store.fetch(fp, key) is None
+        assert store.entries() == []
+
+    def test_gc_removes_only_stale_generations(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        old_key, new_key = _key(generation=0), _key(generation=1)
+        old_fp, new_fp = fingerprint_of(old_key), fingerprint_of(new_key)
+        store.put(old_fp, old_key, [{"r": 1}])
+        store.put(new_fp, new_key, [{"r": 2}])
+        assert [e.fingerprint for e in store.stale_entries()] == [old_fp]
+        assert store.gc(dry_run=True) == [old_fp]
+        assert store.contains(old_fp)
+        assert store.gc() == [old_fp]
+        assert not store.contains(old_fp)
+        assert store.fetch(new_fp, new_key) == [{"r": 2}]
+
+    def test_summary_counts_slices(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        for n in range(3):
+            key = _key(n=n)
+            store.put(fingerprint_of(key), key, [{"r": n}])
+        summary = store.summary()
+        assert summary["shards"] == 3
+        assert summary["records"] == 3
+        assert summary["stale"] == 0
+        assert summary["slices"] == [
+            {"target": "T", "module": "M", "shards": 3, "records": 3,
+             "stale": 0},
+        ]
+
+
+# ----------------------------------------------------------------------
+# TargetSystem.fingerprint(): identity-repr attributes (satellite fix)
+# ----------------------------------------------------------------------
+class _Knobs:
+    """Dataclass-like attribute whose default repr is identity-based."""
+
+    def __init__(self, gain: float, limit: int) -> None:
+        self.gain = gain
+        self.limit = limit
+
+
+class _KnobbedTarget(TargetSystem):
+    name = "KT"
+
+    def __init__(self, knobs) -> None:
+        self.knobs = knobs
+
+    @property
+    def modules(self):
+        return ("M",)
+
+    def variables_of(self, module, location=None):
+        self.check_module(module)
+        return (VariableSpec("a", "int32"),)
+
+    def run(self, test_case, harness: Harness):
+        return test_case
+
+    def is_failure(self, golden_output, run_output):
+        return golden_output != run_output
+
+
+class TestFingerprintIdentityRepr:
+    def test_dataclass_like_attr_hashes_by_state(self):
+        a = _KnobbedTarget(_Knobs(1.5, 10))
+        b = _KnobbedTarget(_Knobs(1.5, 10))
+        c = _KnobbedTarget(_Knobs(2.5, 10))
+        assert a.fingerprint() is not None
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_identity_repr_without_state_still_falls_back(self):
+        # The regression the fix guards: a truly opaque attribute
+        # (identity repr, no __dict__) must yield None, not a
+        # fingerprint that silently differs per process.
+        a = _KnobbedTarget(lambda x: x)
+        assert a.fingerprint() is None
+
+    def test_nested_containers_of_stateful_objects(self):
+        a = _KnobbedTarget({"k": [_Knobs(1.0, 1)]})
+        b = _KnobbedTarget({"k": [_Knobs(1.0, 1)]})
+        assert a.fingerprint() == b.fingerprint()
+
+
+if __name__ == "__main__":
+    # Regenerate the golden fingerprint fixture (see
+    # test_store_fingerprints_match_fixture).
+    DATA_DIR.mkdir(parents=True, exist_ok=True)
+    path = DATA_DIR / "store_fingerprints.json"
+    path.write_text(json.dumps(golden_fingerprints(), indent=2) + "\n")
+    print(f"wrote {path}")

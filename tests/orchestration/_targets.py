@@ -82,6 +82,12 @@ class GridTarget(TargetSystem):
     def is_failure(self, golden_output, run_output):
         return golden_output != run_output
 
+    def module_sources(self, module):
+        # The whole behaviour lives in run/is_failure; subclasses that
+        # override them fingerprint differently automatically.
+        self.check_module(module)
+        return (type(self).run, type(self).is_failure)
+
 
 class CrashingGridTarget(GridTarget):
     """A target whose injected runs kill the whole worker process.

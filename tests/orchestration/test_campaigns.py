@@ -1,4 +1,6 @@
-"""Campaign orchestration: determinism, resume, quarantine synthesis."""
+"""Campaign orchestration: determinism, resume, quarantine synthesis,
+and campaign-store interop (journal backfill in both directions,
+prune-composition, pooled runs, quarantine exclusion)."""
 
 import pytest
 from hypothesis import given, settings
@@ -6,6 +8,7 @@ from hypothesis import strategies as st
 
 from repro.injection.campaign import Campaign
 from repro.injection.instrument import Location
+from repro.injection.store import CampaignStore
 from repro.orchestration import (
     Journal,
     ProcessPool,
@@ -158,6 +161,121 @@ class TestValidationGuard:
         # The hook must have seen every run in-process.
         assert len(observed) == result.n_runs
         assert result.orchestration["jobs"] == 1
+
+
+class TestStoreInterop:
+    """The campaign store composes with every other shard source:
+    journal checkpoints backfill the store and vice versa, pruned and
+    exhaustive campaigns of the same slice share shards (the config
+    slice drops the variable/bit selection; ``pairs`` carry it), and
+    quarantined shards are never persisted."""
+
+    def test_journal_shards_backfill_the_store(self, tmp_path):
+        journal = Journal(tmp_path / "c.jsonl")
+        full = run_grid_campaign().run(pool=SerialPool(), journal=journal)
+
+        store = CampaignStore(tmp_path / "store")
+        merged = run_grid_campaign().run(
+            pool=SerialPool(), journal=journal, store=store
+        )
+        assert merged.records == full.records
+        assert merged.orchestration["cached"] == merged.orchestration["tasks"]
+        # Every journal hit was written through to the (cold) store.
+        assert merged.orchestration["store"]["misses"] == (
+            merged.orchestration["tasks"]
+        )
+        assert merged.orchestration["store"]["writes"] == (
+            merged.orchestration["tasks"]
+        )
+
+        # The backfilled store now serves a journal-less run entirely.
+        warm = run_grid_campaign().run(store=CampaignStore(tmp_path / "store"))
+        assert warm.records == full.records
+        assert warm.orchestration["stored"] == warm.orchestration["tasks"]
+        assert warm.orchestration["executed"] == 0
+
+    def test_store_shards_backfill_a_fresh_journal(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        full = run_grid_campaign().run(store=store)
+        assert full.orchestration["store"]["writes"] == (
+            full.orchestration["tasks"]
+        )
+
+        journal = Journal(tmp_path / "c.jsonl")
+        merged = run_grid_campaign().run(
+            pool=SerialPool(), journal=journal, store=store
+        )
+        assert merged.records == full.records
+        assert merged.orchestration["stored"] == merged.orchestration["tasks"]
+        assert merged.orchestration["executed"] == 0
+
+        # ... and each store hit checkpointed into the journal, which
+        # now resumes the campaign on its own.
+        resumed = run_grid_campaign().run(pool=SerialPool(), journal=journal)
+        assert resumed.records == full.records
+        assert resumed.orchestration["cached"] == (
+            resumed.orchestration["tasks"]
+        )
+
+    def test_exhaustive_store_serves_pruned_campaign(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        exhaustive = run_grid_campaign().run(store=store)
+
+        pruned = run_grid_campaign().run(prune="static", store=store)
+        # Static pruning drops the dead ``scratch`` pairs; every
+        # surviving shard was already stored by the exhaustive run.
+        assert 0 < pruned.orchestration["tasks"] < (
+            exhaustive.orchestration["tasks"]
+        )
+        assert pruned.orchestration["stored"] == pruned.orchestration["tasks"]
+        assert pruned.orchestration["executed"] == 0
+        assert [r.to_dict() for r in pruned.records] == [
+            r.to_dict() for r in exhaustive.records
+        ]
+
+    def test_pruned_store_partially_serves_exhaustive(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        pruned = run_grid_campaign().run(prune="static", store=store)
+        survivors = pruned.orchestration["tasks"]
+
+        exhaustive = run_grid_campaign().run(store=store)
+        assert exhaustive.orchestration["stored"] == survivors
+        assert exhaustive.orchestration["executed"] == (
+            exhaustive.orchestration["tasks"] - survivors
+        )
+        assert exhaustive.records == run_grid_campaign()._run_serial().records
+
+    def test_pooled_store_run_is_bit_identical(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        with ProcessPool(2, backoff=0) as pool:
+            cold = run_grid_campaign().run(pool=pool, store=store)
+        assert cold.orchestration["store"]["writes"] == (
+            cold.orchestration["tasks"]
+        )
+        warm = run_grid_campaign().run(store=store)
+        assert warm.orchestration["stored"] == warm.orchestration["tasks"]
+        serial = run_grid_campaign()._run_serial()
+        assert cold.records == serial.records
+        assert warm.records == serial.records
+
+    def test_quarantined_shards_never_stored(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        config = grid_config(bits=(0, 31), variables=("acc",))
+        with ProcessPool(2, max_retries=1, backoff=0) as pool:
+            result = Campaign(CrashingGridTarget(), config).run(
+                pool=pool, store=store
+            )
+        quarantined = result.orchestration["quarantined"]
+        assert quarantined, "expected the sign-flip shard to be quarantined"
+        # Synthesized crash records must not poison the store: only
+        # the shards that genuinely ran were written.
+        assert result.orchestration["store"]["writes"] == (
+            result.orchestration["tasks"] - len(quarantined)
+        )
+        assert all(not entry.stale for entry in store.entries())
+        assert len(store.entries()) == (
+            result.orchestration["tasks"] - len(quarantined)
+        )
 
 
 class TestRunCampaignDirect:
